@@ -1,0 +1,55 @@
+//! Helpers shared by the application kernels.
+
+use cvm_dsm::ThreadCtx;
+use cvm_sim::SimDuration;
+
+/// Nanoseconds charged per floating-point operation (≈ a 275 MHz Alpha
+/// sustaining roughly one flop per two cycles).
+pub const NS_PER_FLOP: f64 = 8.0;
+
+/// Charges `flops` floating-point operations of pure computation.
+pub fn charge_flops(ctx: &mut ThreadCtx<'_>, flops: u64) {
+    ctx.work(SimDuration::from_ns((flops as f64 * NS_PER_FLOP) as u64));
+}
+
+/// Relative-tolerance float comparison for result validation.
+pub fn close(a: f64, b: f64, rel: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= rel * scale
+}
+
+/// Asserts two floats are close, with a helpful message.
+///
+/// # Panics
+///
+/// Panics when the values differ by more than `rel` relative tolerance.
+pub fn assert_close(a: f64, b: f64, rel: f64, what: &str) {
+    assert!(
+        close(a, b, rel),
+        "{what}: {a} vs {b} (rel tol {rel})"
+    );
+}
+
+/// Splits `len` items into the contiguous chunk owned by `who` of `parts`
+/// (same scheme as `ThreadCtx::partition`, usable outside a context).
+pub fn chunk(who: usize, parts: usize, len: usize) -> (usize, usize) {
+    cvm_dsm::ctx::partition_for(who, parts, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn close_tolerates_scale() {
+        assert!(close(1000.0, 1000.1, 1e-3));
+        assert!(!close(1.0, 2.0, 1e-3));
+        assert!(close(0.0, 1e-9, 1e-6));
+    }
+
+    #[test]
+    fn chunk_matches_partition() {
+        assert_eq!(chunk(0, 4, 100), (0, 25));
+        assert_eq!(chunk(3, 4, 100), (75, 100));
+    }
+}

@@ -1,0 +1,298 @@
+//! FFT — a transpose-based Fast Fourier Transform.
+//!
+//! The paper's 3-D FFT "uses matrix transposition to reduce communication";
+//! the communication structure is the classic SPLASH one: each thread
+//! computes 1-D FFTs over its contiguous block of rows entirely locally,
+//! then participates in an all-to-all matrix transpose that makes every
+//! thread fault on every other node's pages. We organize the `m × m`
+//! complex dataset as a row matrix (the paper's 64³ volume maps to a
+//! 512×512 row view) and run FFT → transpose → FFT → transpose — three
+//! barrier-separated phases whose traffic matches the paper's (flat diff
+//! counts across thread levels, with the famous spike at three threads
+//! caused by page-misaligned row blocks).
+
+use cvm_dsm::{CvmBuilder, SharedVec, ThreadCtx};
+
+use crate::common::{charge_flops, chunk};
+use crate::AppBody;
+
+/// FFT configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FftConfig {
+    /// Matrix dimension (a power of two); the dataset is `m × m` complex.
+    pub m: usize,
+}
+
+impl FftConfig {
+    /// Laptop-scale default (128×128 complex).
+    pub fn small() -> Self {
+        FftConfig { m: 128 }
+    }
+
+    /// The paper's 64×64×64 volume, viewed as a 512×512 row matrix.
+    pub fn paper() -> Self {
+        FftConfig { m: 512 }
+    }
+}
+
+/// Builds the FFT body.
+///
+/// # Panics
+///
+/// Panics if `m` is not a power of two.
+pub fn build(b: &mut CvmBuilder, cfg: FftConfig) -> AppBody {
+    assert!(cfg.m.is_power_of_two(), "FFT size must be a power of two");
+    build_inner(b, cfg)
+}
+
+fn build_inner(b: &mut CvmBuilder, cfg: FftConfig) -> AppBody {
+    let re = b.alloc::<f64>(cfg.m * cfg.m);
+    let im = b.alloc::<f64>(cfg.m * cfg.m);
+    let tre = b.alloc::<f64>(cfg.m * cfg.m);
+    let tim = b.alloc::<f64>(cfg.m * cfg.m);
+    let sink = b.alloc::<f64>(2);
+    Box::new(move |ctx: &mut ThreadCtx<'_>| run(ctx, &cfg, [re, im, tre, tim], sink))
+}
+
+fn input_value(i: usize, m: usize) -> (f64, f64) {
+    let x = (i % m) as f64;
+    let y = (i / m) as f64;
+    (
+        (x * 0.37).sin() + (y * 0.11).cos(),
+        (x * 0.05).cos() * (y * 0.23).sin(),
+    )
+}
+
+/// In-place radix-2 Cooley-Tukey on a local buffer; returns flop count.
+fn fft_row(re: &mut [f64], im: &mut [f64]) -> u64 {
+    let n = re.len();
+    let mut flops = 0u64;
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let (ur, ui) = (re[i + k], im[i + k]);
+                let (vr0, vi0) = (re[i + k + len / 2], im[i + k + len / 2]);
+                let vr = vr0 * cr - vi0 * ci;
+                let vi = vr0 * ci + vi0 * cr;
+                re[i + k] = ur + vr;
+                im[i + k] = ui + vi;
+                re[i + k + len / 2] = ur - vr;
+                im[i + k + len / 2] = ui - vi;
+                let ncr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = ncr;
+                flops += 16;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    flops
+}
+
+fn run(ctx: &mut ThreadCtx<'_>, cfg: &FftConfig, arrays: [SharedVec<f64>; 4], sink: SharedVec<f64>) {
+    let [re, im, tre, tim] = arrays;
+    let m = cfg.m;
+    if ctx.global_id() == 0 {
+        for i in 0..m * m {
+            let (r, iv) = input_value(i, m);
+            re.write(ctx, i, r);
+            im.write(ctx, i, iv);
+            tre.write(ctx, i, 0.0);
+            tim.write(ctx, i, 0.0);
+        }
+        sink.write(ctx, 0, 0.0);
+        sink.write(ctx, 1, 0.0);
+    }
+    ctx.startup_done();
+
+    let (rlo, rhi) = chunk(ctx.global_id(), ctx.total_threads(), m);
+
+    // Phase 1: FFT own rows (local once pages are resident).
+    fft_rows(ctx, m, rlo, rhi, re, im);
+    ctx.barrier();
+    // Phase 2: transpose re/im -> tre/tim (all-to-all reads).
+    transpose(ctx, m, rlo, rhi, re, im, tre, tim);
+    ctx.barrier();
+    // Phase 3: FFT transposed rows (completes the 2-D transform).
+    fft_rows(ctx, m, rlo, rhi, tre, tim);
+    ctx.barrier();
+    // Phase 4: transpose back so results land in natural order.
+    transpose(ctx, m, rlo, rhi, tre, tim, re, im);
+    ctx.barrier();
+
+    ctx.end_measured();
+
+    // Energy checksum for validation (Parseval against the oracle).
+    let mut local = 0.0;
+    for r in rlo..rhi {
+        for c in 0..m {
+            let i = r * m + c;
+            let (a, b) = (re.read(ctx, i), im.read(ctx, i));
+            local += a * a + b * b;
+        }
+    }
+    ctx.acquire(1);
+    let acc = sink.read(ctx, 0);
+    sink.write(ctx, 0, acc + local);
+    ctx.release(1);
+    ctx.barrier();
+    if ctx.global_id() == 0 {
+        let total = sink.read(ctx, 0);
+        assert!(total.is_finite() && total > 0.0, "FFT energy degenerate");
+        sink.write(ctx, 1, total);
+    }
+}
+
+fn fft_rows(
+    ctx: &mut ThreadCtx<'_>,
+    m: usize,
+    rlo: usize,
+    rhi: usize,
+    re: SharedVec<f64>,
+    im: SharedVec<f64>,
+) {
+    let mut br = vec![0.0f64; m];
+    let mut bi = vec![0.0f64; m];
+    for r in rlo..rhi {
+        for c in 0..m {
+            br[c] = re.read(ctx, r * m + c);
+            bi[c] = im.read(ctx, r * m + c);
+        }
+        let flops = fft_row(&mut br, &mut bi);
+        charge_flops(ctx, flops);
+        for c in 0..m {
+            re.write(ctx, r * m + c, br[c]);
+            im.write(ctx, r * m + c, bi[c]);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn transpose(
+    ctx: &mut ThreadCtx<'_>,
+    m: usize,
+    rlo: usize,
+    rhi: usize,
+    sre: SharedVec<f64>,
+    sim: SharedVec<f64>,
+    dre: SharedVec<f64>,
+    dim: SharedVec<f64>,
+) {
+    // Write own destination rows, reading the corresponding source column
+    // — strided reads that fault across every other node's pages.
+    for r in rlo..rhi {
+        for c in 0..m {
+            let vr = sre.read(ctx, c * m + r);
+            dre.write(ctx, r * m + c, vr);
+            let vi = sim.read(ctx, c * m + r);
+            dim.write(ctx, r * m + c, vi);
+        }
+    }
+}
+
+/// Sequential oracle: total signal energy of the 2-D FFT of the same
+/// input, computed with the same radix-2 kernel.
+pub fn oracle(cfg: &FftConfig) -> f64 {
+    let m = cfg.m;
+    let mut re = vec![0.0f64; m * m];
+    let mut im = vec![0.0f64; m * m];
+    for i in 0..m * m {
+        let (r, iv) = input_value(i, m);
+        re[i] = r;
+        im[i] = iv;
+    }
+    // FFT rows.
+    for r in 0..m {
+        fft_row(&mut re[r * m..(r + 1) * m], &mut im[r * m..(r + 1) * m]);
+    }
+    // Transpose.
+    let (mut tre, mut tim) = (vec![0.0; m * m], vec![0.0; m * m]);
+    for r in 0..m {
+        for c in 0..m {
+            tre[r * m + c] = re[c * m + r];
+            tim[r * m + c] = im[c * m + r];
+        }
+    }
+    // FFT columns (as rows of the transpose).
+    for r in 0..m {
+        fft_row(&mut tre[r * m..(r + 1) * m], &mut tim[r * m..(r + 1) * m]);
+    }
+    tre.iter().zip(&tim).map(|(a, b)| a * a + b * b).sum()
+}
+
+/// Runs the app and returns the checksum (tests).
+pub fn checksum_of_run(cfg: &FftConfig, nodes: usize, threads: usize) -> f64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    let mut b = CvmBuilder::new(cvm_dsm::CvmConfig::small(nodes, threads));
+    let re = b.alloc::<f64>(cfg.m * cfg.m);
+    let im = b.alloc::<f64>(cfg.m * cfg.m);
+    let tre = b.alloc::<f64>(cfg.m * cfg.m);
+    let tim = b.alloc::<f64>(cfg.m * cfg.m);
+    let sink = b.alloc::<f64>(2);
+    let out = Arc::new(AtomicU64::new(0));
+    let out2 = Arc::clone(&out);
+    let cfg = *cfg;
+    b.run(move |ctx| {
+        run(ctx, &cfg, [re, im, tre, tim], sink);
+        if ctx.global_id() == 0 {
+            out2.store(sink.read(ctx, 1).to_bits(), Ordering::SeqCst);
+        }
+    });
+    f64::from_bits(out.load(Ordering::SeqCst))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::assert_close;
+
+    #[test]
+    fn kernel_matches_dft_on_small_signal() {
+        let n = 8;
+        let mut re: Vec<f64> = (0..n).map(|i| (i as f64 * 0.9).sin()).collect();
+        let mut im = vec![0.0; n];
+        let (re0, im0) = (re.clone(), im.clone());
+        fft_row(&mut re, &mut im);
+        for k in 0..n {
+            let (mut sr, mut si) = (0.0, 0.0);
+            for t in 0..n {
+                let ang = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                sr += re0[t] * ang.cos() - im0[t] * ang.sin();
+                si += re0[t] * ang.sin() + im0[t] * ang.cos();
+            }
+            assert_close(re[k], sr, 1e-9, "DFT real");
+            assert_close(im[k], si, 1e-9, "DFT imag");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_oracle() {
+        let cfg = FftConfig { m: 32 };
+        let want = oracle(&cfg);
+        for (nodes, threads) in [(1, 1), (2, 2), (4, 3)] {
+            let got = checksum_of_run(&cfg, nodes, threads);
+            assert_close(got, want, 1e-9, "FFT energy");
+        }
+    }
+}

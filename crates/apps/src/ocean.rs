@@ -1,0 +1,502 @@
+//! Ocean — large-scale ocean-current simulation (contiguous-partition
+//! SPLASH-2 style).
+//!
+//! A multi-array, multi-phase solver: per timestep it computes a vorticity
+//! laplacian, advances the field, pre-smooths the stream function, then
+//! runs a **two-grid multigrid cycle** (restrict the residual to a
+//! half-resolution grid, relax there, prolongate the correction back, and
+//! post-smooth). The coarse grid is the heart of Ocean's DSM pathology: at
+//! eight nodes it spans only a handful of coherence pages, so every node
+//! writes and invalidates the same pages every step — the huge fault and
+//! diff counts the paper reports ("Ocean performs poorly on CVM due to the
+//! large number of faults... included primarily to show the effect of
+//! multi-threading on applications that are anything but well-tuned").
+//!
+//! The residual reduction is lock-based; the paper's `r` modification
+//! aggregates local contributions through a CVM local barrier into a
+//! single remote update per node (switchable here for the ablation).
+
+use cvm_dsm::{CvmBuilder, ReduceOp, SharedMat, SharedVec, ThreadCtx};
+
+use crate::common::{charge_flops, chunk};
+use crate::AppBody;
+
+/// Ocean configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OceanConfig {
+    /// Interior grid dimension, even (full grid `(n+2)²`; the paper's
+    /// input is a 258×258 ocean, i.e. `n = 256`).
+    pub n: usize,
+    /// Timesteps.
+    pub steps: usize,
+    /// Pre-smoothing relaxation sweeps per step.
+    pub sweeps: usize,
+    /// Coarse-grid relaxation sweeps per step.
+    pub coarse_sweeps: usize,
+    /// Use the per-node local-barrier reduction (`r` modification).
+    pub use_reduction: bool,
+}
+
+impl OceanConfig {
+    /// Laptop-scale default.
+    pub fn small() -> Self {
+        OceanConfig {
+            n: 192,
+            steps: 3,
+            sweeps: 1,
+            coarse_sweeps: 2,
+            use_reduction: true,
+        }
+    }
+
+    /// The paper's 258×258 ocean.
+    pub fn paper() -> Self {
+        OceanConfig {
+            n: 256,
+            steps: 4,
+            sweeps: 1,
+            coarse_sweeps: 2,
+            use_reduction: true,
+        }
+    }
+}
+
+const DT: f64 = 0.05;
+const GAMMA: f64 = 0.02;
+const ERR_LOCK: usize = 10;
+const SUM_LOCK: usize = 11;
+
+struct Grids {
+    psi: SharedMat<f64>,
+    q: SharedMat<f64>,
+    lap: SharedMat<f64>,
+    /// Coarse-grid restricted residual, `(n/2+2)²`.
+    res_c: SharedMat<f64>,
+    /// Coarse-grid correction, `(n/2+2)²`.
+    err_c: SharedMat<f64>,
+    err: SharedVec<f64>,
+    sink: SharedVec<f64>,
+}
+
+fn alloc_grids(b: &mut CvmBuilder, n: usize) -> Grids {
+    let nc = n / 2;
+    Grids {
+        psi: b.alloc_mat(n + 2, n + 2),
+        q: b.alloc_mat(n + 2, n + 2),
+        lap: b.alloc_mat(n + 2, n + 2),
+        res_c: b.alloc_mat(nc + 2, nc + 2),
+        err_c: b.alloc_mat(nc + 2, nc + 2),
+        err: b.alloc::<f64>(1),
+        sink: b.alloc::<f64>(2),
+    }
+}
+
+/// Builds the Ocean body.
+///
+/// # Panics
+///
+/// Panics if `n` is odd (the coarse grid is half resolution).
+pub fn build(b: &mut CvmBuilder, cfg: OceanConfig) -> AppBody {
+    assert!(cfg.n.is_multiple_of(2), "Ocean grid must be even");
+    let g = alloc_grids(b, cfg.n);
+    Box::new(move |ctx: &mut ThreadCtx<'_>| run(ctx, &cfg, &g))
+}
+
+fn init_val(r: usize, c: usize, dim: usize) -> (f64, f64) {
+    let x = r as f64 / dim as f64;
+    let y = c as f64 / dim as f64;
+    (
+        (x * 6.1).sin() * (y * 3.3).cos(),
+        (x * 2.7).cos() + (y * 5.9).sin() * 0.5,
+    )
+}
+
+fn run(ctx: &mut ThreadCtx<'_>, cfg: &OceanConfig, g: &Grids) {
+    let n = cfg.n;
+    let nc = n / 2;
+    let dim = n + 2;
+    if ctx.global_id() == 0 {
+        for r in 0..dim {
+            for c in 0..dim {
+                let (p, q) = init_val(r, c, dim);
+                let boundary = r == 0 || c == 0 || r == dim - 1 || c == dim - 1;
+                g.psi.write(ctx, r, c, if boundary { 0.0 } else { p });
+                g.q.write(ctx, r, c, if boundary { 0.0 } else { q });
+                g.lap.write(ctx, r, c, 0.0);
+            }
+        }
+        for r in 0..nc + 2 {
+            for c in 0..nc + 2 {
+                g.res_c.write(ctx, r, c, 0.0);
+                g.err_c.write(ctx, r, c, 0.0);
+            }
+        }
+        g.err.write(ctx, 0, 0.0);
+        g.sink.write(ctx, 0, 0.0);
+        g.sink.write(ctx, 1, 0.0);
+    }
+    ctx.startup_done();
+
+    let parts = ctx.total_threads();
+    let (flo, fhi) = chunk(ctx.global_id(), parts, n);
+    let (rlo, rhi) = (flo + 1, fhi + 1);
+    let (clo, chi) = chunk(ctx.global_id(), parts, nc);
+    let (crlo, crhi) = (clo + 1, chi + 1);
+
+    for _step in 0..cfg.steps {
+        // Phase 1: laplacian of psi.
+        for r in rlo..rhi {
+            for c in 1..=n {
+                let l = g.psi.read(ctx, r - 1, c)
+                    + g.psi.read(ctx, r + 1, c)
+                    + g.psi.read(ctx, r, c - 1)
+                    + g.psi.read(ctx, r, c + 1)
+                    - 4.0 * g.psi.read(ctx, r, c);
+                g.lap.write(ctx, r, c, l);
+                charge_flops(ctx, 6);
+            }
+        }
+        ctx.barrier();
+
+        // Phase 2: advance vorticity (purely local block).
+        for r in rlo..rhi {
+            for c in 1..=n {
+                let q0 = g.q.read(ctx, r, c);
+                let l = g.lap.read(ctx, r, c);
+                g.q.write(ctx, r, c, q0 + DT * (l - GAMMA * q0));
+                charge_flops(ctx, 4);
+            }
+        }
+        ctx.barrier();
+
+        // Phase 3: pre-smooth psi toward lap(psi) = q.
+        for _sweep in 0..cfg.sweeps {
+            relax_fine(ctx, cfg, g, rlo, rhi);
+        }
+
+        // Phase 4: restrict the fine residual to the coarse grid. The
+        // whole coarse grid spans very few pages, so this is where nodes
+        // start fighting over shared pages.
+        for cr in crlo..crhi {
+            for cc in 1..=nc {
+                let mut acc = 0.0;
+                for dr in 0..2 {
+                    for dc in 0..2 {
+                        let r = 2 * cr - 1 + dr;
+                        let c = 2 * cc - 1 + dc;
+                        let s = g.psi.read(ctx, r - 1, c)
+                            + g.psi.read(ctx, r + 1, c)
+                            + g.psi.read(ctx, r, c - 1)
+                            + g.psi.read(ctx, r, c + 1);
+                        acc += s - 4.0 * g.psi.read(ctx, r, c) - g.q.read(ctx, r, c);
+                        charge_flops(ctx, 8);
+                    }
+                }
+                g.res_c.write(ctx, cr, cc, acc);
+                // Zero the correction for this cycle.
+                g.err_c.write(ctx, cr, cc, 0.0);
+            }
+        }
+        ctx.barrier();
+
+        // Phase 5: relax the coarse correction: lap(err) = res.
+        for _sweep in 0..cfg.coarse_sweeps {
+            for colour in 0..2usize {
+                for cr in crlo..crhi {
+                    for cc in 1..=nc {
+                        if (cr + cc) % 2 == colour {
+                            let s = g.err_c.read(ctx, cr - 1, cc)
+                                + g.err_c.read(ctx, cr + 1, cc)
+                                + g.err_c.read(ctx, cr, cc - 1)
+                                + g.err_c.read(ctx, cr, cc + 1);
+                            let rv = g.res_c.read(ctx, cr, cc);
+                            g.err_c.write(ctx, cr, cc, 0.25 * (s - rv));
+                            charge_flops(ctx, 6);
+                        }
+                    }
+                }
+                ctx.barrier();
+            }
+        }
+
+        // Phase 6: prolongate the correction back to the fine grid
+        // (injection) with a damping factor.
+        for r in rlo..rhi {
+            for c in 1..=n {
+                let e = g.err_c.read(ctx, r.div_ceil(2), c.div_ceil(2));
+                let p = g.psi.read(ctx, r, c);
+                g.psi.write(ctx, r, c, p + 0.25 * e);
+                charge_flops(ctx, 3);
+            }
+        }
+        ctx.barrier();
+
+        // Phase 7: post-smooth.
+        relax_fine(ctx, cfg, g, rlo, rhi);
+
+        // Phase 8: residual reduction — the paper's reduction bottleneck.
+        let mut local = 0.0;
+        for r in rlo..rhi {
+            for c in 1..=n {
+                let s = g.psi.read(ctx, r - 1, c)
+                    + g.psi.read(ctx, r + 1, c)
+                    + g.psi.read(ctx, r, c - 1)
+                    + g.psi.read(ctx, r, c + 1)
+                    - 4.0 * g.psi.read(ctx, r, c);
+                local += (s - g.q.read(ctx, r, c)).abs();
+                charge_flops(ctx, 8);
+            }
+        }
+        if cfg.use_reduction {
+            // `r` modification: one remote update per node.
+            let node_sum = ctx.local_reduce(ReduceOp::Sum, local);
+            if ctx.local_id() == 0 {
+                ctx.acquire(ERR_LOCK);
+                let e = g.err.read(ctx, 0);
+                g.err.write(ctx, 0, e + node_sum);
+                ctx.release(ERR_LOCK);
+            }
+        } else {
+            // Transparent multi-threading: every thread updates the shared
+            // accumulator — extra lock and diff traffic.
+            ctx.acquire(ERR_LOCK);
+            let e = g.err.read(ctx, 0);
+            g.err.write(ctx, 0, e + local);
+            ctx.release(ERR_LOCK);
+        }
+        ctx.barrier();
+        if ctx.global_id() == 0 {
+            let e = g.err.read(ctx, 0);
+            assert!(e.is_finite(), "Ocean residual diverged");
+            g.err.write(ctx, 0, 0.0);
+        }
+        ctx.barrier();
+    }
+
+    ctx.end_measured();
+
+    // Validation checksum.
+    let mut local = 0.0;
+    for r in rlo..rhi {
+        for c in 1..=n {
+            local += g.psi.read(ctx, r, c) + 0.5 * g.q.read(ctx, r, c);
+        }
+    }
+    ctx.acquire(SUM_LOCK);
+    let acc = g.sink.read(ctx, 0);
+    g.sink.write(ctx, 0, acc + local);
+    ctx.release(SUM_LOCK);
+    ctx.barrier();
+    if ctx.global_id() == 0 {
+        let total = g.sink.read(ctx, 0);
+        g.sink.write(ctx, 1, total);
+    }
+}
+
+fn relax_fine(ctx: &mut ThreadCtx<'_>, cfg: &OceanConfig, g: &Grids, rlo: usize, rhi: usize) {
+    let n = cfg.n;
+    for colour in 0..2usize {
+        for r in rlo..rhi {
+            for c in 1..=n {
+                if (r + c) % 2 == colour {
+                    let s = g.psi.read(ctx, r - 1, c)
+                        + g.psi.read(ctx, r + 1, c)
+                        + g.psi.read(ctx, r, c - 1)
+                        + g.psi.read(ctx, r, c + 1);
+                    let qv = g.q.read(ctx, r, c);
+                    g.psi.write(ctx, r, c, 0.25 * (s - qv));
+                    charge_flops(ctx, 6);
+                }
+            }
+        }
+        ctx.barrier();
+    }
+}
+
+/// Sequential oracle for the final checksum.
+pub fn oracle(cfg: &OceanConfig) -> f64 {
+    let n = cfg.n;
+    let nc = n / 2;
+    let dim = n + 2;
+    let cdim = nc + 2;
+    let idx = |r: usize, c: usize| r * dim + c;
+    let cidx = |r: usize, c: usize| r * cdim + c;
+    let mut psi = vec![0.0f64; dim * dim];
+    let mut q = vec![0.0f64; dim * dim];
+    let mut lap = vec![0.0f64; dim * dim];
+    let mut res_c = vec![0.0f64; cdim * cdim];
+    let mut err_c = vec![0.0f64; cdim * cdim];
+    for r in 0..dim {
+        for c in 0..dim {
+            let (p, qq) = init_val(r, c, dim);
+            let boundary = r == 0 || c == 0 || r == dim - 1 || c == dim - 1;
+            psi[idx(r, c)] = if boundary { 0.0 } else { p };
+            q[idx(r, c)] = if boundary { 0.0 } else { qq };
+        }
+    }
+    let relax = |psi: &mut Vec<f64>, q: &Vec<f64>| {
+        for colour in 0..2usize {
+            for r in 1..=n {
+                for c in 1..=n {
+                    if (r + c) % 2 == colour {
+                        let s = psi[idx(r - 1, c)]
+                            + psi[idx(r + 1, c)]
+                            + psi[idx(r, c - 1)]
+                            + psi[idx(r, c + 1)];
+                        psi[idx(r, c)] = 0.25 * (s - q[idx(r, c)]);
+                    }
+                }
+            }
+        }
+    };
+    for _ in 0..cfg.steps {
+        for r in 1..=n {
+            for c in 1..=n {
+                lap[idx(r, c)] = psi[idx(r - 1, c)]
+                    + psi[idx(r + 1, c)]
+                    + psi[idx(r, c - 1)]
+                    + psi[idx(r, c + 1)]
+                    - 4.0 * psi[idx(r, c)];
+            }
+        }
+        for r in 1..=n {
+            for c in 1..=n {
+                q[idx(r, c)] += DT * (lap[idx(r, c)] - GAMMA * q[idx(r, c)]);
+            }
+        }
+        for _ in 0..cfg.sweeps {
+            relax(&mut psi, &q);
+        }
+        for cr in 1..=nc {
+            for cc in 1..=nc {
+                let mut acc = 0.0;
+                for dr in 0..2 {
+                    for dc in 0..2 {
+                        let r = 2 * cr - 1 + dr;
+                        let c = 2 * cc - 1 + dc;
+                        let s = psi[idx(r - 1, c)]
+                            + psi[idx(r + 1, c)]
+                            + psi[idx(r, c - 1)]
+                            + psi[idx(r, c + 1)];
+                        acc += s - 4.0 * psi[idx(r, c)] - q[idx(r, c)];
+                    }
+                }
+                res_c[cidx(cr, cc)] = acc;
+                err_c[cidx(cr, cc)] = 0.0;
+            }
+        }
+        for _ in 0..cfg.coarse_sweeps {
+            for colour in 0..2usize {
+                for cr in 1..=nc {
+                    for cc in 1..=nc {
+                        if (cr + cc) % 2 == colour {
+                            let s = err_c[cidx(cr - 1, cc)]
+                                + err_c[cidx(cr + 1, cc)]
+                                + err_c[cidx(cr, cc - 1)]
+                                + err_c[cidx(cr, cc + 1)];
+                            err_c[cidx(cr, cc)] = 0.25 * (s - res_c[cidx(cr, cc)]);
+                        }
+                    }
+                }
+            }
+        }
+        for r in 1..=n {
+            for c in 1..=n {
+                psi[idx(r, c)] += 0.25 * err_c[cidx(r.div_ceil(2), c.div_ceil(2))];
+            }
+        }
+        relax(&mut psi, &q);
+    }
+    let mut sum = 0.0;
+    for r in 1..=n {
+        for c in 1..=n {
+            sum += psi[idx(r, c)] + 0.5 * q[idx(r, c)];
+        }
+    }
+    sum
+}
+
+/// Runs the app and returns the checksum (tests).
+pub fn checksum_of_run(cfg: &OceanConfig, nodes: usize, threads: usize) -> f64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    let mut b = CvmBuilder::new(cvm_dsm::CvmConfig::small(nodes, threads));
+    let g = alloc_grids(&mut b, cfg.n);
+    let out = Arc::new(AtomicU64::new(0));
+    let out2 = Arc::clone(&out);
+    let cfg = *cfg;
+    b.run(move |ctx| {
+        run(ctx, &cfg, &g);
+        if ctx.global_id() == 0 {
+            out2.store(g.sink.read(ctx, 1).to_bits(), Ordering::SeqCst);
+        }
+    });
+    f64::from_bits(out.load(Ordering::SeqCst))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::assert_close;
+
+    fn tiny(use_reduction: bool) -> OceanConfig {
+        OceanConfig {
+            n: 24,
+            steps: 2,
+            sweeps: 1,
+            coarse_sweeps: 1,
+            use_reduction,
+        }
+    }
+
+    #[test]
+    fn parallel_matches_oracle_with_reduction() {
+        let cfg = tiny(true);
+        let want = oracle(&cfg);
+        for (nodes, threads) in [(1, 1), (2, 2)] {
+            assert_close(
+                checksum_of_run(&cfg, nodes, threads),
+                want,
+                1e-9,
+                "Ocean checksum (r)",
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_oracle_without_reduction() {
+        let cfg = tiny(false);
+        let want = oracle(&cfg);
+        assert_close(
+            checksum_of_run(&cfg, 2, 2),
+            want,
+            1e-9,
+            "Ocean checksum (no-opt)",
+        );
+    }
+
+    #[test]
+    fn multigrid_correction_has_effect() {
+        // The coarse correction must actually change the solution (the
+        // cycle is wired through): compare oracles with and without it.
+        let n = 24;
+        let with = OceanConfig {
+            n,
+            steps: 1,
+            sweeps: 1,
+            coarse_sweeps: 4,
+            use_reduction: true,
+        };
+        let without = OceanConfig {
+            n,
+            steps: 1,
+            sweeps: 1,
+            coarse_sweeps: 0,
+            use_reduction: true,
+        };
+        let a = oracle(&with);
+        let b = oracle(&without);
+        assert!(a.is_finite() && b.is_finite());
+        assert!((a - b).abs() > 1e-12, "coarse cycle had no effect");
+    }
+}

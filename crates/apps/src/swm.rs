@@ -1,0 +1,346 @@
+//! SWM750 — the SPEC shallow-water stencil benchmark.
+//!
+//! A two-dimensional finite-difference solver for the shallow-water
+//! equations with the SPEC SWM structure: thirteen full-size field arrays
+//! (`u v p`, their `new`/`old` leapfrog copies, and the intermediates
+//! `cu cv z h`), three parallel loops per timestep, each ending in a
+//! barrier (the paper's version was auto-parallelized by SUIF into exactly
+//! this fork-join shape), and periodic boundaries via wrapped indexing.
+//! The SUIF runtime's fork-join overhead — which the paper blames for
+//! SWM750's increased user time under multi-threading — is charged
+//! explicitly at each loop entry.
+
+use cvm_dsm::{CvmBuilder, SharedMat, SharedVec, ThreadCtx};
+use cvm_sim::SimDuration;
+
+use crate::common::{charge_flops, chunk};
+use crate::AppBody;
+
+/// SWM configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwmConfig {
+    /// Grid dimension (the paper's input is 750×750).
+    pub n: usize,
+    /// Timesteps.
+    pub steps: usize,
+}
+
+impl SwmConfig {
+    /// Laptop-scale default.
+    pub fn small() -> Self {
+        SwmConfig { n: 192, steps: 4 }
+    }
+
+    /// The paper's 750×750 input.
+    pub fn paper() -> Self {
+        SwmConfig { n: 750, steps: 6 }
+    }
+}
+
+const DX: f64 = 1.0e5;
+const DT: f64 = 90.0;
+const ALPHA: f64 = 0.001;
+/// Per-loop fork-join overhead of the SUIF runtime (per thread).
+const SUIF_FORK_JOIN: SimDuration = SimDuration::from_us(40);
+
+struct Fields {
+    u: SharedMat<f64>,
+    v: SharedMat<f64>,
+    p: SharedMat<f64>,
+    unew: SharedMat<f64>,
+    vnew: SharedMat<f64>,
+    pnew: SharedMat<f64>,
+    uold: SharedMat<f64>,
+    vold: SharedMat<f64>,
+    pold: SharedMat<f64>,
+    cu: SharedMat<f64>,
+    cv: SharedMat<f64>,
+    z: SharedMat<f64>,
+    h: SharedMat<f64>,
+    sink: SharedVec<f64>,
+}
+
+fn alloc_fields(b: &mut CvmBuilder, n: usize) -> Fields {
+    Fields {
+        u: b.alloc_mat(n, n),
+        v: b.alloc_mat(n, n),
+        p: b.alloc_mat(n, n),
+        unew: b.alloc_mat(n, n),
+        vnew: b.alloc_mat(n, n),
+        pnew: b.alloc_mat(n, n),
+        uold: b.alloc_mat(n, n),
+        vold: b.alloc_mat(n, n),
+        pold: b.alloc_mat(n, n),
+        cu: b.alloc_mat(n, n),
+        cv: b.alloc_mat(n, n),
+        z: b.alloc_mat(n, n),
+        h: b.alloc_mat(n, n),
+        sink: b.alloc::<f64>(2),
+    }
+}
+
+/// Builds the SWM body.
+pub fn build(b: &mut CvmBuilder, cfg: SwmConfig) -> AppBody {
+    let f = alloc_fields(b, cfg.n);
+    Box::new(move |ctx: &mut ThreadCtx<'_>| run(ctx, &cfg, &f))
+}
+
+fn init_uvp(i: usize, j: usize, n: usize) -> (f64, f64, f64) {
+    let a = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+    let b = 2.0 * std::f64::consts::PI * j as f64 / n as f64;
+    (
+        -50.0 * (a.sin() * b.cos()),
+        50.0 * (a.cos() * b.sin()),
+        5000.0 + 500.0 * (a.cos() + b.cos()),
+    )
+}
+
+fn run(ctx: &mut ThreadCtx<'_>, cfg: &SwmConfig, f: &Fields) {
+    let n = cfg.n;
+    if ctx.global_id() == 0 {
+        for i in 0..n {
+            for j in 0..n {
+                let (u, v, p) = init_uvp(i, j, n);
+                f.u.write(ctx, i, j, u);
+                f.v.write(ctx, i, j, v);
+                f.p.write(ctx, i, j, p);
+                f.uold.write(ctx, i, j, u);
+                f.vold.write(ctx, i, j, v);
+                f.pold.write(ctx, i, j, p);
+                for m in [&f.unew, &f.vnew, &f.pnew, &f.cu, &f.cv, &f.z, &f.h] {
+                    m.write(ctx, i, j, 0.0);
+                }
+            }
+        }
+        f.sink.write(ctx, 0, 0.0);
+        f.sink.write(ctx, 1, 0.0);
+    }
+    ctx.startup_done();
+
+    let (ilo, ihi) = chunk(ctx.global_id(), ctx.total_threads(), n);
+    let fsdx = 4.0 / DX;
+    let tdts8 = DT / 8.0;
+    let tdtsdx = DT / DX;
+
+    for _step in 0..cfg.steps {
+        // Loop 100: capacities and vorticity.
+        ctx.work(SUIF_FORK_JOIN);
+        for i in ilo..ihi {
+            let ip = (i + 1) % n;
+            for j in 0..n {
+                let jp = (j + 1) % n;
+                let cu = 0.5 * (f.p.read(ctx, ip, j) + f.p.read(ctx, i, j)) * f.u.read(ctx, i, j);
+                let cv = 0.5 * (f.p.read(ctx, i, jp) + f.p.read(ctx, i, j)) * f.v.read(ctx, i, j);
+                let z = (fsdx * (f.v.read(ctx, ip, j) - f.v.read(ctx, i, j))
+                    - fsdx * (f.u.read(ctx, i, jp) - f.u.read(ctx, i, j)))
+                    / (f.p.read(ctx, i, j) + 1.0);
+                let uu = f.u.read(ctx, i, j);
+                let vv = f.v.read(ctx, i, j);
+                let h = f.p.read(ctx, i, j) + 0.25 * (uu * uu + vv * vv);
+                f.cu.write(ctx, i, j, cu);
+                f.cv.write(ctx, i, j, cv);
+                f.z.write(ctx, i, j, z);
+                f.h.write(ctx, i, j, h);
+                charge_flops(ctx, 16);
+            }
+        }
+        ctx.barrier();
+
+        // Loop 200: leapfrog advance.
+        ctx.work(SUIF_FORK_JOIN);
+        for i in ilo..ihi {
+            let ip = (i + 1) % n;
+            let im = (i + n - 1) % n;
+            for j in 0..n {
+                let jp = (j + 1) % n;
+                let jm = (j + n - 1) % n;
+                let zs = f.z.read(ctx, i, j) + f.z.read(ctx, im, jm);
+                let unew = f.uold.read(ctx, i, j)
+                    + tdts8 * zs * (f.cv.read(ctx, i, j) + f.cv.read(ctx, im, j))
+                    - tdtsdx * (f.h.read(ctx, i, j) - f.h.read(ctx, im, j));
+                let vnew = f.vold.read(ctx, i, j)
+                    - tdts8 * zs * (f.cu.read(ctx, i, j) + f.cu.read(ctx, i, jm))
+                    - tdtsdx * (f.h.read(ctx, i, j) - f.h.read(ctx, i, jm));
+                let pnew = f.pold.read(ctx, i, j)
+                    - tdtsdx * (f.cu.read(ctx, ip, j) - f.cu.read(ctx, i, j))
+                    - tdtsdx * (f.cv.read(ctx, i, jp) - f.cv.read(ctx, i, j));
+                f.unew.write(ctx, i, j, unew);
+                f.vnew.write(ctx, i, j, vnew);
+                f.pnew.write(ctx, i, j, pnew);
+                charge_flops(ctx, 24);
+            }
+        }
+        ctx.barrier();
+
+        // Loop 300: time smoothing.
+        ctx.work(SUIF_FORK_JOIN);
+        for i in ilo..ihi {
+            for j in 0..n {
+                let (u, un, uo) = (
+                    f.u.read(ctx, i, j),
+                    f.unew.read(ctx, i, j),
+                    f.uold.read(ctx, i, j),
+                );
+                let (v, vn, vo) = (
+                    f.v.read(ctx, i, j),
+                    f.vnew.read(ctx, i, j),
+                    f.vold.read(ctx, i, j),
+                );
+                let (p, pn, po) = (
+                    f.p.read(ctx, i, j),
+                    f.pnew.read(ctx, i, j),
+                    f.pold.read(ctx, i, j),
+                );
+                f.uold.write(ctx, i, j, u + ALPHA * (un - 2.0 * u + uo));
+                f.vold.write(ctx, i, j, v + ALPHA * (vn - 2.0 * v + vo));
+                f.pold.write(ctx, i, j, p + ALPHA * (pn - 2.0 * p + po));
+                f.u.write(ctx, i, j, un);
+                f.v.write(ctx, i, j, vn);
+                f.p.write(ctx, i, j, pn);
+                charge_flops(ctx, 18);
+            }
+        }
+        ctx.barrier();
+    }
+
+    ctx.end_measured();
+
+    // Validation checksum: mean height field + velocity magnitudes.
+    let mut local = 0.0;
+    for i in ilo..ihi {
+        for j in 0..n {
+            local += f.p.read(ctx, i, j) + f.u.read(ctx, i, j).abs() + f.v.read(ctx, i, j).abs();
+        }
+    }
+    ctx.acquire(20);
+    let acc = f.sink.read(ctx, 0);
+    f.sink.write(ctx, 0, acc + local);
+    ctx.release(20);
+    ctx.barrier();
+    if ctx.global_id() == 0 {
+        let total = f.sink.read(ctx, 0);
+        assert!(total.is_finite(), "SWM diverged");
+        f.sink.write(ctx, 1, total);
+    }
+}
+
+/// Sequential oracle for the final checksum.
+pub fn oracle(cfg: &SwmConfig) -> f64 {
+    let n = cfg.n;
+    let at = |g: &Vec<f64>, i: usize, j: usize| g[i * n + j];
+    let mut u = vec![0.0; n * n];
+    let mut v = vec![0.0; n * n];
+    let mut p = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let (a, b, c) = init_uvp(i, j, n);
+            u[i * n + j] = a;
+            v[i * n + j] = b;
+            p[i * n + j] = c;
+        }
+    }
+    let (mut uold, mut vold, mut pold) = (u.clone(), v.clone(), p.clone());
+    let mut cu = vec![0.0; n * n];
+    let mut cv = vec![0.0; n * n];
+    let mut z = vec![0.0; n * n];
+    let mut h = vec![0.0; n * n];
+    let fsdx = 4.0 / DX;
+    let tdts8 = DT / 8.0;
+    let tdtsdx = DT / DX;
+    for _ in 0..cfg.steps {
+        for i in 0..n {
+            let ip = (i + 1) % n;
+            for j in 0..n {
+                let jp = (j + 1) % n;
+                cu[i * n + j] = 0.5 * (at(&p, ip, j) + at(&p, i, j)) * at(&u, i, j);
+                cv[i * n + j] = 0.5 * (at(&p, i, jp) + at(&p, i, j)) * at(&v, i, j);
+                z[i * n + j] = (fsdx * (at(&v, ip, j) - at(&v, i, j))
+                    - fsdx * (at(&u, i, jp) - at(&u, i, j)))
+                    / (at(&p, i, j) + 1.0);
+                h[i * n + j] =
+                    at(&p, i, j) + 0.25 * (at(&u, i, j) * at(&u, i, j) + at(&v, i, j) * at(&v, i, j));
+            }
+        }
+        let mut unew = vec![0.0; n * n];
+        let mut vnew = vec![0.0; n * n];
+        let mut pnew = vec![0.0; n * n];
+        for i in 0..n {
+            let ip = (i + 1) % n;
+            let im = (i + n - 1) % n;
+            for j in 0..n {
+                let jp = (j + 1) % n;
+                let jm = (j + n - 1) % n;
+                let zs = at(&z, i, j) + at(&z, im, jm);
+                unew[i * n + j] = at(&uold, i, j)
+                    + tdts8 * zs * (at(&cv, i, j) + at(&cv, im, j))
+                    - tdtsdx * (at(&h, i, j) - at(&h, im, j));
+                vnew[i * n + j] = at(&vold, i, j)
+                    - tdts8 * zs * (at(&cu, i, j) + at(&cu, i, jm))
+                    - tdtsdx * (at(&h, i, j) - at(&h, i, jm));
+                pnew[i * n + j] = at(&pold, i, j)
+                    - tdtsdx * (at(&cu, ip, j) - at(&cu, i, j))
+                    - tdtsdx * (at(&cv, i, jp) - at(&cv, i, j));
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                let k = i * n + j;
+                uold[k] = u[k] + ALPHA * (unew[k] - 2.0 * u[k] + uold[k]);
+                vold[k] = v[k] + ALPHA * (vnew[k] - 2.0 * v[k] + vold[k]);
+                pold[k] = p[k] + ALPHA * (pnew[k] - 2.0 * p[k] + pold[k]);
+                u[k] = unew[k];
+                v[k] = vnew[k];
+                p[k] = pnew[k];
+            }
+        }
+    }
+    let mut sum = 0.0;
+    for k in 0..n * n {
+        sum += p[k] + u[k].abs() + v[k].abs();
+    }
+    sum
+}
+
+/// Runs the app and returns the checksum (tests).
+pub fn checksum_of_run(cfg: &SwmConfig, nodes: usize, threads: usize) -> f64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    let mut b = CvmBuilder::new(cvm_dsm::CvmConfig::small(nodes, threads));
+    let f = alloc_fields(&mut b, cfg.n);
+    let out = Arc::new(AtomicU64::new(0));
+    let out2 = Arc::clone(&out);
+    let cfg = *cfg;
+    b.run(move |ctx| {
+        run(ctx, &cfg, &f);
+        if ctx.global_id() == 0 {
+            out2.store(f.sink.read(ctx, 1).to_bits(), Ordering::SeqCst);
+        }
+    });
+    f64::from_bits(out.load(Ordering::SeqCst))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::assert_close;
+
+    #[test]
+    fn parallel_matches_oracle() {
+        let cfg = SwmConfig { n: 24, steps: 2 };
+        let want = oracle(&cfg);
+        for (nodes, threads) in [(1, 1), (2, 2)] {
+            assert_close(
+                checksum_of_run(&cfg, nodes, threads),
+                want,
+                1e-9,
+                "SWM checksum",
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_stays_finite_over_more_steps() {
+        let cfg = SwmConfig { n: 16, steps: 8 };
+        assert!(oracle(&cfg).is_finite());
+    }
+}

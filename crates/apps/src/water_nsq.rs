@@ -1,0 +1,594 @@
+//! Water-Nsq — the O(N²) molecular-dynamics simulation, and the paper's
+//! §4.5 source-modification case study (Table 5).
+//!
+//! As in SPLASH-2 Water, each molecule has three atoms, so the position
+//! state every thread reads during the force phase spans several coherence
+//! pages even at modest molecule counts. Each thread owns a contiguous
+//! molecule range and computes the half-shell of pair interactions,
+//! reading *all* molecule positions ("all threads usually read all
+//! molecules at some point during each iteration"). Cross-partition force
+//! contributions are flushed to the shared force array under a fixed set
+//! of per-section locks. Three build variants reproduce Table 5:
+//!
+//! * [`WaterNsqOpt::NoOpts`] — transparent multi-threading (`g` only):
+//!   every thread flushes every touched section itself. Co-located threads
+//!   pile up on the same locks and pages (huge *Block Same Lock* / *Block
+//!   Same Page*), and diffs multiply.
+//! * [`WaterNsqOpt::LocalBarrier`] — the `r` modification: contributions
+//!   aggregate into a per-node scratch region behind a CVM local barrier;
+//!   the node's threads then cooperate in applying sections of the global
+//!   array, wrapping around from their node's own region, so each section
+//!   lock is taken **once per node** and no two local threads ever block
+//!   on the same lock.
+//! * [`WaterNsqOpt::BothOpts`] — additionally the `s` read-reordering:
+//!   co-located threads traverse the molecule array from opposing ends,
+//!   delaying overlapping reads of the same page (fewer *Block Same
+//!   Page*). This is the version used in the rest of the paper.
+
+use cvm_dsm::{CvmBuilder, ReduceOp, SharedVec, ThreadCtx};
+
+use crate::common::{charge_flops, chunk};
+use crate::AppBody;
+
+/// Which of the paper's Table 5 source variants to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WaterNsqOpt {
+    /// Transparent multi-threading, no source optimization.
+    NoOpts,
+    /// Per-node local-barrier aggregation of force updates (`r`).
+    LocalBarrier,
+    /// Local barrier + opposing-end read ordering (`r` + `s`).
+    BothOpts,
+}
+
+/// Water-Nsq configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaterNsqConfig {
+    /// Number of molecules (each with three atoms).
+    pub n: usize,
+    /// Timesteps.
+    pub steps: usize,
+    /// Integration step.
+    pub dt: f64,
+    /// Interaction cutoff radius squared (on molecule centers).
+    pub cutoff2: f64,
+    /// Source variant.
+    pub opt: WaterNsqOpt,
+}
+
+impl WaterNsqConfig {
+    /// Laptop-scale default (paper molecule count; fewer steps).
+    pub fn small() -> Self {
+        WaterNsqConfig {
+            n: 512,
+            steps: 2,
+            dt: 0.002,
+            cutoff2: 0.25,
+            opt: WaterNsqOpt::BothOpts,
+        }
+    }
+
+    /// The paper's 512-molecule input.
+    pub fn paper() -> Self {
+        WaterNsqConfig {
+            n: 512,
+            steps: 3,
+            dt: 0.002,
+            cutoff2: 0.35,
+            opt: WaterNsqOpt::BothOpts,
+        }
+    }
+}
+
+const PE_LOCK: usize = 90;
+const PART_LOCK_BASE: usize = 100;
+/// Fixed number of force-array sections (and section locks), independent
+/// of the threading level — like SPLASH Water's per-molecule-group locks.
+pub const SECTIONS: usize = 64;
+
+struct Arrays {
+    /// Molecule centers, `3n`.
+    cpos: SharedVec<f64>,
+    /// Atom positions, `9n` (3 atoms × 3 dims, rigid offsets).
+    apos: SharedVec<f64>,
+    vel: SharedVec<f64>,
+    force: SharedVec<f64>,
+    /// Per-node aggregation buffers, `nodes × 3n`.
+    scratch: SharedVec<f64>,
+    pe: SharedVec<f64>,
+    sink: SharedVec<f64>,
+}
+
+fn alloc_arrays(b: &mut CvmBuilder, n: usize) -> Arrays {
+    let nodes = b.config().nodes;
+    Arrays {
+        cpos: b.alloc::<f64>(3 * n),
+        apos: b.alloc::<f64>(9 * n),
+        vel: b.alloc::<f64>(3 * n),
+        force: b.alloc::<f64>(3 * n),
+        scratch: b.alloc::<f64>(nodes * 3 * n),
+        pe: b.alloc::<f64>(1),
+        sink: b.alloc::<f64>(2),
+    }
+}
+
+/// Builds the Water-Nsq body.
+pub fn build(b: &mut CvmBuilder, cfg: WaterNsqConfig) -> AppBody {
+    let a = alloc_arrays(b, cfg.n);
+    Box::new(move |ctx: &mut ThreadCtx<'_>| run(ctx, &cfg, &a))
+}
+
+/// Deterministic lattice + jitter initial configuration.
+fn init_mol(i: usize, n: usize) -> ([f64; 3], [f64; 3]) {
+    let side = (n as f64).cbrt().ceil() as usize;
+    let x = (i % side) as f64;
+    let y = ((i / side) % side) as f64;
+    let z = (i / (side * side)) as f64;
+    let jit = |s: usize| (((i * 2654435761 + s * 40503) % 1000) as f64 / 1000.0 - 0.5) * 0.1;
+    let scale = 1.0 / side as f64;
+    (
+        [
+            (x + 0.5) * scale + jit(1) * scale,
+            (y + 0.5) * scale + jit(2) * scale,
+            (z + 0.5) * scale + jit(3) * scale,
+        ],
+        [jit(4) * 0.01, jit(5) * 0.01, jit(6) * 0.01],
+    )
+}
+
+/// Rigid atom offsets (an "H-O-H" triangle scaled to the box), fixed per
+/// atom index.
+fn atom_offset(k: usize) -> [f64; 3] {
+    match k {
+        0 => [0.0, 0.0, 0.0],
+        1 => [0.008, 0.006, 0.0],
+        _ => [-0.008, 0.006, 0.0],
+    }
+}
+
+/// Soft Lennard-Jones-style atom-pair force; returns (force, potential).
+fn atom_force(pi: [f64; 3], pj: [f64; 3]) -> ([f64; 3], f64) {
+    let d = [pi[0] - pj[0], pi[1] - pj[1], pi[2] - pj[2]];
+    let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2] + 1e-4;
+    let s2 = 0.01 / r2;
+    let s6 = s2 * s2 * s2;
+    let mag = 24.0 * (2.0 * s6 * s6 - s6) / r2 / 9.0;
+    ([d[0] * mag, d[1] * mag, d[2] * mag], 4.0 * (s6 * s6 - s6) / 9.0)
+}
+
+/// Molecule-pair force over all 3×3 atom pairs; `None` outside the cutoff.
+fn pair_force(
+    ci: [f64; 3],
+    cj: [f64; 3],
+    ai: &[[f64; 3]; 3],
+    aj: &[[f64; 3]; 3],
+    cutoff2: f64,
+) -> Option<([f64; 3], f64)> {
+    let d = [ci[0] - cj[0], ci[1] - cj[1], ci[2] - cj[2]];
+    let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+    if r2 >= cutoff2 || r2 == 0.0 {
+        return None;
+    }
+    let mut f = [0.0f64; 3];
+    let mut pe = 0.0;
+    for pi in ai {
+        for pj in aj {
+            let (af, apot) = atom_force(*pi, *pj);
+            for k in 0..3 {
+                f[k] += af[k];
+            }
+            pe += apot;
+        }
+    }
+    Some((f, pe))
+}
+
+/// Enumerates the half-shell pair partners of molecule `i`.
+fn half_shell(i: usize, n: usize) -> impl Iterator<Item = usize> {
+    (1..=n / 2).filter_map(move |k| {
+        let j = (i + k) % n;
+        if k == n / 2 && n.is_multiple_of(2) && i >= n / 2 {
+            None // avoid double-counting the antipodal pair
+        } else {
+            Some(j)
+        }
+    })
+}
+
+/// The force-array section containing molecule `m`.
+fn section_of(m: usize, n: usize) -> usize {
+    let s = m * SECTIONS / n.max(1);
+    let s = s.min(SECTIONS - 1);
+    // chunk() distributes remainders to low owners; walk to the exact one.
+    let mut o = s;
+    loop {
+        let (lo, hi) = chunk(o, SECTIONS, n);
+        if m < lo {
+            o -= 1;
+        } else if m >= hi {
+            o += 1;
+        } else {
+            return o;
+        }
+    }
+}
+
+fn read_mol(ctx: &mut ThreadCtx<'_>, a: &Arrays, m: usize) -> ([f64; 3], [[f64; 3]; 3]) {
+    let c = [
+        a.cpos.read(ctx, 3 * m),
+        a.cpos.read(ctx, 3 * m + 1),
+        a.cpos.read(ctx, 3 * m + 2),
+    ];
+    let mut atoms = [[0.0f64; 3]; 3];
+    for (k, atom) in atoms.iter_mut().enumerate() {
+        for d in 0..3 {
+            atom[d] = a.apos.read(ctx, 9 * m + 3 * k + d);
+        }
+    }
+    (c, atoms)
+}
+
+fn run(ctx: &mut ThreadCtx<'_>, cfg: &WaterNsqConfig, a: &Arrays) {
+    let n = cfg.n;
+    if ctx.global_id() == 0 {
+        for i in 0..n {
+            let (p, v) = init_mol(i, n);
+            for d in 0..3 {
+                a.cpos.write(ctx, 3 * i + d, p[d]);
+                a.vel.write(ctx, 3 * i + d, v[d]);
+                a.force.write(ctx, 3 * i + d, 0.0);
+            }
+            for k in 0..3 {
+                let o = atom_offset(k);
+                for d in 0..3 {
+                    a.apos.write(ctx, 9 * i + 3 * k + d, p[d] + o[d]);
+                }
+            }
+        }
+        for i in 0..a.scratch.len() {
+            a.scratch.write(ctx, i, 0.0);
+        }
+        a.pe.write(ctx, 0, 0.0);
+        a.sink.write(ctx, 0, 0.0);
+        a.sink.write(ctx, 1, 0.0);
+    }
+    ctx.startup_done();
+
+    let me = ctx.global_id();
+    let parts = ctx.total_threads();
+    let (lo, hi) = chunk(me, parts, n);
+
+    for _step in 0..cfg.steps {
+        // Predict: half-kick + drift for owned molecules (center + rigid
+        // atoms), and zero own force slots.
+        for i in lo..hi {
+            for d in 0..3 {
+                let f = a.force.read(ctx, 3 * i + d);
+                let v = a.vel.read(ctx, 3 * i + d) + 0.5 * cfg.dt * f;
+                a.vel.write(ctx, 3 * i + d, v);
+                let p = a.cpos.read(ctx, 3 * i + d) + cfg.dt * v;
+                a.cpos.write(ctx, 3 * i + d, p);
+                a.force.write(ctx, 3 * i + d, 0.0);
+                charge_flops(ctx, 4);
+            }
+            for k in 0..3 {
+                let o = atom_offset(k);
+                for d in 0..3 {
+                    let c = a.cpos.read(ctx, 3 * i + d);
+                    a.apos.write(ctx, 9 * i + 3 * k + d, c + o[d]);
+                }
+            }
+        }
+        ctx.barrier();
+
+        // Force computation over the half-shell; contributions accumulate
+        // privately, then flush per the build variant.
+        let mut f_local = vec![0.0f64; 3 * n];
+        let mut touched = [false; SECTIONS];
+        let mut pe_local = 0.0;
+        // `s` modification: co-located threads traverse from opposing
+        // ends, delaying overlapping reads of the same pages.
+        let reversed = cfg.opt == WaterNsqOpt::BothOpts && ctx.local_id() % 2 == 1;
+        let owned: Vec<usize> = if reversed {
+            (lo..hi).rev().collect()
+        } else {
+            (lo..hi).collect()
+        };
+        for i in owned {
+            let (ci, ai) = read_mol(ctx, a, i);
+            for j in half_shell(i, n) {
+                let (cj, aj) = read_mol(ctx, a, j);
+                charge_flops(ctx, 10);
+                if let Some((f, pe)) = pair_force(ci, cj, &ai, &aj, cfg.cutoff2) {
+                    charge_flops(ctx, 9 * 20);
+                    for d in 0..3 {
+                        f_local[3 * i + d] += f[d];
+                        f_local[3 * j + d] -= f[d];
+                    }
+                    touched[section_of(i, n)] = true;
+                    touched[section_of(j, n)] = true;
+                    pe_local += pe;
+                }
+            }
+        }
+
+        match cfg.opt {
+            WaterNsqOpt::NoOpts => {
+                // Every thread flushes every touched section itself.
+                for s in 0..SECTIONS {
+                    if !touched[s] {
+                        continue;
+                    }
+                    let (slo, shi) = chunk(s, SECTIONS, n);
+                    ctx.acquire(PART_LOCK_BASE + s);
+                    for m in slo..shi {
+                        for d in 0..3 {
+                            let idx = 3 * m + d;
+                            if f_local[idx] != 0.0 {
+                                let cur = a.force.read(ctx, idx);
+                                a.force.write(ctx, idx, cur + f_local[idx]);
+                            }
+                        }
+                    }
+                    ctx.release(PART_LOCK_BASE + s);
+                }
+                ctx.acquire(PE_LOCK);
+                let e = a.pe.read(ctx, 0);
+                a.pe.write(ctx, 0, e + pe_local);
+                ctx.release(PE_LOCK);
+            }
+            WaterNsqOpt::LocalBarrier | WaterNsqOpt::BothOpts => {
+                // `r` modification: aggregate into the node's scratch
+                // region (local pages), serialized by local barriers.
+                let sbase = ctx.node() * 3 * n;
+                for turn in 0..ctx.threads_per_node() {
+                    if ctx.local_id() == turn {
+                        for (idx, &fv) in f_local.iter().enumerate() {
+                            if fv != 0.0 {
+                                let cur = a.scratch.read(ctx, sbase + idx);
+                                a.scratch.write(ctx, sbase + idx, cur + fv);
+                            }
+                        }
+                    }
+                    ctx.local_barrier();
+                }
+                // Cooperatively apply sections: each section lock is taken
+                // once per NODE; local threads own disjoint section sets
+                // and start at their node's own region, wrapping around
+                // (the paper's crude load balancing).
+                let t = ctx.threads_per_node();
+                let k = ctx.local_id();
+                let start = section_of(lo.min(n - 1), n);
+                let mut sections: Vec<usize> = (0..SECTIONS).filter(|s| s % t == k).collect();
+                if let Some(pivot) = sections.iter().position(|&s| s >= start) {
+                    sections.rotate_left(pivot);
+                }
+                for s in sections {
+                    let (slo, shi) = chunk(s, SECTIONS, n);
+                    ctx.acquire(PART_LOCK_BASE + s);
+                    for m in slo..shi {
+                        for d in 0..3 {
+                            let idx = 3 * m + d;
+                            let sv = a.scratch.read(ctx, sbase + idx);
+                            if sv != 0.0 {
+                                let cur = a.force.read(ctx, idx);
+                                a.force.write(ctx, idx, cur + sv);
+                            }
+                        }
+                    }
+                    ctx.release(PART_LOCK_BASE + s);
+                }
+                // Aggregate potential energy: one remote update per node.
+                let node_pe = ctx.local_reduce(ReduceOp::Sum, pe_local);
+                if ctx.local_id() == 0 {
+                    ctx.acquire(PE_LOCK);
+                    let e = a.pe.read(ctx, 0);
+                    a.pe.write(ctx, 0, e + node_pe);
+                    ctx.release(PE_LOCK);
+                }
+                // Zero the scratch for the next step (split locally).
+                ctx.local_barrier();
+                let (zlo, zhi) = chunk(ctx.local_id(), t, 3 * n);
+                for idx in zlo..zhi {
+                    if a.scratch.read(ctx, sbase + idx) != 0.0 {
+                        a.scratch.write(ctx, sbase + idx, 0.0);
+                    }
+                }
+            }
+        }
+        ctx.barrier();
+
+        // Correct: second half-kick from the completed force array.
+        for i in lo..hi {
+            for d in 0..3 {
+                let f = a.force.read(ctx, 3 * i + d);
+                let v = a.vel.read(ctx, 3 * i + d) + 0.5 * cfg.dt * f;
+                a.vel.write(ctx, 3 * i + d, v);
+                charge_flops(ctx, 3);
+            }
+        }
+        ctx.barrier();
+    }
+
+    ctx.end_measured();
+
+    // Validation checksum.
+    let mut local = 0.0;
+    for i in lo..hi {
+        for d in 0..3 {
+            local += a.cpos.read(ctx, 3 * i + d).abs() + a.vel.read(ctx, 3 * i + d).abs();
+        }
+    }
+    ctx.acquire(PE_LOCK);
+    let acc = a.sink.read(ctx, 0);
+    a.sink.write(ctx, 0, acc + local);
+    ctx.release(PE_LOCK);
+    ctx.barrier();
+    if ctx.global_id() == 0 {
+        let total = a.sink.read(ctx, 0);
+        let pe = a.pe.read(ctx, 0);
+        assert!(total.is_finite() && pe.is_finite(), "Water-Nsq diverged");
+        a.sink.write(ctx, 1, total);
+    }
+}
+
+/// Sequential oracle for the final checksum.
+pub fn oracle(cfg: &WaterNsqConfig) -> f64 {
+    let n = cfg.n;
+    let mut cpos = vec![[0.0f64; 3]; n];
+    let mut vel = vec![[0.0f64; 3]; n];
+    let mut force = vec![[0.0f64; 3]; n];
+    for i in 0..n {
+        let (p, v) = init_mol(i, n);
+        cpos[i] = p;
+        vel[i] = v;
+    }
+    let atoms = |c: [f64; 3]| -> [[f64; 3]; 3] {
+        let mut out = [[0.0; 3]; 3];
+        for (k, a) in out.iter_mut().enumerate() {
+            let o = atom_offset(k);
+            for d in 0..3 {
+                a[d] = c[d] + o[d];
+            }
+        }
+        out
+    };
+    for _ in 0..cfg.steps {
+        for i in 0..n {
+            for d in 0..3 {
+                vel[i][d] += 0.5 * cfg.dt * force[i][d];
+                cpos[i][d] += cfg.dt * vel[i][d];
+                force[i][d] = 0.0;
+            }
+        }
+        for i in 0..n {
+            let ai = atoms(cpos[i]);
+            for j in half_shell(i, n) {
+                let aj = atoms(cpos[j]);
+                if let Some((f, _)) = pair_force(cpos[i], cpos[j], &ai, &aj, cfg.cutoff2) {
+                    for d in 0..3 {
+                        force[i][d] += f[d];
+                        force[j][d] -= f[d];
+                    }
+                }
+            }
+        }
+        for i in 0..n {
+            for d in 0..3 {
+                vel[i][d] += 0.5 * cfg.dt * force[i][d];
+            }
+        }
+    }
+    let mut sum = 0.0;
+    for i in 0..n {
+        for d in 0..3 {
+            sum += cpos[i][d].abs() + vel[i][d].abs();
+        }
+    }
+    sum
+}
+
+/// Runs the app and returns the checksum (tests).
+pub fn checksum_of_run(cfg: &WaterNsqConfig, nodes: usize, threads: usize) -> f64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    let mut b = CvmBuilder::new(cvm_dsm::CvmConfig::small(nodes, threads));
+    let a = alloc_arrays(&mut b, cfg.n);
+    let out = Arc::new(AtomicU64::new(0));
+    let out2 = Arc::clone(&out);
+    let cfg = *cfg;
+    b.run(move |ctx| {
+        run(ctx, &cfg, &a);
+        if ctx.global_id() == 0 {
+            out2.store(a.sink.read(ctx, 1).to_bits(), Ordering::SeqCst);
+        }
+    });
+    f64::from_bits(out.load(Ordering::SeqCst))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::assert_close;
+
+    fn tiny(opt: WaterNsqOpt) -> WaterNsqConfig {
+        WaterNsqConfig {
+            n: 27,
+            steps: 2,
+            dt: 0.002,
+            cutoff2: 0.35,
+            opt,
+        }
+    }
+
+    #[test]
+    fn half_shell_counts_each_pair_once() {
+        for n in [8usize, 9, 27, 32] {
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..n {
+                for j in half_shell(i, n) {
+                    let key = (i.min(j), i.max(j));
+                    assert!(seen.insert(key), "pair {key:?} duplicated (n={n})");
+                }
+            }
+            assert_eq!(seen.len(), n * (n - 1) / 2, "all pairs covered (n={n})");
+        }
+    }
+
+    #[test]
+    fn sections_partition_molecules() {
+        for n in [27usize, 64, 100, 512] {
+            for m in 0..n {
+                let s = section_of(m, n);
+                let (lo, hi) = chunk(s, SECTIONS, n);
+                assert!(m >= lo && m < hi, "molecule {m} in section {s} (n={n})");
+            }
+        }
+    }
+
+    #[test]
+    fn forces_are_antisymmetric() {
+        let ci = [0.1, 0.2, 0.3];
+        let cj = [0.15, 0.2, 0.3];
+        let mk = |c: [f64; 3]| {
+            let mut out = [[0.0; 3]; 3];
+            for (k, a) in out.iter_mut().enumerate() {
+                let o = atom_offset(k);
+                for d in 0..3 {
+                    a[d] = c[d] + o[d];
+                }
+            }
+            out
+        };
+        let (f, _) = pair_force(ci, cj, &mk(ci), &mk(cj), 1.0).unwrap();
+        let (g, _) = pair_force(cj, ci, &mk(cj), &mk(ci), 1.0).unwrap();
+        for d in 0..3 {
+            assert_close(f[d], -g[d], 1e-9, "Newton's third law");
+        }
+    }
+
+    #[test]
+    fn all_variants_match_oracle() {
+        for opt in [
+            WaterNsqOpt::NoOpts,
+            WaterNsqOpt::LocalBarrier,
+            WaterNsqOpt::BothOpts,
+        ] {
+            let cfg = tiny(opt);
+            let want = oracle(&cfg);
+            let got = checksum_of_run(&cfg, 2, 2);
+            assert_close(got, want, 1e-9, "Water-Nsq checksum");
+        }
+    }
+
+    #[test]
+    fn single_thread_matches_oracle() {
+        let cfg = tiny(WaterNsqOpt::BothOpts);
+        assert_close(
+            checksum_of_run(&cfg, 1, 1),
+            oracle(&cfg),
+            1e-9,
+            "single-thread Water-Nsq",
+        );
+    }
+}

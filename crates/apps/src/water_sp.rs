@@ -1,0 +1,513 @@
+//! Water-Sp — the spatial (cell-list) molecular-dynamics simulation.
+//!
+//! A uniform 3-D grid of cells is imposed on the problem domain; each
+//! thread owns a contiguous block of cells and computes interactions only
+//! with the 27 neighbouring cells. Reading neighbour cells owned by other
+//! nodes is the dominant remote traffic (the paper observes Water-Sp's
+//! multi-thread gains come mostly from fault overlap, with only a small
+//! fixed number of lock operations); per-cell locks are needed only when
+//! molecules migrate between cells, and the potential-energy reduction
+//! aggregates per node (`r` modification).
+
+use cvm_dsm::{CvmBuilder, ReduceOp, SharedVec, ThreadCtx};
+
+use crate::common::{charge_flops, chunk};
+use crate::AppBody;
+
+/// Water-Sp configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaterSpConfig {
+    /// Number of molecules.
+    pub n: usize,
+    /// Cells per dimension (cells = `b³`).
+    pub b: usize,
+    /// Timesteps.
+    pub steps: usize,
+    /// Integration step.
+    pub dt: f64,
+}
+
+impl WaterSpConfig {
+    /// Laptop-scale default.
+    pub fn small() -> Self {
+        WaterSpConfig {
+            n: 4096,
+            b: 8,
+            steps: 2,
+            dt: 0.002,
+        }
+    }
+
+    /// The paper's 4096-molecule input.
+    pub fn paper() -> Self {
+        WaterSpConfig {
+            n: 4096,
+            b: 8,
+            steps: 3,
+            dt: 0.002,
+        }
+    }
+
+    /// Slot capacity per cell.
+    pub fn cell_cap(&self) -> usize {
+        (4 * self.n / (self.b * self.b * self.b)).max(8)
+    }
+}
+
+const PE_LOCK: usize = 91;
+const SINK_LOCK: usize = 92;
+const CELL_LOCK_BASE: usize = 1024;
+
+struct Arrays {
+    pos: SharedVec<f64>,
+    vel: SharedVec<f64>,
+    force: SharedVec<f64>,
+    cell_count: SharedVec<u64>,
+    cell_mols: SharedVec<u64>,
+    pe: SharedVec<f64>,
+    sink: SharedVec<f64>,
+}
+
+fn alloc_arrays(b: &mut CvmBuilder, cfg: &WaterSpConfig) -> Arrays {
+    let cells = cfg.b * cfg.b * cfg.b;
+    Arrays {
+        pos: b.alloc::<f64>(3 * cfg.n),
+        vel: b.alloc::<f64>(3 * cfg.n),
+        force: b.alloc::<f64>(3 * cfg.n),
+        cell_count: b.alloc::<u64>(cells),
+        cell_mols: b.alloc::<u64>(cells * cfg.cell_cap()),
+        pe: b.alloc::<f64>(1),
+        sink: b.alloc::<f64>(2),
+    }
+}
+
+/// Builds the Water-Sp body.
+///
+/// # Panics
+///
+/// Panics if the cell count exceeds the available per-cell lock range.
+pub fn build(b: &mut CvmBuilder, cfg: WaterSpConfig) -> AppBody {
+    assert!(
+        CELL_LOCK_BASE + cfg.b * cfg.b * cfg.b <= cvm_dsm::system::MAX_LOCKS,
+        "too many cells for the lock table"
+    );
+    let a = alloc_arrays(b, &cfg);
+    Box::new(move |ctx: &mut ThreadCtx<'_>| run(ctx, &cfg, &a))
+}
+
+fn init_mol(i: usize, n: usize) -> ([f64; 3], [f64; 3]) {
+    let side = (n as f64).cbrt().ceil() as usize;
+    let x = (i % side) as f64;
+    let y = ((i / side) % side) as f64;
+    let z = (i / (side * side)) as f64;
+    let jit = |s: usize| (((i * 1103515245 + s * 12345) % 1000) as f64 / 1000.0 - 0.5) * 0.08;
+    let scale = 1.0 / side as f64;
+    (
+        [
+            ((x + 0.5) * scale + jit(1) * scale).rem_euclid(1.0),
+            ((y + 0.5) * scale + jit(2) * scale).rem_euclid(1.0),
+            ((z + 0.5) * scale + jit(3) * scale).rem_euclid(1.0),
+        ],
+        [jit(4) * 0.02, jit(5) * 0.02, jit(6) * 0.02],
+    )
+}
+
+fn cell_of(p: [f64; 3], b: usize) -> usize {
+    let f = |x: f64| (((x.rem_euclid(1.0)) * b as f64) as usize).min(b - 1);
+    (f(p[2]) * b + f(p[1])) * b + f(p[0])
+}
+
+/// Minimum-image pair force within the periodic unit box.
+fn pair_force(pi: [f64; 3], pj: [f64; 3], cut2: f64) -> Option<([f64; 3], f64)> {
+    let mut d = [0.0f64; 3];
+    for k in 0..3 {
+        let mut dd = pi[k] - pj[k];
+        if dd > 0.5 {
+            dd -= 1.0;
+        } else if dd < -0.5 {
+            dd += 1.0;
+        }
+        d[k] = dd;
+    }
+    let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+    if r2 >= cut2 || r2 == 0.0 {
+        return None;
+    }
+    let s2 = 0.004 / (r2 + 1e-5);
+    let s6 = s2 * s2 * s2;
+    let mag = 24.0 * (2.0 * s6 * s6 - s6) / (r2 + 1e-5);
+    Some(([d[0] * mag, d[1] * mag, d[2] * mag], 4.0 * (s6 * s6 - s6)))
+}
+
+fn neighbours(c: usize, b: usize) -> [usize; 27] {
+    let x = c % b;
+    let y = (c / b) % b;
+    let z = c / (b * b);
+    let mut out = [0usize; 27];
+    let mut i = 0;
+    for dz in [b - 1, 0, 1] {
+        for dy in [b - 1, 0, 1] {
+            for dx in [b - 1, 0, 1] {
+                let nx = (x + dx) % b;
+                let ny = (y + dy) % b;
+                let nz = (z + dz) % b;
+                out[i] = (nz * b + ny) * b + nx;
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn run(ctx: &mut ThreadCtx<'_>, cfg: &WaterSpConfig, a: &Arrays) {
+    let n = cfg.n;
+    let b = cfg.b;
+    let cells = b * b * b;
+    let cap = cfg.cell_cap();
+    let cut2 = (1.0 / b as f64) * (1.0 / b as f64);
+    if ctx.global_id() == 0 {
+        for c in 0..cells {
+            a.cell_count.write(ctx, c, 0);
+        }
+        for i in 0..n {
+            let (p, v) = init_mol(i, n);
+            for d in 0..3 {
+                a.pos.write(ctx, 3 * i + d, p[d]);
+                a.vel.write(ctx, 3 * i + d, v[d]);
+                a.force.write(ctx, 3 * i + d, 0.0);
+            }
+            let c = cell_of(p, b);
+            let cnt = a.cell_count.read(ctx, c) as usize;
+            assert!(cnt < cap, "cell overflow at init");
+            a.cell_mols.write(ctx, c * cap + cnt, i as u64);
+            a.cell_count.write(ctx, c, cnt as u64 + 1);
+        }
+        a.pe.write(ctx, 0, 0.0);
+        a.sink.write(ctx, 0, 0.0);
+        a.sink.write(ctx, 1, 0.0);
+    }
+    ctx.startup_done();
+
+    let (clo, chi) = chunk(ctx.global_id(), ctx.total_threads(), cells);
+    let read_cell = |ctx: &mut ThreadCtx<'_>, a: &Arrays, c: usize| -> Vec<usize> {
+        let cnt = a.cell_count.read(ctx, c) as usize;
+        (0..cnt)
+            .map(|s| a.cell_mols.read(ctx, c * cap + s) as usize)
+            .collect()
+    };
+
+    for _step in 0..cfg.steps {
+        // Predict + zero forces for molecules in owned cells.
+        for c in clo..chi {
+            for m in read_cell(ctx, a, c) {
+                for d in 0..3 {
+                    let f = a.force.read(ctx, 3 * m + d);
+                    let v = a.vel.read(ctx, 3 * m + d) + 0.5 * cfg.dt * f;
+                    a.vel.write(ctx, 3 * m + d, v);
+                    let p = (a.pos.read(ctx, 3 * m + d) + cfg.dt * v).rem_euclid(1.0);
+                    a.pos.write(ctx, 3 * m + d, p);
+                    a.force.write(ctx, 3 * m + d, 0.0);
+                    charge_flops(ctx, 5);
+                }
+            }
+        }
+        ctx.barrier();
+
+        // Forces: owned cells against their 27 neighbours. Within the own
+        // cell Newton's third law is exploited; across cells each owner
+        // computes its own molecules' forces in full, so no locks are
+        // needed here — only page faults on neighbour data.
+        let mut pe_local = 0.0;
+        for c in clo..chi {
+            let mine = read_cell(ctx, a, c);
+            let mpos: Vec<[f64; 3]> = mine
+                .iter()
+                .map(|&m| {
+                    [
+                        a.pos.read(ctx, 3 * m),
+                        a.pos.read(ctx, 3 * m + 1),
+                        a.pos.read(ctx, 3 * m + 2),
+                    ]
+                })
+                .collect();
+            let mut facc = vec![[0.0f64; 3]; mine.len()];
+            for nc in neighbours(c, b) {
+                if nc == c {
+                    for i in 0..mine.len() {
+                        for j in (i + 1)..mine.len() {
+                            charge_flops(ctx, 12);
+                            if let Some((f, pe)) = pair_force(mpos[i], mpos[j], cut2) {
+                                charge_flops(ctx, 24);
+                                for d in 0..3 {
+                                    facc[i][d] += f[d];
+                                    facc[j][d] -= f[d];
+                                }
+                                pe_local += pe;
+                            }
+                        }
+                    }
+                } else {
+                    for m2 in read_cell(ctx, a, nc) {
+                        let p2 = [
+                            a.pos.read(ctx, 3 * m2),
+                            a.pos.read(ctx, 3 * m2 + 1),
+                            a.pos.read(ctx, 3 * m2 + 2),
+                        ];
+                        for i in 0..mine.len() {
+                            charge_flops(ctx, 12);
+                            if let Some((f, pe)) = pair_force(mpos[i], p2, cut2) {
+                                charge_flops(ctx, 24);
+                                for d in 0..3 {
+                                    facc[i][d] += f[d];
+                                }
+                                pe_local += 0.5 * pe; // counted from both sides
+                            }
+                        }
+                    }
+                }
+            }
+            for (i, &m) in mine.iter().enumerate() {
+                for d in 0..3 {
+                    let cur = a.force.read(ctx, 3 * m + d);
+                    a.force.write(ctx, 3 * m + d, cur + facc[i][d]);
+                }
+            }
+        }
+        ctx.barrier();
+
+        // Correct (second half-kick) owned molecules.
+        for c in clo..chi {
+            for m in read_cell(ctx, a, c) {
+                for d in 0..3 {
+                    let f = a.force.read(ctx, 3 * m + d);
+                    let v = a.vel.read(ctx, 3 * m + d) + 0.5 * cfg.dt * f;
+                    a.vel.write(ctx, 3 * m + d, v);
+                    charge_flops(ctx, 3);
+                }
+            }
+        }
+        ctx.barrier();
+
+        // Migrate molecules whose cell changed — the only lock-protected
+        // phase (molecule moves between steps are rare, so lock traffic is
+        // small, matching the paper's low Water-Sp lock counts).
+        for c in clo..chi {
+            let mine = read_cell(ctx, a, c);
+            for m in mine {
+                let p = [
+                    a.pos.read(ctx, 3 * m),
+                    a.pos.read(ctx, 3 * m + 1),
+                    a.pos.read(ctx, 3 * m + 2),
+                ];
+                let target = cell_of(p, b);
+                if target != c {
+                    // Remove from c, insert into target, both under locks.
+                    ctx.acquire(CELL_LOCK_BASE + c);
+                    let cnt = a.cell_count.read(ctx, c) as usize;
+                    let mut slot = usize::MAX;
+                    for s in 0..cnt {
+                        if a.cell_mols.read(ctx, c * cap + s) as usize == m {
+                            slot = s;
+                            break;
+                        }
+                    }
+                    if slot != usize::MAX {
+                        let last = a.cell_mols.read(ctx, c * cap + cnt - 1);
+                        a.cell_mols.write(ctx, c * cap + slot, last);
+                        a.cell_count.write(ctx, c, cnt as u64 - 1);
+                    }
+                    ctx.release(CELL_LOCK_BASE + c);
+                    ctx.acquire(CELL_LOCK_BASE + target);
+                    let tcnt = a.cell_count.read(ctx, target) as usize;
+                    assert!(tcnt < cap, "cell overflow during migration");
+                    a.cell_mols.write(ctx, target * cap + tcnt, m as u64);
+                    a.cell_count.write(ctx, target, tcnt as u64 + 1);
+                    ctx.release(CELL_LOCK_BASE + target);
+                }
+            }
+        }
+
+        // Potential-energy reduction: one remote update per node (`r`).
+        let node_pe = ctx.local_reduce(ReduceOp::Sum, pe_local);
+        if ctx.local_id() == 0 {
+            ctx.acquire(PE_LOCK);
+            let e = a.pe.read(ctx, 0);
+            a.pe.write(ctx, 0, e + node_pe);
+            ctx.release(PE_LOCK);
+        }
+        ctx.barrier();
+    }
+
+    ctx.end_measured();
+
+    // Validation checksum over owned cells.
+    let mut local = 0.0;
+    let mut owned_mols = 0u64;
+    for c in clo..chi {
+        for m in read_cell(ctx, a, c) {
+            owned_mols += 1;
+            for d in 0..3 {
+                local += a.pos.read(ctx, 3 * m + d).abs() + a.vel.read(ctx, 3 * m + d).abs();
+            }
+        }
+    }
+    ctx.acquire(SINK_LOCK);
+    let acc = a.sink.read(ctx, 0);
+    a.sink.write(ctx, 0, acc + local);
+    let molacc = a.sink.read(ctx, 1);
+    a.sink.write(ctx, 1, molacc + owned_mols as f64);
+    ctx.release(SINK_LOCK);
+    ctx.barrier();
+    if ctx.global_id() == 0 {
+        let mols = a.sink.read(ctx, 1);
+        assert_eq!(mols as usize, n, "molecules lost during migration");
+        let total = a.sink.read(ctx, 0);
+        assert!(total.is_finite(), "Water-Sp diverged");
+        a.sink.write(ctx, 1, total);
+    }
+}
+
+/// Sequential oracle: same cell-list physics.
+pub fn oracle(cfg: &WaterSpConfig) -> f64 {
+    let n = cfg.n;
+    let b = cfg.b;
+    let cells = b * b * b;
+    let cut2 = (1.0 / b as f64) * (1.0 / b as f64);
+    let mut pos = vec![[0.0f64; 3]; n];
+    let mut vel = vec![[0.0f64; 3]; n];
+    let mut force = vec![[0.0f64; 3]; n];
+    let mut cell: Vec<Vec<usize>> = vec![Vec::new(); cells];
+    for i in 0..n {
+        let (p, v) = init_mol(i, n);
+        pos[i] = p;
+        vel[i] = v;
+        cell[cell_of(p, b)].push(i);
+    }
+    for _ in 0..cfg.steps {
+        for c in 0..cells {
+            for idx in 0..cell[c].len() {
+                let m = cell[c][idx];
+                for d in 0..3 {
+                    vel[m][d] += 0.5 * cfg.dt * force[m][d];
+                    pos[m][d] = (pos[m][d] + cfg.dt * vel[m][d]).rem_euclid(1.0);
+                    force[m][d] = 0.0;
+                }
+            }
+        }
+        for c in 0..cells {
+            let mine = cell[c].clone();
+            for nc in neighbours(c, b) {
+                if nc == c {
+                    for i in 0..mine.len() {
+                        for j in (i + 1)..mine.len() {
+                            if let Some((f, _)) = pair_force(pos[mine[i]], pos[mine[j]], cut2) {
+                                for d in 0..3 {
+                                    force[mine[i]][d] += f[d];
+                                    force[mine[j]][d] -= f[d];
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    for &m2 in &cell[nc] {
+                        for &m in &mine {
+                            if let Some((f, _)) = pair_force(pos[m], pos[m2], cut2) {
+                                for d in 0..3 {
+                                    force[m][d] += f[d];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for c in 0..cells {
+            let mine = cell[c].clone();
+            for m in mine {
+                for d in 0..3 {
+                    vel[m][d] += 0.5 * cfg.dt * force[m][d];
+                }
+                let target = cell_of(pos[m], b);
+                if target != c {
+                    cell[c].retain(|&x| x != m);
+                    cell[target].push(m);
+                }
+            }
+        }
+    }
+    let mut sum = 0.0;
+    for i in 0..n {
+        for d in 0..3 {
+            sum += pos[i][d].abs() + vel[i][d].abs();
+        }
+    }
+    sum
+}
+
+/// Runs the app and returns the checksum (tests).
+pub fn checksum_of_run(cfg: &WaterSpConfig, nodes: usize, threads: usize) -> f64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    let mut b = CvmBuilder::new(cvm_dsm::CvmConfig::small(nodes, threads));
+    let a = alloc_arrays(&mut b, cfg);
+    let out = Arc::new(AtomicU64::new(0));
+    let out2 = Arc::clone(&out);
+    let cfg = *cfg;
+    b.run(move |ctx| {
+        run(ctx, &cfg, &a);
+        if ctx.global_id() == 0 {
+            out2.store(a.sink.read(ctx, 1).to_bits(), Ordering::SeqCst);
+        }
+    });
+    f64::from_bits(out.load(Ordering::SeqCst))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::assert_close;
+
+    #[test]
+    fn cells_map_covers_box() {
+        for b in [2usize, 4, 6] {
+            assert_eq!(cell_of([0.0, 0.0, 0.0], b), 0);
+            assert_eq!(cell_of([0.999, 0.999, 0.999], b), b * b * b - 1);
+        }
+    }
+
+    #[test]
+    fn neighbour_sets_have_27_wrapped_cells() {
+        let ns = neighbours(0, 4);
+        assert_eq!(ns.len(), 27);
+        let unique: std::collections::HashSet<_> = ns.iter().collect();
+        assert_eq!(unique.len(), 27);
+    }
+
+    #[test]
+    fn minimum_image_is_antisymmetric() {
+        let (f, _) = pair_force([0.02, 0.5, 0.5], [0.98, 0.5, 0.5], 0.05).unwrap();
+        let (g, _) = pair_force([0.98, 0.5, 0.5], [0.02, 0.5, 0.5], 0.05).unwrap();
+        for d in 0..3 {
+            assert_close(f[d], -g[d], 1e-12, "minimum image antisymmetry");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_oracle() {
+        let cfg = WaterSpConfig {
+            n: 64,
+            b: 4,
+            steps: 2,
+            dt: 0.002,
+        };
+        let want = oracle(&cfg);
+        for (nodes, threads) in [(1, 1), (2, 2)] {
+            assert_close(
+                checksum_of_run(&cfg, nodes, threads),
+                want,
+                1e-6,
+                "Water-Sp checksum",
+            );
+        }
+    }
+}

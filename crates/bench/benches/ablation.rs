@@ -1,0 +1,76 @@
+//! Ablation benches for the design choices DESIGN.md calls out: barrier
+//! arrival aggregation and the local-first lock release policy. Each
+//! bench pair runs the same workload with the mechanism on and off; the
+//! simulated cost difference is printed once, the regeneration cost is
+//! measured by Criterion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cvm_apps::{sor, water_nsq};
+use cvm_bench::workloads;
+use cvm_dsm::{CvmBuilder, CvmConfig, RunReport};
+
+fn sor_run(aggregate_barriers: bool) -> RunReport {
+    let mut cfg = CvmConfig::paper(8, 4);
+    cfg.aggregate_barriers = aggregate_barriers;
+    let mut b = CvmBuilder::new(cfg);
+    let body = sor::build(&mut b, workloads::sor_tiny());
+    b.run(body)
+}
+
+fn water_run(prefer_local: bool) -> RunReport {
+    let mut cfg = CvmConfig::paper(8, 4);
+    cfg.prefer_local_lock_waiters = prefer_local;
+    let mut b = CvmBuilder::new(cfg);
+    let mut w = workloads::water_tiny();
+    w.opt = water_nsq::WaterNsqOpt::NoOpts; // the variant with contention
+    let body = water_nsq::build(&mut b, w);
+    b.run(body)
+}
+
+fn bench_barrier_aggregation(c: &mut Criterion) {
+    let with = sor_run(true);
+    let without = sor_run(false);
+    eprintln!(
+        "\n[ablation] barrier aggregation: {:.1} ms / {} msgs with, \
+         {:.1} ms / {} msgs without",
+        with.total_ms(),
+        with.net.total_count(),
+        without.total_ms(),
+        without.net.total_count()
+    );
+    let mut g = c.benchmark_group("ablation_barrier");
+    g.bench_function("aggregated", |b| b.iter(|| sor_run(true)));
+    g.bench_function("per_thread", |b| b.iter(|| sor_run(false)));
+    g.finish();
+}
+
+fn bench_lock_policy(c: &mut Criterion) {
+    let with = water_run(true);
+    let without = water_run(false);
+    eprintln!(
+        "\n[ablation] local-first release: {:.1} ms / {} remote locks with, \
+         {:.1} ms / {} remote locks without",
+        with.total_ms(),
+        with.stats.remote_locks,
+        without.total_ms(),
+        without.stats.remote_locks
+    );
+    let mut g = c.benchmark_group("ablation_lock");
+    g.bench_function("local_first", |b| b.iter(|| water_run(true)));
+    g.bench_function("fair", |b| b.iter(|| water_run(false)));
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_barrier_aggregation, bench_lock_policy
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmark crate for the CVM reproduction.
+//!
+//! | bench target | regenerates |
+//! |---|---|
+//! | `micro_latency` | §4.1 primitive costs (also: `harness micro`) |
+//! | `paper_tables` | the runs behind Figure 1 / Tables 2–5 and Figure 2 (also: `harness all`) |
+//! | `ablation` | the §3 design-choice ablations (also: `harness ablation`) |
+//! | `protocol_micro` | throughput of the protocol's data structures |
+//!
+//! Run everything with `cargo bench --workspace`. The benches print the
+//! simulated metrics once per group, then let Criterion measure the
+//! wall-clock cost of regenerating them.
+
+/// Shared tiny workloads so bench iterations stay fast.
+pub mod workloads {
+    use cvm_apps::sor::SorConfig;
+    use cvm_apps::water_nsq::WaterNsqConfig;
+
+    /// A SOR configuration small enough to run in tens of milliseconds.
+    pub fn sor_tiny() -> SorConfig {
+        SorConfig {
+            n: 126,
+            iters: 4,
+            omega: 1.15,
+        }
+    }
+
+    /// A Water-Nsq configuration small enough for benching.
+    pub fn water_tiny() -> WaterNsqConfig {
+        WaterNsqConfig {
+            n: 125,
+            steps: 2,
+            dt: 0.002,
+            cutoff2: 0.3,
+            opt: cvm_apps::water_nsq::WaterNsqOpt::BothOpts,
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Global barriers with per-node arrival aggregation, plus local barriers.
+//!
+//! The multi-threading modification from the paper: *"Barrier operations
+//! were modified so that all but the last local thread will thread switch
+//! upon arriving at a barrier. The last thread aggregates all local
+//! arrivals into a single per-node arrival message."* The master merges the
+//! per-node vector times and write notices and fans out one release per
+//! node.
+//!
+//! Local barriers synchronize only the threads of one node (no messages)
+//! and optionally carry a reduction so applications can aggregate all local
+//! contributions into a single remote update.
+
+use std::fmt;
+
+use crate::interval::{VectorTime, WriteNotice};
+
+/// Master-side state of the global barrier.
+///
+/// With per-node aggregation (the default) the master expects one arrival
+/// per node; in the ablation it expects one per thread.
+#[derive(Debug, Clone)]
+pub struct BarrierMaster {
+    nodes: usize,
+    expected: usize,
+    count: usize,
+    epoch: u32,
+    gathered_vt: VectorTime,
+    gathered_notices: Vec<WriteNotice>,
+}
+
+impl BarrierMaster {
+    /// Creates the master for a system of `nodes` nodes expecting
+    /// `expected` arrivals per episode.
+    pub fn new(nodes: usize, expected: usize) -> Self {
+        BarrierMaster {
+            nodes,
+            expected,
+            count: 0,
+            epoch: 0,
+            gathered_vt: VectorTime::new(nodes),
+            gathered_notices: Vec::new(),
+        }
+    }
+
+    /// Current episode number.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Records one arrival. Returns `true` when the expected number have
+    /// arrived and the barrier can release.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arrivals beyond the expected count within one episode.
+    pub fn arrive(&mut self, vt: &VectorTime, notices: Vec<WriteNotice>) -> bool {
+        assert!(self.count < self.expected, "too many barrier arrivals");
+        self.count += 1;
+        self.gathered_vt.merge(vt);
+        self.gathered_notices.extend(notices);
+        self.count == self.expected
+    }
+
+    /// Consumes the gathered state for the release fan-out and begins the
+    /// next episode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before all expected arrivals.
+    pub fn release(&mut self) -> (VectorTime, Vec<WriteNotice>) {
+        assert_eq!(self.count, self.expected, "release before full");
+        self.epoch += 1;
+        self.count = 0;
+        let vt = std::mem::replace(&mut self.gathered_vt, VectorTime::new(self.nodes));
+        self.gathered_vt = vt.clone();
+        let notices = std::mem::take(&mut self.gathered_notices);
+        (vt, notices)
+    }
+}
+
+/// Per-node barrier state: local arrival aggregation.
+#[derive(Debug, Clone, Default)]
+pub struct NodeBarrier {
+    /// Threads (global ids) blocked at the global barrier.
+    pub blocked: Vec<usize>,
+    /// Interval index up to which this node's notices have been broadcast
+    /// at barriers.
+    pub notices_sent_upto: u32,
+}
+
+impl NodeBarrier {
+    /// Records a local arrival; returns `true` if `tid` is the last local
+    /// thread (which then sends the per-node arrival message).
+    pub fn arrive_local(&mut self, tid: usize, threads_per_node: usize) -> bool {
+        self.blocked.push(tid);
+        debug_assert!(self.blocked.len() <= threads_per_node);
+        self.blocked.len() == threads_per_node
+    }
+
+    /// Takes the blocked set for wake-up at release.
+    pub fn take_blocked(&mut self) -> Vec<usize> {
+        std::mem::take(&mut self.blocked)
+    }
+}
+
+/// Per-node local (intra-node) barrier with an optional f64 reduction.
+#[derive(Debug, Clone, Default)]
+pub struct LocalBarrier {
+    /// Threads blocked at the local barrier.
+    pub blocked: Vec<usize>,
+    /// Running reduction value, if any thread contributed one.
+    pub reduce_acc: Option<f64>,
+}
+
+/// Reduction operators for local barriers, matching CVM's built-in simple
+/// reduction types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Arithmetic sum.
+    Sum,
+    /// Maximum.
+    Max,
+    /// Minimum.
+    Min,
+}
+
+impl ReduceOp {
+    /// Combines two values.
+    pub fn combine(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+        }
+    }
+}
+
+impl LocalBarrier {
+    /// Records a local arrival with an optional reduction contribution;
+    /// returns `true` if `tid` completes the barrier.
+    pub fn arrive(
+        &mut self,
+        tid: usize,
+        value: Option<(ReduceOp, f64)>,
+        threads_per_node: usize,
+    ) -> bool {
+        if let Some((op, v)) = value {
+            self.reduce_acc = Some(match self.reduce_acc {
+                Some(acc) => op.combine(acc, v),
+                None => v,
+            });
+        }
+        self.blocked.push(tid);
+        self.blocked.len() == threads_per_node
+    }
+
+    /// Takes the blocked set and the reduced value at completion.
+    pub fn complete(&mut self) -> (Vec<usize>, Option<f64>) {
+        (std::mem::take(&mut self.blocked), self.reduce_acc.take())
+    }
+}
+
+impl fmt::Display for BarrierMaster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "barrier[epoch {} arrived {}/{}]",
+            self.epoch, self.count, self.expected
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PageId;
+
+    fn notice(w: usize, i: u32, p: usize) -> WriteNotice {
+        WriteNotice {
+            writer: w,
+            interval: i,
+            page: PageId(p),
+        }
+    }
+
+    #[test]
+    fn master_releases_only_when_full() {
+        let mut m = BarrierMaster::new(3, 3);
+        let vt = VectorTime::new(3);
+        assert!(!m.arrive(&vt, vec![]));
+        assert!(!m.arrive(&vt, vec![]));
+        assert!(m.arrive(&vt, vec![notice(1, 1, 5)]));
+        let (_, notices) = m.release();
+        assert_eq!(notices.len(), 1);
+        assert_eq!(m.epoch(), 1);
+        // Next episode starts clean.
+        assert!(!m.arrive(&vt, vec![]));
+    }
+
+    #[test]
+    fn master_merges_vector_times() {
+        let mut m = BarrierMaster::new(2, 2);
+        let mut a = VectorTime::new(2);
+        let mut b = VectorTime::new(2);
+        a.advance(0, 4);
+        b.advance(1, 9);
+        m.arrive(&a, vec![]);
+        m.arrive(&b, vec![]);
+        let (vt, _) = m.release();
+        assert_eq!(vt.get(0), 4);
+        assert_eq!(vt.get(1), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many barrier arrivals")]
+    fn extra_arrival_panics() {
+        let mut m = BarrierMaster::new(2, 2);
+        let vt = VectorTime::new(2);
+        m.arrive(&vt, vec![]);
+        m.arrive(&vt, vec![]);
+        m.arrive(&vt, vec![]);
+    }
+
+    #[test]
+    fn local_aggregation_last_thread_flag() {
+        let mut nb = NodeBarrier::default();
+        assert!(!nb.arrive_local(10, 3));
+        assert!(!nb.arrive_local(11, 3));
+        assert!(nb.arrive_local(12, 3));
+        assert_eq!(nb.take_blocked(), vec![10, 11, 12]);
+        assert!(nb.blocked.is_empty());
+    }
+
+    #[test]
+    fn local_barrier_reduces() {
+        let mut lb = LocalBarrier::default();
+        assert!(!lb.arrive(0, Some((ReduceOp::Sum, 1.5)), 2));
+        assert!(lb.arrive(1, Some((ReduceOp::Sum, 2.5)), 2));
+        let (woken, val) = lb.complete();
+        assert_eq!(woken.len(), 2);
+        assert_eq!(val, Some(4.0));
+    }
+
+    #[test]
+    fn reduce_ops() {
+        assert_eq!(ReduceOp::Sum.combine(2.0, 3.0), 5.0);
+        assert_eq!(ReduceOp::Max.combine(2.0, 3.0), 3.0);
+        assert_eq!(ReduceOp::Min.combine(2.0, 3.0), 2.0);
+    }
+
+    #[test]
+    fn mixed_reduction_and_plain_arrivals() {
+        let mut lb = LocalBarrier::default();
+        lb.arrive(0, None, 2);
+        lb.arrive(1, Some((ReduceOp::Max, 7.0)), 2);
+        let (_, val) = lb.complete();
+        assert_eq!(val, Some(7.0));
+    }
+}

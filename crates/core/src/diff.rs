@@ -1,0 +1,272 @@
+//! Word-granularity diffs — the heart of the multiple-writer protocol.
+//!
+//! When a node first writes a read-only page, the fault handler saves a
+//! *twin* (a pristine copy). When another node later needs the
+//! modifications, a *diff* is created by a page-length comparison between
+//! the current contents and the twin, and shipped instead of the whole
+//! page. Concurrent diffs from different writers only overlap if the same
+//! location was written without synchronization — a data race — so applying
+//! them in timestamp order merges all modifications.
+
+use std::fmt;
+
+use crate::page::PageId;
+
+/// Comparison granularity: one 8-byte word, matching the paper's systems.
+pub const DIFF_WORD: usize = 8;
+
+/// A run of modified bytes within one page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffRun {
+    /// Byte offset within the page (word aligned).
+    pub offset: usize,
+    /// The new bytes.
+    pub data: Vec<u8>,
+}
+
+/// A summary of one writer's modifications to one page.
+///
+/// # Example
+///
+/// ```
+/// use cvm_dsm::Diff;
+/// use cvm_dsm::page::PageId;
+///
+/// let twin = vec![0u8; 64];
+/// let mut cur = twin.clone();
+/// cur[8] = 0xAB;
+/// let d = Diff::create(PageId(0), &twin, &cur);
+/// assert!(!d.is_empty());
+/// let mut other = vec![0u8; 64];
+/// d.apply(&mut other);
+/// assert_eq!(other, cur);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diff {
+    /// The page this diff summarizes.
+    pub page: PageId,
+    /// Modified runs in ascending offset order.
+    pub runs: Vec<DiffRun>,
+}
+
+impl Diff {
+    /// Creates a diff by comparing `twin` (pristine) against `current`,
+    /// word by word, coalescing adjacent modified words into runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffers differ in length or are not word-multiples.
+    pub fn create(page: PageId, twin: &[u8], current: &[u8]) -> Diff {
+        assert_eq!(twin.len(), current.len(), "twin/current size mismatch");
+        assert!(twin.len().is_multiple_of(DIFF_WORD), "page not word aligned");
+        let mut runs: Vec<DiffRun> = Vec::new();
+        let mut open: Option<DiffRun> = None;
+        for w in 0..twin.len() / DIFF_WORD {
+            let o = w * DIFF_WORD;
+            let differs = twin[o..o + DIFF_WORD] != current[o..o + DIFF_WORD];
+            if differs {
+                match &mut open {
+                    Some(run) => run.data.extend_from_slice(&current[o..o + DIFF_WORD]),
+                    None => {
+                        open = Some(DiffRun {
+                            offset: o,
+                            data: current[o..o + DIFF_WORD].to_vec(),
+                        });
+                    }
+                }
+            } else if let Some(run) = open.take() {
+                runs.push(run);
+            }
+        }
+        if let Some(run) = open {
+            runs.push(run);
+        }
+        Diff { page, runs }
+    }
+
+    /// Applies the diff to a page buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any run exceeds the buffer.
+    pub fn apply(&self, page: &mut [u8]) {
+        for run in &self.runs {
+            page[run.offset..run.offset + run.data.len()].copy_from_slice(&run.data);
+        }
+    }
+
+    /// True if no words differed.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Total modified bytes.
+    pub fn modified_bytes(&self) -> usize {
+        self.runs.iter().map(|r| r.data.len()).sum()
+    }
+
+    /// Modelled wire size: runs plus a small header each.
+    pub fn wire_bytes(&self) -> usize {
+        16 + self.runs.iter().map(|r| 8 + r.data.len()).sum::<usize>()
+    }
+
+    /// Number of 8-byte words compared to create a diff of a page of
+    /// `page_size` bytes (for time charging).
+    pub fn words_compared(page_size: usize) -> usize {
+        page_size / DIFF_WORD
+    }
+
+    /// Number of words this diff writes when applied.
+    pub fn words_applied(&self) -> usize {
+        self.modified_bytes() / DIFF_WORD
+    }
+
+    /// True if two diffs of the same page touch a common word — for
+    /// race-free programs concurrent diffs never overlap.
+    pub fn overlaps(&self, other: &Diff) -> bool {
+        if self.page != other.page {
+            return false;
+        }
+        for a in &self.runs {
+            let (a0, a1) = (a.offset, a.offset + a.data.len());
+            for b in &other.runs {
+                let (b0, b1) = (b.offset, b.offset + b.data.len());
+                if a0 < b1 && b0 < a1 {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Display for Diff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "diff[{} runs, {} bytes on {}]",
+            self.runs.len(),
+            self.modified_bytes(),
+            self.page
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page_of(b: u8, n: usize) -> Vec<u8> {
+        vec![b; n]
+    }
+
+    #[test]
+    fn empty_diff_for_identical_pages() {
+        let twin = page_of(7, 128);
+        let d = Diff::create(PageId(0), &twin, &twin);
+        assert!(d.is_empty());
+        assert_eq!(d.modified_bytes(), 0);
+    }
+
+    #[test]
+    fn single_word_change() {
+        let twin = page_of(0, 128);
+        let mut cur = twin.clone();
+        cur[40] = 1;
+        let d = Diff::create(PageId(0), &twin, &cur);
+        assert_eq!(d.runs.len(), 1);
+        assert_eq!(d.runs[0].offset, 40);
+        assert_eq!(d.runs[0].data.len(), DIFF_WORD);
+    }
+
+    #[test]
+    fn adjacent_words_coalesce() {
+        let twin = page_of(0, 128);
+        let mut cur = twin.clone();
+        cur[16] = 1;
+        cur[24] = 2; // next word
+        cur[48] = 3; // separate run
+        let d = Diff::create(PageId(0), &twin, &cur);
+        assert_eq!(d.runs.len(), 2);
+        assert_eq!(d.runs[0].offset, 16);
+        assert_eq!(d.runs[0].data.len(), 16);
+        assert_eq!(d.runs[1].offset, 48);
+    }
+
+    #[test]
+    fn apply_reconstructs_current() {
+        let twin = page_of(9, 256);
+        let mut cur = twin.clone();
+        for i in (0..256).step_by(24) {
+            cur[i] = cur[i].wrapping_add(i as u8 + 1);
+        }
+        let d = Diff::create(PageId(1), &twin, &cur);
+        let mut rebuilt = twin.clone();
+        d.apply(&mut rebuilt);
+        assert_eq!(rebuilt, cur);
+    }
+
+    #[test]
+    fn run_ending_at_page_end() {
+        let twin = page_of(0, 64);
+        let mut cur = twin.clone();
+        cur[56] = 5; // last word
+        let d = Diff::create(PageId(0), &twin, &cur);
+        assert_eq!(d.runs.len(), 1);
+        assert_eq!(d.runs[0].offset, 56);
+    }
+
+    #[test]
+    fn disjoint_diffs_do_not_overlap() {
+        let twin = page_of(0, 128);
+        let mut a = twin.clone();
+        let mut b = twin.clone();
+        a[0] = 1;
+        b[64] = 1;
+        let da = Diff::create(PageId(0), &twin, &a);
+        let db = Diff::create(PageId(0), &twin, &b);
+        assert!(!da.overlaps(&db));
+        // Applying both in either order yields the union.
+        let mut m1 = twin.clone();
+        da.apply(&mut m1);
+        db.apply(&mut m1);
+        let mut m2 = twin.clone();
+        db.apply(&mut m2);
+        da.apply(&mut m2);
+        assert_eq!(m1, m2);
+        assert_eq!(m1[0], 1);
+        assert_eq!(m1[64], 1);
+    }
+
+    #[test]
+    fn racing_diffs_overlap() {
+        let twin = page_of(0, 64);
+        let mut a = twin.clone();
+        let mut b = twin.clone();
+        a[8] = 1;
+        b[8] = 2;
+        let da = Diff::create(PageId(0), &twin, &a);
+        let db = Diff::create(PageId(0), &twin, &b);
+        assert!(da.overlaps(&db));
+    }
+
+    #[test]
+    fn wire_bytes_tracks_content() {
+        let twin = page_of(0, 8192);
+        let mut cur = twin.clone();
+        cur[0] = 1;
+        let small = Diff::create(PageId(0), &twin, &cur);
+        for i in (0..8192).step_by(8) {
+            cur[i] = 0xFF;
+        }
+        let big = Diff::create(PageId(0), &twin, &cur);
+        assert!(big.wire_bytes() > small.wire_bytes());
+        assert!(big.wire_bytes() >= 8192);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn mismatched_buffers_panic() {
+        let _ = Diff::create(PageId(0), &[0; 8], &[0; 16]);
+    }
+}

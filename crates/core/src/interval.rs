@@ -1,0 +1,237 @@
+//! Intervals, vector timestamps and write notices — the bookkeeping of
+//! lazy release consistency.
+//!
+//! Each node's execution is divided into *intervals*; a new interval begins
+//! (potentially) at each synchronization operation. Intervals across nodes
+//! are partially ordered by *vector timestamps*. When node `p` acquires a
+//! lock last released by node `q`, `q` piggybacks *write notices* for every
+//! interval named in `q`'s vector timestamp but not in the timestamp `p`
+//! sent with its request; `p` invalidates the named pages. Barriers
+//! exchange notices all-to-all through the barrier master.
+
+use std::fmt;
+
+use crate::page::PageId;
+
+/// A vector timestamp: `vt[q]` is the index of the latest interval of node
+/// `q` whose modifications this node has seen.
+///
+/// # Example
+///
+/// ```
+/// use cvm_dsm::VectorTime;
+/// let mut a = VectorTime::new(3);
+/// let mut b = VectorTime::new(3);
+/// a.advance(0, 2);
+/// b.advance(1, 1);
+/// assert!(!a.covers(&b) && !b.covers(&a)); // concurrent
+/// a.merge(&b);
+/// assert!(a.covers(&b));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct VectorTime {
+    entries: Vec<u32>,
+}
+
+impl VectorTime {
+    /// The zero timestamp for a system of `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        VectorTime {
+            entries: vec![0; nodes],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the system has no nodes (never for constructed timestamps).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The latest seen interval of node `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn get(&self, q: usize) -> u32 {
+        self.entries[q]
+    }
+
+    /// Records that intervals of node `q` up to `interval` have been seen.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn advance(&mut self, q: usize, interval: u32) {
+        let e = &mut self.entries[q];
+        *e = (*e).max(interval);
+    }
+
+    /// Componentwise maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two timestamps have different lengths.
+    pub fn merge(&mut self, other: &VectorTime) {
+        assert_eq!(self.len(), other.len(), "mismatched vector lengths");
+        for (a, b) in self.entries.iter_mut().zip(&other.entries) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// True if `self` has seen everything `other` has (componentwise ≥).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two timestamps have different lengths.
+    pub fn covers(&self, other: &VectorTime) -> bool {
+        assert_eq!(self.len(), other.len(), "mismatched vector lengths");
+        self.entries.iter().zip(&other.entries).all(|(a, b)| a >= b)
+    }
+
+    /// Approximate wire size in bytes.
+    pub fn wire_bytes(&self) -> usize {
+        4 * self.entries.len()
+    }
+}
+
+impl fmt::Display for VectorTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+/// A write notice: node `writer` modified `page` during `interval`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WriteNotice {
+    /// The modifying node.
+    pub writer: usize,
+    /// The writer's interval index.
+    pub interval: u32,
+    /// The modified page.
+    pub page: PageId,
+}
+
+impl WriteNotice {
+    /// Approximate wire size of one notice.
+    pub const WIRE_BYTES: usize = 8;
+}
+
+/// One node's log of its own closed intervals, used to compute the notices
+/// a lock grant or barrier must carry.
+#[derive(Debug, Clone, Default)]
+pub struct IntervalLog {
+    // intervals[i] = pages dirtied in closed interval i+1 (interval 0 is
+    // the pre-startup epoch and carries no notices).
+    intervals: Vec<Vec<PageId>>,
+}
+
+impl IntervalLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index of the most recently closed interval (0 if none).
+    pub fn latest(&self) -> u32 {
+        self.intervals.len() as u32
+    }
+
+    /// Closes the current interval with the given dirty page set and
+    /// returns its index. Empty intervals are legal and cheap.
+    pub fn close(&mut self, dirty: Vec<PageId>) -> u32 {
+        self.intervals.push(dirty);
+        self.intervals.len() as u32
+    }
+
+    /// Write notices for this node's intervals in `(since, upto]`.
+    ///
+    /// `writer` is this node's id, stamped into the notices.
+    pub fn notices_between(&self, writer: usize, since: u32, upto: u32) -> Vec<WriteNotice> {
+        let mut out = Vec::new();
+        let lo = since as usize;
+        let hi = (upto as usize).min(self.intervals.len());
+        for (idx, pages) in self.intervals.iter().enumerate().take(hi).skip(lo) {
+            for &page in pages {
+                out.push(WriteNotice {
+                    writer,
+                    interval: idx as u32 + 1,
+                    page,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_lub() {
+        let mut a = VectorTime::new(4);
+        let mut b = VectorTime::new(4);
+        a.advance(0, 5);
+        a.advance(2, 1);
+        b.advance(0, 3);
+        b.advance(3, 7);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert!(m.covers(&a) && m.covers(&b));
+        assert_eq!(m.get(0), 5);
+        assert_eq!(m.get(3), 7);
+    }
+
+    #[test]
+    fn covers_is_partial_order() {
+        let mut a = VectorTime::new(2);
+        let b = VectorTime::new(2);
+        assert!(a.covers(&b) && b.covers(&a)); // equal
+        a.advance(0, 1);
+        assert!(a.covers(&b) && !b.covers(&a));
+    }
+
+    #[test]
+    fn advance_is_monotonic() {
+        let mut a = VectorTime::new(1);
+        a.advance(0, 5);
+        a.advance(0, 3); // must not regress
+        assert_eq!(a.get(0), 5);
+    }
+
+    #[test]
+    fn interval_log_notice_ranges() {
+        let mut log = IntervalLog::new();
+        assert_eq!(log.latest(), 0);
+        let i1 = log.close(vec![PageId(1), PageId(2)]);
+        let i2 = log.close(vec![PageId(3)]);
+        assert_eq!((i1, i2), (1, 2));
+        let all = log.notices_between(7, 0, 2);
+        assert_eq!(all.len(), 3);
+        assert!(all.iter().all(|n| n.writer == 7));
+        let tail = log.notices_between(7, 1, 2);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].page, PageId(3));
+        assert_eq!(tail[0].interval, 2);
+        assert!(log.notices_between(7, 2, 2).is_empty());
+    }
+
+    #[test]
+    fn notices_clamp_to_log_end() {
+        let mut log = IntervalLog::new();
+        log.close(vec![PageId(0)]);
+        // Asking beyond the log must not panic.
+        assert_eq!(log.notices_between(0, 0, 99).len(), 1);
+    }
+}

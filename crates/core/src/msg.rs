@@ -1,0 +1,252 @@
+//! DSM protocol message payloads.
+//!
+//! These ride inside [`cvm_net::Message`]; the wire sizes used for latency
+//! and bandwidth accounting are computed here from the logical content
+//! (vector timestamps, write notices, diff runs, page bytes) plus a small
+//! fixed header, mirroring CVM's UDP packet layout closely enough for
+//! Table 2's bandwidth column.
+
+use cvm_net::MsgKind;
+
+use crate::barrier::ReduceOp;
+use crate::diff::Diff;
+use crate::interval::{VectorTime, WriteNotice};
+use crate::page::PageId;
+
+/// Fixed per-message header estimate (UDP/IP + CVM headers).
+pub const HEADER_BYTES: usize = 64;
+
+/// Protocol payloads exchanged between nodes.
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// Ask the page's home for a full copy (first access on this node).
+    PageRequest {
+        /// Page wanted.
+        page: PageId,
+    },
+    /// Full page copy.
+    PageReply {
+        /// Page carried.
+        page: PageId,
+        /// The home node's current contents.
+        data: Vec<u8>,
+    },
+    /// Ask a writer for its diffs of `page` newer than `since`.
+    DiffRequest {
+        /// Page wanted.
+        page: PageId,
+        /// Requester has already applied this writer's diffs tagged
+        /// `<= since`.
+        since: u32,
+    },
+    /// Diffs from one writer, tagged with their closing interval.
+    DiffReply {
+        /// Page carried.
+        page: PageId,
+        /// `(interval tag, close sequence, diff)` in ascending tag order.
+        /// The close sequence totally orders interval closes consistently
+        /// with happens-before (the real CVM ships vector timestamps and
+        /// applies diffs "in increasing timestamp order"; the sequence
+        /// number is an equivalent total-order extension).
+        diffs: Vec<(u32, u64, Diff)>,
+        /// Coverage watermark: every interval of this writer up to `upto`
+        /// is reflected (silent stores produce no diff but still advance
+        /// the watermark, so the requester can retire its write notices).
+        upto: u32,
+    },
+    /// Lock acquire request, sent to the lock's static manager.
+    LockRequest {
+        /// Lock index.
+        lock: usize,
+        /// Requesting node.
+        acquirer: usize,
+        /// Requester's vector time (for write-notice computation).
+        vt: VectorTime,
+    },
+    /// Manager forwarding the request to the last owner.
+    LockForward {
+        /// Lock index.
+        lock: usize,
+        /// Requesting node.
+        acquirer: usize,
+        /// Requester's vector time.
+        vt: VectorTime,
+    },
+    /// Ownership transfer to the acquirer, with consistency information.
+    LockGrant {
+        /// Lock index.
+        lock: usize,
+        /// Granter's vector time.
+        vt: VectorTime,
+        /// Write notices for intervals the acquirer has not seen.
+        notices: Vec<WriteNotice>,
+    },
+    /// Per-node aggregated barrier arrival at the master.
+    BarrierArrive {
+        /// Barrier episode number.
+        epoch: u32,
+        /// Arriving node.
+        node: usize,
+        /// Arriving node's vector time.
+        vt: VectorTime,
+        /// Write notices for the node's intervals since its last barrier.
+        notices: Vec<WriteNotice>,
+    },
+    /// Per-node aggregated global-reduction arrival at the master.
+    ReduceArrive {
+        /// Arriving node.
+        node: usize,
+        /// Reduction operator.
+        op: ReduceOp,
+        /// The node's combined contribution.
+        value: f64,
+    },
+    /// Global-reduction result fan-out from the master.
+    ReduceRelease {
+        /// The system-wide combined value.
+        value: f64,
+    },
+    /// Eager-protocol push: a writer's new diff delivered to a copyset
+    /// member at interval close.
+    UpdatePush {
+        /// Page carried.
+        page: PageId,
+        /// `(interval tag, close sequence, diff)`.
+        diff: (u32, u64, Diff),
+        /// The writer's latest closed interval (retires notices).
+        upto: u32,
+    },
+    /// Copyset pruning: the named node stops receiving pushes for `page`
+    /// (after too many consecutive unused updates).
+    DropCopy {
+        /// Page concerned.
+        page: PageId,
+        /// Node leaving the copyset.
+        node: usize,
+    },
+    /// Barrier release fan-out from the master.
+    BarrierRelease {
+        /// Barrier episode number.
+        epoch: u32,
+        /// Merged vector time of all nodes.
+        vt: VectorTime,
+        /// Union of all nodes' notices for this episode.
+        notices: Vec<WriteNotice>,
+    },
+}
+
+impl Payload {
+    /// The wire classification of this payload.
+    pub fn kind(&self) -> MsgKind {
+        match self {
+            Payload::PageRequest { .. } => MsgKind::PageRequest,
+            Payload::PageReply { .. } => MsgKind::PageReply,
+            Payload::DiffRequest { .. } => MsgKind::DiffRequest,
+            Payload::DiffReply { .. } => MsgKind::DiffReply,
+            Payload::LockRequest { .. } => MsgKind::LockRequest,
+            Payload::LockForward { .. } => MsgKind::LockForward,
+            Payload::LockGrant { .. } => MsgKind::LockGrant,
+            Payload::BarrierArrive { .. } => MsgKind::BarrierArrive,
+            Payload::ReduceArrive { .. } => MsgKind::BarrierArrive,
+            Payload::UpdatePush { .. } => MsgKind::UpdatePush,
+            Payload::DropCopy { .. } => MsgKind::DropCopy,
+            Payload::ReduceRelease { .. } => MsgKind::BarrierRelease,
+            Payload::BarrierRelease { .. } => MsgKind::BarrierRelease,
+        }
+    }
+
+    /// Modelled wire size in bytes.
+    pub fn wire_bytes(&self) -> usize {
+        HEADER_BYTES
+            + match self {
+                Payload::PageRequest { .. } => 8,
+                Payload::PageReply { data, .. } => data.len(),
+                Payload::DiffRequest { .. } => 12,
+                Payload::DiffReply { diffs, .. } => {
+                    diffs.iter().map(|(_, _, d)| 12 + d.wire_bytes()).sum()
+                }
+                Payload::LockRequest { vt, .. } | Payload::LockForward { vt, .. } => {
+                    8 + vt.wire_bytes()
+                }
+                Payload::LockGrant { vt, notices, .. } => {
+                    8 + vt.wire_bytes() + notices.len() * WriteNotice::WIRE_BYTES
+                }
+                Payload::BarrierArrive { vt, notices, .. } => {
+                    8 + vt.wire_bytes() + notices.len() * WriteNotice::WIRE_BYTES
+                }
+                Payload::BarrierRelease { vt, notices, .. } => {
+                    8 + vt.wire_bytes() + notices.len() * WriteNotice::WIRE_BYTES
+                }
+                Payload::ReduceArrive { .. } => 24,
+                Payload::ReduceRelease { .. } => 16,
+                Payload::UpdatePush { diff, .. } => 16 + diff.2.wire_bytes(),
+                Payload::DropCopy { .. } => 12,
+            }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_match_payloads() {
+        let vt = VectorTime::new(2);
+        assert_eq!(
+            Payload::PageRequest { page: PageId(0) }.kind(),
+            MsgKind::PageRequest
+        );
+        assert_eq!(
+            Payload::LockGrant {
+                lock: 0,
+                vt: vt.clone(),
+                notices: vec![]
+            }
+            .kind(),
+            MsgKind::LockGrant
+        );
+        assert_eq!(
+            Payload::BarrierArrive {
+                epoch: 0,
+                node: 1,
+                vt,
+                notices: vec![]
+            }
+            .kind(),
+            MsgKind::BarrierArrive
+        );
+    }
+
+    #[test]
+    fn page_reply_dominates_small_messages() {
+        let small = Payload::PageRequest { page: PageId(0) }.wire_bytes();
+        let big = Payload::PageReply {
+            page: PageId(0),
+            data: vec![0; 8192],
+        }
+        .wire_bytes();
+        assert!(big > 8192 && small < 128);
+    }
+
+    #[test]
+    fn notice_bytes_scale() {
+        let vt = VectorTime::new(8);
+        let mk = |n: usize| Payload::BarrierRelease {
+            epoch: 1,
+            vt: vt.clone(),
+            notices: vec![
+                WriteNotice {
+                    writer: 0,
+                    interval: 1,
+                    page: PageId(0)
+                };
+                n
+            ],
+        };
+        assert!(mk(100).wire_bytes() > mk(1).wire_bytes());
+        assert_eq!(
+            mk(100).wire_bytes() - mk(0).wire_bytes(),
+            100 * WriteNotice::WIRE_BYTES
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Per-node state shared between the driver and the node's application
+//! threads.
+//!
+//! [`NodeCell`] holds everything the instrumented access path needs on its
+//! fast path: the node's copy of the shared segment, the per-page
+//! protection states, twins, the dirty set and the (optional) memory-system
+//! simulator. It is wrapped in a mutex, but the baton discipline of
+//! [`cvm_sim::coop`] means the lock is never contended.
+
+use std::collections::{BTreeSet, HashMap};
+
+use cvm_memsim::MemSystem;
+
+use crate::page::PageState;
+
+/// One node's memory-side state.
+#[derive(Debug)]
+pub struct NodeCell {
+    /// Coherence page size.
+    pub page_size: usize,
+    /// This node's copy of the whole shared segment.
+    pub mem: Vec<u8>,
+    /// Protection state per page.
+    pub state: Vec<PageState>,
+    /// Twins of dirty pages (pristine copies for diffing).
+    pub twins: HashMap<usize, Vec<u8>>,
+    /// Pages written during the current open interval.
+    pub dirty: BTreeSet<usize>,
+    /// Virtual nanoseconds consumed by the running thread since the driver
+    /// last drained it.
+    pub burst_ns: u64,
+    /// Result slot for local-barrier reductions.
+    pub lb_result: f64,
+    /// Result slot for global reductions.
+    pub gr_result: f64,
+    /// The node's cache/TLB simulator, if enabled.
+    pub memsim: Option<MemSystem>,
+    /// Twins created (local write faults that copied a page).
+    pub twin_creations: u64,
+}
+
+impl NodeCell {
+    /// Creates a node with `pages` unmapped pages.
+    pub fn new(page_size: usize, pages: usize, memsim: Option<MemSystem>) -> Self {
+        NodeCell {
+            page_size,
+            mem: vec![0; page_size * pages],
+            state: vec![PageState::Unmapped; pages],
+            twins: HashMap::new(),
+            dirty: BTreeSet::new(),
+            burst_ns: 0,
+            lb_result: 0.0,
+            gr_result: 0.0,
+            memsim,
+            twin_creations: 0,
+        }
+    }
+
+    /// Number of pages.
+    pub fn pages(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Borrow of one page's bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn page_bytes(&self, page: usize) -> &[u8] {
+        let b = page * self.page_size;
+        &self.mem[b..b + self.page_size]
+    }
+
+    /// Mutable borrow of one page's bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn page_bytes_mut(&mut self, page: usize) -> &mut [u8] {
+        let b = page * self.page_size;
+        &mut self.mem[b..b + self.page_size]
+    }
+
+    /// Creates (or keeps) the twin for `page` and marks it dirty. Returns
+    /// `true` if a fresh copy was made (for cost accounting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn ensure_twin(&mut self, page: usize) -> bool {
+        self.dirty.insert(page);
+        if self.twins.contains_key(&page) {
+            false
+        } else {
+            let copy = self.page_bytes(page).to_vec();
+            self.twins.insert(page, copy);
+            self.twin_creations += 1;
+            true
+        }
+    }
+
+    /// Drains the dirty set (at interval close), write-protecting the pages
+    /// so later writes start a new notice.
+    pub fn close_dirty(&mut self) -> Vec<usize> {
+        let pages: Vec<usize> = std::mem::take(&mut self.dirty).into_iter().collect();
+        for &p in &pages {
+            if self.state[p] == PageState::ReadWrite {
+                self.state[p] = PageState::ReadOnly;
+            }
+        }
+        pages
+    }
+
+    /// Takes the accumulated burst time.
+    pub fn drain_burst(&mut self) -> u64 {
+        std::mem::take(&mut self.burst_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twin_is_snapshot() {
+        let mut c = NodeCell::new(64, 2, None);
+        c.mem[10] = 7;
+        assert!(c.ensure_twin(0));
+        c.mem[10] = 9;
+        assert_eq!(c.twins[&0][10], 7);
+        assert!(!c.ensure_twin(0), "second call reuses the twin");
+        assert_eq!(c.twin_creations, 1);
+    }
+
+    #[test]
+    fn close_dirty_write_protects() {
+        let mut c = NodeCell::new(64, 3, None);
+        c.state[1] = PageState::ReadWrite;
+        c.ensure_twin(1);
+        let closed = c.close_dirty();
+        assert_eq!(closed, vec![1]);
+        assert_eq!(c.state[1], PageState::ReadOnly);
+        assert!(c.dirty.is_empty());
+        assert!(c.twins.contains_key(&1), "twin survives the close");
+    }
+
+    #[test]
+    fn burst_drain_resets() {
+        let mut c = NodeCell::new(64, 1, None);
+        c.burst_ns = 500;
+        assert_eq!(c.drain_burst(), 500);
+        assert_eq!(c.drain_burst(), 0);
+    }
+
+    #[test]
+    fn page_slices_are_disjoint_views() {
+        let mut c = NodeCell::new(64, 2, None);
+        c.page_bytes_mut(1)[0] = 0xAA;
+        assert_eq!(c.page_bytes(0)[0], 0);
+        assert_eq!(c.page_bytes(1)[0], 0xAA);
+    }
+}

@@ -1,0 +1,133 @@
+//! Shared-segment addressing and the per-page protection state machine.
+//!
+//! Real CVM controls access with `mprotect` and catches `SIGSEGV`; here the
+//! same state machine is driven by the instrumented access path in
+//! [`ctx`](crate::ctx). The states mirror hardware protection:
+//!
+//! * [`PageState::Unmapped`] — the node has never held a copy (first access
+//!   needs a full page fetch).
+//! * [`PageState::Invalid`] — the node holds a (stale) copy but write
+//!   notices have invalidated it; a fault fetches only diffs.
+//! * [`PageState::ReadOnly`] — reads proceed; the first write takes a
+//!   *local* fault that creates a twin and upgrades protection.
+//! * [`PageState::ReadWrite`] — all accesses proceed at full speed.
+
+use std::fmt;
+
+/// Byte offset into the shared segment.
+///
+/// # Example
+///
+/// ```
+/// use cvm_dsm::Addr;
+/// let a = Addr(16384);
+/// assert_eq!(a.page(8192).0, 2);
+/// assert_eq!(a.page_offset(8192), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The page containing this address.
+    pub fn page(self, page_size: usize) -> PageId {
+        PageId((self.0 / page_size as u64) as usize)
+    }
+
+    /// Offset within the containing page.
+    pub fn page_offset(self, page_size: usize) -> usize {
+        (self.0 % page_size as u64) as usize
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{:#x}", self.0)
+    }
+}
+
+/// Index of an 8 KB coherence page in the shared segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageId(pub usize);
+
+impl PageId {
+    /// First byte address of this page.
+    pub fn base(self, page_size: usize) -> Addr {
+        Addr(self.0 as u64 * page_size as u64)
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Protection state of one page on one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PageState {
+    /// No copy has ever been resident on this node.
+    #[default]
+    Unmapped,
+    /// A copy is resident but invalidated by write notices.
+    Invalid,
+    /// Valid for reading; writes fault locally (twin creation).
+    ReadOnly,
+    /// Valid for reading and writing; a twin exists if the page is dirty.
+    ReadWrite,
+}
+
+impl PageState {
+    /// True if a read may proceed without a fault.
+    pub fn readable(self) -> bool {
+        matches!(self, PageState::ReadOnly | PageState::ReadWrite)
+    }
+
+    /// True if a write may proceed without a fault.
+    pub fn writable(self) -> bool {
+        matches!(self, PageState::ReadWrite)
+    }
+
+    /// True if the node holds page bytes (possibly stale).
+    pub fn has_copy(self) -> bool {
+        !matches!(self, PageState::Unmapped)
+    }
+}
+
+impl fmt::Display for PageState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_to_page_mapping() {
+        let ps = 8192;
+        assert_eq!(Addr(0).page(ps), PageId(0));
+        assert_eq!(Addr(8191).page(ps), PageId(0));
+        assert_eq!(Addr(8192).page(ps), PageId(1));
+        assert_eq!(Addr(8193).page_offset(ps), 1);
+        assert_eq!(PageId(3).base(ps), Addr(3 * 8192));
+    }
+
+    #[test]
+    fn state_permissions() {
+        assert!(!PageState::Unmapped.readable());
+        assert!(!PageState::Invalid.readable());
+        assert!(PageState::ReadOnly.readable());
+        assert!(!PageState::ReadOnly.writable());
+        assert!(PageState::ReadWrite.readable());
+        assert!(PageState::ReadWrite.writable());
+    }
+
+    #[test]
+    fn copy_presence() {
+        assert!(!PageState::Unmapped.has_copy());
+        assert!(PageState::Invalid.has_copy());
+        assert!(PageState::ReadOnly.has_copy());
+        assert!(PageState::ReadWrite.has_copy());
+    }
+}

@@ -1,0 +1,193 @@
+//! Coherence protocol selection.
+//!
+//! CVM "was created specifically as a platform for protocol
+//! experimentation": new protocols derive from the base `Page`/`Protocol`
+//! classes and override only what differs. This module captures the same
+//! idea as data: [`ProtocolKind`] selects among implemented protocols; the driver
+//! consults it at each hook point (interval close, fault, copy arrival).
+//! The mechanism — twins, diffs, intervals, notices — is shared; the
+//! policies differ.
+//!
+//! Implemented protocols:
+//!
+//! * [`ProtocolKind::LazyMultiWriter`] — the paper's protocol: lazy
+//!   release consistency, invalidate-based. Modifications travel as write
+//!   notices at synchronization; data moves only when a faulting reader
+//!   pulls diffs.
+//! * [`ProtocolKind::EagerUpdate`] — a Munin-style eager update protocol:
+//!   at every interval close (release, barrier, lock grant) the writer
+//!   *pushes* its diffs to every node holding a copy. Readers rarely
+//!   fault, but bandwidth scales with the copyset, which is why lazy
+//!   invalidate wins for most applications — the comparison that motivated
+//!   CVM's protocol work. An adaptive *copyset pruning* rule (drop a node
+//!   after [`PRUNE_AFTER_UNUSED`] consecutive unused updates, as in Munin)
+//!   keeps the eager protocol from degenerating to broadcast.
+
+use std::fmt;
+
+/// Which coherence protocol the system runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProtocolKind {
+    /// Lazy release consistency with multiple writers (the paper's CVM
+    /// protocol).
+    #[default]
+    LazyMultiWriter,
+    /// Eager update: diffs pushed to the copyset at interval close.
+    EagerUpdate,
+}
+
+impl ProtocolKind {
+    /// Protocol name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::LazyMultiWriter => "lazy-multi-writer",
+            ProtocolKind::EagerUpdate => "eager-update",
+        }
+    }
+
+    /// True if writers push diffs at interval close.
+    pub fn pushes_updates(self) -> bool {
+        matches!(self, ProtocolKind::EagerUpdate)
+    }
+
+    /// True if write notices invalidate remote copies (lazy pull).
+    pub fn invalidates(self) -> bool {
+        matches!(self, ProtocolKind::LazyMultiWriter)
+    }
+}
+
+impl fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// After this many consecutive pushed updates that the receiving node
+/// never read, the receiver drops out of the page's copyset (Munin's
+/// update timeout, counted in updates rather than time).
+pub const PRUNE_AFTER_UNUSED: u32 = 3;
+
+/// Per-(page, node) copyset bookkeeping for the eager protocol.
+#[derive(Debug, Clone, Default)]
+pub struct CopysetEntry {
+    /// Nodes currently holding a pushable copy.
+    pub members: Vec<usize>,
+    /// Per member: consecutive pushes not followed by a local access.
+    pub unused_pushes: Vec<u32>,
+}
+
+impl CopysetEntry {
+    /// Creates a copyset containing every node (the state after the
+    /// startup snapshot distributes the initial image).
+    pub fn full(nodes: usize) -> Self {
+        CopysetEntry {
+            members: (0..nodes).collect(),
+            unused_pushes: vec![0; nodes],
+        }
+    }
+
+    /// Adds a node (idempotent), resetting its unused counter.
+    pub fn add(&mut self, node: usize) {
+        if let Some(i) = self.members.iter().position(|&m| m == node) {
+            self.unused_pushes[i] = 0;
+        } else {
+            self.members.push(node);
+            self.unused_pushes.push(0);
+        }
+    }
+
+    /// Removes a node (idempotent).
+    pub fn remove(&mut self, node: usize) {
+        if let Some(i) = self.members.iter().position(|&m| m == node) {
+            self.members.swap_remove(i);
+            self.unused_pushes.swap_remove(i);
+        }
+    }
+
+    /// True if the node is a member.
+    pub fn contains(&self, node: usize) -> bool {
+        self.members.contains(&node)
+    }
+
+    /// Records a push to `node`; returns `true` if the node should be
+    /// pruned (too many consecutive unused updates).
+    pub fn record_push(&mut self, node: usize) -> bool {
+        if let Some(i) = self.members.iter().position(|&m| m == node) {
+            self.unused_pushes[i] += 1;
+            self.unused_pushes[i] > PRUNE_AFTER_UNUSED
+        } else {
+            false
+        }
+    }
+
+    /// Records a local access by `node` (resets its unused counter).
+    pub fn record_use(&mut self, node: usize) {
+        if let Some(i) = self.members.iter().position(|&m| m == node) {
+            self.unused_pushes[i] = 0;
+        }
+    }
+
+    /// Members other than `writer`, in deterministic (sorted) order.
+    pub fn push_targets(&self, writer: usize) -> Vec<usize> {
+        let mut t: Vec<usize> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|&m| m != writer)
+            .collect();
+        t.sort_unstable();
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_copyset_contains_everyone() {
+        let c = CopysetEntry::full(4);
+        for n in 0..4 {
+            assert!(c.contains(n));
+        }
+        assert_eq!(c.push_targets(2), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn pruning_after_unused_pushes() {
+        let mut c = CopysetEntry::full(2);
+        for _ in 0..PRUNE_AFTER_UNUSED {
+            assert!(!c.record_push(1), "within the tolerance");
+        }
+        assert!(c.record_push(1), "exceeds the tolerance");
+        c.remove(1);
+        assert!(!c.contains(1));
+    }
+
+    #[test]
+    fn use_resets_the_counter() {
+        let mut c = CopysetEntry::full(2);
+        for _ in 0..PRUNE_AFTER_UNUSED {
+            c.record_push(1);
+        }
+        c.record_use(1);
+        assert!(!c.record_push(1), "counter was reset by the access");
+    }
+
+    #[test]
+    fn add_is_idempotent() {
+        let mut c = CopysetEntry::default();
+        c.add(3);
+        c.add(3);
+        assert_eq!(c.members.len(), 1);
+    }
+
+    #[test]
+    fn kind_properties() {
+        assert!(ProtocolKind::LazyMultiWriter.invalidates());
+        assert!(!ProtocolKind::LazyMultiWriter.pushes_updates());
+        assert!(ProtocolKind::EagerUpdate.pushes_updates());
+        assert!(!ProtocolKind::EagerUpdate.invalidates());
+        assert_eq!(ProtocolKind::default(), ProtocolKind::LazyMultiWriter);
+    }
+}

@@ -1,0 +1,132 @@
+//! Run results: everything the harness needs to regenerate the paper's
+//! tables and figures.
+
+use std::fmt;
+
+use cvm_net::NetStats;
+use cvm_sim::{SimDuration, VirtualTime};
+
+use crate::stats::DsmStats;
+use crate::trace::Trace;
+
+/// Per-node execution-time breakdown — the four categories of Figure 1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeBreakdown {
+    /// Computation + local consistency + thread switches.
+    pub user: SimDuration,
+    /// Non-overlapped barrier wait.
+    pub barrier: SimDuration,
+    /// Non-overlapped fault (remote data) wait.
+    pub fault: SimDuration,
+    /// Non-overlapped lock wait.
+    pub lock: SimDuration,
+    /// The node's final clock.
+    pub clock: VirtualTime,
+}
+
+impl NodeBreakdown {
+    /// Sum of all categories (≈ the node's wall time).
+    pub fn total(&self) -> SimDuration {
+        self.user + self.barrier + self.fault + self.lock
+    }
+}
+
+/// Cache/TLB miss totals across all nodes (Figure 2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemMisses {
+    /// Data-cache misses.
+    pub dcache: u64,
+    /// Data-TLB misses.
+    pub dtlb: u64,
+    /// Instruction-TLB misses.
+    pub itlb: u64,
+}
+
+/// The complete result of one CVM run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Wall virtual time of the run (max node clock), measured from
+    /// `startup_done`.
+    pub total_time: VirtualTime,
+    /// DSM-level statistics (Tables 3 and 5).
+    pub stats: DsmStats,
+    /// Traffic statistics (Table 2).
+    pub net: NetStats,
+    /// Per-node breakdown (Figure 1).
+    pub nodes: Vec<NodeBreakdown>,
+    /// Memory-system misses, if the simulator was enabled (Figure 2).
+    pub mem: MemMisses,
+    /// Protocol event trace, if tracing was enabled.
+    pub trace: Option<Trace>,
+}
+
+impl RunReport {
+    /// Total time in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total_time.as_ms_f64()
+    }
+
+    /// Average per-node share of one Figure 1 category, as a fraction of
+    /// total run time.
+    pub fn fraction(&self, pick: impl Fn(&NodeBreakdown) -> SimDuration) -> f64 {
+        if self.nodes.is_empty() || self.total_time == VirtualTime::ZERO {
+            return 0.0;
+        }
+        let sum: f64 = self.nodes.iter().map(|n| pick(n).as_us_f64()).sum();
+        sum / (self.nodes.len() as f64) / self.total_time.as_us_f64()
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "run: {:.3} ms", self.total_ms())?;
+        writeln!(f, "{}", self.stats)?;
+        writeln!(f, "{}", self.net)?;
+        write!(
+            f,
+            "mem misses: dcache {} dtlb {} itlb {}",
+            self.mem.dcache, self.mem.dtlb, self.mem.itlb
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_total_sums() {
+        let b = NodeBreakdown {
+            user: SimDuration::from_us(10),
+            barrier: SimDuration::from_us(5),
+            fault: SimDuration::from_us(3),
+            lock: SimDuration::from_us(2),
+            clock: VirtualTime::from_us(20),
+        };
+        assert_eq!(b.total(), SimDuration::from_us(20));
+    }
+
+    #[test]
+    fn fractions_are_normalized() {
+        let report = RunReport {
+            total_time: VirtualTime::from_us(100),
+            stats: DsmStats::default(),
+            net: NetStats::new(),
+            nodes: vec![
+                NodeBreakdown {
+                    user: SimDuration::from_us(60),
+                    barrier: SimDuration::from_us(40),
+                    ..Default::default()
+                },
+                NodeBreakdown {
+                    user: SimDuration::from_us(100),
+                    ..Default::default()
+                },
+            ],
+            mem: MemMisses::default(),
+            trace: None,
+        };
+        assert!((report.fraction(|n| n.user) - 0.8).abs() < 1e-9);
+        assert!((report.fraction(|n| n.barrier) - 0.2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,145 @@
+//! DSM-level statistics — everything Tables 2, 3 and 5 report.
+
+use std::fmt;
+
+use cvm_sim::SimDuration;
+
+/// Aggregate DSM statistics for one run.
+///
+/// Field names follow the paper's table columns:
+///
+/// * `thread_switches` — "useful" switches between *different* threads.
+/// * `remote_faults` / `remote_locks` — faults and lock acquires that
+///   required network communication.
+/// * `outstanding_faults` / `outstanding_locks` — running sums of how many
+///   fault/lock requests were already outstanding each time a new remote
+///   request was initiated (Table 3's overlap measure).
+/// * `block_same_page` / `block_same_lock` — times a thread blocked on a
+///   page or lock that already had a local request outstanding.
+/// * `diffs_created` / `diffs_used` — multiple-writer protocol work.
+/// * `wait_barrier` / `wait_fault` / `wait_lock` — **non-overlapped** remote
+///   latency, i.e. time a node sat idle with the oldest blocked request of
+///   that class (Table 2's "Total Delay" columns).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DsmStats {
+    /// Switches between different application threads.
+    pub thread_switches: u64,
+    /// Page faults requiring network traffic.
+    pub remote_faults: u64,
+    /// Lock acquires requiring network traffic.
+    pub remote_locks: u64,
+    /// Lock acquires satisfied locally (cached token, free).
+    pub local_lock_acquires: u64,
+    /// Lock acquires satisfied from the local per-lock queue hand-off.
+    pub local_lock_handoffs: u64,
+    /// Running sum of outstanding fault requests at request initiation.
+    pub outstanding_faults: u64,
+    /// Running sum of outstanding lock requests at request initiation.
+    pub outstanding_locks: u64,
+    /// Threads that blocked on an already-requested page.
+    pub block_same_page: u64,
+    /// Threads that blocked on an already-requested/held lock.
+    pub block_same_lock: u64,
+    /// Diffs created (lazy, at first request or at invalidation of a dirty
+    /// page).
+    pub diffs_created: u64,
+    /// Diffs applied at faulting nodes (one diff may be used by several).
+    pub diffs_used: u64,
+    /// Twins created by local write faults.
+    pub twins_created: u64,
+    /// Global barrier episodes completed.
+    pub barriers_crossed: u64,
+    /// Local (intra-node) barrier episodes completed.
+    pub local_barriers: u64,
+    /// Global reduction episodes completed.
+    pub global_reduces: u64,
+    /// Eager-protocol diff pushes sent.
+    pub updates_pushed: u64,
+    /// Eager-protocol copyset prunes.
+    pub copies_dropped: u64,
+    /// Non-overlapped barrier wait, summed over nodes.
+    pub wait_barrier: SimDuration,
+    /// Non-overlapped fault (data) wait, summed over nodes.
+    pub wait_fault: SimDuration,
+    /// Non-overlapped lock wait, summed over nodes.
+    pub wait_lock: SimDuration,
+    /// Total user time (computation + local consistency + switches),
+    /// summed over nodes.
+    pub user_time: SimDuration,
+}
+
+impl DsmStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets everything to zero (used at `startup_done`).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Total non-overlapped remote latency.
+    pub fn total_wait(&self) -> SimDuration {
+        self.wait_barrier + self.wait_fault + self.wait_lock
+    }
+}
+
+impl fmt::Display for DsmStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "switches {} | remote faults {} locks {} | outstanding f {} l {}",
+            self.thread_switches,
+            self.remote_faults,
+            self.remote_locks,
+            self.outstanding_faults,
+            self.outstanding_locks
+        )?;
+        writeln!(
+            f,
+            "block-same page {} lock {} | diffs created {} used {} | twins {}",
+            self.block_same_page,
+            self.block_same_lock,
+            self.diffs_created,
+            self.diffs_used,
+            self.twins_created
+        )?;
+        write!(
+            f,
+            "waits: barrier {} fault {} lock {} | user {}",
+            self.wait_barrier, self.wait_fault, self.wait_lock, self.user_time
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_zeroes() {
+        let mut s = DsmStats::new();
+        s.remote_faults = 10;
+        s.wait_lock = SimDuration::from_us(5);
+        s.reset();
+        assert_eq!(s, DsmStats::default());
+    }
+
+    #[test]
+    fn total_wait_sums_classes() {
+        let mut s = DsmStats::new();
+        s.wait_barrier = SimDuration::from_us(1);
+        s.wait_fault = SimDuration::from_us(2);
+        s.wait_lock = SimDuration::from_us(3);
+        assert_eq!(s.total_wait(), SimDuration::from_us(6));
+    }
+
+    #[test]
+    fn display_mentions_key_fields() {
+        let s = DsmStats::new();
+        let text = format!("{s}");
+        assert!(text.contains("diffs"));
+        assert!(text.contains("waits"));
+    }
+}

@@ -1,0 +1,1593 @@
+//! The system driver: builds the cluster, runs the discrete-event loop,
+//! executes the LRC multiple-writer protocol and the non-preemptive
+//! per-node scheduler, and produces the [`RunReport`].
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use cvm_net::{Message, NetworkSim, NodeId};
+use cvm_sim::coop::{Burst, CoopScheduler, CoopThreadId, Yielder};
+use cvm_sim::{EventQueue, SimDuration, SimRng, VirtualTime};
+use parking_lot::Mutex;
+
+use cvm_memsim::MemSystem;
+
+use crate::barrier::{BarrierMaster, LocalBarrier, NodeBarrier, ReduceOp};
+use crate::config::CvmConfig;
+use crate::ctx::{BlockReason, CtxCosts, ThreadCtx};
+use crate::diff::Diff;
+use crate::interval::{IntervalLog, VectorTime, WriteNotice};
+use crate::lock::{AcquireOutcome, ForwardOutcome, LockLocal, LockManager, ReleaseOutcome};
+use crate::msg::Payload;
+use crate::node::NodeCell;
+use crate::page::{PageId, PageState};
+use crate::protocol::CopysetEntry;
+use crate::report::{MemMisses, NodeBreakdown, RunReport};
+use crate::trace::{Trace, TraceEvent};
+use crate::sched::{NodeSched, WaitClass};
+use crate::shared::{SharedMat, SharedVec, Shareable};
+use crate::stats::DsmStats;
+
+/// Builder for a CVM system: allocate shared memory, then run an SPMD
+/// application. See the crate-level example.
+#[derive(Debug)]
+pub struct CvmBuilder {
+    cfg: CvmConfig,
+    next_addr: u64,
+}
+
+impl CvmBuilder {
+    /// Starts building a system under `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: CvmConfig) -> Self {
+        assert!(cfg.nodes > 0 && cfg.threads_per_node > 0);
+        CvmBuilder { cfg, next_addr: 0 }
+    }
+
+    /// The configuration being built.
+    pub fn config(&self) -> &CvmConfig {
+        &self.cfg
+    }
+
+    /// Allocates a shared array of `len` elements, page-aligned so that
+    /// independent arrays never share pages.
+    pub fn alloc<T: Shareable>(&mut self, len: usize) -> SharedVec<T> {
+        let base = self.next_addr;
+        let bytes = (len * T::SIZE) as u64;
+        let ps = self.cfg.page_size as u64;
+        self.next_addr = (base + bytes).div_ceil(ps) * ps;
+        SharedVec::from_raw(base, len)
+    }
+
+    /// Allocates a shared row-major matrix.
+    pub fn alloc_mat<T: Shareable>(&mut self, rows: usize, cols: usize) -> SharedMat<T> {
+        let v = self.alloc::<T>(rows * cols);
+        let _ = v;
+        // Recompute the base the alloc used.
+        let bytes = (rows * cols * T::SIZE) as u64;
+        let ps = self.cfg.page_size as u64;
+        let base = self.next_addr - bytes.div_ceil(ps) * ps;
+        SharedMat::from_raw(base, rows, cols)
+    }
+
+    /// Runs the SPMD application `app` on every thread and returns the run
+    /// report. Statistics cover the portion after
+    /// [`startup_done`](crate::ThreadCtx::startup_done) (or the whole run
+    /// if it is never called).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an application thread panics, or on protocol deadlock
+    /// (threads blocked with no pending events — an application
+    /// synchronization bug).
+    pub fn run<F>(mut self, app: F) -> RunReport
+    where
+        F: Fn(&mut ThreadCtx<'_>) + Send + Sync + 'static,
+    {
+        self.cfg.segment_size = (self.next_addr as usize)
+            .div_ceil(self.cfg.page_size)
+            .max(1)
+            * self.cfg.page_size;
+        self.cfg.validate();
+        let mut driver = Driver::new(self.cfg, Arc::new(app));
+        driver.run()
+    }
+}
+
+/// Events in the driver's own queue (network events live in `cvm-net`).
+#[derive(Debug, Clone, Copy)]
+enum MainEvent {
+    /// The node should schedule its next ready thread.
+    NodeResume(usize),
+}
+
+/// A page fetch in progress on one node.
+#[derive(Debug, Default)]
+struct PendingFetch {
+    waiters: Vec<(usize, bool)>,
+    replies_needed: usize,
+    base: Option<Vec<u8>>,
+    diffs: Vec<(u32, u64, usize, Diff)>,
+}
+
+/// Driver-private per-node control state.
+struct NodeCtl {
+    sched: NodeSched,
+    locks: Vec<LockLocal>,
+    nb: NodeBarrier,
+    lb: LocalBarrier,
+    /// Node-local aggregation for global reductions.
+    gred: LocalBarrier,
+    vt: VectorTime,
+    log: IntervalLog,
+    /// Per writer: interval → pages (everything this node has learned).
+    notice_store: Vec<BTreeMap<u32, Vec<PageId>>>,
+    /// Page → un-applied write notices `(writer, interval)`.
+    pending: HashMap<usize, Vec<(usize, u32)>>,
+    /// `(page, writer)` → highest applied diff tag (diff-tag namespace,
+    /// used as the `since` filter for diff requests).
+    applied_dtag: HashMap<(usize, usize), u32>,
+    /// `(page, writer)` → highest *interval* of the writer known to be
+    /// reflected in our copy (used to retire write notices). Never runs
+    /// ahead of the writer's actually-closed intervals.
+    applied_ivl: HashMap<(usize, usize), u32>,
+    fetches: HashMap<usize, PendingFetch>,
+    /// This node's own diffs: page → `(tag, close gseq, diff)` ascending.
+    diff_cache: HashMap<usize, Vec<(u32, u64, Diff)>>,
+    /// Page → global sequence of its most recent interval close here.
+    page_close_gseq: HashMap<usize, u64>,
+    out_faults: usize,
+    out_locks: usize,
+    /// Latest barrier-release epoch applied (filters stale duplicate
+    /// releases in the non-aggregated ablation mode).
+    release_seen: u32,
+    breakdown: NodeBreakdown,
+}
+
+impl NodeCtl {
+    fn new(nodes: usize, n_locks: usize, threads_per_node: usize) -> Self {
+        NodeCtl {
+            sched: NodeSched::new(threads_per_node),
+            locks: (0..n_locks).map(|_| LockLocal::default()).collect(),
+            nb: NodeBarrier::default(),
+            lb: LocalBarrier::default(),
+            gred: LocalBarrier::default(),
+            vt: VectorTime::new(nodes),
+            log: IntervalLog::new(),
+            notice_store: vec![BTreeMap::new(); nodes],
+            pending: HashMap::new(),
+            applied_dtag: HashMap::new(),
+            applied_ivl: HashMap::new(),
+            fetches: HashMap::new(),
+            diff_cache: HashMap::new(),
+            page_close_gseq: HashMap::new(),
+            out_faults: 0,
+            out_locks: 0,
+            release_seen: 0,
+            breakdown: NodeBreakdown::default(),
+        }
+    }
+
+    fn applied_dtag(&self, page: usize, writer: usize) -> u32 {
+        self.applied_dtag.get(&(page, writer)).copied().unwrap_or(0)
+    }
+
+    fn applied_ivl(&self, page: usize, writer: usize) -> u32 {
+        self.applied_ivl.get(&(page, writer)).copied().unwrap_or(0)
+    }
+}
+
+/// How many global locks exist (a static table, as in CVM).
+pub const MAX_LOCKS: usize = 4096;
+
+struct ThreadInfo {
+    node: usize,
+    coop: CoopThreadId,
+    finished: bool,
+}
+
+struct Driver {
+    cfg: CvmConfig,
+    cells: Vec<Arc<Mutex<NodeCell>>>,
+    ctl: Vec<NodeCtl>,
+    threads: Vec<ThreadInfo>,
+    coop: CoopScheduler<BlockReason>,
+    net: NetworkSim<Payload>,
+    mainq: EventQueue<MainEvent>,
+    lock_mgrs: Vec<LockManager>,
+    master: BarrierMaster,
+    stats: DsmStats,
+    startup_arrived: usize,
+    endm_arrived: usize,
+    /// Master-side global-reduction episode: arrivals and accumulator.
+    gred_count: usize,
+    gred_acc: Option<f64>,
+    gred_op: Option<ReduceOp>,
+    snapshot: Option<RunReport>,
+    finished_total: usize,
+    /// Global interval-close sequence: a total order consistent with
+    /// happens-before, used to order diff application (stands in for the
+    /// vector-timestamp comparison of the real protocol).
+    gseq: u64,
+    /// Per-page copysets for the eager-update protocol (driver-global as
+    /// a stand-in for the home-directory state a real system distributes).
+    copysets: Vec<CopysetEntry>,
+    /// Protocol event trace (capacity 0 = disabled).
+    trace: Trace,
+}
+
+type AppFn = Arc<dyn Fn(&mut ThreadCtx<'_>) + Send + Sync>;
+
+impl Driver {
+    fn new(cfg: CvmConfig, app: AppFn) -> Self {
+        let nodes = cfg.nodes;
+        let tpn = cfg.threads_per_node;
+        let pages = cfg.pages();
+        let mut rng = SimRng::seed_from(cfg.seed);
+        let cells: Vec<Arc<Mutex<NodeCell>>> = (0..nodes)
+            .map(|_| {
+                let mem = cfg.memsim_enabled.then(|| MemSystem::new(cfg.mem));
+                Arc::new(Mutex::new(NodeCell::new(cfg.page_size, pages, mem)))
+            })
+            .collect();
+        // Node 0 performs initialization: its pages start writable.
+        {
+            let mut c0 = cells[0].lock();
+            for s in &mut c0.state {
+                *s = PageState::ReadWrite;
+            }
+        }
+        let mut ctl: Vec<NodeCtl> = (0..nodes)
+            .map(|_| NodeCtl::new(nodes, MAX_LOCKS, tpn))
+            .collect();
+        let lock_mgrs: Vec<LockManager> = (0..MAX_LOCKS)
+            .map(|l| LockManager::new(l % nodes))
+            .collect();
+        for (l, mgr) in lock_mgrs.iter().enumerate() {
+            ctl[mgr.tail].locks[l].cached = true;
+        }
+        let costs = CtxCosts {
+            page_size: cfg.page_size,
+            access_base_ns: cfg.access_base.as_ns(),
+            signal_ns: cfg.signal.as_ns(),
+            mprotect_ns: cfg.mprotect.as_ns(),
+            twin_copy_ns: cfg.twin_copy.as_ns(),
+            code_pages: cfg.code_pages,
+        };
+        let mut coop: CoopScheduler<BlockReason> = CoopScheduler::new();
+        let mut threads = Vec::with_capacity(nodes * tpn);
+        // Index loop intentional: `node` is both an id stored in thread
+        // info and an index into `cells`.
+        #[allow(clippy::needless_range_loop)]
+        for node in 0..nodes {
+            for local in 0..tpn {
+                let gid = node * tpn + local;
+                let cell = Arc::clone(&cells[node]);
+                let app = Arc::clone(&app);
+                let trng = rng.derive(gid as u64);
+                let coop_id = coop.spawn(move |y: &Yielder<BlockReason>| {
+                    let mut ctx =
+                        ThreadCtx::new(y, cell, costs, gid, node, local, nodes, tpn, trng);
+                    app(&mut ctx);
+                    ctx.flush_burst();
+                });
+                threads.push(ThreadInfo {
+                    node,
+                    coop: coop_id,
+                    finished: false,
+                });
+            }
+        }
+        let cfg2_trace = cfg.trace_capacity;
+        let mut net = NetworkSim::new(nodes, cfg.latency.clone());
+        if !cfg.jitter_max.is_zero() {
+            net.set_jitter(rng.derive(0x7177), cfg.jitter_max);
+        }
+        if let Some(loss) = cfg.loss {
+            net.enable_loss(rng.derive(0xDEAD), loss);
+        }
+        let barrier_expected = if cfg.aggregate_barriers {
+            nodes
+        } else {
+            nodes * tpn
+        };
+        Driver {
+            cfg,
+            cells,
+            ctl,
+            threads,
+            coop,
+            net,
+            mainq: EventQueue::new(),
+            lock_mgrs,
+            master: BarrierMaster::new(nodes, barrier_expected),
+            stats: DsmStats::new(),
+            startup_arrived: 0,
+            endm_arrived: 0,
+            gred_count: 0,
+            gred_acc: None,
+            gred_op: None,
+            snapshot: None,
+            finished_total: 0,
+            gseq: 0,
+            copysets: Vec::new(),
+            trace: Trace::new(cfg2_trace),
+        }
+    }
+
+    fn run(&mut self) -> RunReport {
+        self.copysets = (0..self.cfg.pages())
+            .map(|_| CopysetEntry::full(self.cfg.nodes))
+            .collect();
+        for tid in 0..self.threads.len() {
+            let n = self.threads[tid].node;
+            self.ctl[n].sched.ready.push_back(tid);
+        }
+        for n in 0..self.cfg.nodes {
+            self.schedule_resume(n, VirtualTime::ZERO);
+        }
+        loop {
+            let limit = self.mainq.peek_time().unwrap_or(VirtualTime::MAX);
+            if let Some((t, msg)) = self.net.poll(limit) {
+                self.handle_payload(msg.dst.0, msg.src.0, msg.payload, t);
+                continue;
+            }
+            match self.mainq.pop() {
+                Some((t, MainEvent::NodeResume(n))) => self.run_node(n, t),
+                None => break,
+            }
+        }
+        assert_eq!(
+            self.finished_total,
+            self.threads.len(),
+            "deadlock: {} of {} threads never finished (blocked on \
+             unsatisfied synchronization)",
+            self.threads.len() - self.finished_total,
+            self.threads.len()
+        );
+        self.build_report()
+    }
+
+    fn build_report(&mut self) -> RunReport {
+        if let Some(snap) = self.snapshot.take() {
+            return snap;
+        }
+        self.snapshot_report()
+    }
+
+    /// Assembles a report from the current state.
+    fn snapshot_report(&self) -> RunReport {
+        let mut total = VirtualTime::ZERO;
+        let mut nodes = Vec::with_capacity(self.cfg.nodes);
+        let mut stats = self.stats.clone();
+        for (n, ctl) in self.ctl.iter().enumerate() {
+            let mut b = ctl.breakdown;
+            b.clock = ctl.sched.clock;
+            total = total.max(ctl.sched.clock);
+            stats.user_time += b.user;
+            stats.wait_barrier += b.barrier;
+            stats.wait_fault += b.fault;
+            stats.wait_lock += b.lock;
+            stats.twins_created += self.cells[n].lock().twin_creations;
+            nodes.push(b);
+        }
+        let mut mem = MemMisses::default();
+        for cell in &self.cells {
+            let c = cell.lock();
+            if let Some(m) = &c.memsim {
+                mem.dcache += m.dcache_misses();
+                mem.dtlb += m.dtlb_misses();
+                mem.itlb += m.itlb_misses();
+            }
+        }
+        RunReport {
+            total_time: total,
+            stats,
+            net: self.net.stats().clone(),
+            nodes,
+            mem,
+            trace: if self.trace.enabled() {
+                Some(self.trace.clone())
+            } else {
+                None
+            },
+        }
+    }
+
+    // ---- scheduling ----------------------------------------------------
+
+    fn schedule_resume(&mut self, n: usize, t: VirtualTime) {
+        if !self.ctl[n].sched.resume_scheduled {
+            self.ctl[n].sched.resume_scheduled = true;
+            self.mainq.push(t, MainEvent::NodeResume(n));
+        }
+    }
+
+    fn make_ready(&mut self, n: usize, tid: usize, t: VirtualTime) {
+        self.ctl[n].sched.ready.push_back(tid);
+        let at = self.ctl[n].sched.clock.max(t);
+        self.schedule_resume(n, at);
+    }
+
+    /// Snapshot of what an idle node is waiting for, by priority.
+    fn wait_class(&self, n: usize) -> WaitClass {
+        let ctl = &self.ctl[n];
+        if ctl.out_faults > 0 {
+            WaitClass::Fault
+        } else if ctl.out_locks > 0 || ctl.locks.iter().any(|l| !l.local_queue.is_empty()) {
+            WaitClass::Lock
+        } else if !ctl.nb.blocked.is_empty() {
+            WaitClass::Barrier
+        } else {
+            WaitClass::Other
+        }
+    }
+
+    fn begin_idle_if_needed(&mut self, n: usize) {
+        let all_done = self.ctl[n].sched.all_finished();
+        if !all_done && self.ctl[n].sched.idle_since.is_none() {
+            let class = self.wait_class(n);
+            let clock = self.ctl[n].sched.clock;
+            self.ctl[n].sched.idle_since = Some((clock, class));
+        }
+    }
+
+    fn settle_idle(&mut self, n: usize, until: VirtualTime) {
+        if let Some((since, class)) = self.ctl[n].sched.idle_since.take() {
+            if until > since {
+                let d = until - since;
+                let b = &mut self.ctl[n].breakdown;
+                match class {
+                    WaitClass::Fault => b.fault += d,
+                    WaitClass::Lock => b.lock += d,
+                    WaitClass::Barrier | WaitClass::Other => b.barrier += d,
+                }
+            }
+        }
+    }
+
+    fn run_node(&mut self, n: usize, t: VirtualTime) {
+        self.ctl[n].sched.resume_scheduled = false;
+        if !self.ctl[n].sched.has_ready() {
+            return;
+        }
+        let clock0 = self.ctl[n].sched.clock.max(t);
+        self.settle_idle(n, clock0);
+        self.ctl[n].sched.clock = clock0;
+        let tid = if self.cfg.lifo_schedule {
+            // Memory-conscious policy: run the most recently readied
+            // thread, whose working set is most likely still cached.
+            self.ctl[n].sched.ready.pop_back().expect("ready checked")
+        } else {
+            self.ctl[n].sched.ready.pop_front().expect("ready checked")
+        };
+        if let Some(prev) = self.ctl[n].sched.last_ran {
+            if prev != tid {
+                self.ctl[n].sched.clock += self.cfg.thread_switch;
+                self.ctl[n].breakdown.user += self.cfg.thread_switch;
+                self.stats.thread_switches += 1;
+            }
+        }
+        if let Some(prev) = self.ctl[n].sched.last_ran {
+            if prev != tid && self.trace.enabled() {
+                let at = self.ctl[n].sched.clock;
+                self.trace
+                    .record(at, TraceEvent::ThreadSwitch { node: n, from: prev, to: tid });
+            }
+        }
+        self.ctl[n].sched.last_ran = Some(tid);
+        let burst = self.coop.resume(self.threads[tid].coop);
+        let consumed = SimDuration::from_ns(self.cells[n].lock().drain_burst());
+        self.ctl[n].sched.clock += consumed;
+        self.ctl[n].breakdown.user += consumed;
+        match burst {
+            Burst::Finished => {
+                self.threads[tid].finished = true;
+                self.ctl[n].sched.finished += 1;
+                self.finished_total += 1;
+            }
+            Burst::Blocked(reason) => self.handle_reason(n, tid, reason),
+        }
+        if self.ctl[n].sched.has_ready() {
+            let at = self.ctl[n].sched.clock;
+            self.schedule_resume(n, at);
+        } else {
+            self.begin_idle_if_needed(n);
+        }
+    }
+
+    // ---- application block reasons --------------------------------------
+
+    fn handle_reason(&mut self, n: usize, tid: usize, reason: BlockReason) {
+        match reason {
+            BlockReason::Fault { page, write } => self.handle_fault(n, tid, page, write),
+            BlockReason::Acquire { lock } => self.handle_acquire(n, tid, lock),
+            BlockReason::Release { lock } => self.handle_release(n, tid, lock),
+            BlockReason::Barrier => self.handle_barrier(n, tid),
+            BlockReason::LocalBarrier { reduce } => self.handle_local_barrier(n, tid, reduce),
+            BlockReason::GlobalReduce { reduce } => self.handle_global_reduce(n, tid, reduce),
+            BlockReason::Startup => self.handle_startup(),
+            BlockReason::EndMeasure => self.handle_end_measure(tid),
+            BlockReason::Yield => self.ctl[n].sched.ready.push_back(tid),
+        }
+    }
+
+    fn note_request_initiated(&mut self, n: usize) {
+        self.stats.outstanding_faults += self.ctl[n].out_faults as u64;
+        self.stats.outstanding_locks += self.ctl[n].out_locks as u64;
+    }
+
+    fn handle_fault(&mut self, n: usize, tid: usize, page: PageId, write: bool) {
+        let p = page.0;
+        if let Some(fetch) = self.ctl[n].fetches.get_mut(&p) {
+            // An identical request is already outstanding: the paper's
+            // "Block Same Page".
+            fetch.waiters.push((tid, write));
+            self.stats.block_same_page += 1;
+            return;
+        }
+        // Fault overhead: user-level signal + protection change.
+        let overhead = self.cfg.signal + self.cfg.mprotect;
+        self.ctl[n].sched.clock += overhead;
+        self.ctl[n].breakdown.user += overhead;
+        let now = self.ctl[n].sched.clock;
+        // What do we need? A base copy if we never had one, plus diffs for
+        // every pending write notice, grouped by writer.
+        let state = self.cells[n].lock().state[p];
+        let mut writers: Vec<(usize, u32)> = Vec::new(); // (writer, since)
+        if let Some(pend) = self.ctl[n].pending.get(&p) {
+            let mut ws: Vec<usize> = pend.iter().map(|&(w, _)| w).collect();
+            ws.sort_unstable();
+            ws.dedup();
+            for w in ws {
+                writers.push((w, self.ctl[n].applied_dtag(p, w)));
+            }
+        }
+        let home = p % self.cfg.nodes;
+        let need_base = state == PageState::Unmapped && home != n;
+        if !need_base && writers.is_empty() {
+            // Nothing remote is required (e.g. pre-startup touch of a page
+            // homed here): validate and continue.
+            let mut cell = self.cells[n].lock();
+            if matches!(cell.state[p], PageState::Unmapped | PageState::Invalid) {
+                cell.state[p] = PageState::ReadOnly;
+            }
+            drop(cell);
+            self.ctl[n].sched.ready.push_back(tid);
+            return;
+        }
+        self.note_request_initiated(n);
+        self.stats.remote_faults += 1;
+        self.ctl[n].out_faults += 1;
+        self.trace.record(now, TraceEvent::Fault { node: n, page, write });
+        let mut fetch = PendingFetch {
+            waiters: vec![(tid, write)],
+            ..Default::default()
+        };
+        if need_base {
+            fetch.replies_needed += 1;
+        }
+        fetch.replies_needed += writers.len();
+        self.ctl[n].fetches.insert(p, fetch);
+        if need_base {
+            self.send(n, home, Payload::PageRequest { page }, now);
+        }
+        for (w, since) in writers {
+            self.send(n, w, Payload::DiffRequest { page, since }, now);
+        }
+    }
+
+    fn handle_acquire(&mut self, n: usize, tid: usize, lock: usize) {
+        assert!(lock < MAX_LOCKS, "lock index {lock} out of range");
+        match self.ctl[n].locks[lock].try_acquire(tid) {
+            AcquireOutcome::LocalGrant => {
+                self.stats.local_lock_acquires += 1;
+                self.ctl[n].sched.ready.push_back(tid);
+            }
+            AcquireOutcome::QueuedLocally => {
+                self.stats.block_same_lock += 1;
+            }
+            AcquireOutcome::SendRequest => {
+                self.note_request_initiated(n);
+                let at = self.ctl[n].sched.clock;
+                self.trace.record(at, TraceEvent::LockRequested { node: n, lock });
+                self.stats.remote_locks += 1;
+                self.ctl[n].out_locks += 1;
+                let now = self.ctl[n].sched.clock;
+                let vt = self.ctl[n].vt.clone();
+                let mgr = lock % self.cfg.nodes;
+                if mgr == n {
+                    self.manager_handle(n, lock, n, vt, now);
+                } else {
+                    self.send(
+                        n,
+                        mgr,
+                        Payload::LockRequest {
+                            lock,
+                            acquirer: n,
+                            vt,
+                        },
+                        now,
+                    );
+                }
+            }
+        }
+    }
+
+    fn handle_release(&mut self, n: usize, tid: usize, lock: usize) {
+        let now = self.ctl[n].sched.clock;
+        let prefer_local = self.cfg.prefer_local_lock_waiters;
+        match self.ctl[n].locks[lock].release(tid, prefer_local) {
+            ReleaseOutcome::LocalHandoff(next) => {
+                self.stats.local_lock_handoffs += 1;
+                self.trace
+                    .record(now, TraceEvent::LockLocalHandoff { node: n, lock });
+                self.ctl[n].sched.ready.push_back(next);
+            }
+            ReleaseOutcome::GrantRemote(node, avt) => {
+                self.grant_lock(n, lock, node, &avt, now);
+                // Ablation path: with fair ordering, remaining local
+                // waiters must re-request the token remotely.
+                if !self.ctl[n].locks[lock].local_queue.is_empty()
+                    && !self.ctl[n].locks[lock].requested
+                {
+                    self.ctl[n].locks[lock].requested = true;
+                    self.note_request_initiated(n);
+                    self.stats.remote_locks += 1;
+                    self.ctl[n].out_locks += 1;
+                    let vt = self.ctl[n].vt.clone();
+                    let mgr = lock % self.cfg.nodes;
+                    if mgr == n {
+                        self.manager_handle(n, lock, n, vt, now);
+                    } else {
+                        self.send(
+                            n,
+                            mgr,
+                            Payload::LockRequest {
+                                lock,
+                                acquirer: n,
+                                vt,
+                            },
+                            now,
+                        );
+                    }
+                }
+            }
+            ReleaseOutcome::KeepCached => {}
+        }
+        // The releasing thread continues immediately (front of the queue,
+        // no switch charge since it is the same thread).
+        self.ctl[n].sched.ready.push_front(tid);
+    }
+
+    fn handle_barrier(&mut self, n: usize, tid: usize) {
+        let last = self.ctl[n].nb.arrive_local(tid, self.cfg.threads_per_node);
+        let now = self.ctl[n].sched.clock;
+        if !last {
+            if !self.cfg.aggregate_barriers {
+                // Ablation: every thread sends its own arrival message
+                // (consistency information still flows once, with the
+                // node's final arrival).
+                let vt = self.ctl[n].vt.clone();
+                self.arrive_at_master(n, vt, Vec::new(), now);
+            }
+            return;
+        }
+        self.close_interval(n);
+        let latest = self.ctl[n].log.latest();
+        let since = self.ctl[n].nb.notices_sent_upto;
+        let notices = self.ctl[n].log.notices_between(n, since, latest);
+        self.ctl[n].nb.notices_sent_upto = latest;
+        let vt = self.ctl[n].vt.clone();
+        self.arrive_at_master(n, vt, notices, now);
+    }
+
+    fn arrive_at_master(
+        &mut self,
+        n: usize,
+        vt: VectorTime,
+        notices: Vec<WriteNotice>,
+        now: VirtualTime,
+    ) {
+        self.trace.record(
+            now,
+            TraceEvent::BarrierArrived {
+                node: n,
+                epoch: self.master.epoch(),
+            },
+        );
+        if n == 0 {
+            if self.master.arrive(&vt, notices) {
+                self.barrier_release(now);
+            }
+        } else {
+            let epoch = self.master.epoch();
+            self.send(
+                n,
+                0,
+                Payload::BarrierArrive {
+                    epoch,
+                    node: n,
+                    vt,
+                    notices,
+                },
+                now,
+            );
+        }
+    }
+
+    fn handle_local_barrier(
+        &mut self,
+        n: usize,
+        tid: usize,
+        reduce: Option<(crate::barrier::ReduceOp, f64)>,
+    ) {
+        let last = self.ctl[n].lb.arrive(tid, reduce, self.cfg.threads_per_node);
+        if !last {
+            return;
+        }
+        self.stats.local_barriers += 1;
+        let (woken, val) = self.ctl[n].lb.complete();
+        self.cells[n].lock().lb_result = val.unwrap_or(0.0);
+        for t in woken {
+            self.ctl[n].sched.ready.push_back(t);
+        }
+    }
+
+    fn handle_end_measure(&mut self, _tid: usize) {
+        self.endm_arrived += 1;
+        if self.endm_arrived < self.threads.len() {
+            return;
+        }
+        self.endm_arrived = 0;
+        self.snapshot = Some(self.snapshot_report());
+        // Wake everyone; the rendezvous acts as a barrier without cost.
+        for tid in 0..self.threads.len() {
+            let n = self.threads[tid].node;
+            self.ctl[n].sched.ready.push_back(tid);
+        }
+        for n in 0..self.cfg.nodes {
+            let at = self.ctl[n].sched.clock;
+            self.schedule_resume(n, at);
+        }
+    }
+
+    fn handle_global_reduce(&mut self, n: usize, tid: usize, reduce: (ReduceOp, f64)) {
+        let last = self.ctl[n]
+            .gred
+            .arrive(tid, Some(reduce), self.cfg.threads_per_node);
+        if !last {
+            return;
+        }
+        // Threads stay parked in `gred.blocked` until the release; only
+        // the per-node combined value travels.
+        let acc = self.ctl[n].gred.reduce_acc.expect("contributions present");
+        let now = self.ctl[n].sched.clock;
+        if n == 0 {
+            self.reduce_arrive_at_master(0, reduce.0, acc, now);
+        } else {
+            self.send(
+                n,
+                0,
+                Payload::ReduceArrive {
+                    node: n,
+                    op: reduce.0,
+                    value: acc,
+                },
+                now,
+            );
+        }
+    }
+
+    fn reduce_arrive_at_master(&mut self, _node: usize, op: ReduceOp, value: f64, t: VirtualTime) {
+        self.gred_count += 1;
+        self.gred_acc = Some(match self.gred_acc {
+            Some(acc) => op.combine(acc, value),
+            None => value,
+        });
+        self.gred_op = Some(op);
+        if self.gred_count < self.cfg.nodes {
+            return;
+        }
+        let result = self.gred_acc.take().expect("accumulated");
+        self.gred_count = 0;
+        self.gred_op = None;
+        self.stats.global_reduces += 1;
+        for q in 1..self.cfg.nodes {
+            self.send(0, q, Payload::ReduceRelease { value: result }, t);
+        }
+        self.apply_reduce_release(0, result, t);
+    }
+
+    fn apply_reduce_release(&mut self, n: usize, value: f64, t: VirtualTime) {
+        self.cells[n].lock().gr_result = value;
+        let (woken, _) = self.ctl[n].gred.complete();
+        for tid in woken {
+            self.make_ready(n, tid, t);
+        }
+    }
+
+    fn handle_startup(&mut self) {
+        self.startup_arrived += 1;
+        if self.startup_arrived < self.threads.len() {
+            return;
+        }
+        self.startup_reset();
+    }
+
+    /// Makes global data uniform across nodes and zeroes all measurements:
+    /// the paper's "global data is consistent across all nodes until
+    /// startup has finished".
+    fn startup_reset(&mut self) {
+        assert!(self.net.in_flight() == 0, "messages in flight at startup");
+        let init_mem = {
+            let mut c0 = self.cells[0].lock();
+            c0.twins.clear();
+            c0.dirty.clear();
+            c0.twin_creations = 0;
+            c0.mem.clone()
+        };
+        for (n, cell) in self.cells.iter().enumerate() {
+            let mut c = cell.lock();
+            if n != 0 {
+                c.mem.copy_from_slice(&init_mem);
+                c.twin_creations = 0;
+            }
+            for s in &mut c.state {
+                *s = PageState::ReadOnly;
+            }
+            if self.cfg.memsim_enabled {
+                c.memsim = Some(MemSystem::new(self.cfg.mem));
+            }
+        }
+        for ctl in &mut self.ctl {
+            ctl.sched.clock = VirtualTime::ZERO;
+            ctl.sched.last_ran = None;
+            ctl.sched.idle_since = None;
+            ctl.breakdown = NodeBreakdown::default();
+            debug_assert!(ctl.fetches.is_empty());
+            debug_assert!(ctl.pending.is_empty());
+        }
+        self.stats.reset();
+        self.trace.reset();
+        self.copysets = (0..self.cfg.pages())
+            .map(|_| CopysetEntry::full(self.cfg.nodes))
+            .collect();
+        self.net = NetworkSim::new(self.cfg.nodes, self.cfg.latency.clone());
+        let mut rng = SimRng::seed_from(self.cfg.seed ^ 0xBEEF);
+        if !self.cfg.jitter_max.is_zero() {
+            self.net.set_jitter(rng.derive(0x7177), self.cfg.jitter_max);
+        }
+        if let Some(loss) = self.cfg.loss {
+            self.net.enable_loss(rng.derive(0xDEAD), loss);
+        }
+        self.mainq = EventQueue::new();
+        for n in 0..self.cfg.nodes {
+            self.ctl[n].sched.resume_scheduled = false;
+        }
+        for tid in 0..self.threads.len() {
+            let n = self.threads[tid].node;
+            self.ctl[n].sched.ready.push_back(tid);
+        }
+        for n in 0..self.cfg.nodes {
+            self.schedule_resume(n, VirtualTime::ZERO);
+        }
+        self.startup_arrived = 0;
+    }
+
+    // ---- consistency machinery ------------------------------------------
+
+    /// Closes the node's current interval if it dirtied any pages.
+    fn close_interval(&mut self, n: usize) {
+        let pages = self.cells[n].lock().close_dirty();
+        if pages.is_empty() {
+            return;
+        }
+        self.gseq += 1;
+        let gseq = self.gseq;
+        for &p in &pages {
+            self.ctl[n].page_close_gseq.insert(p, gseq);
+        }
+        let page_ids: Vec<PageId> = pages.iter().copied().map(PageId).collect();
+        let idx = self.ctl[n].log.close(page_ids.clone());
+        {
+            let at = self.ctl[n].sched.clock;
+            self.trace.record(
+                at,
+                TraceEvent::IntervalClosed {
+                    node: n,
+                    interval: idx,
+                    pages: page_ids.len(),
+                },
+            );
+        }
+        self.ctl[n].vt.advance(n, idx);
+        self.ctl[n].notice_store[n].insert(idx, page_ids);
+        if self.cfg.protocol.pushes_updates() {
+            self.eager_push(n, &pages);
+        }
+    }
+
+    /// Eager-update protocol: at interval close, extract and push the new
+    /// diff of every dirtied page to the page's copyset, pruning members
+    /// that never touch the page between pushes (Munin's update timeout).
+    fn eager_push(&mut self, n: usize, pages: &[usize]) {
+        let now = self.ctl[n].sched.clock;
+        for &p in pages {
+            let Some(entry) = self.ensure_extracted(n, p) else {
+                continue;
+            };
+            let upto = self.ctl[n].log.latest();
+            for target in self.copysets[p].push_targets(n) {
+                if self.copysets[p].record_push(target) {
+                    // Too many unused updates: drop the member. The
+                    // notification stands in for the directory update a
+                    // distributed implementation would send.
+                    self.copysets[p].remove(target);
+                    self.stats.copies_dropped += 1;
+                    self.send(
+                        n,
+                        target,
+                        Payload::DropCopy {
+                            page: PageId(p),
+                            node: target,
+                        },
+                        now,
+                    );
+                } else {
+                    self.stats.updates_pushed += 1;
+                    self.trace.record(
+                        now,
+                        TraceEvent::UpdatePushed {
+                            node: n,
+                            page: PageId(p),
+                            target,
+                        },
+                    );
+                    self.send(
+                        n,
+                        target,
+                        Payload::UpdatePush {
+                            page: PageId(p),
+                            diff: entry.clone(),
+                            upto,
+                        },
+                        now,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Extracts (lazily) the node's pending modifications of `page` into a
+    /// cached diff. Returns the newly created entry, if any.
+    fn ensure_extracted(&mut self, n: usize, page: usize) -> Option<(u32, u64, Diff)> {
+        let has_twin = self.cells[n].lock().twins.contains_key(&page);
+        if !has_twin {
+            return None;
+        }
+        let diff = {
+            let cell = self.cells[n].lock();
+            let twin = cell.twins.get(&page).expect("twin checked");
+            Diff::create(PageId(page), twin, cell.page_bytes(page))
+        };
+        if diff.is_empty() {
+            return None;
+        }
+        let last_tag = self.ctl[n]
+            .diff_cache
+            .get(&page)
+            .and_then(|v| v.last().map(|&(t, _, _)| t))
+            .unwrap_or(0);
+        let tag = self.ctl[n].log.latest().max(last_tag + 1).max(1);
+        let gseq = match self.ctl[n].page_close_gseq.get(&page) {
+            Some(&g) => g,
+            None => {
+                self.gseq += 1;
+                self.gseq
+            }
+        };
+        {
+            // Refresh the twin so later diffs cover only newer writes.
+            let mut cell = self.cells[n].lock();
+            let current = cell.page_bytes(page).to_vec();
+            cell.twins.insert(page, current);
+        }
+        self.ctl[n]
+            .diff_cache
+            .entry(page)
+            .or_default()
+            .push((tag, gseq, diff.clone()));
+        self.stats.diffs_created += 1;
+        {
+            let at = self.ctl[n].sched.clock;
+            self.trace.record(
+                at,
+                TraceEvent::DiffCreated {
+                    node: n,
+                    page: PageId(page),
+                    bytes: diff.modified_bytes(),
+                },
+            );
+        }
+        Some((tag, gseq, diff))
+    }
+
+    /// Applies incoming write notices at node `n`: record, and invalidate
+    /// resident pages.
+    fn apply_notices(&mut self, n: usize, notices: &[WriteNotice]) {
+        // If an incoming notice invalidates a page we have dirtied in the
+        // still-open interval, close the interval first: those writes
+        // logically belong to the interval ended by our last release and
+        // must get their own write notice, or remote copies would never
+        // be invalidated for them.
+        let must_close = {
+            let cell = self.cells[n].lock();
+            notices
+                .iter()
+                .any(|wn| wn.writer != n && cell.dirty.contains(&wn.page.0))
+        };
+        if must_close {
+            self.close_interval(n);
+        }
+        for wn in notices {
+            if wn.writer == n {
+                continue;
+            }
+            // Record in the store (for later lock-grant computation).
+            let slot = self.ctl[n].notice_store[wn.writer]
+                .entry(wn.interval)
+                .or_default();
+            if !slot.contains(&wn.page) {
+                slot.push(wn.page);
+            }
+            if wn.interval <= self.ctl[n].applied_ivl(wn.page.0, wn.writer) {
+                continue; // already reflected in our copy
+            }
+            let pend = self.ctl[n].pending.entry(wn.page.0).or_default();
+            if !pend.contains(&(wn.writer, wn.interval)) {
+                pend.push((wn.writer, wn.interval));
+            }
+            let p = wn.page.0;
+            let state = self.cells[n].lock().state[p];
+            if state.readable() {
+                // If we were concurrently writing it, extract our diff
+                // before losing the twin.
+                let _ = self.ensure_extracted(n, p);
+                let mut cell = self.cells[n].lock();
+                cell.twins.remove(&p);
+                cell.dirty.remove(&p);
+                cell.state[p] = PageState::Invalid;
+                drop(cell);
+                let at = self.ctl[n].sched.clock;
+                self.trace.record(
+                    at,
+                    TraceEvent::Invalidated {
+                        node: n,
+                        page: wn.page,
+                        writer: wn.writer,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Notices for every interval (any writer) in `granter`'s vector time
+    /// but not in `acq_vt` — the LRC grant payload.
+    fn notices_for_grant(&self, granter: usize, acq_vt: &VectorTime) -> Vec<WriteNotice> {
+        let ctl = &self.ctl[granter];
+        let mut out = Vec::new();
+        for q in 0..self.cfg.nodes {
+            let from = acq_vt.get(q);
+            let to = ctl.vt.get(q);
+            if to <= from {
+                continue;
+            }
+            for (&ivl, pages) in ctl.notice_store[q].range(from + 1..=to) {
+                for &page in pages {
+                    out.push(WriteNotice {
+                        writer: q,
+                        interval: ivl,
+                        page,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn grant_lock(
+        &mut self,
+        granter: usize,
+        lock: usize,
+        to: usize,
+        acq_vt: &VectorTime,
+        t: VirtualTime,
+    ) {
+        self.close_interval(granter);
+        let notices = self.notices_for_grant(granter, acq_vt);
+        let vt = self.ctl[granter].vt.clone();
+        self.send(granter, to, Payload::LockGrant { lock, vt, notices }, t);
+    }
+
+    fn manager_handle(
+        &mut self,
+        mgr_node: usize,
+        lock: usize,
+        acquirer: usize,
+        vt: VectorTime,
+        t: VirtualTime,
+    ) {
+        let prev = self.lock_mgrs[lock].enqueue(acquirer);
+        assert_ne!(prev, acquirer, "double lock request from {acquirer}");
+        if prev == mgr_node {
+            self.forward_at(prev, lock, acquirer, vt, t);
+        } else {
+            self.send(
+                mgr_node,
+                prev,
+                Payload::LockForward {
+                    lock,
+                    acquirer,
+                    vt,
+                },
+                t,
+            );
+        }
+    }
+
+    fn forward_at(&mut self, owner: usize, lock: usize, acquirer: usize, vt: VectorTime, t: VirtualTime) {
+        match self.ctl[owner].locks[lock].handle_forward(acquirer, vt) {
+            ForwardOutcome::GrantNow(to, avt) => self.grant_lock(owner, lock, to, &avt, t),
+            ForwardOutcome::Parked => {}
+        }
+    }
+
+    fn barrier_release(&mut self, t: VirtualTime) {
+        let (vt, notices) = self.master.release();
+        self.stats.barriers_crossed += 1;
+        self.trace.record(
+            t,
+            TraceEvent::BarrierReleased {
+                epoch: self.master.epoch(),
+                notices: notices.len(),
+            },
+        );
+        // Aggregated: one release per node; ablation: one per thread.
+        let copies = if self.cfg.aggregate_barriers {
+            1
+        } else {
+            self.cfg.threads_per_node
+        };
+        for q in 1..self.cfg.nodes {
+            for _ in 0..copies {
+                self.send(
+                    0,
+                    q,
+                    Payload::BarrierRelease {
+                        epoch: self.master.epoch(),
+                        vt: vt.clone(),
+                        notices: notices.clone(),
+                    },
+                    t,
+                );
+            }
+        }
+        self.ctl[0].release_seen = self.master.epoch();
+        self.apply_release(0, vt, notices, t);
+    }
+
+    fn apply_release(&mut self, n: usize, vt: VectorTime, notices: Vec<WriteNotice>, t: VirtualTime) {
+        self.apply_notices(n, &notices);
+        self.ctl[n].vt.merge(&vt);
+        let woken = self.ctl[n].nb.take_blocked();
+        for tid in woken {
+            self.make_ready(n, tid, t);
+        }
+    }
+
+    fn complete_fetch(&mut self, n: usize, page: usize, t: VirtualTime) {
+        let mut fetch = self.ctl[n].fetches.remove(&page).expect("fetch exists");
+        let mut words = 0usize;
+        {
+            let mut cell = self.cells[n].lock();
+            if let Some(base) = fetch.base.take() {
+                cell.page_bytes_mut(page).copy_from_slice(&base);
+            }
+            // Apply in happens-before order: close-sequence, then writer,
+            // then the writer-local tag.
+            fetch.diffs.sort_by_key(|&(tag, gseq, w, _)| (gseq, w, tag));
+            for (tag, _gseq, w, d) in &fetch.diffs {
+                d.apply(cell.page_bytes_mut(page));
+                words += d.words_applied();
+                let key = (page, *w);
+                let e = self.ctl[n].applied_dtag.entry(key).or_insert(0);
+                *e = (*e).max(*tag);
+            }
+        }
+        self.stats.diffs_used += fetch.diffs.len() as u64;
+        self.trace.record(
+            t,
+            TraceEvent::FetchComplete {
+                node: n,
+                page: PageId(page),
+                diffs: fetch.diffs.len(),
+            },
+        );
+        // Retire satisfied notices.
+        let remaining = {
+            let applied: Vec<(usize, u32)> = self.ctl[n]
+                .pending
+                .get(&page)
+                .map(|v| {
+                    v.iter()
+                        .copied()
+                        .filter(|&(w, i)| i > self.ctl[n].applied_ivl(page, w))
+                        .collect()
+                })
+                .unwrap_or_default();
+            if applied.is_empty() {
+                self.ctl[n].pending.remove(&page);
+            } else {
+                self.ctl[n].pending.insert(page, applied.clone());
+            }
+            !applied.is_empty()
+        };
+        {
+            let mut cell = self.cells[n].lock();
+            cell.state[page] = if remaining {
+                PageState::Invalid
+            } else {
+                PageState::ReadOnly
+            };
+        }
+        // Local consistency cost: protection change + diff application,
+        // charged to the faulting node.
+        let cost = self.cfg.mprotect
+            + SimDuration::from_ns(words as u64 * self.cfg.diff_word_apply.as_ns());
+        self.ctl[n].sched.clock = self.ctl[n].sched.clock.max(t) + cost;
+        self.ctl[n].breakdown.user += cost;
+        self.ctl[n].out_faults -= 1;
+        // The faulting node demonstrably uses the page: (re)join the
+        // eager protocol's copyset.
+        self.copysets[page].add(n);
+        self.copysets[page].record_use(n);
+        let clock = self.ctl[n].sched.clock;
+        for (tid, _write) in fetch.waiters {
+            self.make_ready(n, tid, clock);
+        }
+    }
+
+    // ---- messages --------------------------------------------------------
+
+    fn send(&mut self, from: usize, to: usize, payload: Payload, t: VirtualTime) {
+        if from == to {
+            self.handle_payload(to, from, payload, t);
+            return;
+        }
+        let kind = payload.kind();
+        let bytes = payload.wire_bytes();
+        self.net.send(
+            t,
+            Message::new(NodeId(from), NodeId(to), kind, bytes, payload),
+        );
+    }
+
+    fn handle_payload(&mut self, n: usize, src: usize, payload: Payload, t: VirtualTime) {
+        match payload {
+            Payload::PageRequest { page } => {
+                let data = self.cells[n].lock().page_bytes(page.0).to_vec();
+                self.send(n, src, Payload::PageReply { page, data }, t);
+            }
+            Payload::PageReply { page, data } => {
+                let p = page.0;
+                if let Some(f) = self.ctl[n].fetches.get_mut(&p) {
+                    f.base = Some(data);
+                    f.replies_needed -= 1;
+                    if f.replies_needed == 0 {
+                        self.complete_fetch(n, p, t);
+                    }
+                }
+            }
+            Payload::DiffRequest { page, since } => {
+                let _ = self.ensure_extracted(n, page.0);
+                let upto = self.ctl[n].log.latest();
+                let diffs: Vec<(u32, u64, Diff)> = self.ctl[n]
+                    .diff_cache
+                    .get(&page.0)
+                    .map(|v| {
+                        v.iter()
+                            .filter(|&&(tag, _, _)| tag > since)
+                            .cloned()
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                self.send(n, src, Payload::DiffReply { page, diffs, upto }, t);
+            }
+            Payload::DiffReply { page, diffs, upto } => {
+                let p = page.0;
+                let key = (p, src);
+                let e = self.ctl[n].applied_ivl.entry(key).or_insert(0);
+                *e = (*e).max(upto);
+                if let Some(f) = self.ctl[n].fetches.get_mut(&p) {
+                    for (tag, gseq, d) in diffs {
+                        f.diffs.push((tag, gseq, src, d));
+                    }
+                    f.replies_needed -= 1;
+                    if f.replies_needed == 0 {
+                        self.complete_fetch(n, p, t);
+                    }
+                }
+            }
+            Payload::LockRequest { lock, acquirer, vt } => {
+                self.manager_handle(n, lock, acquirer, vt, t);
+            }
+            Payload::LockForward { lock, acquirer, vt } => {
+                self.forward_at(n, lock, acquirer, vt, t);
+            }
+            Payload::LockGrant { lock, vt, notices } => {
+                self.apply_notices(n, &notices);
+                self.ctl[n].vt.merge(&vt);
+                self.trace.record(t, TraceEvent::LockGranted { node: n, lock });
+                let tid = self.ctl[n].locks[lock].apply_grant();
+                self.ctl[n].out_locks -= 1;
+                self.make_ready(n, tid, t);
+            }
+            Payload::BarrierArrive {
+                epoch,
+                node,
+                vt,
+                notices,
+            } => {
+                let _ = node;
+                debug_assert_eq!(n, 0, "arrivals go to the master");
+                debug_assert_eq!(epoch, self.master.epoch(), "barrier epoch skew");
+                if self.master.arrive(&vt, notices) {
+                    self.barrier_release(t);
+                }
+            }
+            Payload::ReduceArrive { node, op, value } => {
+                debug_assert_eq!(n, 0, "reduce arrivals go to the master");
+                self.reduce_arrive_at_master(node, op, value, t);
+            }
+            Payload::ReduceRelease { value } => {
+                self.apply_reduce_release(n, value, t);
+            }
+            Payload::UpdatePush { page, diff, upto } => {
+                let p = page.0;
+                if self.ctl[n].fetches.contains_key(&p) {
+                    // A lazy fetch is in flight; let it win (its reply
+                    // includes this diff from the writer's cache) rather
+                    // than risk applying out of order.
+                    return;
+                }
+                let has_copy = self.cells[n].lock().state[p].has_copy();
+                if !has_copy {
+                    return;
+                }
+                let (tag, _gseq, d) = diff;
+                {
+                    let mut cell = self.cells[n].lock();
+                    d.apply(cell.page_bytes_mut(p));
+                }
+                self.stats.diffs_used += 1;
+                let kd = (p, src);
+                let e = self.ctl[n].applied_dtag.entry(kd).or_insert(0);
+                *e = (*e).max(tag);
+                let e = self.ctl[n].applied_ivl.entry(kd).or_insert(0);
+                *e = (*e).max(upto);
+                // Retire satisfied notices and revalidate if nothing is
+                // pending any more.
+                let remaining: Vec<(usize, u32)> = self.ctl[n]
+                    .pending
+                    .get(&p)
+                    .map(|v| {
+                        v.iter()
+                            .copied()
+                            .filter(|&(w, i)| i > self.ctl[n].applied_ivl(p, w))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                let mut cell = self.cells[n].lock();
+                if remaining.is_empty() {
+                    self.ctl[n].pending.remove(&p);
+                    if cell.state[p] == PageState::Invalid {
+                        cell.state[p] = PageState::ReadOnly;
+                    }
+                } else {
+                    self.ctl[n].pending.insert(p, remaining);
+                }
+            }
+            Payload::DropCopy { .. } => {
+                // Informational: the writer stopped pushing to us. Our
+                // copy stays valid until a write notice invalidates it;
+                // the next fault re-registers us in the copyset.
+            }
+            Payload::BarrierRelease { epoch, vt, notices } => {
+                // Duplicate releases (non-aggregated ablation) are stale
+                // after the first: drop them so they cannot wake waiters
+                // of a later episode.
+                if epoch <= self.ctl[n].release_seen {
+                    return;
+                }
+                self.ctl[n].release_seen = epoch;
+                self.apply_release(n, vt, notices, t);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CvmConfig;
+
+    /// Smoke test: two nodes, two threads each, write/barrier/read.
+    #[test]
+    fn spmd_write_barrier_read() {
+        let mut b = CvmBuilder::new(CvmConfig::small(2, 2));
+        let v = b.alloc::<u64>(64);
+        let report = b.run(move |ctx| {
+            ctx.startup_done();
+            let me = ctx.global_id() as u64;
+            let (lo, hi) = ctx.partition(64);
+            for i in lo..hi {
+                v.write(ctx, i, me + 1);
+            }
+            ctx.barrier();
+            let mut sum = 0;
+            for i in 0..64 {
+                sum += v.read(ctx, i);
+            }
+            // 4 threads x 16 elements each, values 1..=4.
+            assert_eq!(sum, 16 * (1 + 2 + 3 + 4));
+        });
+        assert_eq!(report.stats.barriers_crossed, 1);
+        assert!(report.stats.remote_faults > 0);
+        assert!(report.stats.diffs_used > 0);
+    }
+
+    #[test]
+    fn lock_protected_counter_is_exact() {
+        let mut b = CvmBuilder::new(CvmConfig::small(3, 2));
+        let v = b.alloc::<u64>(1);
+        let report = b.run(move |ctx| {
+            if ctx.global_id() == 0 {
+                v.write(ctx, 0, 0);
+            }
+            ctx.startup_done();
+            for _ in 0..5 {
+                ctx.acquire(7);
+                let x = v.read(ctx, 0);
+                v.write(ctx, 0, x + 1);
+                ctx.release(7);
+            }
+            ctx.barrier();
+            assert_eq!(v.read(ctx, 0), 30, "6 threads x 5 increments");
+        });
+        assert!(report.stats.remote_locks > 0);
+        assert!(report.stats.barriers_crossed >= 1);
+    }
+
+    #[test]
+    fn single_node_needs_no_messages() {
+        let mut b = CvmBuilder::new(CvmConfig::small(1, 4));
+        let v = b.alloc::<f64>(256);
+        let report = b.run(move |ctx| {
+            ctx.startup_done();
+            let (lo, hi) = ctx.partition(256);
+            for i in lo..hi {
+                v.write(ctx, i, 1.0);
+            }
+            ctx.barrier();
+            let total: f64 = (0..256).map(|i| v.read(ctx, i)).sum();
+            assert_eq!(total, 256.0);
+        });
+        assert_eq!(report.net.total_count(), 0);
+        assert_eq!(report.stats.remote_faults, 0);
+    }
+
+    #[test]
+    fn local_reduce_aggregates_per_node() {
+        let mut b = CvmBuilder::new(CvmConfig::small(2, 3));
+        let v = b.alloc::<f64>(2);
+        let report = b.run(move |ctx| {
+            ctx.startup_done();
+            let r = ctx.local_reduce(crate::barrier::ReduceOp::Sum, 1.0);
+            assert_eq!(r, 3.0, "three local threads contribute 1.0 each");
+            if ctx.local_id() == 0 {
+                v.write(ctx, ctx.node(), r);
+            }
+            ctx.barrier();
+            assert_eq!(v.read(ctx, 0) + v.read(ctx, 1), 6.0);
+        });
+        assert_eq!(report.stats.local_barriers, 2);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let run = || {
+            let mut b = CvmBuilder::new(CvmConfig::small(2, 2));
+            let v = b.alloc::<u64>(512);
+            b.run(move |ctx| {
+                ctx.startup_done();
+                let (lo, hi) = ctx.partition(512);
+                for it in 0..3 {
+                    for i in lo..hi {
+                        v.write(ctx, i, it + i as u64);
+                    }
+                    ctx.barrier();
+                    let _ = v.read(ctx, (lo + 256) % 512);
+                    ctx.barrier();
+                }
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.net, b.net);
+        assert_eq!(a.total_time, b.total_time);
+    }
+
+    #[test]
+    fn global_reduce_combines_across_cluster() {
+        let b = CvmBuilder::new(CvmConfig::small(3, 2));
+        let report = b.run(move |ctx| {
+            ctx.startup_done();
+            let me = ctx.global_id() as f64;
+            let sum = ctx.global_reduce(crate::barrier::ReduceOp::Sum, me + 1.0);
+            assert_eq!(sum, 21.0, "1+2+...+6");
+            let max = ctx.global_reduce(crate::barrier::ReduceOp::Max, me);
+            assert_eq!(max, 5.0);
+            let min = ctx.global_reduce(crate::barrier::ReduceOp::Min, me);
+            assert_eq!(min, 0.0);
+        });
+        assert_eq!(report.stats.global_reduces, 3);
+        // One arrival + one release per non-master node per episode.
+        use cvm_net::MsgKind;
+        assert_eq!(report.net.kind_count(MsgKind::BarrierArrive), 3 * 2);
+        assert_eq!(report.net.kind_count(MsgKind::BarrierRelease), 3 * 2);
+    }
+
+    #[test]
+    fn lifo_schedule_is_deterministic_and_correct() {
+        let run = |lifo: bool| {
+            let mut cfg = CvmConfig::small(2, 3);
+            cfg.lifo_schedule = lifo;
+            let mut b = CvmBuilder::new(cfg);
+            let v = b.alloc::<u64>(128);
+            b.run(move |ctx| {
+                ctx.startup_done();
+                let (lo, hi) = ctx.partition(128);
+                for r in 0..3u64 {
+                    for i in lo..hi {
+                        v.write(ctx, i, r + i as u64);
+                    }
+                    ctx.barrier();
+                }
+                let sum: u64 = (0..128).map(|i| v.read(ctx, i)).sum();
+                assert_eq!(sum, (0..128u64).map(|i| 2 + i).sum::<u64>());
+            })
+        };
+        let fifo = run(false);
+        let lifo = run(true);
+        // Both complete correctly; scheduling order differs, so the exact
+        // switch pattern may differ while total work matches.
+        assert_eq!(fifo.stats.barriers_crossed, lifo.stats.barriers_crossed);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn missing_barrier_participant_deadlocks() {
+        let b = CvmBuilder::new(CvmConfig::small(2, 1));
+        let _ = b.run(move |ctx| {
+            ctx.startup_done();
+            if ctx.global_id() == 0 {
+                ctx.barrier(); // node 1 never arrives
+            }
+        });
+    }
+}

@@ -1,0 +1,377 @@
+//! Protocol event tracing.
+//!
+//! CVM exists to experiment with protocols, and experiments need to see
+//! what the protocol did. When enabled (set a nonzero
+//! [`CvmConfig::trace_capacity`](crate::CvmConfig)), the driver records a
+//! timestamped entry for every significant protocol action — faults,
+//! fetches, twin/diff life cycle, interval closes, invalidations, lock
+//! hand-offs, barrier episodes, eager pushes, thread switches — up to the
+//! configured capacity (then stops recording and counts the overflow).
+//! The trace rides back on the [`RunReport`](crate::RunReport).
+//!
+//! # Example
+//!
+//! ```
+//! use cvm_dsm::{CvmBuilder, CvmConfig};
+//!
+//! let mut cfg = CvmConfig::small(2, 1);
+//! cfg.trace_capacity = 10_000;
+//! let mut b = CvmBuilder::new(cfg);
+//! let v = b.alloc::<u64>(8);
+//! let report = b.run(move |ctx| {
+//!     if ctx.global_id() == 0 {
+//!         v.write(ctx, 0, 1);
+//!     }
+//!     ctx.startup_done();
+//!     if ctx.node() == 1 {
+//!         v.write(ctx, 0, 2);
+//!     }
+//!     ctx.barrier();
+//!     let _ = v.read(ctx, 0);
+//!     ctx.barrier();
+//! });
+//! let trace = report.trace.expect("tracing was enabled");
+//! assert!(trace.iter().any(|e| matches!(
+//!     e.event,
+//!     cvm_dsm::trace::TraceEvent::BarrierReleased { .. }
+//! )));
+//! ```
+
+use std::fmt;
+
+use cvm_sim::VirtualTime;
+
+use crate::page::PageId;
+
+/// One recorded protocol action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A thread took a remote page fault.
+    Fault {
+        /// Faulting node.
+        node: usize,
+        /// Faulting page.
+        page: PageId,
+        /// Write access?
+        write: bool,
+    },
+    /// All replies for a fetch arrived and were applied.
+    FetchComplete {
+        /// Fetching node.
+        node: usize,
+        /// Page completed.
+        page: PageId,
+        /// Diffs applied.
+        diffs: usize,
+    },
+    /// A diff was extracted from a twin.
+    DiffCreated {
+        /// Writer node.
+        node: usize,
+        /// Page diffed.
+        page: PageId,
+        /// Modified bytes in the diff.
+        bytes: usize,
+    },
+    /// An interval closed, emitting write notices.
+    IntervalClosed {
+        /// Closing node.
+        node: usize,
+        /// New interval index.
+        interval: u32,
+        /// Pages dirtied in the interval.
+        pages: usize,
+    },
+    /// A write notice invalidated a resident copy.
+    Invalidated {
+        /// Node losing the copy.
+        node: usize,
+        /// Page invalidated.
+        page: PageId,
+        /// The writer whose notice caused it.
+        writer: usize,
+    },
+    /// A remote lock request left the node.
+    LockRequested {
+        /// Requesting node.
+        node: usize,
+        /// Lock index.
+        lock: usize,
+    },
+    /// A lock grant arrived (token now owned here).
+    LockGranted {
+        /// Receiving node.
+        node: usize,
+        /// Lock index.
+        lock: usize,
+    },
+    /// A release handed the lock to a co-located waiter.
+    LockLocalHandoff {
+        /// Node of both threads.
+        node: usize,
+        /// Lock index.
+        lock: usize,
+    },
+    /// A node's (aggregated) barrier arrival.
+    BarrierArrived {
+        /// Arriving node.
+        node: usize,
+        /// Episode number.
+        epoch: u32,
+    },
+    /// The master released a barrier episode.
+    BarrierReleased {
+        /// Episode number.
+        epoch: u32,
+        /// Write notices fanned out.
+        notices: usize,
+    },
+    /// The eager protocol pushed a diff.
+    UpdatePushed {
+        /// Writer node.
+        node: usize,
+        /// Page pushed.
+        page: PageId,
+        /// Receiving node.
+        target: usize,
+    },
+    /// The scheduler switched between two threads.
+    ThreadSwitch {
+        /// Node switching.
+        node: usize,
+        /// Outgoing thread (global id).
+        from: usize,
+        /// Incoming thread (global id).
+        to: usize,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Fault { node, page, write } => {
+                write!(f, "n{node} fault {page} ({})", if *write { "w" } else { "r" })
+            }
+            TraceEvent::FetchComplete { node, page, diffs } => {
+                write!(f, "n{node} fetched {page} ({diffs} diffs)")
+            }
+            TraceEvent::DiffCreated { node, page, bytes } => {
+                write!(f, "n{node} diffed {page} ({bytes} B)")
+            }
+            TraceEvent::IntervalClosed {
+                node,
+                interval,
+                pages,
+            } => write!(f, "n{node} closed interval {interval} ({pages} pages)"),
+            TraceEvent::Invalidated { node, page, writer } => {
+                write!(f, "n{node} invalidated {page} (writer n{writer})")
+            }
+            TraceEvent::LockRequested { node, lock } => {
+                write!(f, "n{node} requested lock {lock}")
+            }
+            TraceEvent::LockGranted { node, lock } => write!(f, "n{node} granted lock {lock}"),
+            TraceEvent::LockLocalHandoff { node, lock } => {
+                write!(f, "n{node} local hand-off lock {lock}")
+            }
+            TraceEvent::BarrierArrived { node, epoch } => {
+                write!(f, "n{node} arrived barrier {epoch}")
+            }
+            TraceEvent::BarrierReleased { epoch, notices } => {
+                write!(f, "barrier {epoch} released ({notices} notices)")
+            }
+            TraceEvent::UpdatePushed { node, page, target } => {
+                write!(f, "n{node} pushed {page} to n{target}")
+            }
+            TraceEvent::ThreadSwitch { node, from, to } => {
+                write!(f, "n{node} switch t{from} -> t{to}")
+            }
+        }
+    }
+}
+
+/// A timestamped trace entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Virtual time of the action.
+    pub at: VirtualTime,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+/// A bounded recording of protocol events.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+    capacity: usize,
+    overflow: u64,
+}
+
+impl Trace {
+    /// Creates a trace bounded at `capacity` entries (0 disables).
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            entries: Vec::new(),
+            capacity,
+            overflow: 0,
+        }
+    }
+
+    /// True if events are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records an event (drops and counts once full).
+    pub fn record(&mut self, at: VirtualTime, event: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push(TraceEntry { at, event });
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Entries recorded, in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Events dropped after the capacity filled.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Renders the first `limit` entries as text (one per line).
+    pub fn render(&self, limit: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in self.entries.iter().take(limit) {
+            let _ = writeln!(out, "{:>12.3}us  {}", e.at.as_us_f64(), e.event);
+        }
+        if self.entries.len() > limit {
+            let _ = writeln!(out, "... {} more entries", self.entries.len() - limit);
+        }
+        if self.overflow > 0 {
+            let _ = writeln!(out, "... {} events dropped (capacity)", self.overflow);
+        }
+        out
+    }
+
+    /// Clears all entries (used at `startup_done`).
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.overflow = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_bounds_recording() {
+        let mut t = Trace::new(2);
+        for i in 0..5 {
+            t.record(
+                VirtualTime::from_us(i),
+                TraceEvent::LockRequested { node: 0, lock: 1 },
+            );
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.overflow(), 3);
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new(0);
+        assert!(!t.enabled());
+        t.record(
+            VirtualTime::ZERO,
+            TraceEvent::BarrierReleased {
+                epoch: 1,
+                notices: 0,
+            },
+        );
+        assert!(t.is_empty());
+        assert_eq!(t.overflow(), 0);
+    }
+
+    #[test]
+    fn render_is_line_per_event() {
+        let mut t = Trace::new(10);
+        t.record(
+            VirtualTime::from_us(5),
+            TraceEvent::Fault {
+                node: 2,
+                page: PageId(7),
+                write: true,
+            },
+        );
+        let text = t.render(10);
+        assert!(text.contains("n2 fault p7 (w)"));
+    }
+
+    #[test]
+    fn every_event_displays() {
+        let events = [
+            TraceEvent::Fault {
+                node: 0,
+                page: PageId(1),
+                write: false,
+            },
+            TraceEvent::FetchComplete {
+                node: 0,
+                page: PageId(1),
+                diffs: 2,
+            },
+            TraceEvent::DiffCreated {
+                node: 0,
+                page: PageId(1),
+                bytes: 64,
+            },
+            TraceEvent::IntervalClosed {
+                node: 0,
+                interval: 3,
+                pages: 2,
+            },
+            TraceEvent::Invalidated {
+                node: 1,
+                page: PageId(1),
+                writer: 0,
+            },
+            TraceEvent::LockRequested { node: 0, lock: 5 },
+            TraceEvent::LockGranted { node: 0, lock: 5 },
+            TraceEvent::LockLocalHandoff { node: 0, lock: 5 },
+            TraceEvent::BarrierArrived { node: 1, epoch: 0 },
+            TraceEvent::BarrierReleased {
+                epoch: 0,
+                notices: 4,
+            },
+            TraceEvent::UpdatePushed {
+                node: 0,
+                page: PageId(1),
+                target: 1,
+            },
+            TraceEvent::ThreadSwitch {
+                node: 0,
+                from: 1,
+                to: 2,
+            },
+        ];
+        for e in events {
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Uniform run driver used by all table/figure emitters.
+
+use cvm_apps::{build_app, registry::build_water_nsq_variant, AppId, Scale, WaterNsqOpt};
+use cvm_dsm::{CvmBuilder, CvmConfig, ProtocolKind, RunReport};
+use cvm_net::MsgClass;
+
+/// One experiment configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSpec {
+    /// Application under test.
+    pub app: AppId,
+    /// Problem scale.
+    pub scale: Scale,
+    /// Nodes (processors).
+    pub nodes: usize,
+    /// Threads per node.
+    pub threads: usize,
+    /// Enable the cache/TLB simulator (Figure 2 runs).
+    pub memsim: bool,
+    /// Per-node barrier arrival aggregation (ablation switch).
+    pub aggregate_barriers: bool,
+    /// Memory-conscious LIFO scheduling (paper §5 future-work switch).
+    pub lifo: bool,
+    /// Coherence protocol under test.
+    pub protocol: ProtocolKind,
+    /// Network jitter bound in microseconds (0 disables).
+    pub jitter_us: u64,
+    /// Release-prefers-local-waiters lock policy (ablation switch).
+    pub prefer_local_locks: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl RunSpec {
+    /// A standard spec with the defaults used throughout the evaluation.
+    pub fn new(app: AppId, scale: Scale, nodes: usize, threads: usize) -> Self {
+        RunSpec {
+            app,
+            scale,
+            nodes,
+            threads,
+            memsim: false,
+            aggregate_barriers: true,
+            lifo: false,
+            protocol: ProtocolKind::LazyMultiWriter,
+            prefer_local_locks: true,
+            jitter_us: 0,
+            seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+/// A completed run plus convenience accessors for the table columns.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The spec that produced this run.
+    pub spec: RunSpec,
+    /// The full report.
+    pub report: RunReport,
+}
+
+impl RunOutcome {
+    /// Total execution time in milliseconds.
+    pub fn time_ms(&self) -> f64 {
+        self.report.total_ms()
+    }
+
+    /// Messages in a Table 2 class.
+    pub fn msgs(&self, class: MsgClass) -> u64 {
+        self.report.net.class_count(class)
+    }
+
+    /// Total messages.
+    pub fn total_msgs(&self) -> u64 {
+        self.report.net.total_count()
+    }
+
+    /// Total bandwidth in kilobytes.
+    pub fn bw_kb(&self) -> u64 {
+        self.report.net.total_bytes() / 1024
+    }
+
+    /// Non-overlapped delay of one class, in milliseconds (summed over
+    /// nodes — the paper's Total Delay columns).
+    pub fn delay_ms(&self, class: MsgClass) -> f64 {
+        match class {
+            MsgClass::Barrier => self.report.stats.wait_barrier.as_ms_f64(),
+            MsgClass::Lock => self.report.stats.wait_lock.as_ms_f64(),
+            MsgClass::Diff => self.report.stats.wait_fault.as_ms_f64(),
+            MsgClass::Other => 0.0,
+        }
+    }
+}
+
+fn config_for(spec: &RunSpec) -> CvmConfig {
+    let mut cfg = CvmConfig::paper(spec.nodes, spec.threads);
+    cfg.memsim_enabled = spec.memsim;
+    cfg.aggregate_barriers = spec.aggregate_barriers;
+    cfg.lifo_schedule = spec.lifo;
+    cfg.protocol = spec.protocol;
+    cfg.jitter_max = cvm_sim::SimDuration::from_us(spec.jitter_us);
+    cfg.prefer_local_lock_waiters = spec.prefer_local_locks;
+    cfg.seed = spec.seed;
+    cfg
+}
+
+/// Runs one experiment.
+pub fn run_app(spec: RunSpec) -> RunOutcome {
+    let mut builder = CvmBuilder::new(config_for(&spec));
+    let body = build_app(&mut builder, spec.app, spec.scale);
+    let report = builder.run(body);
+    RunOutcome { spec, report }
+}
+
+/// Runs a specific Water-Nsq variant (Table 5).
+pub fn run_water_nsq_variant(spec: RunSpec, opt: WaterNsqOpt) -> RunOutcome {
+    let mut builder = CvmBuilder::new(config_for(&spec));
+    let body = build_water_nsq_variant(&mut builder, spec.scale, opt);
+    let report = builder.run(body);
+    RunOutcome { spec, report }
+}
+
+/// Percentage change helper for Table 4 (`+12%` style rounding).
+pub fn pct_change(base: u64, new: u64) -> f64 {
+    if base == 0 {
+        0.0
+    } else {
+        (new as f64 - base as f64) / base as f64 * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_change_handles_zero_base() {
+        assert_eq!(pct_change(0, 10), 0.0);
+        assert_eq!(pct_change(100, 112), 12.0);
+        assert_eq!(pct_change(100, 88), -12.0);
+    }
+}

@@ -1,0 +1,238 @@
+//! A set-associative, LRU, write-allocate cache model.
+
+use std::fmt;
+
+/// Geometry of a cache.
+///
+/// # Example
+///
+/// ```
+/// use cvm_memsim::CacheConfig;
+/// let c = CacheConfig::sp2_dcache();
+/// assert_eq!(c.size_bytes, 64 * 1024);
+/// assert_eq!(c.sets(), c.size_bytes / c.line_bytes / c.assoc);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Line size in bytes (a power of two).
+    pub line_bytes: usize,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+}
+
+impl CacheConfig {
+    /// The SP-2-like 64 KB data cache the paper's Figure 2 was measured on.
+    pub fn sp2_dcache() -> Self {
+        CacheConfig {
+            size_bytes: 64 * 1024,
+            line_bytes: 128,
+            assoc: 4,
+        }
+    }
+
+    /// The Alpha 2100 4/275's 16 KB direct-mapped first-level data cache.
+    pub fn alpha_l1() -> Self {
+        CacheConfig {
+            size_bytes: 16 * 1024,
+            line_bytes: 32,
+            assoc: 1,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (zero sizes, size not
+    /// divisible by `line_bytes * assoc`, or non-power-of-two line size).
+    pub fn sets(&self) -> usize {
+        assert!(self.size_bytes > 0 && self.line_bytes > 0 && self.assoc > 0);
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        let denom = self.line_bytes * self.assoc;
+        assert!(
+            self.size_bytes.is_multiple_of(denom),
+            "size must be a multiple of line * assoc"
+        );
+        self.size_bytes / denom
+    }
+}
+
+/// A set-associative LRU cache fed with byte addresses.
+///
+/// # Example
+///
+/// ```
+/// use cvm_memsim::{Cache, CacheConfig};
+/// let mut c = Cache::new(CacheConfig::sp2_dcache());
+/// assert!(!c.access(0x1000)); // cold miss
+/// assert!(c.access(0x1000)); // now hot
+/// assert_eq!(c.misses(), 1);
+/// assert_eq!(c.hits(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    // Each set holds up to `assoc` tags, most recently used last.
+    sets: Vec<Vec<u64>>,
+    set_mask: u64,
+    line_shift: u32,
+    assoc: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Builds a cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent or the set count is not a
+    /// power of two.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            sets: vec![Vec::with_capacity(config.assoc); sets],
+            set_mask: sets as u64 - 1,
+            line_shift: config.line_bytes.trailing_zeros(),
+            assoc: config.assoc,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Performs one access; returns `true` on a hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set = &mut self.sets[(line & self.set_mask) as usize];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            let tag = set.remove(pos);
+            set.push(tag);
+            self.hits += 1;
+            true
+        } else {
+            if set.len() == self.assoc {
+                set.remove(0);
+            }
+            set.push(line);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Total hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Invalidates everything (used by tests; real runs never flush —
+    /// caches are physically tagged and survive context switches).
+    pub fn flush(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+    }
+
+    /// Number of lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+impl fmt::Display for Cache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cache[hits {} misses {}]", self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 16-byte lines = 128 bytes.
+        Cache::new(CacheConfig {
+            size_bytes: 128,
+            line_bytes: 16,
+            assoc: 2,
+        })
+    }
+
+    #[test]
+    fn sequential_fill_then_hits() {
+        let mut c = tiny();
+        for i in 0..8u64 {
+            assert!(!c.access(i * 16));
+        }
+        for i in 0..8u64 {
+            assert!(c.access(i * 16), "line {i} should be resident");
+        }
+    }
+
+    #[test]
+    fn capacity_eviction_is_lru() {
+        let mut c = tiny();
+        // Three lines mapping to the same set (stride = sets * line = 64).
+        c.access(0);
+        c.access(64);
+        c.access(128); // evicts line 0 (LRU)
+        assert!(!c.access(0), "line 0 was evicted");
+        assert!(c.access(128));
+    }
+
+    #[test]
+    fn touching_reorders_lru() {
+        let mut c = tiny();
+        c.access(0);
+        c.access(64);
+        c.access(0); // line 0 becomes MRU
+        c.access(128); // evicts 64, not 0
+        assert!(c.access(0));
+        assert!(!c.access(64));
+    }
+
+    #[test]
+    fn same_line_offsets_hit() {
+        let mut c = tiny();
+        c.access(0x20);
+        assert!(c.access(0x2f), "same 16-byte line");
+        assert!(!c.access(0x30), "next line");
+    }
+
+    #[test]
+    fn resident_never_exceeds_capacity() {
+        let mut c = tiny();
+        for i in 0..10_000u64 {
+            c.access(i * 13);
+        }
+        assert!(c.resident_lines() <= 8);
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut c = tiny();
+        c.access(0);
+        c.flush();
+        assert_eq!(c.resident_lines(), 0);
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 128,
+            line_bytes: 24,
+            assoc: 2,
+        });
+    }
+}

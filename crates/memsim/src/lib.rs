@@ -1,0 +1,25 @@
+//! Cache and TLB simulators for the Figure 2 memory-system experiments.
+//!
+//! The paper measures total D-cache, D-TLB and I-TLB misses on an IBM SP-2
+//! (64 KB per-processor caches, with CVM forced to the Alpha's 8 KB page
+//! size as the coherence unit) and shows that misses generally *increase*
+//! with the per-node multi-threading level, because context switches
+//! interleave the threads' address streams and displace each other's
+//! working sets. We reproduce that by giving every simulated node one
+//! [`MemSystem`] shared by all its threads — exactly like hardware — and
+//! feeding it the threads' simulated shared-data accesses plus synthetic
+//! private/code streams.
+//!
+//! The simulators are intentionally simple and classic: set-associative,
+//! LRU, single level. Figure 2's claims are about *relative* miss growth,
+//! which these capture.
+
+
+#![warn(missing_docs)]
+pub mod cache;
+pub mod system;
+pub mod tlb;
+
+pub use cache::{Cache, CacheConfig};
+pub use system::{AccessOutcome, MemConfig, MemSystem, MissPenalties};
+pub use tlb::{Tlb, TlbConfig};

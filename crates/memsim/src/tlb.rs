@@ -1,0 +1,192 @@
+//! A set-associative, LRU translation lookaside buffer model.
+
+use std::fmt;
+
+/// Geometry of a TLB.
+///
+/// # Example
+///
+/// ```
+/// use cvm_memsim::TlbConfig;
+/// let t = TlbConfig::sp2_dtlb();
+/// assert!(t.entries >= 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Total entries.
+    pub entries: usize,
+    /// Page size in bytes (a power of two).
+    pub page_bytes: usize,
+    /// Associativity; use `entries` for fully associative.
+    pub assoc: usize,
+}
+
+impl TlbConfig {
+    /// SP-2-like data TLB: 256 entries, 2-way, 4 KB pages.
+    pub fn sp2_dtlb() -> Self {
+        TlbConfig {
+            entries: 256,
+            page_bytes: 4096,
+            assoc: 2,
+        }
+    }
+
+    /// SP-2-like instruction TLB: 32 entries, 2-way, 4 KB pages.
+    pub fn sp2_itlb() -> Self {
+        TlbConfig {
+            entries: 32,
+            page_bytes: 4096,
+            assoc: 2,
+        }
+    }
+
+    /// Alpha-like data TLB: 64 entries, fully associative, 8 KB pages.
+    pub fn alpha_dtlb() -> Self {
+        TlbConfig {
+            entries: 64,
+            page_bytes: 8192,
+            assoc: 64,
+        }
+    }
+
+    fn sets(&self) -> usize {
+        assert!(self.entries > 0 && self.assoc > 0);
+        assert!(self.entries.is_multiple_of(self.assoc), "entries % assoc != 0");
+        assert!(self.page_bytes.is_power_of_two(), "page size power of two");
+        self.entries / self.assoc
+    }
+}
+
+/// A TLB fed with byte addresses; tracks hits and misses on page
+/// translations.
+///
+/// # Example
+///
+/// ```
+/// use cvm_memsim::{Tlb, TlbConfig};
+/// let mut t = Tlb::new(TlbConfig::sp2_dtlb());
+/// assert!(!t.access(0x10_0000));
+/// assert!(t.access(0x10_0fff)); // same 4 KB page
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    sets: Vec<Vec<u64>>,
+    set_mask: u64,
+    page_shift: u32,
+    assoc: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Builds a TLB with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent or the set count is not a
+    /// power of two.
+    pub fn new(config: TlbConfig) -> Self {
+        let sets = config.sets();
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Tlb {
+            sets: vec![Vec::with_capacity(config.assoc); sets],
+            set_mask: sets as u64 - 1,
+            page_shift: config.page_bytes.trailing_zeros(),
+            assoc: config.assoc,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Performs one translation; returns `true` on a hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let vpn = addr >> self.page_shift;
+        let set = &mut self.sets[(vpn & self.set_mask) as usize];
+        if let Some(pos) = set.iter().position(|&t| t == vpn) {
+            let tag = set.remove(pos);
+            set.push(tag);
+            self.hits += 1;
+            true
+        } else {
+            if set.len() == self.assoc {
+                set.remove(0);
+            }
+            set.push(vpn);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Total hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+impl fmt::Display for Tlb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tlb[hits {} misses {}]", self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Tlb {
+        Tlb::new(TlbConfig {
+            entries: 4,
+            page_bytes: 4096,
+            assoc: 4,
+        })
+    }
+
+    #[test]
+    fn same_page_hits_different_page_misses() {
+        let mut t = tiny();
+        assert!(!t.access(0));
+        assert!(t.access(4095));
+        assert!(!t.access(4096));
+    }
+
+    #[test]
+    fn working_set_larger_than_tlb_thrashes() {
+        let mut t = tiny();
+        // 5 pages round-robin against 4 fully-associative entries: every
+        // access misses after warmup (LRU worst case).
+        for round in 0..10u64 {
+            for p in 0..5u64 {
+                let hit = t.access(p * 4096);
+                if round > 0 {
+                    assert!(!hit, "LRU thrash should miss");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn working_set_within_tlb_all_hits() {
+        let mut t = tiny();
+        for p in 0..4u64 {
+            t.access(p * 4096);
+        }
+        for _ in 0..10 {
+            for p in 0..4u64 {
+                assert!(t.access(p * 4096));
+            }
+        }
+        assert_eq!(t.misses(), 4);
+    }
+
+    #[test]
+    fn presets_construct() {
+        let _ = Tlb::new(TlbConfig::sp2_dtlb());
+        let _ = Tlb::new(TlbConfig::sp2_itlb());
+        let _ = Tlb::new(TlbConfig::alpha_dtlb());
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests on the cache and TLB models.
+
+use cvm_memsim::{Cache, CacheConfig, Tlb, TlbConfig};
+use proptest::prelude::*;
+
+proptest! {
+    /// Residency never exceeds capacity, and hits + misses account for
+    /// every access.
+    #[test]
+    fn cache_accounting(addrs in proptest::collection::vec(0u64..1_000_000, 1..500)) {
+        let mut c = Cache::new(CacheConfig { size_bytes: 1024, line_bytes: 32, assoc: 2 });
+        for &a in &addrs {
+            c.access(a);
+        }
+        prop_assert!(c.resident_lines() <= 32);
+        prop_assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
+    }
+
+    /// Temporal locality guarantee: re-accessing the same address with no
+    /// intervening accesses is always a hit.
+    #[test]
+    fn immediate_reuse_hits(addrs in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut c = Cache::new(CacheConfig { size_bytes: 2048, line_bytes: 64, assoc: 4 });
+        for &a in &addrs {
+            c.access(a);
+            prop_assert!(c.access(a), "immediate re-access must hit");
+        }
+    }
+
+    /// A working set that fits in the cache converges to all-hits.
+    #[test]
+    fn small_working_set_all_hits(seed_lines in proptest::collection::vec(0u64..8, 1..50)) {
+        let mut c = Cache::new(CacheConfig { size_bytes: 1024, line_bytes: 32, assoc: 32 });
+        // Warm up the (at most 8 distinct) lines.
+        let lines: std::collections::HashSet<u64> = seed_lines.iter().copied().collect();
+        for &l in &lines {
+            c.access(l * 32);
+        }
+        let before_miss = c.misses();
+        for _ in 0..3 {
+            for &l in &seed_lines {
+                c.access(l * 32);
+            }
+        }
+        prop_assert_eq!(c.misses(), before_miss, "resident set must not miss");
+    }
+
+    /// The TLB translates at page granularity: accesses within one page
+    /// after the first are hits regardless of offset.
+    #[test]
+    fn tlb_page_granularity(page in 0u64..10_000, offsets in proptest::collection::vec(0u64..4096, 1..50)) {
+        let mut t = Tlb::new(TlbConfig { entries: 8, page_bytes: 4096, assoc: 8 });
+        t.access(page * 4096);
+        for &o in &offsets {
+            prop_assert!(t.access(page * 4096 + o));
+        }
+    }
+
+    /// Miss counts are monotone under stream extension (prefix property).
+    #[test]
+    fn misses_monotone(addrs in proptest::collection::vec(0u64..100_000, 2..300), cut in 1usize..200) {
+        let cut = cut.min(addrs.len() - 1);
+        let run = |xs: &[u64]| {
+            let mut c = Cache::new(CacheConfig { size_bytes: 512, line_bytes: 32, assoc: 1 });
+            for &a in xs {
+                c.access(a);
+            }
+            c.misses()
+        };
+        prop_assert!(run(&addrs[..cut]) <= run(&addrs));
+    }
+}

@@ -1,0 +1,36 @@
+//! Simulated cluster network for the CVM reproduction.
+//!
+//! The paper ran CVM over UDP/IP on a 155 Mbit/s ATM Gigaswitch connecting
+//! eight Alpha nodes, and reports end-to-end costs (ICDCS '97 §4.1):
+//!
+//! * simple 2-hop lock acquire: **937 µs**
+//! * 3-hop lock acquire: **1382 µs**
+//! * remote page fault: **≈ 1100 µs** (including 49 µs `mprotect` and
+//!   98 µs user-level signal handling)
+//! * minimal 8-processor barrier: **2470 µs**
+//! * thread switch: **8 µs**
+//!
+//! This crate models the network portion of those costs: each message costs
+//! a fixed software+wire overhead plus a per-byte term, and each *received*
+//! message occupies the destination node's protocol handler for a
+//! per-message-kind service time. Handler occupancy is serialized per node,
+//! which is what makes an 8-node barrier cost ≈ 2.5 ms even though each hop
+//! is under 0.5 ms — the master drains seven arrival messages one after
+//! another, exactly as the real CVM's request handler did.
+//!
+//! The crate is generic over the payload type `P`; the DSM layer supplies
+//! its protocol messages. See [`NetworkSim`] for the main entry point.
+
+
+#![warn(missing_docs)]
+pub mod latency;
+pub mod message;
+pub mod network;
+pub mod reliable;
+pub mod stats;
+
+pub use latency::{HandlerCosts, LatencyModel};
+pub use message::{Message, MsgClass, MsgKind, NodeId};
+pub use network::NetworkSim;
+pub use reliable::{LossConfig, LossStats};
+pub use stats::NetStats;

@@ -1,0 +1,382 @@
+//! The in-flight message scheduler.
+//!
+//! [`NetworkSim`] owns the set of messages currently on the wire or queued
+//! at a busy destination handler. Message delivery is a two-phase event:
+//! the *arrival* (wire time after the send) and the *service completion*
+//! (after waiting for the destination's handler to be free and being
+//! processed for the per-kind service time). [`NetworkSim::next`] returns
+//! messages in service-completion order, which is the instant their effects
+//! become visible to the protocol — so the DSM driver can simply apply each
+//! message as it pops.
+
+use std::collections::HashMap;
+
+use cvm_sim::{EventQueue, SimDuration, SimRng, VirtualTime};
+
+use crate::latency::LatencyModel;
+use crate::message::Message;
+use crate::reliable::{LossConfig, LossStats, ReliabilityState};
+use crate::stats::NetStats;
+
+/// Wire size of an acknowledgement (reliability layer).
+const ACK_BYTES: usize = 32;
+
+struct Envelope<P> {
+    msg: Message<P>,
+    /// Sequence number when the reliability layer is active.
+    seq: Option<u64>,
+}
+
+enum Phase<P> {
+    Arrival(Envelope<P>),
+    Serviced(Message<P>),
+    /// Retransmission timer for `(src, dst, seq)`.
+    Retry(usize, usize, u64),
+    /// An acknowledgement for `(src, dst, seq)` arriving back at `src`.
+    AckArrival(usize, usize, u64),
+}
+
+/// Simulated network connecting `n` nodes.
+///
+/// # Example
+///
+/// ```
+/// use cvm_net::{LatencyModel, Message, MsgKind, NetworkSim, NodeId};
+/// use cvm_sim::VirtualTime;
+///
+/// let mut net: NetworkSim<&str> = NetworkSim::new(2, LatencyModel::paper());
+/// net.send(
+///     VirtualTime::ZERO,
+///     Message::new(NodeId(0), NodeId(1), MsgKind::Other, 64, "ping"),
+/// );
+/// let (when, msg) = net.next().expect("one message in flight");
+/// assert_eq!(msg.payload, "ping");
+/// assert!(when > VirtualTime::ZERO);
+/// ```
+pub struct NetworkSim<P> {
+    queue: EventQueue<Phase<P>>,
+    handler_free: Vec<VirtualTime>,
+    model: LatencyModel,
+    stats: NetStats,
+    jitter: Option<(SimRng, SimDuration)>,
+    in_flight: usize,
+    reliability: ReliabilityState,
+    /// Unacknowledged messages awaiting possible retransmission:
+    /// `(src, dst, seq) → (message, retries)`.
+    pending: HashMap<(usize, usize, u64), (Message<P>, u32)>,
+}
+
+impl<P> std::fmt::Debug for NetworkSim<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetworkSim")
+            .field("nodes", &self.handler_free.len())
+            .field("in_flight", &self.in_flight)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P> NetworkSim<P> {
+    /// Creates a network of `nodes` nodes under `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new(nodes: usize, model: LatencyModel) -> Self {
+        assert!(nodes > 0, "network needs at least one node");
+        NetworkSim {
+            queue: EventQueue::new(),
+            handler_free: vec![VirtualTime::ZERO; nodes],
+            model,
+            stats: NetStats::new(),
+            jitter: None,
+            in_flight: 0,
+            reliability: ReliabilityState::default(),
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Enables packet-loss injection; delivery then runs over the
+    /// acknowledgement/retransmission layer of [`crate::reliable`], still
+    /// exactly-once to the protocol. Deterministic under the given RNG.
+    pub fn enable_loss(&mut self, rng: SimRng, config: LossConfig) {
+        self.reliability.enable(rng, config);
+    }
+
+    /// Reliability-layer counters (drops, retransmissions, duplicates).
+    pub fn loss_stats(&self) -> LossStats {
+        self.reliability.stats()
+    }
+
+    /// Enables uniform random extra delay in `[0, max)` per message, for
+    /// perturbation/failure-injection experiments. Deterministic under the
+    /// given RNG.
+    pub fn set_jitter(&mut self, rng: SimRng, max: SimDuration) {
+        self.jitter = if max.is_zero() {
+            None
+        } else {
+            Some((rng, max))
+        };
+    }
+
+    fn wire_delay(&mut self, bytes: usize) -> SimDuration {
+        let mut wire = self.model.wire_time(bytes);
+        if let Some((rng, max)) = &mut self.jitter {
+            wire += SimDuration::from_ns(rng.below(max.as_ns().max(1)));
+        }
+        wire
+    }
+
+    /// Pops the next message in service-completion order, returning the
+    /// virtual time at which its effects apply at the destination.
+    // Deliberately named like an iterator: the network *is* consumed as a
+    // stream of deliveries, but it cannot implement Iterator (the item
+    // borrows nothing, yet delivery mutates shared handler state and the
+    // type parameter needs Clone only here).
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(VirtualTime, Message<P>)>
+    where
+        P: Clone,
+    {
+        self.poll(VirtualTime::MAX)
+    }
+
+    /// Like [`next`](Self::next), but only returns a message whose service
+    /// completes at or before `until`; otherwise leaves it queued and
+    /// returns `None`.
+    ///
+    /// Arrivals up to `until` are expanded into service completions, which
+    /// is safe because any message sent later arrives later than every
+    /// expanded arrival — handler-occupancy order at each node is
+    /// preserved. This is what lets a driver interleave network events with
+    /// its own event queue in strict time order.
+    pub fn poll(&mut self, until: VirtualTime) -> Option<(VirtualTime, Message<P>)>
+    where
+        P: Clone,
+    {
+        loop {
+            match self.queue.peek_time() {
+                None => return None,
+                Some(t) if t > until => return None,
+                Some(_) => {}
+            }
+            match self.queue.pop().expect("peeked nonempty") {
+                (arrived, Phase::Arrival(env)) => {
+                    let (src, dst) = (env.msg.src.0, env.msg.dst.0);
+                    if let Some(seq) = env.seq {
+                        // Acknowledge (the ack itself may be dropped) and
+                        // deduplicate retransmissions.
+                        self.reliability.count_ack();
+                        if !self.reliability.should_drop() {
+                            let wire = self.wire_delay(ACK_BYTES);
+                            self.queue
+                                .push(arrived + wire, Phase::AckArrival(src, dst, seq));
+                        }
+                        if !self.reliability.first_delivery(src, dst, seq) {
+                            continue; // duplicate: suppress
+                        }
+                    }
+                    let start = arrived.max(self.handler_free[dst]);
+                    let done = start + self.model.handler_time(env.msg.kind);
+                    self.handler_free[dst] = done;
+                    self.queue.push(done, Phase::Serviced(env.msg));
+                }
+                (done, Phase::Serviced(msg)) => {
+                    self.in_flight -= 1;
+                    return Some((done, msg));
+                }
+                (now, Phase::Retry(src, dst, seq)) => {
+                    let Some((msg, retries)) = self.pending.remove(&(src, dst, seq)) else {
+                        continue; // already acknowledged
+                    };
+                    let cfg = self.reliability.config().expect("loss enabled");
+                    assert!(
+                        retries < cfg.max_retries,
+                        "message {src}->{dst} seq {seq} exceeded {} retries",
+                        cfg.max_retries
+                    );
+                    self.reliability.count_retransmission();
+                    // Retransmissions consume real bandwidth.
+                    self.stats.record(msg.kind, msg.payload_bytes);
+                    self.pending.insert((src, dst, seq), (msg.clone(), retries + 1));
+                    if !self.reliability.should_drop() {
+                        let wire = self.wire_delay(msg.payload_bytes);
+                        self.queue.push(
+                            now + wire,
+                            Phase::Arrival(Envelope {
+                                msg,
+                                seq: Some(seq),
+                            }),
+                        );
+                    }
+                    self.queue.push(now + cfg.rto, Phase::Retry(src, dst, seq));
+                }
+                (_, Phase::AckArrival(src, dst, seq)) => {
+                    self.pending.remove(&(src, dst, seq));
+                }
+            }
+        }
+    }
+
+    /// Sends `msg` at virtual time `now`. Arrival and service are scheduled
+    /// automatically; the message is eventually returned by
+    /// [`next`](Self::next) exactly once, even under injected loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the destination node is out of range.
+    pub fn send(&mut self, now: VirtualTime, msg: Message<P>)
+    where
+        P: Clone,
+    {
+        assert!(
+            msg.dst.0 < self.handler_free.len(),
+            "destination {} out of range",
+            msg.dst
+        );
+        self.stats.record(msg.kind, msg.payload_bytes);
+        self.in_flight += 1;
+        if self.reliability.enabled() {
+            let (src, dst) = (msg.src.0, msg.dst.0);
+            let seq = self.reliability.next_seq(src, dst);
+            let cfg = self.reliability.config().expect("enabled");
+            self.pending.insert((src, dst, seq), (msg.clone(), 0));
+            if !self.reliability.should_drop() {
+                let wire = self.wire_delay(msg.payload_bytes);
+                self.queue.push(
+                    now + wire,
+                    Phase::Arrival(Envelope {
+                        msg,
+                        seq: Some(seq),
+                    }),
+                );
+            }
+            self.queue.push(now + cfg.rto, Phase::Retry(src, dst, seq));
+        } else {
+            let wire = self.wire_delay(msg.payload_bytes);
+            self.queue
+                .push(now + wire, Phase::Arrival(Envelope { msg, seq: None }));
+        }
+    }
+
+    /// Completion time of the earliest pending event (arrival or service).
+    pub fn peek_time(&self) -> Option<VirtualTime> {
+        self.queue.peek_time()
+    }
+
+    /// Number of messages sent but not yet returned by `next`.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Accumulated traffic statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// The latency model in force.
+    pub fn model(&self) -> &LatencyModel {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{MsgKind, NodeId};
+
+    fn msg(src: usize, dst: usize, kind: MsgKind, bytes: usize) -> Message<u32> {
+        Message::new(NodeId(src), NodeId(dst), kind, bytes, 0)
+    }
+
+    #[test]
+    fn delivery_order_is_completion_order() {
+        let mut net = NetworkSim::new(3, LatencyModel::paper());
+        // Two messages to the same node: the second waits for the handler.
+        net.send(VirtualTime::ZERO, msg(0, 2, MsgKind::LockRequest, 64));
+        net.send(VirtualTime::ZERO, msg(1, 2, MsgKind::LockRequest, 64));
+        let (t1, _) = net.next().unwrap();
+        let (t2, _) = net.next().unwrap();
+        let h = LatencyModel::paper()
+            .handler_time(MsgKind::LockRequest)
+            .as_us_f64();
+        assert!((t2.as_us_f64() - t1.as_us_f64() - h).abs() < 1e-6);
+    }
+
+    #[test]
+    fn handlers_on_different_nodes_do_not_serialize() {
+        let mut net = NetworkSim::new(3, LatencyModel::paper());
+        net.send(VirtualTime::ZERO, msg(0, 1, MsgKind::LockRequest, 64));
+        net.send(VirtualTime::ZERO, msg(0, 2, MsgKind::LockRequest, 64));
+        let (t1, _) = net.next().unwrap();
+        let (t2, _) = net.next().unwrap();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn barrier_serialization_reproduces_cost() {
+        // 7 simultaneous arrivals at the master (node 0), as in a minimal
+        // 8-node barrier: last service completes ~ wire + 7 * handler.
+        let model = LatencyModel::paper();
+        let mut net = NetworkSim::new(8, model.clone());
+        for src in 1..8 {
+            net.send(VirtualTime::ZERO, msg(src, 0, MsgKind::BarrierArrive, 64));
+        }
+        let mut last = VirtualTime::ZERO;
+        for _ in 0..7 {
+            let (t, _) = net.next().unwrap();
+            last = last.max(t);
+        }
+        let expect = model.wire_time(64).as_us_f64()
+            + 7.0 * model.handler_time(MsgKind::BarrierArrive).as_us_f64();
+        assert!((last.as_us_f64() - expect).abs() < 1.0);
+    }
+
+    #[test]
+    fn stats_accumulate_by_class() {
+        use crate::message::MsgClass;
+        let mut net = NetworkSim::new(2, LatencyModel::instant());
+        net.send(VirtualTime::ZERO, msg(0, 1, MsgKind::DiffRequest, 100));
+        net.send(VirtualTime::ZERO, msg(1, 0, MsgKind::DiffReply, 900));
+        net.send(VirtualTime::ZERO, msg(0, 1, MsgKind::LockRequest, 64));
+        assert_eq!(net.stats().class_count(MsgClass::Diff), 2);
+        assert_eq!(net.stats().class_bytes(MsgClass::Diff), 1000);
+        assert_eq!(net.stats().class_count(MsgClass::Lock), 1);
+        assert_eq!(net.stats().total_count(), 3);
+    }
+
+    #[test]
+    fn in_flight_tracks_queue() {
+        let mut net = NetworkSim::new(2, LatencyModel::instant());
+        assert_eq!(net.in_flight(), 0);
+        net.send(VirtualTime::ZERO, msg(0, 1, MsgKind::Other, 10));
+        assert_eq!(net.in_flight(), 1);
+        net.next().unwrap();
+        assert_eq!(net.in_flight(), 0);
+        assert!(net.next().is_none());
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut net = NetworkSim::new(2, LatencyModel::paper());
+            net.set_jitter(SimRng::seed_from(seed), SimDuration::from_us(100));
+            for _ in 0..10 {
+                net.send(VirtualTime::ZERO, msg(0, 1, MsgKind::Other, 10));
+            }
+            let mut times = Vec::new();
+            while let Some((t, _)) = net.next() {
+                times.push(t.as_ns());
+            }
+            times
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_destination_panics() {
+        let mut net = NetworkSim::new(2, LatencyModel::instant());
+        net.send(VirtualTime::ZERO, msg(0, 5, MsgKind::Other, 1));
+    }
+}

@@ -1,0 +1,151 @@
+//! Traffic statistics for Table 2 (message counts and bandwidth).
+
+use std::fmt;
+
+use crate::message::{MsgClass, MsgKind};
+
+/// Per-kind message counts and byte totals.
+///
+/// # Example
+///
+/// ```
+/// use cvm_net::{MsgClass, MsgKind, NetStats};
+/// let mut s = NetStats::new();
+/// s.record(MsgKind::DiffReply, 1000);
+/// s.record(MsgKind::BarrierArrive, 64);
+/// assert_eq!(s.class_count(MsgClass::Diff), 1);
+/// assert_eq!(s.total_bytes(), 1064);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NetStats {
+    counts: [u64; MsgKind::ALL.len()],
+    bytes: [u64; MsgKind::ALL.len()],
+}
+
+fn kind_index(kind: MsgKind) -> usize {
+    MsgKind::ALL
+        .iter()
+        .position(|&k| k == kind)
+        .expect("kind present in ALL")
+}
+
+impl NetStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sent message.
+    pub fn record(&mut self, kind: MsgKind, bytes: usize) {
+        let i = kind_index(kind);
+        self.counts[i] += 1;
+        self.bytes[i] += bytes as u64;
+    }
+
+    /// Messages of one exact kind.
+    pub fn kind_count(&self, kind: MsgKind) -> u64 {
+        self.counts[kind_index(kind)]
+    }
+
+    /// Bytes of one exact kind.
+    pub fn kind_bytes(&self, kind: MsgKind) -> u64 {
+        self.bytes[kind_index(kind)]
+    }
+
+    /// Messages in a Table 2 class.
+    pub fn class_count(&self, class: MsgClass) -> u64 {
+        MsgKind::ALL
+            .iter()
+            .filter(|k| k.class() == class)
+            .map(|&k| self.kind_count(k))
+            .sum()
+    }
+
+    /// Bytes in a Table 2 class.
+    pub fn class_bytes(&self, class: MsgClass) -> u64 {
+        MsgKind::ALL
+            .iter()
+            .filter(|k| k.class() == class)
+            .map(|&k| self.kind_bytes(k))
+            .sum()
+    }
+
+    /// All messages.
+    pub fn total_count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// All bytes (Table 2's "BW Kbytes" column is this divided by 1024).
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Merges another node's statistics into this one.
+    pub fn merge(&mut self, other: &NetStats) {
+        for i in 0..self.counts.len() {
+            self.counts[i] += other.counts[i];
+            self.bytes[i] += other.bytes[i];
+        }
+    }
+}
+
+impl fmt::Display for NetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "msgs: barrier {} lock {} diff {} total {} ({} KB)",
+            self.class_count(MsgClass::Barrier),
+            self.class_count(MsgClass::Lock),
+            self.class_count(MsgClass::Diff),
+            self.total_count(),
+            self.total_bytes() / 1024,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_are_sums_over_kinds() {
+        let mut s = NetStats::new();
+        for (i, k) in MsgKind::ALL.into_iter().enumerate() {
+            s.record(k, i + 1);
+        }
+        assert_eq!(s.total_count(), MsgKind::ALL.len() as u64);
+        let expect: u64 = (1..=MsgKind::ALL.len() as u64).sum();
+        assert_eq!(s.total_bytes(), expect);
+    }
+
+    #[test]
+    fn class_totals_partition_total() {
+        let mut s = NetStats::new();
+        for k in MsgKind::ALL {
+            s.record(k, 10);
+        }
+        let sum = s.class_count(MsgClass::Barrier)
+            + s.class_count(MsgClass::Lock)
+            + s.class_count(MsgClass::Diff)
+            + s.class_count(MsgClass::Other);
+        assert_eq!(sum, s.total_count());
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = NetStats::new();
+        let mut b = NetStats::new();
+        a.record(MsgKind::LockGrant, 5);
+        b.record(MsgKind::LockGrant, 7);
+        b.record(MsgKind::PageReply, 8192);
+        a.merge(&b);
+        assert_eq!(a.kind_count(MsgKind::LockGrant), 2);
+        assert_eq!(a.kind_bytes(MsgKind::LockGrant), 12);
+        assert_eq!(a.kind_count(MsgKind::PageReply), 1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", NetStats::new()).is_empty());
+    }
+}

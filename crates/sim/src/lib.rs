@@ -1,0 +1,39 @@
+//! Deterministic discrete-event simulation kernel for the CVM reproduction.
+//!
+//! This crate provides the substrate on which the simulated cluster runs:
+//!
+//! * [`VirtualTime`] / [`SimDuration`] — nanosecond-resolution virtual time.
+//! * [`EventQueue`] — a totally ordered (time, sequence) event heap, which
+//!   makes every simulation run deterministic for a given seed.
+//! * [`SimRng`] — a seeded random-number generator wrapper.
+//! * [`coop`] — the cooperative ("baton") thread engine used to run
+//!   application threads as real OS threads while guaranteeing that exactly
+//!   one simulated thread executes at a time, preserving determinism and the
+//!   non-preemptive scheduling model of the paper.
+//! * [`stats`] — counters, accumulators and histograms shared by the higher
+//!   layers.
+//!
+//! # Example
+//!
+//! ```
+//! use cvm_sim::{EventQueue, SimDuration, VirtualTime};
+//!
+//! let mut q: EventQueue<&str> = EventQueue::new();
+//! q.push(VirtualTime::ZERO + SimDuration::from_us(5), "later");
+//! q.push(VirtualTime::ZERO, "now");
+//! assert_eq!(q.pop().map(|(_, e)| e), Some("now"));
+//! assert_eq!(q.pop().map(|(_, e)| e), Some("later"));
+//! ```
+
+
+#![warn(missing_docs)]
+pub mod coop;
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use coop::{Burst, CoopScheduler, CoopThreadId, Yielder};
+pub use event::EventQueue;
+pub use rng::SimRng;
+pub use time::{SimDuration, VirtualTime};

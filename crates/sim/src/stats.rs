@@ -1,0 +1,230 @@
+//! Counters and accumulators shared by the simulation layers.
+//!
+//! All statistics the paper reports reduce to three shapes: event counts
+//! (e.g. *Diffs Created*), running sums (e.g. *Outstanding Faults*, which
+//! accumulates the number of already-outstanding requests each time a new
+//! request is initiated), and time accumulators (e.g. non-overlapped lock
+//! wait). [`Counter`] and [`TimeAccum`] cover these; [`Histogram`] adds a
+//! distribution view used by diagnostics and tests.
+
+use std::fmt;
+
+use crate::time::SimDuration;
+
+/// A monotonically increasing event counter.
+///
+/// # Example
+///
+/// ```
+/// use cvm_sim::stats::Counter;
+/// let mut faults = Counter::default();
+/// faults.add(3);
+/// faults.incr();
+/// assert_eq!(faults.get(), 4);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Accumulates virtual-time durations.
+///
+/// # Example
+///
+/// ```
+/// use cvm_sim::stats::TimeAccum;
+/// use cvm_sim::SimDuration;
+/// let mut wait = TimeAccum::default();
+/// wait.add(SimDuration::from_us(10));
+/// wait.add(SimDuration::from_us(5));
+/// assert_eq!(wait.total(), SimDuration::from_us(15));
+/// assert_eq!(wait.count(), 2);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TimeAccum {
+    total: SimDuration,
+    count: u64,
+}
+
+impl TimeAccum {
+    /// Records one duration sample.
+    pub fn add(&mut self, d: SimDuration) {
+        self.total += d;
+        self.count += 1;
+    }
+
+    /// Sum of all samples.
+    pub fn total(self) -> SimDuration {
+        self.total
+    }
+
+    /// Number of samples.
+    pub fn count(self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample, or zero when empty.
+    pub fn mean(self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            self.total / self.count
+        }
+    }
+}
+
+impl fmt::Display for TimeAccum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} over {} samples", self.total, self.count)
+    }
+}
+
+/// A small fixed-bucket histogram of non-negative integer samples.
+///
+/// Bucket `i < n-1` counts samples equal to `i`; the last bucket counts all
+/// larger samples. Used for distributions such as "how many requests were
+/// outstanding when a new one was issued".
+///
+/// # Example
+///
+/// ```
+/// use cvm_sim::stats::Histogram;
+/// let mut h = Histogram::new(4);
+/// h.record(0);
+/// h.record(1);
+/// h.record(9); // overflows into the last bucket
+/// assert_eq!(h.bucket(0), 1);
+/// assert_eq!(h.bucket(3), 1);
+/// assert_eq!(h.samples(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    samples: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `n` buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "histogram needs at least one bucket");
+        Histogram {
+            buckets: vec![0; n],
+            samples: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = (value as usize).min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.samples += 1;
+        self.sum += value;
+    }
+
+    /// Count in bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// True if the histogram has no buckets (never true for constructed
+    /// histograms).
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Total samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Sum of all sample values (the paper's "outstanding" totals are this
+    /// running sum).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "hist[{} samples, sum {}]", self.samples, self.sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::default();
+        for _ in 0..10 {
+            c.incr();
+        }
+        c.add(5);
+        assert_eq!(c.get(), 15);
+    }
+
+    #[test]
+    fn time_accum_mean() {
+        let mut t = TimeAccum::default();
+        assert_eq!(t.mean(), SimDuration::ZERO);
+        t.add(SimDuration::from_us(4));
+        t.add(SimDuration::from_us(8));
+        assert_eq!(t.mean(), SimDuration::from_us(6));
+    }
+
+    #[test]
+    fn histogram_overflow_bucket() {
+        let mut h = Histogram::new(3);
+        h.record(0);
+        h.record(2);
+        h.record(5);
+        h.record(100);
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(1), 0);
+        assert_eq!(h.bucket(2), 3);
+        assert_eq!(h.sum(), 107);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_bucket_histogram_panics() {
+        let _ = Histogram::new(0);
+    }
+}

@@ -1,0 +1,74 @@
+//! A microscope on the multiple-writer protocol: two nodes write disjoint
+//! halves of the SAME page (false sharing), and the lazy-release-
+//! consistency machinery — twins, diffs, write notices — merges them
+//! without ping-ponging the page.
+//!
+//! ```text
+//! cargo run --release --example protocol_trace
+//! ```
+
+use cvm_dsm::{CvmBuilder, CvmConfig};
+
+fn main() {
+    let mut cfg = CvmConfig::paper(2, 1);
+    cfg.trace_capacity = 4096; // record the protocol's actions
+    let mut builder = CvmBuilder::new(cfg);
+    // 512 f64s = 4 KB: both halves live in one 8 KB coherence page.
+    let shared = builder.alloc::<f64>(512);
+
+    let report = builder.run(move |ctx| {
+        if ctx.global_id() == 0 {
+            for i in 0..512 {
+                shared.write(ctx, i, 0.0);
+            }
+        }
+        ctx.startup_done();
+
+        for iter in 0..4 {
+            // Node 0 writes the low half, node 1 the high half — of the
+            // same page, concurrently. A single-writer protocol would
+            // ship the page back and forth on every write.
+            let base = ctx.node() * 256;
+            for i in 0..256 {
+                shared.write(ctx, base + i, (iter * 1000 + i) as f64);
+            }
+            ctx.barrier();
+            // Both nodes read the other half: one diff each direction.
+            let other = (1 - ctx.node()) * 256;
+            let v = shared.read(ctx, other + 7);
+            assert_eq!(v, (iter * 1000 + 7) as f64, "merged writes visible");
+            // Reads must complete before the next iteration's writes, or
+            // the program would race (LRC only orders accesses that are
+            // ordered by synchronization).
+            ctx.barrier();
+        }
+    });
+
+    println!("false sharing on one page, 2 writers x 4 iterations:");
+    println!(
+        "  twins created      {:>4}  (one per writer per invalidation cycle)",
+        report.stats.twins_created
+    );
+    println!(
+        "  diffs created      {:>4}  (page-length comparisons against the twin)",
+        report.stats.diffs_created
+    );
+    println!(
+        "  diffs used         {:>4}  (applied at the faulting reader)",
+        report.stats.diffs_used
+    );
+    println!(
+        "  remote page faults {:>4}  (each fetches only the ~2 KB diff, not 8 KB)",
+        report.stats.remote_faults
+    );
+    println!(
+        "  total wire bytes   {:>4} KB",
+        report.net.total_bytes() / 1024
+    );
+    println!("\nConcurrent diffs never overlapped: the program is race-free, so");
+    println!("applying them in timestamp order reconstructs both halves exactly.");
+    if let Some(trace) = &report.trace {
+        println!("\nfirst protocol events of the run:");
+        print!("{}", trace.render(16));
+    }
+}

@@ -1,0 +1,47 @@
+//! Integration-test package for the CVM reproduction workspace.
+//!
+//! The actual tests live in `tests/tests/*.rs`; this library only hosts
+//! shared helpers.
+
+use cvm_dsm::{CvmConfig, RunReport};
+
+/// Builds the fast test configuration used across integration tests.
+pub fn test_config(nodes: usize, threads: usize) -> CvmConfig {
+    CvmConfig::small(nodes, threads)
+}
+
+/// Asserts the structural sanity conditions every finished run must meet.
+///
+/// # Panics
+///
+/// Panics if an invariant is violated.
+pub fn assert_report_sane(r: &RunReport) {
+    // Every diff that was used was created by someone.
+    assert!(
+        r.stats.diffs_used == 0 || r.stats.diffs_created > 0,
+        "diffs used without any created"
+    );
+    // Overlap counters can only be nonzero if remote requests happened.
+    if r.stats.outstanding_faults > 0 {
+        assert!(r.stats.remote_faults > 0);
+    }
+    if r.stats.outstanding_locks > 0 {
+        assert!(r.stats.remote_locks > 0);
+    }
+    // Requests and replies pair up on the wire.
+    use cvm_net::MsgKind;
+    assert_eq!(
+        r.net.kind_count(MsgKind::PageRequest),
+        r.net.kind_count(MsgKind::PageReply),
+        "page requests/replies unbalanced"
+    );
+    assert_eq!(
+        r.net.kind_count(MsgKind::DiffRequest),
+        r.net.kind_count(MsgKind::DiffReply),
+        "diff requests/replies unbalanced"
+    );
+    // Node breakdowns stay within the run envelope.
+    for b in &r.nodes {
+        assert!(b.clock <= r.total_time, "node clock exceeds run time");
+    }
+}

@@ -1,0 +1,140 @@
+//! End-to-end numeric validation: every application produces the same
+//! result as its sequential oracle, across node/thread configurations and
+//! under the full paper network (latency changes interleavings but must
+//! never change results).
+
+use cvm_apps::{barnes, fft, ocean, sor, swm, water_nsq, water_sp};
+
+fn close(a: f64, b: f64, rel: f64) -> bool {
+    let s = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= rel * s
+}
+
+macro_rules! check {
+    ($got:expr, $want:expr, $what:expr) => {
+        let (g, w) = ($got, $want);
+        assert!(close(g, w, 1e-9), "{}: {g} vs {w}", $what);
+    };
+}
+
+#[test]
+fn sor_all_configs() {
+    let cfg = sor::SorConfig {
+        n: 46,
+        iters: 4,
+        omega: 1.12,
+    };
+    let want = sor::oracle(&cfg);
+    for (nodes, threads) in [(1, 1), (1, 4), (4, 1), (2, 3), (4, 4)] {
+        check!(
+            sor::checksum_of_run(&cfg, nodes, threads),
+            want,
+            format!("SOR {nodes}x{threads}")
+        );
+    }
+}
+
+#[test]
+fn fft_all_configs() {
+    let cfg = fft::FftConfig { m: 32 };
+    let want = fft::oracle(&cfg);
+    for (nodes, threads) in [(1, 2), (2, 2), (4, 3), (8, 1)] {
+        check!(
+            fft::checksum_of_run(&cfg, nodes, threads),
+            want,
+            format!("FFT {nodes}x{threads}")
+        );
+    }
+}
+
+#[test]
+fn barnes_all_configs() {
+    let cfg = barnes::BarnesConfig {
+        n: 80,
+        steps: 2,
+        theta: 0.7,
+        dt: 0.01,
+    };
+    let want = barnes::oracle(&cfg);
+    for (nodes, threads) in [(2, 1), (2, 2), (4, 2)] {
+        check!(
+            barnes::checksum_of_run(&cfg, nodes, threads),
+            want,
+            format!("Barnes {nodes}x{threads}")
+        );
+    }
+}
+
+#[test]
+fn ocean_all_configs() {
+    let cfg = ocean::OceanConfig {
+        n: 24,
+        steps: 2,
+        sweeps: 1,
+        coarse_sweeps: 2,
+        use_reduction: true,
+    };
+    let want = ocean::oracle(&cfg);
+    for (nodes, threads) in [(2, 2), (4, 1), (4, 4)] {
+        check!(
+            ocean::checksum_of_run(&cfg, nodes, threads),
+            want,
+            format!("Ocean {nodes}x{threads}")
+        );
+    }
+}
+
+#[test]
+fn swm_all_configs() {
+    let cfg = swm::SwmConfig { n: 20, steps: 2 };
+    let want = swm::oracle(&cfg);
+    for (nodes, threads) in [(2, 2), (4, 2), (5, 1)] {
+        check!(
+            swm::checksum_of_run(&cfg, nodes, threads),
+            want,
+            format!("SWM {nodes}x{threads}")
+        );
+    }
+}
+
+#[test]
+fn water_nsq_all_variants_and_configs() {
+    for opt in [
+        water_nsq::WaterNsqOpt::NoOpts,
+        water_nsq::WaterNsqOpt::LocalBarrier,
+        water_nsq::WaterNsqOpt::BothOpts,
+    ] {
+        let cfg = water_nsq::WaterNsqConfig {
+            n: 24,
+            steps: 2,
+            dt: 0.002,
+            cutoff2: 0.3,
+            opt,
+        };
+        let want = water_nsq::oracle(&cfg);
+        for (nodes, threads) in [(2, 2), (3, 3)] {
+            check!(
+                water_nsq::checksum_of_run(&cfg, nodes, threads),
+                want,
+                format!("Water-Nsq {opt:?} {nodes}x{threads}")
+            );
+        }
+    }
+}
+
+#[test]
+fn water_sp_configs() {
+    let cfg = water_sp::WaterSpConfig {
+        n: 48,
+        b: 4,
+        steps: 2,
+        dt: 0.002,
+    };
+    let want = water_sp::oracle(&cfg);
+    for (nodes, threads) in [(2, 2), (4, 1)] {
+        let got = water_sp::checksum_of_run(&cfg, nodes, threads);
+        // Cell-list insertion order may differ under migration, so allow
+        // a slightly looser tolerance than the elementwise-exact apps.
+        assert!(close(got, want, 1e-6), "Water-Sp {nodes}x{threads}: {got} vs {want}");
+    }
+}

@@ -1,0 +1,42 @@
+//! Bit-for-bit determinism: the simulation's core promise. Same seed ⇒
+//! identical statistics, traffic and timing; runs are reproducible across
+//! repetitions regardless of OS scheduling of the coop threads.
+
+use cvm_apps::{build_app, AppId, Scale};
+use cvm_dsm::{CvmBuilder, CvmConfig};
+
+fn run_once(app: AppId, seed: u64) -> cvm_dsm::RunReport {
+    let mut cfg = CvmConfig::paper(4, 2);
+    cfg.seed = seed;
+    let mut b = CvmBuilder::new(cfg);
+    let body = build_app(&mut b, app, Scale::Small);
+    b.run(body)
+}
+
+#[test]
+fn repeated_runs_are_identical() {
+    for app in [AppId::Sor, AppId::WaterNsq, AppId::Ocean] {
+        let a = run_once(app, 7);
+        let b = run_once(app, 7);
+        assert_eq!(a.stats, b.stats, "{app}: stats differ across runs");
+        assert_eq!(a.net, b.net, "{app}: traffic differs across runs");
+        assert_eq!(a.total_time, b.total_time, "{app}: timing differs");
+        assert_eq!(a.nodes.len(), b.nodes.len());
+        for (x, y) in a.nodes.iter().zip(&b.nodes) {
+            assert_eq!(x, y, "{app}: node breakdowns differ");
+        }
+    }
+}
+
+#[test]
+fn memsim_runs_are_identical_too() {
+    let run = || {
+        let mut cfg = CvmConfig::paper(2, 2);
+        cfg.memsim_enabled = true;
+        let mut b = CvmBuilder::new(cfg);
+        let body = build_app(&mut b, AppId::Fft, Scale::Small);
+        b.run(body)
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.mem, b.mem, "cache/TLB misses must be deterministic");
+}

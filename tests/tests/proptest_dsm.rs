@@ -1,0 +1,149 @@
+//! Protocol fuzzing: random SPMD programs executed on the DSM must agree
+//! exactly with a sequential replay. This exercises the full
+//! lazy-release-consistency machinery — twins, diffs, write notices,
+//! vector timestamps, lock chains, barrier exchanges — under arbitrary
+//! access patterns.
+
+use cvm_dsm::{CvmBuilder, CvmConfig};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One thread's action within a round.
+#[derive(Debug, Clone)]
+struct RoundPlan {
+    /// Indices (within the thread's own partition) to write this round.
+    writes: Vec<u8>,
+    /// Whether the thread takes the shared lock and bumps the counter.
+    bump_counter: bool,
+}
+
+fn arb_round() -> impl Strategy<Value = RoundPlan> {
+    (proptest::collection::vec(any::<u8>(), 0..12), any::<bool>()).prop_map(
+        |(writes, bump_counter)| RoundPlan {
+            writes,
+            bump_counter,
+        },
+    )
+}
+
+/// Per-thread plans for every round: `plans[round][thread]`.
+fn arb_plans(threads: usize) -> impl Strategy<Value = Vec<Vec<RoundPlan>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(arb_round(), threads),
+        1..5, // rounds
+    )
+}
+
+/// Deterministic value written by `thread` at `round` to slot `k`.
+fn value_of(round: usize, thread: usize, k: u8) -> u64 {
+    (round as u64) << 32 | (thread as u64) << 16 | k as u64
+}
+
+fn run_dsm(
+    nodes: usize,
+    tpn: usize,
+    len: usize,
+    plans: Vec<Vec<RoundPlan>>,
+) -> (Vec<u64>, u64) {
+    let threads = nodes * tpn;
+    let mut b = CvmBuilder::new(CvmConfig::small(nodes, tpn));
+    let data = b.alloc::<u64>(len);
+    let counter = b.alloc::<u64>(1);
+    let out = Arc::new(
+        (0..len + 1)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>(),
+    );
+    let out2 = Arc::clone(&out);
+    let plans = Arc::new(plans);
+    b.run(move |ctx| {
+        if ctx.global_id() == 0 {
+            for i in 0..len {
+                data.write(ctx, i, 0);
+            }
+            counter.write(ctx, 0, 0);
+        }
+        ctx.startup_done();
+        let me = ctx.global_id();
+        let (lo, hi) = ctx.partition(len);
+        for (round, per_thread) in plans.iter().enumerate() {
+            let plan = &per_thread[me];
+            for &k in &plan.writes {
+                if hi > lo {
+                    let idx = lo + (k as usize) % (hi - lo);
+                    data.write(ctx, idx, value_of(round, me, k));
+                }
+            }
+            if plan.bump_counter {
+                ctx.acquire(3);
+                let c = counter.read(ctx, 0);
+                counter.write(ctx, 0, c + 1 + me as u64);
+                ctx.release(3);
+            }
+            ctx.barrier();
+            // Every thread reads a rotating sample of the whole array —
+            // cross-node reads that must observe the barrier-ordered
+            // writes of every other thread.
+            let probe = (round * 7 + me) % len;
+            let _ = data.read(ctx, probe);
+        }
+        ctx.barrier();
+        if me == 0 {
+            for i in 0..len {
+                out2[i].store(data.read(ctx, i), Ordering::SeqCst);
+            }
+            out2[len].store(counter.read(ctx, 0), Ordering::SeqCst);
+        }
+        let _ = threads;
+    });
+    let vals: Vec<u64> = (0..len).map(|i| out[i].load(Ordering::SeqCst)).collect();
+    let cnt = out[len].load(Ordering::SeqCst);
+    (vals, cnt)
+}
+
+/// Sequential replay of the same plans.
+fn replay(threads: usize, len: usize, plans: &[Vec<RoundPlan>]) -> (Vec<u64>, u64) {
+    let mut data = vec![0u64; len];
+    let mut counter = 0u64;
+    for (round, per_thread) in plans.iter().enumerate() {
+        for (me, plan) in per_thread.iter().enumerate() {
+            let (lo, hi) = cvm_dsm::ctx::partition_for(me, threads, len);
+            for &k in &plan.writes {
+                if hi > lo {
+                    let idx = lo + (k as usize) % (hi - lo);
+                    data[idx] = value_of(round, me, k);
+                }
+            }
+            if plan.bump_counter {
+                counter += 1 + me as u64;
+            }
+        }
+    }
+    (data, counter)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case spins up a full cluster; keep it bounded
+        .. ProptestConfig::default()
+    })]
+
+    /// Random barrier/lock programs: the DSM's final memory image equals
+    /// the sequential replay, for several cluster shapes, including ones
+    /// where partitions share pages heavily (small arrays).
+    #[test]
+    fn random_programs_match_replay(
+        plans in arb_plans(6),
+        len in 8usize..600,
+    ) {
+        for (nodes, tpn) in [(2usize, 3usize), (3, 2)] {
+            let threads = nodes * tpn;
+            prop_assert_eq!(threads, 6);
+            let (got, got_cnt) = run_dsm(nodes, tpn, len, plans.clone());
+            let (want, want_cnt) = replay(threads, len, &plans);
+            prop_assert_eq!(&got, &want, "memory image differs ({}x{})", nodes, tpn);
+            prop_assert_eq!(got_cnt, want_cnt, "lock-counter differs");
+        }
+    }
+}

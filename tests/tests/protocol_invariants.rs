@@ -1,0 +1,143 @@
+//! Structural invariants of the protocol, checked over real application
+//! runs under the paper's network model.
+
+use cvm_apps::{build_app, AppId, Scale};
+use cvm_dsm::{CvmBuilder, CvmConfig};
+use cvm_integration::assert_report_sane;
+use cvm_net::MsgKind;
+
+fn paper_run(app: AppId, nodes: usize, threads: usize) -> cvm_dsm::RunReport {
+    let mut b = CvmBuilder::new(CvmConfig::paper(nodes, threads));
+    let body = build_app(&mut b, app, Scale::Small);
+    b.run(body)
+}
+
+#[test]
+fn every_app_satisfies_wire_invariants() {
+    for app in [AppId::Sor, AppId::WaterNsq] {
+        let r = paper_run(app, 4, 2);
+        assert_report_sane(&r);
+    }
+}
+
+#[test]
+fn aggregated_barrier_messages_are_per_node() {
+    // With aggregation, one barrier episode on P nodes costs exactly
+    // (P-1) arrivals + (P-1) releases, independent of the thread level.
+    for threads in [1usize, 3] {
+        let b = CvmBuilder::new(CvmConfig::paper(4, threads));
+        let report = b.run(move |ctx| {
+            ctx.startup_done();
+            for _ in 0..5 {
+                ctx.barrier();
+            }
+        });
+        assert_eq!(report.stats.barriers_crossed, 5);
+        assert_eq!(
+            report.net.kind_count(MsgKind::BarrierArrive),
+            5 * 3,
+            "arrivals at {threads} threads"
+        );
+        assert_eq!(
+            report.net.kind_count(MsgKind::BarrierRelease),
+            5 * 3,
+            "releases at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn local_lock_queue_aggregates_remote_requests() {
+    // All threads of one node hammer one remote lock: the local queue
+    // must turn each node-burst into few remote requests, and grants must
+    // equal requests-that-crossed-the-wire.
+    let mut b = CvmBuilder::new(CvmConfig::paper(2, 4));
+    let v = b.alloc::<u64>(1);
+    let report = b.run(move |ctx| {
+        if ctx.global_id() == 0 {
+            v.write(ctx, 0, 0);
+        }
+        ctx.startup_done();
+        for _ in 0..4 {
+            ctx.acquire(5);
+            let x = v.read(ctx, 0);
+            v.write(ctx, 0, x + 1);
+            ctx.release(5);
+        }
+        ctx.barrier();
+        assert_eq!(v.read(ctx, 0), 32);
+    });
+    let grants = report.net.kind_count(MsgKind::LockGrant);
+    assert_eq!(
+        report.stats.remote_locks, grants,
+        "every remote acquire gets exactly one grant"
+    );
+    // 8 threads x 4 acquires = 32 acquisitions, but far fewer remote
+    // requests thanks to local hand-offs.
+    assert!(
+        report.stats.local_lock_handoffs + report.stats.local_lock_acquires > 0,
+        "some acquisitions must be satisfied locally"
+    );
+    assert!(
+        report.stats.remote_locks < 32,
+        "local queue must aggregate ({} remote)",
+        report.stats.remote_locks
+    );
+    assert_report_sane(&report);
+}
+
+#[test]
+fn no_messages_without_sharing() {
+    // Threads that only touch their own pages never need the wire after
+    // startup (barriers excepted).
+    let mut b = CvmBuilder::new(CvmConfig::paper(4, 2));
+    let v = b.alloc::<f64>(8 * 1024 * 4); // whole pages per thread
+    let report = b.run(move |ctx| {
+        if ctx.global_id() == 0 {
+            for i in 0..v.len() {
+                v.write(ctx, i, 0.0);
+            }
+        }
+        ctx.startup_done();
+        let (lo, hi) = ctx.partition(v.len());
+        for round in 0..3 {
+            for i in lo..hi {
+                v.write(ctx, i, round as f64);
+            }
+            ctx.barrier();
+        }
+    });
+    assert_eq!(report.stats.remote_faults, 0, "no cross-node data traffic");
+    assert_eq!(report.net.kind_count(MsgKind::DiffRequest), 0);
+}
+
+#[test]
+fn write_notices_only_invalidate_actual_sharers() {
+    // Node 1 writes one page; only readers of that page fault.
+    let mut b = CvmBuilder::new(CvmConfig::paper(3, 1));
+    let v = b.alloc::<f64>(3 * 1024); // 3 pages
+    let report = b.run(move |ctx| {
+        if ctx.global_id() == 0 {
+            for i in 0..v.len() {
+                v.write(ctx, i, 0.0);
+            }
+        }
+        ctx.startup_done();
+        if ctx.node() == 1 {
+            v.write(ctx, 0, 42.0); // page 0 only
+        }
+        ctx.barrier();
+        if ctx.node() == 2 {
+            // Reads an untouched page: no fault.
+            let _ = v.read(ctx, 2048);
+        }
+        ctx.barrier();
+        if ctx.node() == 0 {
+            assert_eq!(v.read(ctx, 0), 42.0);
+        }
+        ctx.barrier();
+    });
+    // Exactly one diff fetch: node 0 reading the invalidated page 0.
+    assert_eq!(report.stats.remote_faults, 1);
+    assert_report_sane(&report);
+}

@@ -1,0 +1,130 @@
+//! Cross-validation: the protocol event trace must agree with the
+//! aggregate statistics, and event sequences must satisfy causal sanity
+//! (a fetch completes only after a fault; barrier arrivals fill each
+//! episode exactly).
+
+use cvm_apps::{build_app, AppId, Scale};
+use cvm_dsm::trace::TraceEvent;
+use cvm_dsm::{CvmBuilder, CvmConfig};
+
+fn traced_run(app: AppId, nodes: usize, threads: usize) -> cvm_dsm::RunReport {
+    let mut cfg = CvmConfig::paper(nodes, threads);
+    cfg.trace_capacity = 1_000_000;
+    let mut b = CvmBuilder::new(cfg);
+    let body = build_app(&mut b, app, Scale::Small);
+    b.run(body)
+}
+
+#[test]
+fn trace_counts_agree_with_stats() {
+    for app in [AppId::Sor, AppId::WaterNsq] {
+        let r = traced_run(app, 4, 2);
+        let t = r.trace.as_ref().expect("trace enabled");
+        assert_eq!(t.overflow(), 0, "trace capacity too small for the test");
+        let count = |f: &dyn Fn(&TraceEvent) -> bool| t.iter().filter(|e| f(&e.event)).count() as u64;
+        assert_eq!(
+            count(&|e| matches!(e, TraceEvent::ThreadSwitch { .. })),
+            r.stats.thread_switches,
+            "{app}: switch events vs stats"
+        );
+        assert_eq!(
+            count(&|e| matches!(e, TraceEvent::Fault { .. })),
+            r.stats.remote_faults,
+            "{app}: fault events vs stats"
+        );
+        assert_eq!(
+            count(&|e| matches!(e, TraceEvent::FetchComplete { .. })),
+            r.stats.remote_faults,
+            "{app}: every initiated fetch completes exactly once"
+        );
+        assert_eq!(
+            count(&|e| matches!(e, TraceEvent::LockGranted { .. })),
+            r.stats.remote_locks,
+            "{app}: grants vs remote locks"
+        );
+        assert_eq!(
+            count(&|e| matches!(e, TraceEvent::LockLocalHandoff { .. })),
+            r.stats.local_lock_handoffs,
+            "{app}: local hand-offs"
+        );
+        assert_eq!(
+            count(&|e| matches!(e, TraceEvent::BarrierReleased { .. })),
+            r.stats.barriers_crossed,
+            "{app}: barrier releases"
+        );
+        assert_eq!(
+            count(&|e| matches!(e, TraceEvent::DiffCreated { .. })),
+            r.stats.diffs_created,
+            "{app}: diff creations"
+        );
+    }
+}
+
+#[test]
+fn every_fetch_follows_a_fault_on_the_same_page() {
+    let r = traced_run(AppId::Sor, 4, 2);
+    let t = r.trace.as_ref().unwrap();
+    let mut outstanding: std::collections::HashSet<(usize, usize)> =
+        std::collections::HashSet::new();
+    for e in t.iter() {
+        match &e.event {
+            TraceEvent::Fault { node, page, .. } => {
+                assert!(
+                    outstanding.insert((*node, page.0)),
+                    "double fault without completion on n{node} {page}"
+                );
+            }
+            TraceEvent::FetchComplete { node, page, .. } => {
+                assert!(
+                    outstanding.remove(&(*node, page.0)),
+                    "fetch completion without a fault on n{node} {page}"
+                );
+            }
+            _ => {}
+        }
+    }
+    assert!(outstanding.is_empty(), "fetches left outstanding at exit");
+}
+
+#[test]
+fn barrier_arrivals_fill_each_episode() {
+    let nodes = 4;
+    let r = traced_run(AppId::Sor, nodes, 3);
+    let t = r.trace.as_ref().unwrap();
+    let mut per_epoch: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    let mut released = 0u64;
+    for e in t.iter() {
+        match &e.event {
+            TraceEvent::BarrierArrived { epoch, .. } => {
+                *per_epoch.entry(*epoch).or_default() += 1;
+            }
+            TraceEvent::BarrierReleased { epoch, .. } => {
+                // Epoch increments at release, so arrivals were tagged
+                // with the previous value.
+                assert_eq!(
+                    per_epoch.get(&(epoch - 1)).copied(),
+                    Some(nodes),
+                    "episode {} arrivals",
+                    epoch - 1
+                );
+                released += 1;
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(released, r.stats.barriers_crossed);
+}
+
+#[test]
+fn per_node_scheduler_events_are_time_ordered() {
+    let r = traced_run(AppId::WaterNsq, 4, 2);
+    let t = r.trace.as_ref().unwrap();
+    let mut last = std::collections::HashMap::new();
+    for e in t.iter() {
+        if let TraceEvent::ThreadSwitch { node, .. } = &e.event {
+            if let Some(prev) = last.insert(*node, e.at) {
+                assert!(e.at >= prev, "node {node} scheduler time went backwards");
+            }
+        }
+    }
+}
