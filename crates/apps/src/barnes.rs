@@ -116,7 +116,14 @@ impl Octree {
         self.inserted == 0
     }
 
-    fn insert(cell: &mut Cell, center: [f64; 3], half: f64, pos: [f64; 3], mass: f64, depth: usize) {
+    fn insert(
+        cell: &mut Cell,
+        center: [f64; 3],
+        half: f64,
+        pos: [f64; 3],
+        mass: f64,
+        depth: usize,
+    ) {
         match cell {
             Cell::Empty => {
                 *cell = Cell::Body { pos, mass };
@@ -210,13 +217,7 @@ impl Octree {
         (acc, count)
     }
 
-    fn force_walk(
-        cell: &Cell,
-        pos: [f64; 3],
-        theta: f64,
-        acc: &mut [f64; 3],
-        count: &mut u64,
-    ) {
+    fn force_walk(cell: &Cell, pos: [f64; 3], theta: f64, acc: &mut [f64; 3], count: &mut u64) {
         const EPS2: f64 = 1e-4;
         match cell {
             Cell::Empty => {}
@@ -381,7 +382,9 @@ pub fn oracle(cfg: &BarnesConfig) -> f64 {
             }
         }
     }
-    pos.iter().map(|p| p.iter().map(|x| x.abs()).sum::<f64>()).sum()
+    pos.iter()
+        .map(|p| p.iter().map(|x| x.abs()).sum::<f64>())
+        .sum()
 }
 
 /// Runs the app and returns the checksum (tests).

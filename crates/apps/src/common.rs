@@ -24,10 +24,7 @@ pub fn close(a: f64, b: f64, rel: f64) -> bool {
 ///
 /// Panics when the values differ by more than `rel` relative tolerance.
 pub fn assert_close(a: f64, b: f64, rel: f64, what: &str) {
-    assert!(
-        close(a, b, rel),
-        "{what}: {a} vs {b} (rel tol {rel})"
-    );
+    assert!(close(a, b, rel), "{what}: {a} vs {b} (rel tol {rel})");
 }
 
 /// Splits `len` items into the contiguous chunk owned by `who` of `parts`

@@ -109,7 +109,12 @@ fn fft_row(re: &mut [f64], im: &mut [f64]) -> u64 {
     flops
 }
 
-fn run(ctx: &mut ThreadCtx<'_>, cfg: &FftConfig, arrays: [SharedVec<f64>; 4], sink: SharedVec<f64>) {
+fn run(
+    ctx: &mut ThreadCtx<'_>,
+    cfg: &FftConfig,
+    arrays: [SharedVec<f64>; 4],
+    sink: SharedVec<f64>,
+) {
     let [re, im, tre, tim] = arrays;
     let m = cfg.m;
     if ctx.global_id() == 0 {

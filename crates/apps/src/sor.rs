@@ -69,8 +69,7 @@ pub fn oracle(cfg: &SorConfig) -> f64 {
                             + g[(r + 1) * dim + c]
                             + g[r * dim + c - 1]
                             + g[r * dim + c + 1];
-                        g[r * dim + c] =
-                            (1.0 - cfg.omega) * g[r * dim + c] + cfg.omega * 0.25 * s;
+                        g[r * dim + c] = (1.0 - cfg.omega) * g[r * dim + c] + cfg.omega * 0.25 * s;
                     }
                 }
             }
@@ -101,7 +100,12 @@ fn init_values(mut set: impl FnMut(usize, usize, f64), dim: usize) {
     }
 }
 
-fn run(ctx: &mut ThreadCtx<'_>, cfg: &SorConfig, grid: SharedMat<f64>, sink: cvm_dsm::SharedVec<f64>) {
+fn run(
+    ctx: &mut ThreadCtx<'_>,
+    cfg: &SorConfig,
+    grid: SharedMat<f64>,
+    sink: cvm_dsm::SharedVec<f64>,
+) {
     let dim = cfg.n + 2;
     if ctx.global_id() == 0 {
         init_values(|r, c, v| grid.write(ctx, r, c, v), dim);

@@ -257,8 +257,8 @@ pub fn oracle(cfg: &SwmConfig) -> f64 {
                 z[i * n + j] = (fsdx * (at(&v, ip, j) - at(&v, i, j))
                     - fsdx * (at(&u, i, jp) - at(&u, i, j)))
                     / (at(&p, i, j) + 1.0);
-                h[i * n + j] =
-                    at(&p, i, j) + 0.25 * (at(&u, i, j) * at(&u, i, j) + at(&v, i, j) * at(&v, i, j));
+                h[i * n + j] = at(&p, i, j)
+                    + 0.25 * (at(&u, i, j) * at(&u, i, j) + at(&v, i, j) * at(&v, i, j));
             }
         }
         let mut unew = vec![0.0; n * n];
@@ -271,8 +271,7 @@ pub fn oracle(cfg: &SwmConfig) -> f64 {
                 let jp = (j + 1) % n;
                 let jm = (j + n - 1) % n;
                 let zs = at(&z, i, j) + at(&z, im, jm);
-                unew[i * n + j] = at(&uold, i, j)
-                    + tdts8 * zs * (at(&cv, i, j) + at(&cv, im, j))
+                unew[i * n + j] = at(&uold, i, j) + tdts8 * zs * (at(&cv, i, j) + at(&cv, im, j))
                     - tdtsdx * (at(&h, i, j) - at(&h, im, j));
                 vnew[i * n + j] = at(&vold, i, j)
                     - tdts8 * zs * (at(&cu, i, j) + at(&cu, i, jm))

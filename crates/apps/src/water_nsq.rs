@@ -153,7 +153,10 @@ fn atom_force(pi: [f64; 3], pj: [f64; 3]) -> ([f64; 3], f64) {
     let s2 = 0.01 / r2;
     let s6 = s2 * s2 * s2;
     let mag = 24.0 * (2.0 * s6 * s6 - s6) / r2 / 9.0;
-    ([d[0] * mag, d[1] * mag, d[2] * mag], 4.0 * (s6 * s6 - s6) / 9.0)
+    (
+        [d[0] * mag, d[1] * mag, d[2] * mag],
+        4.0 * (s6 * s6 - s6) / 9.0,
+    )
 }
 
 /// Molecule-pair force over all 3×3 atom pairs; `None` outside the cutoff.

@@ -1,11 +1,11 @@
 //! Ablation benches for the design choices DESIGN.md calls out: barrier
 //! arrival aggregation and the local-first lock release policy. Each
 //! bench pair runs the same workload with the mechanism on and off; the
-//! simulated cost difference is printed once, the regeneration cost is
-//! measured by Criterion.
+//! simulated cost difference is printed once, then the regeneration cost
+//! is measured.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cvm_apps::{sor, water_nsq};
+use cvm_bench::timing::bench;
 use cvm_bench::workloads;
 use cvm_dsm::{CvmBuilder, CvmConfig, RunReport};
 
@@ -27,7 +27,7 @@ fn water_run(prefer_local: bool) -> RunReport {
     b.run(body)
 }
 
-fn bench_barrier_aggregation(c: &mut Criterion) {
+fn bench_barrier_aggregation() {
     let with = sor_run(true);
     let without = sor_run(false);
     eprintln!(
@@ -38,13 +38,11 @@ fn bench_barrier_aggregation(c: &mut Criterion) {
         without.total_ms(),
         without.net.total_count()
     );
-    let mut g = c.benchmark_group("ablation_barrier");
-    g.bench_function("aggregated", |b| b.iter(|| sor_run(true)));
-    g.bench_function("per_thread", |b| b.iter(|| sor_run(false)));
-    g.finish();
+    bench("ablation_barrier/aggregated", || sor_run(true));
+    bench("ablation_barrier/per_thread", || sor_run(false));
 }
 
-fn bench_lock_policy(c: &mut Criterion) {
+fn bench_lock_policy() {
     let with = water_run(true);
     let without = water_run(false);
     eprintln!(
@@ -55,22 +53,11 @@ fn bench_lock_policy(c: &mut Criterion) {
         without.total_ms(),
         without.stats.remote_locks
     );
-    let mut g = c.benchmark_group("ablation_lock");
-    g.bench_function("local_first", |b| b.iter(|| water_run(true)));
-    g.bench_function("fair", |b| b.iter(|| water_run(false)));
-    g.finish();
+    bench("ablation_lock/local_first", || water_run(true));
+    bench("ablation_lock/fair", || water_run(false));
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(4))
-        .warm_up_time(std::time::Duration::from_secs(1))
+fn main() {
+    bench_barrier_aggregation();
+    bench_lock_policy();
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_barrier_aggregation, bench_lock_policy
-}
-criterion_main!(benches);

@@ -2,66 +2,49 @@
 //! then benches how fast the simulator reproduces each primitive
 //! (thousands of simulated lock acquires / page faults per second).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cvm_bench::timing::bench;
 use cvm_dsm::{CvmBuilder, CvmConfig};
 use cvm_harness::micro;
 
-fn print_table_once() {
-    static ONCE: std::sync::Once = std::sync::Once::new();
-    ONCE.call_once(|| eprintln!("\n{}", micro::render(&micro::report())));
-}
-
-fn bench_lock_rtt(c: &mut Criterion) {
-    print_table_once();
-    c.bench_function("micro/simulated_2hop_lock_run", |b| {
-        b.iter(|| {
-            let builder = CvmBuilder::new(CvmConfig::paper(2, 1));
-            builder.run(|ctx| {
-                ctx.startup_done();
-                if ctx.global_id() == 0 {
-                    ctx.acquire(1);
-                    ctx.release(1);
-                }
-                ctx.barrier();
-            })
+fn bench_lock_rtt() {
+    bench("micro/simulated_2hop_lock_run", || {
+        let builder = CvmBuilder::new(CvmConfig::paper(2, 1));
+        builder.run(|ctx| {
+            ctx.startup_done();
+            if ctx.global_id() == 0 {
+                ctx.acquire(1);
+                ctx.release(1);
+            }
+            ctx.barrier();
         })
     });
 }
 
-fn bench_fault_run(c: &mut Criterion) {
-    c.bench_function("micro/simulated_page_fault_run", |b| {
-        b.iter(|| {
-            let mut builder = CvmBuilder::new(CvmConfig::paper(2, 1));
-            let v = builder.alloc::<f64>(1024);
-            builder.run(move |ctx| {
-                if ctx.global_id() == 0 {
-                    for i in 0..1024 {
-                        v.write(ctx, i, 1.0);
-                    }
+fn bench_fault_run() {
+    bench("micro/simulated_page_fault_run", || {
+        let mut builder = CvmBuilder::new(CvmConfig::paper(2, 1));
+        let v = builder.alloc::<f64>(1024);
+        builder.run(move |ctx| {
+            if ctx.global_id() == 0 {
+                for i in 0..1024 {
+                    v.write(ctx, i, 1.0);
                 }
-                ctx.startup_done();
-                if ctx.node() == 1 {
-                    v.write(ctx, 0, 2.0);
-                }
-                ctx.barrier();
-                if ctx.node() == 0 {
-                    let _ = v.read(ctx, 0);
-                }
-                ctx.barrier();
-            })
+            }
+            ctx.startup_done();
+            if ctx.node() == 1 {
+                v.write(ctx, 0, 2.0);
+            }
+            ctx.barrier();
+            if ctx.node() == 0 {
+                let _ = v.read(ctx, 0);
+            }
+            ctx.barrier();
         })
     });
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(3))
+fn main() {
+    eprintln!("\n{}", micro::render(&micro::report()));
+    bench_lock_rtt();
+    bench_fault_run();
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_lock_rtt, bench_fault_run
-}
-criterion_main!(benches);

@@ -1,13 +1,13 @@
 //! One bench per paper artifact: measures the cost of regenerating the
-//! runs behind Figure 1 and Tables 2–5 (at reduced size so Criterion can
-//! sample), and prints the simulated headline metrics once per group.
+//! runs behind Figure 1 and Tables 2–5 (at reduced size so sampling is
+//! fast), and prints the simulated headline metrics once per group.
 //!
 //! The full-size artifacts are produced by the `harness` binary:
 //! `cargo run --release -p cvm-harness -- all`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cvm_apps::water_nsq::{self, WaterNsqOpt};
 use cvm_apps::{build_app, sor, AppId, Scale};
+use cvm_bench::timing::bench;
 use cvm_bench::workloads;
 use cvm_dsm::{CvmBuilder, CvmConfig, RunReport};
 
@@ -25,18 +25,14 @@ fn tiny_run(app: AppId, nodes: usize, threads: usize) -> RunReport {
 }
 
 /// Figure 1 / Table 2 / Table 3 source runs: app × thread level.
-fn bench_fig1_tables23(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig1_tables23");
+fn bench_fig1_tables23() {
     for threads in [1usize, 4] {
         for app in [AppId::Sor, AppId::WaterNsq] {
-            g.bench_with_input(
-                BenchmarkId::new(app.name(), threads),
-                &threads,
-                |b, &t| b.iter(|| tiny_run(app, 8, t)),
-            );
+            bench(&format!("fig1_tables23/{}_{threads}", app.name()), || {
+                tiny_run(app, 8, threads)
+            });
         }
     }
-    g.finish();
     let r = tiny_run(AppId::WaterNsq, 8, 4);
     eprintln!(
         "\n[table2/3 sample] Water-Nsq P=8 T=4: {} msgs, {} KB, {} switches, {} diffs",
@@ -48,10 +44,8 @@ fn bench_fig1_tables23(c: &mut Criterion) {
 }
 
 /// Figure 2 source: a memsim-enabled run.
-fn bench_fig2(c: &mut Criterion) {
-    c.bench_function("fig2/fft_memsim_p4_t2", |b| {
-        b.iter(|| tiny_run(AppId::Fft, 4, 2))
-    });
+fn bench_fig2() {
+    bench("fig2/fft_memsim_p4_t2", || tiny_run(AppId::Fft, 4, 2));
     let r = tiny_run(AppId::Fft, 4, 2);
     eprintln!(
         "\n[fig2 sample] FFT P=4 T=2: dcache {} dtlb {} itlb {} misses",
@@ -60,46 +54,33 @@ fn bench_fig2(c: &mut Criterion) {
 }
 
 /// Table 4 source: a 16-processor scalability run.
-fn bench_table4(c: &mut Criterion) {
-    c.bench_function("table4/sor_p16_t2", |b| {
-        b.iter(|| {
-            let mut builder = CvmBuilder::new(CvmConfig::paper(16, 2));
-            let body = sor::build(&mut builder, workloads::sor_tiny());
-            builder.run(body)
-        })
+fn bench_table4() {
+    bench("table4/sor_p16_t2", || {
+        let mut builder = CvmBuilder::new(CvmConfig::paper(16, 2));
+        let body = sor::build(&mut builder, workloads::sor_tiny());
+        builder.run(body)
     });
 }
 
 /// Table 5 source: the Water-Nsq variants.
-fn bench_table5(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table5_variants");
+fn bench_table5() {
     for (name, opt) in [
         ("noopts", WaterNsqOpt::NoOpts),
         ("bothopts", WaterNsqOpt::BothOpts),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut cfg = workloads::water_tiny();
-                cfg.opt = opt;
-                let mut builder = CvmBuilder::new(CvmConfig::paper(8, 4));
-                let body = water_nsq::build(&mut builder, cfg);
-                builder.run(body)
-            })
+        bench(&format!("table5_variants/{name}"), || {
+            let mut cfg = workloads::water_tiny();
+            cfg.opt = opt;
+            let mut builder = CvmBuilder::new(CvmConfig::paper(8, 4));
+            let body = water_nsq::build(&mut builder, cfg);
+            builder.run(body)
         });
     }
-    g.finish();
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(4))
-        .warm_up_time(std::time::Duration::from_secs(1))
+fn main() {
+    bench_fig1_tables23();
+    bench_fig2();
+    bench_table4();
+    bench_table5();
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_fig1_tables23, bench_fig2, bench_table4, bench_table5
-}
-criterion_main!(benches);

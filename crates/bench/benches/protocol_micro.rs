@@ -2,7 +2,7 @@
 //! and application on 8 KB pages, vector-time merges, lock transitions,
 //! and the cache simulator's access path.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use cvm_bench::timing::{bb, bench};
 use cvm_dsm::lock::LockLocal;
 use cvm_dsm::page::PageId;
 use cvm_dsm::{Diff, VectorTime};
@@ -10,18 +10,15 @@ use cvm_memsim::{MemConfig, MemSystem};
 
 const PAGE: usize = 8192;
 
-fn bench_diff(c: &mut Criterion) {
-    let mut g = c.benchmark_group("diff");
-    g.throughput(Throughput::Bytes(PAGE as u64));
-
+fn bench_diff() {
     let twin = vec![0u8; PAGE];
     // Sparse modification: every 64th word (a typical boundary-row diff).
     let mut sparse = twin.clone();
     for w in (0..PAGE / 8).step_by(64) {
         sparse[w * 8] = 0xAB;
     }
-    g.bench_function("create_sparse", |b| {
-        b.iter(|| Diff::create(PageId(0), black_box(&twin), black_box(&sparse)))
+    bench("diff/create_sparse", || {
+        Diff::create(PageId(0), bb(&twin), bb(&sparse))
     });
 
     // Dense modification: half the page (a whole-row rewrite).
@@ -29,23 +26,19 @@ fn bench_diff(c: &mut Criterion) {
     for byte in dense.iter_mut().take(PAGE / 2) {
         *byte = 0xCD;
     }
-    g.bench_function("create_dense", |b| {
-        b.iter(|| Diff::create(PageId(0), black_box(&twin), black_box(&dense)))
+    bench("diff/create_dense", || {
+        Diff::create(PageId(0), bb(&twin), bb(&dense))
     });
 
     let diff = Diff::create(PageId(0), &twin, &dense);
-    g.bench_function("apply_dense", |b| {
-        b.iter_batched(
-            || twin.clone(),
-            |mut page| diff.apply(black_box(&mut page)),
-            criterion::BatchSize::SmallInput,
-        )
+    bench("diff/apply_dense", || {
+        let mut page = twin.clone();
+        diff.apply(bb(&mut page));
+        page
     });
-    g.finish();
 }
 
-fn bench_vector_time(c: &mut Criterion) {
-    let mut g = c.benchmark_group("vector_time");
+fn bench_vector_time() {
     for nodes in [8usize, 64] {
         let mut a = VectorTime::new(nodes);
         let mut b2 = VectorTime::new(nodes);
@@ -53,54 +46,42 @@ fn bench_vector_time(c: &mut Criterion) {
             a.advance(i, (i * 7) as u32);
             b2.advance(i, (i * 5 + 3) as u32);
         }
-        g.bench_function(format!("merge_{nodes}"), |bench| {
-            bench.iter(|| {
-                let mut m = a.clone();
-                m.merge(black_box(&b2));
-                m
-            })
+        bench(&format!("vector_time/merge_{nodes}"), || {
+            let mut m = a.clone();
+            m.merge(bb(&b2));
+            m
         });
-        g.bench_function(format!("covers_{nodes}"), |bench| {
-            bench.iter(|| black_box(&a).covers(black_box(&b2)))
+        bench(&format!("vector_time/covers_{nodes}"), || {
+            bb(&a).covers(bb(&b2))
         });
     }
-    g.finish();
 }
 
-fn bench_lock_transitions(c: &mut Criterion) {
-    c.bench_function("lock/acquire_release_cached", |b| {
-        let mut l = LockLocal {
-            cached: true,
-            ..Default::default()
-        };
-        b.iter(|| {
-            l.try_acquire(1);
-            l.release(1, true)
-        })
+fn bench_lock_transitions() {
+    let mut l = LockLocal {
+        cached: true,
+        ..Default::default()
+    };
+    bench("lock/acquire_release_cached", || {
+        l.try_acquire(1);
+        l.release(1, true)
     });
 }
 
-fn bench_memsim(c: &mut Criterion) {
-    let mut g = c.benchmark_group("memsim");
-    g.throughput(Throughput::Elements(1024));
-    g.bench_function("sp2_stream_1k", |b| {
-        let mut m = MemSystem::new(MemConfig::sp2());
-        let mut addr = 0u64;
-        b.iter(|| {
-            for _ in 0..1024 {
-                addr = addr.wrapping_add(128) & 0xF_FFFF;
-                m.data_access(black_box(addr));
-            }
-        })
+fn bench_memsim() {
+    let mut m = MemSystem::new(MemConfig::sp2());
+    let mut addr = 0u64;
+    bench("memsim/sp2_stream_1k", || {
+        for _ in 0..1024 {
+            addr = addr.wrapping_add(128) & 0xF_FFFF;
+            m.data_access(bb(addr));
+        }
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_diff,
-    bench_vector_time,
-    bench_lock_transitions,
-    bench_memsim
-);
-criterion_main!(benches);
+fn main() {
+    bench_diff();
+    bench_vector_time();
+    bench_lock_transitions();
+    bench_memsim();
+}

@@ -1,4 +1,4 @@
-//! Criterion benchmark crate for the CVM reproduction.
+//! Benchmark crate for the CVM reproduction.
 //!
 //! | bench target | regenerates |
 //! |---|---|
@@ -8,8 +8,9 @@
 //! | `protocol_micro` | throughput of the protocol's data structures |
 //!
 //! Run everything with `cargo bench --workspace`. The benches print the
-//! simulated metrics once per group, then let Criterion measure the
-//! wall-clock cost of regenerating them.
+//! simulated metrics once per group, then measure the wall-clock cost of
+//! regenerating them with the [`timing`] harness (self-contained — the
+//! workspace builds offline with no external crates).
 
 /// Shared tiny workloads so bench iterations stay fast.
 pub mod workloads {
@@ -33,6 +34,65 @@ pub mod workloads {
             dt: 0.002,
             cutoff2: 0.3,
             opt: cvm_apps::water_nsq::WaterNsqOpt::BothOpts,
+        }
+    }
+}
+
+/// A minimal wall-clock benchmarking harness: warm-up, timed samples,
+/// median-of-samples reporting. Deliberately tiny — enough to spot
+/// order-of-magnitude regressions without external dependencies.
+pub mod timing {
+    use std::hint::black_box;
+    use std::time::{Duration, Instant};
+
+    /// Re-export so benches can `use cvm_bench::timing::black_box`.
+    pub use std::hint::black_box as bb;
+
+    /// Number of timed samples per benchmark.
+    const SAMPLES: usize = 10;
+    /// Target wall-clock time per sample.
+    const SAMPLE_TARGET: Duration = Duration::from_millis(100);
+
+    /// Times `f`, printing `name: <median>/iter (n iters/sample)`.
+    ///
+    /// The closure's return value is passed through [`black_box`] so the
+    /// optimizer cannot delete the measured work.
+    pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+        // Calibrate: how many iterations fit in one sample?
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (SAMPLE_TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize;
+
+        // Warm-up sample.
+        for _ in 0..iters {
+            black_box(f());
+        }
+
+        let mut per_iter: Vec<Duration> = (0..SAMPLES)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                start.elapsed() / iters as u32
+            })
+            .collect();
+        per_iter.sort_unstable();
+        let median = per_iter[SAMPLES / 2];
+        println!("{name}: {} ({iters} iters/sample)", fmt_duration(median));
+    }
+
+    fn fmt_duration(d: Duration) -> String {
+        let ns = d.as_nanos();
+        if ns < 1_000 {
+            format!("{ns} ns/iter")
+        } else if ns < 1_000_000 {
+            format!("{:.2} µs/iter", ns as f64 / 1e3)
+        } else if ns < 1_000_000_000 {
+            format!("{:.2} ms/iter", ns as f64 / 1e6)
+        } else {
+            format!("{:.2} s/iter", ns as f64 / 1e9)
         }
     }
 }

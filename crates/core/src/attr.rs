@@ -1,0 +1,286 @@
+//! Per-resource attribution: which pages and locks the run's remote
+//! latency actually went to.
+//!
+//! The paper's Table 5 case study works exactly this way — find the few
+//! structures behind most of the misses, restructure them, re-measure.
+//! [`ResourceAttr`] keeps per-page fault/invalidation/diff counters and
+//! per-lock acquisition/contention counters in `BTreeMap`s (deterministic
+//! iteration order → byte-stable JSON), and renders top-N "hot" tables.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cvm_sim::json::JsonValue;
+
+/// Counters for one shared page.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PageAttr {
+    /// Remote faults taken on the page.
+    pub faults: u64,
+    /// Times a resident copy was invalidated by a write notice.
+    pub invalidations: u64,
+    /// Diffs extracted from this page's twins.
+    pub diffs_created: u64,
+    /// Total modified bytes across those diffs.
+    pub diff_bytes: u64,
+}
+
+impl PageAttr {
+    /// Heat score used to rank hot pages: protocol events on the page.
+    pub fn heat(&self) -> u64 {
+        self.faults + self.invalidations + self.diffs_created
+    }
+}
+
+/// Counters for one global lock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockAttr {
+    /// Acquires that required a network round-trip.
+    pub remote_acquires: u64,
+    /// Acquires satisfied by the locally cached token.
+    pub local_acquires: u64,
+    /// Acquires satisfied by a local queue hand-off at release.
+    pub local_handoffs: u64,
+    /// Threads that blocked behind an already-held/requested lock.
+    pub contended: u64,
+    /// Remote acquires that took the 3-hop path (manager forwarded to the
+    /// current owner).
+    pub three_hop: u64,
+}
+
+impl LockAttr {
+    /// All acquisitions, however satisfied.
+    pub fn total_acquires(&self) -> u64 {
+        self.remote_acquires + self.local_acquires + self.local_handoffs
+    }
+
+    /// Heat score used to rank hot locks: remote traffic plus contention.
+    pub fn heat(&self) -> u64 {
+        self.remote_acquires + self.contended
+    }
+}
+
+/// Per-page and per-lock attribution for one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResourceAttr {
+    pages: BTreeMap<usize, PageAttr>,
+    locks: BTreeMap<usize, LockAttr>,
+}
+
+impl ResourceAttr {
+    /// Creates empty attribution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears all counters (used at `startup_done`).
+    pub fn reset(&mut self) {
+        self.pages.clear();
+        self.locks.clear();
+    }
+
+    /// Mutable counters for `page`, created on first touch.
+    pub fn page_mut(&mut self, page: usize) -> &mut PageAttr {
+        self.pages.entry(page).or_default()
+    }
+
+    /// Mutable counters for `lock`, created on first touch.
+    pub fn lock_mut(&mut self, lock: usize) -> &mut LockAttr {
+        self.locks.entry(lock).or_default()
+    }
+
+    /// Counters for `page`, if it was ever touched.
+    pub fn page(&self, page: usize) -> Option<&PageAttr> {
+        self.pages.get(&page)
+    }
+
+    /// Counters for `lock`, if it was ever touched.
+    pub fn lock(&self, lock: usize) -> Option<&LockAttr> {
+        self.locks.get(&lock)
+    }
+
+    /// Number of distinct pages with any activity.
+    pub fn pages_touched(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of distinct locks with any activity.
+    pub fn locks_touched(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// The `n` hottest pages, descending by [`PageAttr::heat`], ties by
+    /// page id ascending (deterministic).
+    pub fn top_pages(&self, n: usize) -> Vec<(usize, PageAttr)> {
+        let mut rows: Vec<(usize, PageAttr)> = self.pages.iter().map(|(&p, &a)| (p, a)).collect();
+        rows.sort_by(|a, b| b.1.heat().cmp(&a.1.heat()).then(a.0.cmp(&b.0)));
+        rows.truncate(n);
+        rows
+    }
+
+    /// The `n` hottest locks, descending by [`LockAttr::heat`], ties by
+    /// lock id ascending (deterministic).
+    pub fn top_locks(&self, n: usize) -> Vec<(usize, LockAttr)> {
+        let mut rows: Vec<(usize, LockAttr)> = self.locks.iter().map(|(&l, &a)| (l, a)).collect();
+        rows.sort_by(|a, b| b.1.heat().cmp(&a.1.heat()).then(a.0.cmp(&b.0)));
+        rows.truncate(n);
+        rows
+    }
+
+    /// JSON form: `{pages_touched, locks_touched, hot_pages: [...],
+    /// hot_locks: [...]}` with the top `top_n` of each.
+    pub fn to_json(&self, top_n: usize) -> JsonValue {
+        let mut obj = JsonValue::object();
+        obj.set("pages_touched", self.pages_touched());
+        obj.set("locks_touched", self.locks_touched());
+        let mut hot_pages = JsonValue::array();
+        for (p, a) in self.top_pages(top_n) {
+            let mut row = JsonValue::object();
+            row.set("page", p);
+            row.set("faults", a.faults);
+            row.set("invalidations", a.invalidations);
+            row.set("diffs_created", a.diffs_created);
+            row.set("diff_bytes", a.diff_bytes);
+            hot_pages.push(row);
+        }
+        obj.set("hot_pages", hot_pages);
+        let mut hot_locks = JsonValue::array();
+        for (l, a) in self.top_locks(top_n) {
+            let mut row = JsonValue::object();
+            row.set("lock", l);
+            row.set("remote_acquires", a.remote_acquires);
+            row.set("local_acquires", a.local_acquires);
+            row.set("local_handoffs", a.local_handoffs);
+            row.set("contended", a.contended);
+            row.set("three_hop", a.three_hop);
+            hot_locks.push(row);
+        }
+        obj.set("hot_locks", hot_locks);
+        obj
+    }
+
+    /// Renders the top-`n` hot-page and hot-lock tables as text.
+    pub fn render(&self, n: usize) -> String {
+        format!("{}", Render { attr: self, n })
+    }
+}
+
+struct Render<'a> {
+    attr: &'a ResourceAttr,
+    n: usize,
+}
+
+impl fmt::Display for Render<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let pages = self.attr.top_pages(self.n);
+        if !pages.is_empty() {
+            writeln!(
+                f,
+                "hot pages ({} touched): {:>6} {:>8} {:>8} {:>8} {:>10}",
+                self.attr.pages_touched(),
+                "page",
+                "faults",
+                "invals",
+                "diffs",
+                "diff B"
+            )?;
+            for (p, a) in pages {
+                writeln!(
+                    f,
+                    "{:>32} {:>8} {:>8} {:>8} {:>10}",
+                    format!("p{p}"),
+                    a.faults,
+                    a.invalidations,
+                    a.diffs_created,
+                    a.diff_bytes
+                )?;
+            }
+        }
+        let locks = self.attr.top_locks(self.n);
+        if !locks.is_empty() {
+            writeln!(
+                f,
+                "hot locks ({} touched): {:>6} {:>8} {:>8} {:>8} {:>8}",
+                self.attr.locks_touched(),
+                "lock",
+                "remote",
+                "local",
+                "queued",
+                "3hop"
+            )?;
+            for (l, a) in locks {
+                writeln!(
+                    f,
+                    "{:>32} {:>8} {:>8} {:>8} {:>8}",
+                    format!("L{l}"),
+                    a.remote_acquires,
+                    a.local_acquires + a.local_handoffs,
+                    a.contended,
+                    a.three_hop
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_pages_rank_by_heat_then_id() {
+        let mut attr = ResourceAttr::new();
+        attr.page_mut(5).faults = 3;
+        attr.page_mut(2).faults = 3;
+        attr.page_mut(9).faults = 10;
+        let top = attr.top_pages(3);
+        assert_eq!(top[0].0, 9);
+        assert_eq!(top[1].0, 2, "tie broken by lower page id");
+        assert_eq!(top[2].0, 5);
+    }
+
+    #[test]
+    fn top_n_truncates() {
+        let mut attr = ResourceAttr::new();
+        for p in 0..20 {
+            attr.page_mut(p).faults = p as u64;
+        }
+        assert_eq!(attr.top_pages(5).len(), 5);
+        assert_eq!(attr.pages_touched(), 20);
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut attr = ResourceAttr::new();
+        attr.page_mut(3).faults = 2;
+        attr.lock_mut(7).remote_acquires = 4;
+        attr.lock_mut(7).three_hop = 1;
+        let j = attr.to_json(10);
+        assert_eq!(j.get("pages_touched").unwrap().as_u64(), Some(1));
+        let hp = j.get("hot_pages").unwrap().as_array().unwrap();
+        assert_eq!(hp[0].get("page").unwrap().as_u64(), Some(3));
+        let hl = j.get("hot_locks").unwrap().as_array().unwrap();
+        assert_eq!(hl[0].get("three_hop").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn render_mentions_hot_resources() {
+        let mut attr = ResourceAttr::new();
+        attr.page_mut(3).faults = 2;
+        attr.lock_mut(1).contended = 5;
+        let text = attr.render(4);
+        assert!(text.contains("hot pages"));
+        assert!(text.contains("p3"));
+        assert!(text.contains("L1"));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut attr = ResourceAttr::new();
+        attr.page_mut(0).faults = 1;
+        attr.lock_mut(0).contended = 1;
+        attr.reset();
+        assert_eq!(attr, ResourceAttr::new());
+    }
+}

@@ -10,8 +10,8 @@
 use std::sync::Arc;
 
 use cvm_sim::coop::Yielder;
+use cvm_sim::sync::Mutex;
 use cvm_sim::{SimDuration, SimRng};
-use parking_lot::Mutex;
 
 use crate::node::NodeCell;
 use crate::page::{Addr, PageId, PageState};
@@ -353,8 +353,7 @@ impl<'a> ThreadCtx<'a> {
         // combined hot instruction footprint grows with interleaving.
         self.pc = (self.pc + 64) % window;
         let window_base = CODE_BASE + (tid % 4) * window;
-        let priv_addr =
-            PRIVATE_BASE + tid * PRIVATE_WS * 4 + (self.priv_counter * 64) % PRIVATE_WS;
+        let priv_addr = PRIVATE_BASE + tid * PRIVATE_WS * 4 + (self.priv_counter * 64) % PRIVATE_WS;
         let do_private = self.access_counter.is_multiple_of(4);
         if do_private {
             self.priv_counter += 1;

@@ -58,7 +58,10 @@ impl Diff {
     /// Panics if the buffers differ in length or are not word-multiples.
     pub fn create(page: PageId, twin: &[u8], current: &[u8]) -> Diff {
         assert_eq!(twin.len(), current.len(), "twin/current size mismatch");
-        assert!(twin.len().is_multiple_of(DIFF_WORD), "page not word aligned");
+        assert!(
+            twin.len().is_multiple_of(DIFF_WORD),
+            "page not word aligned"
+        );
         let mut runs: Vec<DiffRun> = Vec::new();
         let mut open: Option<DiffRun> = None;
         for w in 0..twin.len() / DIFF_WORD {

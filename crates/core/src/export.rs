@@ -1,0 +1,400 @@
+//! Chrome trace-event (Perfetto) export of a protocol [`Trace`].
+//!
+//! Converts the flat event list into the JSON the Chrome tracing UI and
+//! [ui.perfetto.dev](https://ui.perfetto.dev) load directly: one track
+//! (`tid`) per node, async duration spans for the protocol's three
+//! latency-bearing episodes — fault → fetch-complete, lock request →
+//! grant, barrier arrive → release — and instant events for the
+//! remaining protocol actions.
+//!
+//! Spans are paired here at export time, so every emitted `"b"` has a
+//! matching `"e"` with the same `cat`/`id` even when episodes on one node
+//! overlap; begins left open by a truncated trace are dropped rather than
+//! emitted unbalanced.
+
+use std::collections::HashMap;
+
+use cvm_sim::json::JsonValue;
+use cvm_sim::VirtualTime;
+
+use crate::trace::{Trace, TraceEvent};
+
+/// Timestamp in microseconds, the trace-event format's native unit.
+fn ts_us(t: VirtualTime) -> f64 {
+    t.as_ns() as f64 / 1000.0
+}
+
+fn event_base(name: &str, cat: &str, ph: &str, node: usize, at: VirtualTime) -> JsonValue {
+    let mut e = JsonValue::object();
+    e.set("name", name);
+    e.set("cat", cat);
+    e.set("ph", ph);
+    e.set("pid", 0u64);
+    e.set("tid", node);
+    e.set("ts", ts_us(at));
+    e
+}
+
+/// A span currently open during the export walk.
+struct OpenSpan {
+    started: VirtualTime,
+    id: u64,
+    node: usize,
+    name: String,
+    cat: &'static str,
+    args: Vec<(&'static str, u64)>,
+}
+
+/// Converts `trace` into a trace-event JSON document with one track per
+/// node (`nodes` names the tracks even if some recorded no events).
+pub fn chrome_trace(trace: &Trace, nodes: usize) -> JsonValue {
+    let mut events = JsonValue::array();
+    // Track names: one per node.
+    for n in 0..nodes {
+        let mut meta = JsonValue::object();
+        meta.set("name", "thread_name");
+        meta.set("ph", "M");
+        meta.set("pid", 0u64);
+        meta.set("tid", n);
+        let mut args = JsonValue::object();
+        args.set("name", format!("node {n}"));
+        meta.set("args", args);
+        events.push(meta);
+    }
+
+    let mut next_id = 0u64;
+    // Key: (cat, node-or-usize::MAX, resource) → stack of open spans.
+    let mut open: HashMap<(&'static str, usize, usize), Vec<OpenSpan>> = HashMap::new();
+    let mut closed: Vec<(OpenSpan, VirtualTime)> = Vec::new();
+
+    let mut begin = |open: &mut HashMap<(&'static str, usize, usize), Vec<OpenSpan>>,
+                     cat: &'static str,
+                     node: usize,
+                     resource: usize,
+                     name: String,
+                     at: VirtualTime,
+                     args: Vec<(&'static str, u64)>| {
+        let id = next_id;
+        next_id += 1;
+        open.entry((cat, node, resource))
+            .or_default()
+            .push(OpenSpan {
+                started: at,
+                id,
+                node,
+                name,
+                cat,
+                args,
+            });
+    };
+    let end = |open: &mut HashMap<(&'static str, usize, usize), Vec<OpenSpan>>,
+               closed: &mut Vec<(OpenSpan, VirtualTime)>,
+               cat: &'static str,
+               node: usize,
+               resource: usize,
+               at: VirtualTime,
+               extra: Vec<(&'static str, u64)>| {
+        if let Some(stack) = open.get_mut(&(cat, node, resource)) {
+            if let Some(mut span) = stack.pop() {
+                span.args.extend(extra);
+                closed.push((span, at));
+            }
+        }
+    };
+
+    let mut instants: Vec<JsonValue> = Vec::new();
+    let mut instant =
+        |name: String, cat: &str, node: usize, at: VirtualTime, args: Vec<(&'static str, u64)>| {
+            let mut e = event_base(&name, cat, "i", node, at);
+            e.set("s", "t");
+            if !args.is_empty() {
+                let mut a = JsonValue::object();
+                for (k, v) in args {
+                    a.set(k, v);
+                }
+                e.set("args", a);
+            }
+            instants.push(e);
+        };
+
+    for entry in trace.iter() {
+        let at = entry.at;
+        match &entry.event {
+            TraceEvent::Fault { node, page, write } => {
+                begin(
+                    &mut open,
+                    "fault",
+                    *node,
+                    page.0,
+                    format!("fault p{}", page.0),
+                    at,
+                    vec![("page", page.0 as u64), ("write", u64::from(*write))],
+                );
+            }
+            TraceEvent::FetchComplete { node, page, diffs } => {
+                end(
+                    &mut open,
+                    &mut closed,
+                    "fault",
+                    *node,
+                    page.0,
+                    at,
+                    vec![("diffs", *diffs as u64)],
+                );
+            }
+            TraceEvent::LockRequested { node, lock } => {
+                begin(
+                    &mut open,
+                    "lock",
+                    *node,
+                    *lock,
+                    format!("lock L{lock}"),
+                    at,
+                    vec![("lock", *lock as u64)],
+                );
+            }
+            TraceEvent::LockGranted { node, lock } => {
+                end(&mut open, &mut closed, "lock", *node, *lock, at, Vec::new());
+            }
+            TraceEvent::BarrierArrived { node, epoch } => {
+                // Non-aggregated runs arrive once per thread; only the
+                // node's first arrival opens the stall span.
+                let key = ("barrier", *node, *epoch as usize);
+                if open.get(&key).is_none_or(Vec::is_empty) {
+                    begin(
+                        &mut open,
+                        "barrier",
+                        *node,
+                        *epoch as usize,
+                        format!("barrier {epoch}"),
+                        at,
+                        vec![("epoch", *epoch as u64)],
+                    );
+                }
+            }
+            TraceEvent::BarrierReleased { epoch, notices } => {
+                // The release closes every node's span for this epoch.
+                for n in 0..nodes {
+                    end(
+                        &mut open,
+                        &mut closed,
+                        "barrier",
+                        n,
+                        *epoch as usize,
+                        at,
+                        vec![("notices", *notices as u64)],
+                    );
+                }
+            }
+            TraceEvent::DiffCreated { node, page, bytes } => {
+                instant(
+                    format!("diff p{}", page.0),
+                    "diff",
+                    *node,
+                    at,
+                    vec![("page", page.0 as u64), ("bytes", *bytes as u64)],
+                );
+            }
+            TraceEvent::IntervalClosed {
+                node,
+                interval,
+                pages,
+            } => {
+                instant(
+                    format!("interval {interval}"),
+                    "interval",
+                    *node,
+                    at,
+                    vec![("interval", *interval as u64), ("pages", *pages as u64)],
+                );
+            }
+            TraceEvent::Invalidated { node, page, writer } => {
+                instant(
+                    format!("invalidate p{}", page.0),
+                    "invalidate",
+                    *node,
+                    at,
+                    vec![("page", page.0 as u64), ("writer", *writer as u64)],
+                );
+            }
+            TraceEvent::LockLocalHandoff { node, lock } => {
+                instant(
+                    format!("handoff L{lock}"),
+                    "lock",
+                    *node,
+                    at,
+                    vec![("lock", *lock as u64)],
+                );
+            }
+            TraceEvent::UpdatePushed { node, page, target } => {
+                instant(
+                    format!("push p{}", page.0),
+                    "push",
+                    *node,
+                    at,
+                    vec![("page", page.0 as u64), ("target", *target as u64)],
+                );
+            }
+            TraceEvent::ThreadSwitch { node, from, to } => {
+                instant(
+                    format!("switch t{from}->t{to}"),
+                    "sched",
+                    *node,
+                    at,
+                    vec![("from", *from as u64), ("to", *to as u64)],
+                );
+            }
+        }
+    }
+
+    // Emit closed spans as balanced async begin/end pairs. Sort by start
+    // time then id for byte-stable output.
+    closed.sort_by_key(|(s, _)| (s.started, s.id));
+    for (span, ended) in closed {
+        let mut b = event_base(&span.name, span.cat, "b", span.node, span.started);
+        b.set("id", span.id);
+        let mut args = JsonValue::object();
+        for (k, v) in &span.args {
+            args.set(k, *v);
+        }
+        b.set("args", args);
+        events.push(b);
+        let mut e = event_base(&span.name, span.cat, "e", span.node, ended);
+        e.set("id", span.id);
+        events.push(e);
+    }
+    for i in instants {
+        events.push(i);
+    }
+
+    let mut doc = JsonValue::object();
+    doc.set("traceEvents", events);
+    doc.set("displayTimeUnit", "ms");
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PageId;
+
+    fn t(us: u64) -> VirtualTime {
+        VirtualTime::from_us(us)
+    }
+
+    #[test]
+    fn spans_are_balanced_pairs() {
+        let mut trace = Trace::new(100);
+        trace.record(
+            t(1),
+            TraceEvent::Fault {
+                node: 0,
+                page: PageId(3),
+                write: true,
+            },
+        );
+        trace.record(t(2), TraceEvent::LockRequested { node: 1, lock: 7 });
+        trace.record(
+            t(5),
+            TraceEvent::FetchComplete {
+                node: 0,
+                page: PageId(3),
+                diffs: 2,
+            },
+        );
+        trace.record(t(9), TraceEvent::LockGranted { node: 1, lock: 7 });
+        let doc = chrome_trace(&trace, 2);
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let begins: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("b"))
+            .collect();
+        let ends: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("e"))
+            .collect();
+        assert_eq!(begins.len(), 2);
+        assert_eq!(ends.len(), 2);
+        for b in &begins {
+            let id = b.get("id").unwrap().as_u64().unwrap();
+            assert!(
+                ends.iter()
+                    .any(|e| e.get("id").unwrap().as_u64() == Some(id)),
+                "begin {id} without matching end"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_trace_drops_unmatched_begin() {
+        let mut trace = Trace::new(100);
+        trace.record(
+            t(1),
+            TraceEvent::Fault {
+                node: 0,
+                page: PageId(3),
+                write: false,
+            },
+        );
+        // No FetchComplete — the span must not be emitted.
+        let doc = chrome_trace(&trace, 1);
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(events
+            .iter()
+            .all(|e| e.get("ph").and_then(JsonValue::as_str) != Some("b")));
+    }
+
+    #[test]
+    fn barrier_release_closes_all_nodes() {
+        let mut trace = Trace::new(100);
+        trace.record(t(1), TraceEvent::BarrierArrived { node: 0, epoch: 0 });
+        trace.record(t(2), TraceEvent::BarrierArrived { node: 1, epoch: 0 });
+        trace.record(
+            t(3),
+            TraceEvent::BarrierReleased {
+                epoch: 0,
+                notices: 4,
+            },
+        );
+        let doc = chrome_trace(&trace, 2);
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let barrier_begins = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(JsonValue::as_str) == Some("b")
+                    && e.get("cat").and_then(JsonValue::as_str) == Some("barrier")
+            })
+            .count();
+        assert_eq!(barrier_begins, 2, "one stall span per node");
+    }
+
+    #[test]
+    fn tracks_are_named_per_node() {
+        let trace = Trace::new(100);
+        let doc = chrome_trace(&trace, 3);
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let names: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("M"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        assert_eq!(names, ["node 0", "node 1", "node 2"]);
+    }
+
+    #[test]
+    fn export_parses_back_as_json() {
+        let mut trace = Trace::new(100);
+        trace.record(
+            t(1),
+            TraceEvent::DiffCreated {
+                node: 0,
+                page: PageId(1),
+                bytes: 128,
+            },
+        );
+        let doc = chrome_trace(&trace, 1);
+        let text = doc.to_string();
+        let back = JsonValue::parse(&text).unwrap();
+        assert_eq!(back, doc);
+    }
+}

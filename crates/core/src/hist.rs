@@ -1,0 +1,176 @@
+//! Latency and size distributions for one run.
+//!
+//! The paper's tables report totals and means; distributions are what make
+//! remote latency *diagnosable* — a handful of 3-hop lock chains or one
+//! hot page's serial fetches disappear inside an average but dominate a
+//! p90. [`DsmHistograms`] collects the five distributions the protocol
+//! exposes, in log₂ buckets (see [`Log2Hist`]), cheap enough to stay on in
+//! every run.
+
+use std::fmt;
+
+use cvm_sim::json::JsonValue;
+use cvm_sim::Log2Hist;
+
+/// The run's latency/size distributions.
+///
+/// All latencies are in virtual nanoseconds; sizes are in bytes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DsmHistograms {
+    /// Remote-fault service time: fault signal to page validated (all
+    /// replies applied), per fetch.
+    pub fault_fetch_ns: Log2Hist,
+    /// 2-hop lock acquires (the manager owned the token): request to
+    /// grant, per acquire.
+    pub lock_2hop_ns: Log2Hist,
+    /// 3-hop lock acquires (manager forwarded to the current owner):
+    /// request to grant, per acquire.
+    pub lock_3hop_ns: Log2Hist,
+    /// Barrier stall: a node's first arrival to its release, per node per
+    /// episode.
+    pub barrier_stall_ns: Log2Hist,
+    /// Modified bytes per created diff.
+    pub diff_bytes: Log2Hist,
+}
+
+impl DsmHistograms {
+    /// Creates empty histograms.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears all samples (used at `startup_done`).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Adds every sample of `other` into this set.
+    pub fn merge(&mut self, other: &DsmHistograms) {
+        self.fault_fetch_ns.merge(&other.fault_fetch_ns);
+        self.lock_2hop_ns.merge(&other.lock_2hop_ns);
+        self.lock_3hop_ns.merge(&other.lock_3hop_ns);
+        self.barrier_stall_ns.merge(&other.barrier_stall_ns);
+        self.diff_bytes.merge(&other.diff_bytes);
+    }
+
+    /// The histograms as `(name, unit, hist)` rows, in a fixed order.
+    pub fn rows(&self) -> [(&'static str, &'static str, &Log2Hist); 5] {
+        [
+            ("fault_fetch", "ns", &self.fault_fetch_ns),
+            ("lock_2hop", "ns", &self.lock_2hop_ns),
+            ("lock_3hop", "ns", &self.lock_3hop_ns),
+            ("barrier_stall", "ns", &self.barrier_stall_ns),
+            ("diff_size", "bytes", &self.diff_bytes),
+        ]
+    }
+
+    /// JSON form: one object per histogram with summary percentiles and
+    /// the non-empty buckets.
+    pub fn to_json(&self) -> JsonValue {
+        let mut obj = JsonValue::object();
+        for (name, unit, h) in self.rows() {
+            obj.set(name, hist_json(h, unit));
+        }
+        obj
+    }
+}
+
+/// One histogram as JSON: `{unit, count, sum, min, p50, p90, p99, max,
+/// mean, buckets: [{lo, hi, count}]}`.
+pub fn hist_json(h: &Log2Hist, unit: &str) -> JsonValue {
+    let mut obj = JsonValue::object();
+    obj.set("unit", unit);
+    obj.set("count", h.count());
+    obj.set("sum", h.sum());
+    obj.set("min", h.min());
+    obj.set("p50", h.p50());
+    obj.set("p90", h.p90());
+    obj.set("p99", h.p99());
+    obj.set("max", h.max());
+    obj.set("mean", h.mean());
+    let mut buckets = JsonValue::array();
+    for (lo, hi, count) in h.nonzero_buckets() {
+        let mut b = JsonValue::object();
+        b.set("lo", lo);
+        b.set("hi", hi);
+        b.set("count", count);
+        buckets.push(b);
+    }
+    obj.set("buckets", buckets);
+    obj
+}
+
+impl fmt::Display for DsmHistograms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<14} {:>8} {:>10} {:>10} {:>10} {:>10}  unit",
+            "latency", "n", "p50", "p90", "p99", "max"
+        )?;
+        for (name, unit, h) in self.rows() {
+            writeln!(
+                f,
+                "{:<14} {:>8} {:>10} {:>10} {:>10} {:>10}  {}",
+                name,
+                h.count(),
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.max(),
+                unit
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_has_all_five_histograms() {
+        let mut h = DsmHistograms::new();
+        h.fault_fetch_ns.record(1000);
+        h.diff_bytes.record(64);
+        let j = h.to_json();
+        for name in [
+            "fault_fetch",
+            "lock_2hop",
+            "lock_3hop",
+            "barrier_stall",
+            "diff_size",
+        ] {
+            assert!(j.get(name).is_some(), "missing {name}");
+        }
+        assert_eq!(
+            j.get("fault_fetch").unwrap().get("count").unwrap().as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            j.get("diff_size").unwrap().get("unit").unwrap().as_str(),
+            Some("bytes")
+        );
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = DsmHistograms::new();
+        a.lock_2hop_ns.record(500);
+        let mut b = DsmHistograms::new();
+        b.lock_2hop_ns.record(700);
+        b.lock_3hop_ns.record(900);
+        a.merge(&b);
+        assert_eq!(a.lock_2hop_ns.count(), 2);
+        assert_eq!(a.lock_3hop_ns.count(), 1);
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let mut h = DsmHistograms::new();
+        h.barrier_stall_ns.record(12345);
+        let text = format!("{h}");
+        assert!(text.contains("barrier_stall"));
+        assert!(text.contains("fault_fetch"));
+    }
+}

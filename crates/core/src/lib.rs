@@ -46,12 +46,14 @@
 //! assert_eq!(report.stats.barriers_crossed, 1);
 //! ```
 
-
 #![warn(missing_docs)]
+pub mod attr;
 pub mod barrier;
 pub mod config;
 pub mod ctx;
 pub mod diff;
+pub mod export;
+pub mod hist;
 pub mod interval;
 pub mod lock;
 pub mod msg;
@@ -65,14 +67,17 @@ pub mod stats;
 pub mod system;
 pub mod trace;
 
+pub use attr::{LockAttr, PageAttr, ResourceAttr};
 pub use config::CvmConfig;
 pub use ctx::{ReduceOp, ThreadCtx};
 pub use diff::Diff;
+pub use export::chrome_trace;
+pub use hist::DsmHistograms;
 pub use interval::VectorTime;
 pub use page::{Addr, PageId, PageState};
 pub use protocol::ProtocolKind;
 pub use report::{NodeBreakdown, RunReport};
-pub use shared::{SharedMat, SharedVec, Shareable};
+pub use shared::{Shareable, SharedMat, SharedVec};
 pub use stats::DsmStats;
 pub use system::CvmBuilder;
 pub use trace::Trace;

@@ -223,7 +223,10 @@ mod tests {
         assert_eq!(l.release(1, true), ReleaseOutcome::LocalHandoff(2));
         assert_eq!(l.holder, Some(2));
         // Only when the local queue drains does the remote waiter get it.
-        assert!(matches!(l.release(2, true), ReleaseOutcome::GrantRemote(3, _)));
+        assert!(matches!(
+            l.release(2, true),
+            ReleaseOutcome::GrantRemote(3, _)
+        ));
         assert!(!l.cached);
     }
 
@@ -244,7 +247,10 @@ mod tests {
         l.try_acquire(2);
         l.remote_waiter = Some((3, VectorTime::new(4)));
         // Fair-ish ablation: the remote waiter wins over queued thread 2.
-        assert!(matches!(l.release(1, false), ReleaseOutcome::GrantRemote(3, _)));
+        assert!(matches!(
+            l.release(1, false),
+            ReleaseOutcome::GrantRemote(3, _)
+        ));
         assert!(!l.cached);
         assert_eq!(l.local_queue.front(), Some(&2), "thread 2 must re-request");
     }

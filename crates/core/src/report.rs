@@ -4,8 +4,11 @@
 use std::fmt;
 
 use cvm_net::NetStats;
+use cvm_sim::json::JsonValue;
 use cvm_sim::{SimDuration, VirtualTime};
 
+use crate::attr::ResourceAttr;
+use crate::hist::DsmHistograms;
 use crate::stats::DsmStats;
 use crate::trace::Trace;
 
@@ -56,6 +59,10 @@ pub struct RunReport {
     pub nodes: Vec<NodeBreakdown>,
     /// Memory-system misses, if the simulator was enabled (Figure 2).
     pub mem: MemMisses,
+    /// Latency and size distributions (always collected).
+    pub hist: DsmHistograms,
+    /// Per-page and per-lock attribution (always collected).
+    pub attr: ResourceAttr,
     /// Protocol event trace, if tracing was enabled.
     pub trace: Option<Trace>,
 }
@@ -75,6 +82,47 @@ impl RunReport {
         let sum: f64 = self.nodes.iter().map(|n| pick(n).as_us_f64()).sum();
         sum / (self.nodes.len() as f64) / self.total_time.as_us_f64()
     }
+
+    /// The whole report as one JSON document, with the top `top_n`
+    /// entries of each hot-resource table. Trace *entries* are not
+    /// embedded (use [`chrome_trace`](crate::export::chrome_trace) for
+    /// the timeline); only the trace's bookkeeping totals appear.
+    pub fn to_json(&self, top_n: usize) -> JsonValue {
+        let mut obj = JsonValue::object();
+        obj.set("schema", "cvm-run-report");
+        obj.set("version", 1u64);
+        obj.set("total_ns", self.total_time.as_ns());
+        obj.set("total_ms", self.total_ms());
+        obj.set("stats", self.stats.to_json());
+        obj.set("net", self.net.to_json());
+        obj.set("hist", self.hist.to_json());
+        obj.set("attr", self.attr.to_json(top_n));
+        let mut nodes = JsonValue::array();
+        for (i, n) in self.nodes.iter().enumerate() {
+            let mut row = JsonValue::object();
+            row.set("node", i);
+            row.set("user_ns", n.user.as_ns());
+            row.set("barrier_ns", n.barrier.as_ns());
+            row.set("fault_ns", n.fault.as_ns());
+            row.set("lock_ns", n.lock.as_ns());
+            row.set("clock_ns", n.clock.as_ns());
+            nodes.push(row);
+        }
+        obj.set("nodes", nodes);
+        let mut mem = JsonValue::object();
+        mem.set("dcache", self.mem.dcache);
+        mem.set("dtlb", self.mem.dtlb);
+        mem.set("itlb", self.mem.itlb);
+        obj.set("mem", mem);
+        if let Some(trace) = &self.trace {
+            let mut t = JsonValue::object();
+            t.set("recorded", trace.len());
+            t.set("overflow", trace.overflow());
+            t.set("events_total", trace.events_total());
+            obj.set("trace", t);
+        }
+        obj
+    }
 }
 
 impl fmt::Display for RunReport {
@@ -82,6 +130,13 @@ impl fmt::Display for RunReport {
         writeln!(f, "run: {:.3} ms", self.total_ms())?;
         writeln!(f, "{}", self.stats)?;
         writeln!(f, "{}", self.net)?;
+        if self.hist.rows().iter().any(|(_, _, h)| h.count() > 0) {
+            write!(f, "{}", self.hist)?;
+        }
+        let attr_text = self.attr.render(5);
+        if !attr_text.is_empty() {
+            write!(f, "{attr_text}")?;
+        }
         write!(
             f,
             "mem misses: dcache {} dtlb {} itlb {}",
@@ -124,9 +179,42 @@ mod tests {
                 },
             ],
             mem: MemMisses::default(),
+            hist: DsmHistograms::default(),
+            attr: ResourceAttr::default(),
             trace: None,
         };
         assert!((report.fraction(|n| n.user) - 0.8).abs() < 1e-9);
         assert!((report.fraction(|n| n.barrier) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_has_all_sections() {
+        let mut report = RunReport {
+            total_time: VirtualTime::from_us(100),
+            stats: DsmStats::default(),
+            net: NetStats::new(),
+            nodes: vec![NodeBreakdown::default()],
+            mem: MemMisses::default(),
+            hist: DsmHistograms::default(),
+            attr: ResourceAttr::default(),
+            trace: Some(Trace::new(16)),
+        };
+        report.hist.fault_fetch_ns.record(900);
+        report.attr.page_mut(4).faults = 1;
+        let j = report.to_json(8);
+        assert_eq!(j.get("schema").unwrap().as_str(), Some("cvm-run-report"));
+        assert_eq!(j.get("total_ns").unwrap().as_u64(), Some(100_000));
+        for key in ["stats", "net", "hist", "attr", "nodes", "mem", "trace"] {
+            assert!(j.get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(j.get("nodes").unwrap().as_array().unwrap().len(), 1);
+        let hot = j.get("attr").unwrap().get("hot_pages").unwrap();
+        assert_eq!(
+            hot.as_array().unwrap()[0].get("page").unwrap().as_u64(),
+            Some(4)
+        );
+        // The document survives a print/parse round trip.
+        let text = j.to_pretty();
+        assert_eq!(JsonValue::parse(&text).unwrap(), j);
     }
 }

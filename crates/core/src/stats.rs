@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use cvm_sim::json::JsonValue;
 use cvm_sim::SimDuration;
 
 /// Aggregate DSM statistics for one run.
@@ -83,6 +84,34 @@ impl DsmStats {
     pub fn total_wait(&self) -> SimDuration {
         self.wait_barrier + self.wait_fault + self.wait_lock
     }
+
+    /// All counters and waits as a JSON object. Waits are in virtual
+    /// nanoseconds.
+    pub fn to_json(&self) -> JsonValue {
+        let mut obj = JsonValue::object();
+        obj.set("thread_switches", self.thread_switches);
+        obj.set("remote_faults", self.remote_faults);
+        obj.set("remote_locks", self.remote_locks);
+        obj.set("local_lock_acquires", self.local_lock_acquires);
+        obj.set("local_lock_handoffs", self.local_lock_handoffs);
+        obj.set("outstanding_faults", self.outstanding_faults);
+        obj.set("outstanding_locks", self.outstanding_locks);
+        obj.set("block_same_page", self.block_same_page);
+        obj.set("block_same_lock", self.block_same_lock);
+        obj.set("diffs_created", self.diffs_created);
+        obj.set("diffs_used", self.diffs_used);
+        obj.set("twins_created", self.twins_created);
+        obj.set("barriers_crossed", self.barriers_crossed);
+        obj.set("local_barriers", self.local_barriers);
+        obj.set("global_reduces", self.global_reduces);
+        obj.set("updates_pushed", self.updates_pushed);
+        obj.set("copies_dropped", self.copies_dropped);
+        obj.set("wait_barrier_ns", self.wait_barrier.as_ns());
+        obj.set("wait_fault_ns", self.wait_fault.as_ns());
+        obj.set("wait_lock_ns", self.wait_lock.as_ns());
+        obj.set("user_time_ns", self.user_time.as_ns());
+        obj
+    }
 }
 
 impl fmt::Display for DsmStats {
@@ -104,6 +133,17 @@ impl fmt::Display for DsmStats {
             self.diffs_created,
             self.diffs_used,
             self.twins_created
+        )?;
+        writeln!(
+            f,
+            "barriers {} local {} reduces {} | pushes {} drops {} | local locks {} handoffs {}",
+            self.barriers_crossed,
+            self.local_barriers,
+            self.global_reduces,
+            self.updates_pushed,
+            self.copies_dropped,
+            self.local_lock_acquires,
+            self.local_lock_handoffs
         )?;
         write!(
             f,
@@ -141,5 +181,47 @@ mod tests {
         let text = format!("{s}");
         assert!(text.contains("diffs"));
         assert!(text.contains("waits"));
+        // Every counter class shows up, including the ones Display used
+        // to omit.
+        assert!(text.contains("barriers"));
+        assert!(text.contains("reduces"));
+        assert!(text.contains("pushes"));
+        assert!(text.contains("drops"));
+        assert!(text.contains("handoffs"));
+    }
+
+    #[test]
+    fn json_covers_every_field() {
+        let mut s = DsmStats::new();
+        s.barriers_crossed = 3;
+        s.wait_fault = SimDuration::from_us(2);
+        let j = s.to_json();
+        assert_eq!(j.get("barriers_crossed").unwrap().as_u64(), Some(3));
+        assert_eq!(j.get("wait_fault_ns").unwrap().as_u64(), Some(2_000));
+        for key in [
+            "thread_switches",
+            "remote_faults",
+            "remote_locks",
+            "local_lock_acquires",
+            "local_lock_handoffs",
+            "outstanding_faults",
+            "outstanding_locks",
+            "block_same_page",
+            "block_same_lock",
+            "diffs_created",
+            "diffs_used",
+            "twins_created",
+            "barriers_crossed",
+            "local_barriers",
+            "global_reduces",
+            "updates_pushed",
+            "copies_dropped",
+            "wait_barrier_ns",
+            "wait_fault_ns",
+            "wait_lock_ns",
+            "user_time_ns",
+        ] {
+            assert!(j.get(key).is_some(), "missing {key}");
+        }
     }
 }

@@ -7,15 +7,17 @@ use std::sync::Arc;
 
 use cvm_net::{Message, NetworkSim, NodeId};
 use cvm_sim::coop::{Burst, CoopScheduler, CoopThreadId, Yielder};
+use cvm_sim::sync::Mutex;
 use cvm_sim::{EventQueue, SimDuration, SimRng, VirtualTime};
-use parking_lot::Mutex;
 
 use cvm_memsim::MemSystem;
 
+use crate::attr::ResourceAttr;
 use crate::barrier::{BarrierMaster, LocalBarrier, NodeBarrier, ReduceOp};
 use crate::config::CvmConfig;
 use crate::ctx::{BlockReason, CtxCosts, ThreadCtx};
 use crate::diff::Diff;
+use crate::hist::DsmHistograms;
 use crate::interval::{IntervalLog, VectorTime, WriteNotice};
 use crate::lock::{AcquireOutcome, ForwardOutcome, LockLocal, LockManager, ReleaseOutcome};
 use crate::msg::Payload;
@@ -23,10 +25,10 @@ use crate::node::NodeCell;
 use crate::page::{PageId, PageState};
 use crate::protocol::CopysetEntry;
 use crate::report::{MemMisses, NodeBreakdown, RunReport};
-use crate::trace::{Trace, TraceEvent};
 use crate::sched::{NodeSched, WaitClass};
-use crate::shared::{SharedMat, SharedVec, Shareable};
+use crate::shared::{Shareable, SharedMat, SharedVec};
 use crate::stats::DsmStats;
+use crate::trace::{Trace, TraceEvent};
 
 /// Builder for a CVM system: allocate shared memory, then run an SPMD
 /// application. See the crate-level example.
@@ -111,6 +113,8 @@ struct PendingFetch {
     replies_needed: usize,
     base: Option<Vec<u8>>,
     diffs: Vec<(u32, u64, usize, Diff)>,
+    /// When the fault left the node (histogram sample start).
+    started: VirtualTime,
 }
 
 /// Driver-private per-node control state.
@@ -217,6 +221,18 @@ struct Driver {
     copysets: Vec<CopysetEntry>,
     /// Protocol event trace (capacity 0 = disabled).
     trace: Trace,
+    /// Latency/size distributions (always on).
+    hist: DsmHistograms,
+    /// Per-page / per-lock attribution (always on).
+    attr: ResourceAttr,
+    /// `(node, lock)` → when the node's remote request left (histogram
+    /// sample start, consumed at the grant).
+    lock_req_at: HashMap<(usize, usize), VirtualTime>,
+    /// `(lock, acquirer)` → hop count the manager decided for the grant
+    /// in flight (2 = manager owned the token, 3 = forwarded to owner).
+    lock_hops: HashMap<(usize, usize), u8>,
+    /// Per node: first arrival time of the current barrier episode.
+    barrier_arrived_at: Vec<Option<VirtualTime>>,
 }
 
 type AppFn = Arc<dyn Fn(&mut ThreadCtx<'_>) + Send + Sync>;
@@ -315,6 +331,11 @@ impl Driver {
             gseq: 0,
             copysets: Vec::new(),
             trace: Trace::new(cfg2_trace),
+            hist: DsmHistograms::new(),
+            attr: ResourceAttr::new(),
+            lock_req_at: HashMap::new(),
+            lock_hops: HashMap::new(),
+            barrier_arrived_at: vec![None; nodes],
         }
     }
 
@@ -389,6 +410,8 @@ impl Driver {
             net: self.net.stats().clone(),
             nodes,
             mem,
+            hist: self.hist.clone(),
+            attr: self.attr.clone(),
             trace: if self.trace.enabled() {
                 Some(self.trace.clone())
             } else {
@@ -474,8 +497,14 @@ impl Driver {
         if let Some(prev) = self.ctl[n].sched.last_ran {
             if prev != tid && self.trace.enabled() {
                 let at = self.ctl[n].sched.clock;
-                self.trace
-                    .record(at, TraceEvent::ThreadSwitch { node: n, from: prev, to: tid });
+                self.trace.record(
+                    at,
+                    TraceEvent::ThreadSwitch {
+                        node: n,
+                        from: prev,
+                        to: tid,
+                    },
+                );
             }
         }
         self.ctl[n].sched.last_ran = Some(tid);
@@ -562,9 +591,18 @@ impl Driver {
         self.note_request_initiated(n);
         self.stats.remote_faults += 1;
         self.ctl[n].out_faults += 1;
-        self.trace.record(now, TraceEvent::Fault { node: n, page, write });
+        self.attr.page_mut(p).faults += 1;
+        self.trace.record(
+            now,
+            TraceEvent::Fault {
+                node: n,
+                page,
+                write,
+            },
+        );
         let mut fetch = PendingFetch {
             waiters: vec![(tid, write)],
+            started: now,
             ..Default::default()
         };
         if need_base {
@@ -585,17 +623,22 @@ impl Driver {
         match self.ctl[n].locks[lock].try_acquire(tid) {
             AcquireOutcome::LocalGrant => {
                 self.stats.local_lock_acquires += 1;
+                self.attr.lock_mut(lock).local_acquires += 1;
                 self.ctl[n].sched.ready.push_back(tid);
             }
             AcquireOutcome::QueuedLocally => {
                 self.stats.block_same_lock += 1;
+                self.attr.lock_mut(lock).contended += 1;
             }
             AcquireOutcome::SendRequest => {
                 self.note_request_initiated(n);
                 let at = self.ctl[n].sched.clock;
-                self.trace.record(at, TraceEvent::LockRequested { node: n, lock });
+                self.trace
+                    .record(at, TraceEvent::LockRequested { node: n, lock });
                 self.stats.remote_locks += 1;
                 self.ctl[n].out_locks += 1;
+                self.attr.lock_mut(lock).remote_acquires += 1;
+                self.lock_req_at.insert((n, lock), at);
                 let now = self.ctl[n].sched.clock;
                 let vt = self.ctl[n].vt.clone();
                 let mgr = lock % self.cfg.nodes;
@@ -623,6 +666,7 @@ impl Driver {
         match self.ctl[n].locks[lock].release(tid, prefer_local) {
             ReleaseOutcome::LocalHandoff(next) => {
                 self.stats.local_lock_handoffs += 1;
+                self.attr.lock_mut(lock).local_handoffs += 1;
                 self.trace
                     .record(now, TraceEvent::LockLocalHandoff { node: n, lock });
                 self.ctl[n].sched.ready.push_back(next);
@@ -638,6 +682,8 @@ impl Driver {
                     self.note_request_initiated(n);
                     self.stats.remote_locks += 1;
                     self.ctl[n].out_locks += 1;
+                    self.attr.lock_mut(lock).remote_acquires += 1;
+                    self.lock_req_at.insert((n, lock), now);
                     let vt = self.ctl[n].vt.clone();
                     let mgr = lock % self.cfg.nodes;
                     if mgr == n {
@@ -699,6 +745,11 @@ impl Driver {
                 epoch: self.master.epoch(),
             },
         );
+        // First arrival starts the node's stall clock (the non-aggregated
+        // ablation arrives once per thread).
+        if self.barrier_arrived_at[n].is_none() {
+            self.barrier_arrived_at[n] = Some(now);
+        }
         if n == 0 {
             if self.master.arrive(&vt, notices) {
                 self.barrier_release(now);
@@ -725,7 +776,9 @@ impl Driver {
         tid: usize,
         reduce: Option<(crate::barrier::ReduceOp, f64)>,
     ) {
-        let last = self.ctl[n].lb.arrive(tid, reduce, self.cfg.threads_per_node);
+        let last = self.ctl[n]
+            .lb
+            .arrive(tid, reduce, self.cfg.threads_per_node);
         if !last {
             return;
         }
@@ -853,6 +906,13 @@ impl Driver {
         }
         self.stats.reset();
         self.trace.reset();
+        self.hist.reset();
+        self.attr.reset();
+        self.lock_req_at.clear();
+        self.lock_hops.clear();
+        for slot in &mut self.barrier_arrived_at {
+            *slot = None;
+        }
         self.copysets = (0..self.cfg.pages())
             .map(|_| CopysetEntry::full(self.cfg.nodes))
             .collect();
@@ -1002,6 +1062,12 @@ impl Driver {
             .or_default()
             .push((tag, gseq, diff.clone()));
         self.stats.diffs_created += 1;
+        self.hist.diff_bytes.record(diff.modified_bytes() as u64);
+        {
+            let pa = self.attr.page_mut(page);
+            pa.diffs_created += 1;
+            pa.diff_bytes += diff.modified_bytes() as u64;
+        }
         {
             let at = self.ctl[n].sched.clock;
             self.trace.record(
@@ -1062,6 +1128,7 @@ impl Driver {
                 cell.dirty.remove(&p);
                 cell.state[p] = PageState::Invalid;
                 drop(cell);
+                self.attr.page_mut(p).invalidations += 1;
                 let at = self.ctl[n].sched.clock;
                 self.trace.record(
                     at,
@@ -1123,23 +1190,30 @@ impl Driver {
     ) {
         let prev = self.lock_mgrs[lock].enqueue(acquirer);
         assert_ne!(prev, acquirer, "double lock request from {acquirer}");
+        // The manager decides the grant's path length here: token at the
+        // manager → 2 hops, forwarded to the current owner → 3 hops.
+        let hops = if prev == mgr_node { 2 } else { 3 };
+        self.lock_hops.insert((lock, acquirer), hops);
         if prev == mgr_node {
             self.forward_at(prev, lock, acquirer, vt, t);
         } else {
             self.send(
                 mgr_node,
                 prev,
-                Payload::LockForward {
-                    lock,
-                    acquirer,
-                    vt,
-                },
+                Payload::LockForward { lock, acquirer, vt },
                 t,
             );
         }
     }
 
-    fn forward_at(&mut self, owner: usize, lock: usize, acquirer: usize, vt: VectorTime, t: VirtualTime) {
+    fn forward_at(
+        &mut self,
+        owner: usize,
+        lock: usize,
+        acquirer: usize,
+        vt: VectorTime,
+        t: VirtualTime,
+    ) {
         match self.ctl[owner].locks[lock].handle_forward(acquirer, vt) {
             ForwardOutcome::GrantNow(to, avt) => self.grant_lock(owner, lock, to, &avt, t),
             ForwardOutcome::Parked => {}
@@ -1180,7 +1254,16 @@ impl Driver {
         self.apply_release(0, vt, notices, t);
     }
 
-    fn apply_release(&mut self, n: usize, vt: VectorTime, notices: Vec<WriteNotice>, t: VirtualTime) {
+    fn apply_release(
+        &mut self,
+        n: usize,
+        vt: VectorTime,
+        notices: Vec<WriteNotice>,
+        t: VirtualTime,
+    ) {
+        if let Some(started) = self.barrier_arrived_at[n].take() {
+            self.hist.barrier_stall_ns.record(t.since(started).as_ns());
+        }
         self.apply_notices(n, &notices);
         self.ctl[n].vt.merge(&vt);
         let woken = self.ctl[n].nb.take_blocked();
@@ -1251,6 +1334,11 @@ impl Driver {
         self.ctl[n].sched.clock = self.ctl[n].sched.clock.max(t) + cost;
         self.ctl[n].breakdown.user += cost;
         self.ctl[n].out_faults -= 1;
+        // Histogram sample: fault signal to page usable again, including
+        // the local apply cost just charged.
+        self.hist
+            .fault_fetch_ns
+            .record(self.ctl[n].sched.clock.since(fetch.started).as_ns());
         // The faulting node demonstrably uses the page: (re)join the
         // eager protocol's copyset.
         self.copysets[page].add(n);
@@ -1331,7 +1419,18 @@ impl Driver {
             Payload::LockGrant { lock, vt, notices } => {
                 self.apply_notices(n, &notices);
                 self.ctl[n].vt.merge(&vt);
-                self.trace.record(t, TraceEvent::LockGranted { node: n, lock });
+                self.trace
+                    .record(t, TraceEvent::LockGranted { node: n, lock });
+                if let Some(started) = self.lock_req_at.remove(&(n, lock)) {
+                    let ns = t.since(started).as_ns();
+                    match self.lock_hops.remove(&(lock, n)) {
+                        Some(3) => {
+                            self.hist.lock_3hop_ns.record(ns);
+                            self.attr.lock_mut(lock).three_hop += 1;
+                        }
+                        _ => self.hist.lock_2hop_ns.record(ns),
+                    }
+                }
                 let tid = self.ctl[n].locks[lock].apply_grant();
                 self.ctl[n].out_locks -= 1;
                 self.make_ready(n, tid, t);

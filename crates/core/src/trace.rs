@@ -150,7 +150,11 @@ impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TraceEvent::Fault { node, page, write } => {
-                write!(f, "n{node} fault {page} ({})", if *write { "w" } else { "r" })
+                write!(
+                    f,
+                    "n{node} fault {page} ({})",
+                    if *write { "w" } else { "r" }
+                )
             }
             TraceEvent::FetchComplete { node, page, diffs } => {
                 write!(f, "n{node} fetched {page} ({diffs} diffs)")
@@ -253,6 +257,12 @@ impl Trace {
         self.overflow
     }
 
+    /// Total events the run produced: recorded plus dropped. Capacity
+    /// changes the split, never this total.
+    pub fn events_total(&self) -> u64 {
+        self.entries.len() as u64 + self.overflow
+    }
+
     /// Renders the first `limit` entries as text (one per line).
     pub fn render(&self, limit: usize) -> String {
         use std::fmt::Write as _;
@@ -291,6 +301,7 @@ mod tests {
         }
         assert_eq!(t.len(), 2);
         assert_eq!(t.overflow(), 3);
+        assert_eq!(t.events_total(), 5);
     }
 
     #[test]

@@ -1,19 +1,30 @@
-//! Property-based tests on the protocol's core data structures.
+//! Randomized property tests on the protocol's core data structures,
+//! driven by the deterministic `SimRng` so every run explores the same
+//! cases and failures reproduce exactly.
 
 use cvm_dsm::diff::DIFF_WORD;
 use cvm_dsm::page::PageId;
 use cvm_dsm::{Diff, VectorTime};
-use proptest::prelude::*;
+use cvm_sim::SimRng;
 
 const PAGE: usize = 512; // small "page" for fast exploration
+const CASES: usize = 200;
 
-fn arb_page() -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(any::<u8>(), PAGE)
+fn rand_page(rng: &mut SimRng) -> Vec<u8> {
+    (0..PAGE).map(|_| rng.below(256) as u8).collect()
 }
 
 /// A set of word-aligned mutations to apply to a page.
-fn arb_mutations() -> impl Strategy<Value = Vec<(usize, u64)>> {
-    proptest::collection::vec((0..PAGE / DIFF_WORD, any::<u64>()), 0..40)
+fn rand_mutations(rng: &mut SimRng) -> Vec<(usize, u64)> {
+    let n = rng.below(40) as usize;
+    (0..n)
+        .map(|_| {
+            (
+                rng.below((PAGE / DIFF_WORD) as u64) as usize,
+                rng.next_u64(),
+            )
+        })
+        .collect()
 }
 
 fn apply_mutations(page: &mut [u8], muts: &[(usize, u64)]) {
@@ -22,48 +33,62 @@ fn apply_mutations(page: &mut [u8], muts: &[(usize, u64)]) {
     }
 }
 
-proptest! {
-    /// diff(twin, current) applied to the twin reconstructs current,
-    /// for arbitrary initial contents and mutation sets.
-    #[test]
-    fn diff_roundtrip(twin in arb_page(), muts in arb_mutations()) {
+fn rand_vt(rng: &mut SimRng, len: usize, bound: u64) -> VectorTime {
+    let mut t = VectorTime::new(len);
+    for i in 0..len {
+        t.advance(i, rng.below(bound) as u32);
+    }
+    t
+}
+
+/// diff(twin, current) applied to the twin reconstructs current, for
+/// arbitrary initial contents and mutation sets.
+#[test]
+fn diff_roundtrip() {
+    let mut rng = SimRng::seed_from(0xD1FF_0001);
+    for _ in 0..CASES {
+        let twin = rand_page(&mut rng);
+        let muts = rand_mutations(&mut rng);
         let mut current = twin.clone();
         apply_mutations(&mut current, &muts);
         let d = Diff::create(PageId(0), &twin, &current);
         let mut rebuilt = twin.clone();
         d.apply(&mut rebuilt);
-        prop_assert_eq!(rebuilt, current);
+        assert_eq!(rebuilt, current);
     }
+}
 
-    /// The diff is minimal: its modified byte count never exceeds the
-    /// words actually touched, and an empty mutation set produces an
-    /// empty diff.
-    #[test]
-    fn diff_is_bounded_by_mutations(twin in arb_page(), muts in arb_mutations()) {
+/// The diff is minimal: its modified byte count never exceeds the words
+/// actually touched, and an empty mutation set produces an empty diff.
+#[test]
+fn diff_is_bounded_by_mutations() {
+    let mut rng = SimRng::seed_from(0xD1FF_0002);
+    for _ in 0..CASES {
+        let twin = rand_page(&mut rng);
+        let muts = rand_mutations(&mut rng);
         let mut current = twin.clone();
         apply_mutations(&mut current, &muts);
         let d = Diff::create(PageId(0), &twin, &current);
-        let distinct: std::collections::HashSet<usize> =
-            muts.iter().map(|&(w, _)| w).collect();
-        prop_assert!(d.modified_bytes() <= distinct.len() * DIFF_WORD);
+        let distinct: std::collections::HashSet<usize> = muts.iter().map(|&(w, _)| w).collect();
+        assert!(d.modified_bytes() <= distinct.len() * DIFF_WORD);
         if muts.is_empty() {
-            prop_assert!(d.is_empty());
+            assert!(d.is_empty());
         }
     }
+}
 
-    /// Concurrent diffs from writers touching disjoint word sets never
-    /// overlap, and applying them in either order yields the same page —
-    /// the multiple-writer merge guarantee for race-free programs.
-    #[test]
-    fn disjoint_concurrent_diffs_commute(
-        base in arb_page(),
-        muts_a in arb_mutations(),
-        muts_b in arb_mutations(),
-    ) {
-        // Make B's words disjoint from A's by offsetting modulo the page.
-        let words_a: std::collections::HashSet<usize> =
-            muts_a.iter().map(|&(w, _)| w).collect();
-        let muts_b: Vec<(usize, u64)> = muts_b
+/// Concurrent diffs from writers touching disjoint word sets never
+/// overlap, and applying them in either order yields the same page — the
+/// multiple-writer merge guarantee for race-free programs.
+#[test]
+fn disjoint_concurrent_diffs_commute() {
+    let mut rng = SimRng::seed_from(0xD1FF_0003);
+    for _ in 0..CASES {
+        let base = rand_page(&mut rng);
+        let muts_a = rand_mutations(&mut rng);
+        // Make B's words disjoint from A's by filtering.
+        let words_a: std::collections::HashSet<usize> = muts_a.iter().map(|&(w, _)| w).collect();
+        let muts_b: Vec<(usize, u64)> = rand_mutations(&mut rng)
             .into_iter()
             .filter(|(w, _)| !words_a.contains(w))
             .collect();
@@ -73,38 +98,32 @@ proptest! {
         apply_mutations(&mut page_b, &muts_b);
         let da = Diff::create(PageId(0), &base, &page_a);
         let db = Diff::create(PageId(0), &base, &page_b);
-        prop_assert!(!da.overlaps(&db));
+        assert!(!da.overlaps(&db));
         let mut ab = base.clone();
         da.apply(&mut ab);
         db.apply(&mut ab);
         let mut ba = base.clone();
         db.apply(&mut ba);
         da.apply(&mut ba);
-        prop_assert_eq!(ab, ba);
+        assert_eq!(ab, ba);
     }
+}
 
-    /// Vector-time lattice laws: merge is commutative, associative,
-    /// idempotent, and produces an upper bound.
-    #[test]
-    fn vector_time_lattice_laws(
-        a in proptest::collection::vec(0u32..1000, 4),
-        b in proptest::collection::vec(0u32..1000, 4),
-        c in proptest::collection::vec(0u32..1000, 4),
-    ) {
-        let mk = |v: &[u32]| {
-            let mut t = VectorTime::new(v.len());
-            for (i, &x) in v.iter().enumerate() {
-                t.advance(i, x);
-            }
-            t
-        };
-        let (ta, tb, tc) = (mk(&a), mk(&b), mk(&c));
+/// Vector-time lattice laws: merge is commutative, associative,
+/// idempotent, and produces an upper bound.
+#[test]
+fn vector_time_lattice_laws() {
+    let mut rng = SimRng::seed_from(0xD1FF_0004);
+    for _ in 0..CASES {
+        let ta = rand_vt(&mut rng, 4, 1000);
+        let tb = rand_vt(&mut rng, 4, 1000);
+        let tc = rand_vt(&mut rng, 4, 1000);
         // Commutative.
         let mut ab = ta.clone();
         ab.merge(&tb);
         let mut ba = tb.clone();
         ba.merge(&ta);
-        prop_assert_eq!(&ab, &ba);
+        assert_eq!(&ab, &ba);
         // Associative.
         let mut ab_c = ab.clone();
         ab_c.merge(&tc);
@@ -112,53 +131,52 @@ proptest! {
         bc.merge(&tc);
         let mut a_bc = ta.clone();
         a_bc.merge(&bc);
-        prop_assert_eq!(&ab_c, &a_bc);
+        assert_eq!(&ab_c, &a_bc);
         // Idempotent.
         let mut aa = ta.clone();
         aa.merge(&ta);
-        prop_assert_eq!(&aa, &ta);
+        assert_eq!(&aa, &ta);
         // Upper bound.
-        prop_assert!(ab.covers(&ta) && ab.covers(&tb));
+        assert!(ab.covers(&ta) && ab.covers(&tb));
     }
+}
 
-    /// `covers` is a partial order compatible with merge: merge(a,b)
-    /// covers x iff a-part and b-part constraints hold pointwise.
-    #[test]
-    fn covers_consistent_with_merge(
-        a in proptest::collection::vec(0u32..100, 3),
-        b in proptest::collection::vec(0u32..100, 3),
-    ) {
-        let mk = |v: &[u32]| {
-            let mut t = VectorTime::new(v.len());
-            for (i, &x) in v.iter().enumerate() {
-                t.advance(i, x);
-            }
-            t
-        };
-        let (ta, tb) = (mk(&a), mk(&b));
+/// `covers` is a partial order compatible with merge: merging a covered
+/// time is the identity.
+#[test]
+fn covers_consistent_with_merge() {
+    let mut rng = SimRng::seed_from(0xD1FF_0005);
+    for _ in 0..CASES {
+        let ta = rand_vt(&mut rng, 3, 100);
+        let tb = rand_vt(&mut rng, 3, 100);
         if ta.covers(&tb) {
             let mut m = ta.clone();
             m.merge(&tb);
-            prop_assert_eq!(m, ta, "merge with a covered time is identity");
+            assert_eq!(m, ta, "merge with a covered time is identity");
         }
     }
+}
 
-    /// Block partition: covers everything exactly once, contiguously,
-    /// with sizes differing by at most one.
-    #[test]
-    fn partition_properties(parts in 1usize..40, len in 0usize..5000) {
+/// Block partition: covers everything exactly once, contiguously, with
+/// sizes differing by at most one.
+#[test]
+fn partition_properties() {
+    let mut rng = SimRng::seed_from(0xD1FF_0006);
+    for _ in 0..CASES {
+        let parts = 1 + rng.below(39) as usize;
+        let len = rng.below(5000) as usize;
         let mut prev_hi = 0;
         let mut min_size = usize::MAX;
         let mut max_size = 0;
         for owner in 0..parts {
             let (lo, hi) = cvm_dsm::ctx::partition_for(owner, parts, len);
-            prop_assert_eq!(lo, prev_hi);
-            prop_assert!(hi >= lo);
+            assert_eq!(lo, prev_hi);
+            assert!(hi >= lo);
             min_size = min_size.min(hi - lo);
             max_size = max_size.max(hi - lo);
             prev_hi = hi;
         }
-        prop_assert_eq!(prev_hi, len);
-        prop_assert!(max_size - min_size <= 1, "balanced within one item");
+        assert_eq!(prev_hi, len);
+        assert!(max_size - min_size <= 1, "balanced within one item");
     }
 }

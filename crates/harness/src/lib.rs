@@ -15,8 +15,8 @@
 //! and default to laptop-scale inputs; pass [`Scale::Paper`] for the
 //! paper's sizes.
 
-
 #![warn(missing_docs)]
+pub mod bench;
 pub mod micro;
 pub mod runner;
 pub mod tables;

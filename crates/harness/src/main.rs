@@ -16,11 +16,11 @@
 //! ```
 
 use cvm_harness::tables::{self, Suite};
-use cvm_harness::{micro, AppId, Scale};
+use cvm_harness::{bench, micro, AppId, Scale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <micro|table1|fig1|table2|table3|fig2|table4|table5|ablation|protocols|perturb|all> [--paper-scale]\n         \n         or:    harness run <barnes|fft|ocean|sor|swm|water-sp|water-nsq>\n         \n         run options:\n           --nodes N      processors (default 8)\n           --threads T    threads per node (default 2)\n           --paper-scale  the paper's input sizes\n           --eager        eager-update protocol instead of lazy multi-writer\n           --lifo         memory-conscious LIFO scheduling\n           --memsim       enable the cache/TLB simulator\n           --trace N      record and print the first N protocol events"
+        "usage: harness <micro|table1|fig1|table2|table3|fig2|table4|table5|ablation|protocols|perturb|all> [--paper-scale]\n         \n         or:    harness run <barnes|fft|ocean|sor|swm|water-sp|water-nsq>\n         or:    harness bench [--json] [--nodes N] [--threads T] [--paper-scale]\n         \n         run options:\n           --nodes N        processors (default 8)\n           --threads T      threads per node (default 2)\n           --paper-scale    the paper's input sizes\n           --eager          eager-update protocol instead of lazy multi-writer\n           --lifo           memory-conscious LIFO scheduling\n           --memsim         enable the cache/TLB simulator\n           --trace N        record and print the first N protocol events\n           --json FILE      write the full run report as JSON to FILE\n           --chrome-trace FILE\n                            write the protocol trace as Chrome trace-event\n                            JSON (load in chrome://tracing or Perfetto)\n         \n         bench options:\n           --json           additionally write one BENCH_<app>.json per app"
     );
     std::process::exit(2);
 }
@@ -49,18 +49,35 @@ fn run_single(args: &[String]) {
     let mut lifo = false;
     let mut memsim = false;
     let mut trace = 0usize;
+    let mut json_path: Option<String> = None;
+    let mut chrome_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--nodes" => nodes = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--nodes" => {
+                nodes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--threads" => {
-                threads = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--paper-scale" => scale = Scale::Paper,
             "--eager" => protocol = ProtocolKind::EagerUpdate,
             "--lifo" => lifo = true,
             "--memsim" => memsim = true,
-            "--trace" => trace = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--trace" => {
+                trace = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--json" => json_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--chrome-trace" => chrome_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
             name if app.is_none() => {
                 app = app_by_name(name).or_else(|| usage());
             }
@@ -77,6 +94,10 @@ fn run_single(args: &[String]) {
     cfg.lifo_schedule = lifo;
     cfg.memsim_enabled = memsim;
     cfg.trace_capacity = trace;
+    if chrome_path.is_some() && trace == 0 {
+        // The timeline export needs events; default to a generous buffer.
+        cfg.trace_capacity = 1 << 20;
+    }
     let mut b = CvmBuilder::new(cfg);
     let body = build_app(&mut b, app, scale);
     eprintln!("[harness] running {app} P={nodes} T={threads} protocol={protocol}");
@@ -98,8 +119,82 @@ fn run_single(args: &[String]) {
         );
     }
     if let Some(t) = &report.trace {
-        println!("\nprotocol trace (first {trace} events):");
-        print!("{}", t.render(trace));
+        if trace > 0 {
+            println!("\nprotocol trace (first {trace} events):");
+            print!("{}", t.render(trace));
+        }
+        // Always account for what the capacity dropped, so a truncated
+        // trace is never mistaken for a complete one.
+        println!(
+            "trace: {} events recorded, {} dropped ({} total)",
+            t.len(),
+            t.overflow(),
+            t.events_total()
+        );
+    }
+    if let Some(path) = &json_path {
+        let doc = report.to_json(cvm_harness::bench::TOP_N);
+        std::fs::write(path, doc.to_pretty()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[harness] wrote {path}");
+    }
+    if let Some(path) = &chrome_path {
+        let Some(t) = &report.trace else {
+            eprintln!("--chrome-trace needs tracing (internal error)");
+            std::process::exit(1);
+        };
+        let doc = cvm_dsm::chrome_trace(t, nodes);
+        std::fs::write(path, doc.to_string()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "[harness] wrote {path} ({} trace events) — load in chrome://tracing or ui.perfetto.dev",
+            t.len()
+        );
+    }
+}
+
+fn run_bench(args: &[String]) {
+    let mut json = false;
+    let mut nodes = 8usize;
+    let mut threads = 2usize;
+    let mut scale = Scale::Small;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--nodes" => {
+                nodes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--paper-scale" => scale = Scale::Paper,
+            _ => usage(),
+        }
+    }
+    eprintln!("[harness] bench suite P={nodes} T={threads}");
+    let outcomes = bench::run_suite(scale, nodes, threads);
+    print!("{}", bench::render_summary(&outcomes));
+    if json {
+        for o in &outcomes {
+            let path = bench::file_name(o.spec.app);
+            let doc = bench::to_json(o);
+            std::fs::write(&path, doc.to_pretty()).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("[harness] wrote {path}");
+        }
     }
 }
 
@@ -107,6 +202,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("run") {
         run_single(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("bench") {
+        run_bench(&args[1..]);
         return;
     }
     let mut cmd: Option<String> = None;

@@ -349,9 +349,7 @@ pub fn ablation(scale: Scale) -> String {
         emit(app, "no barrier aggregation", false, true, &mut out);
         emit(app, "no local-first release", true, false, &mut out);
     }
-    out.push_str(
-        "\n-- Ocean with/without the `r` reduction modification, P=8 T=4 --\n",
-    );
+    out.push_str("\n-- Ocean with/without the `r` reduction modification, P=8 T=4 --\n");
     out.push_str("variant                time(ms)  lock_msgs  bs_lock  wait_lock(ms)\n");
     for (name, use_reduction) in [("local-barrier (r)", true), ("transparent MT", false)] {
         let mut b = cvm_dsm::CvmBuilder::new({
@@ -408,9 +406,7 @@ pub fn ablation(scale: Scale) -> String {
 pub fn protocols(scale: Scale) -> String {
     use crate::runner::run_app;
     use cvm_dsm::ProtocolKind;
-    let mut out = String::from(
-        "== Protocol comparison (P=8, T=2) ==\n",
-    );
+    let mut out = String::from("== Protocol comparison (P=8, T=2) ==\n");
     out.push_str(
         "app        protocol            time(ms) rem_faults diff_msgs  pushes  drops bw_kbytes\n",
     );

@@ -14,7 +14,6 @@
 //! LRU, single level. Figure 2's claims are about *relative* miss growth,
 //! which these capture.
 
-
 #![warn(missing_docs)]
 pub mod cache;
 pub mod system;

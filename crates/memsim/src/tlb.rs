@@ -51,7 +51,10 @@ impl TlbConfig {
 
     fn sets(&self) -> usize {
         assert!(self.entries > 0 && self.assoc > 0);
-        assert!(self.entries.is_multiple_of(self.assoc), "entries % assoc != 0");
+        assert!(
+            self.entries.is_multiple_of(self.assoc),
+            "entries % assoc != 0"
+        );
         assert!(self.page_bytes.is_power_of_two(), "page size power of two");
         self.entries / self.assoc
     }

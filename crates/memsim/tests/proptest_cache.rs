@@ -1,36 +1,67 @@
-//! Property-based tests on the cache and TLB models.
+//! Randomized property tests on the cache and TLB models, driven by the
+//! deterministic `SimRng` so every run explores the same cases and
+//! failures reproduce exactly.
 
 use cvm_memsim::{Cache, CacheConfig, Tlb, TlbConfig};
-use proptest::prelude::*;
+use cvm_sim::SimRng;
 
-proptest! {
-    /// Residency never exceeds capacity, and hits + misses account for
-    /// every access.
-    #[test]
-    fn cache_accounting(addrs in proptest::collection::vec(0u64..1_000_000, 1..500)) {
-        let mut c = Cache::new(CacheConfig { size_bytes: 1024, line_bytes: 32, assoc: 2 });
+const CASES: usize = 200;
+
+fn rand_addrs(rng: &mut SimRng, bound: u64, min: usize, max: usize) -> Vec<u64> {
+    let n = min + rng.below((max - min) as u64) as usize;
+    (0..n).map(|_| rng.below(bound)).collect()
+}
+
+/// Residency never exceeds capacity, and hits + misses account for every
+/// access.
+#[test]
+fn cache_accounting() {
+    let mut rng = SimRng::seed_from(0xCAC4_0001);
+    for _ in 0..CASES {
+        let addrs = rand_addrs(&mut rng, 1_000_000, 1, 500);
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 1024,
+            line_bytes: 32,
+            assoc: 2,
+        });
         for &a in &addrs {
             c.access(a);
         }
-        prop_assert!(c.resident_lines() <= 32);
-        prop_assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
+        assert!(c.resident_lines() <= 32);
+        assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
     }
+}
 
-    /// Temporal locality guarantee: re-accessing the same address with no
-    /// intervening accesses is always a hit.
-    #[test]
-    fn immediate_reuse_hits(addrs in proptest::collection::vec(0u64..1_000_000, 1..200)) {
-        let mut c = Cache::new(CacheConfig { size_bytes: 2048, line_bytes: 64, assoc: 4 });
+/// Temporal locality guarantee: re-accessing the same address with no
+/// intervening accesses is always a hit.
+#[test]
+fn immediate_reuse_hits() {
+    let mut rng = SimRng::seed_from(0xCAC4_0002);
+    for _ in 0..CASES {
+        let addrs = rand_addrs(&mut rng, 1_000_000, 1, 200);
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 2048,
+            line_bytes: 64,
+            assoc: 4,
+        });
         for &a in &addrs {
             c.access(a);
-            prop_assert!(c.access(a), "immediate re-access must hit");
+            assert!(c.access(a), "immediate re-access must hit");
         }
     }
+}
 
-    /// A working set that fits in the cache converges to all-hits.
-    #[test]
-    fn small_working_set_all_hits(seed_lines in proptest::collection::vec(0u64..8, 1..50)) {
-        let mut c = Cache::new(CacheConfig { size_bytes: 1024, line_bytes: 32, assoc: 32 });
+/// A working set that fits in the cache converges to all-hits.
+#[test]
+fn small_working_set_all_hits() {
+    let mut rng = SimRng::seed_from(0xCAC4_0003);
+    for _ in 0..CASES {
+        let seed_lines = rand_addrs(&mut rng, 8, 1, 50);
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 1024,
+            line_bytes: 32,
+            assoc: 32,
+        });
         // Warm up the (at most 8 distinct) lines.
         let lines: std::collections::HashSet<u64> = seed_lines.iter().copied().collect();
         for &l in &lines {
@@ -42,31 +73,48 @@ proptest! {
                 c.access(l * 32);
             }
         }
-        prop_assert_eq!(c.misses(), before_miss, "resident set must not miss");
+        assert_eq!(c.misses(), before_miss, "resident set must not miss");
     }
+}
 
-    /// The TLB translates at page granularity: accesses within one page
-    /// after the first are hits regardless of offset.
-    #[test]
-    fn tlb_page_granularity(page in 0u64..10_000, offsets in proptest::collection::vec(0u64..4096, 1..50)) {
-        let mut t = Tlb::new(TlbConfig { entries: 8, page_bytes: 4096, assoc: 8 });
+/// The TLB translates at page granularity: accesses within one page after
+/// the first are hits regardless of offset.
+#[test]
+fn tlb_page_granularity() {
+    let mut rng = SimRng::seed_from(0xCAC4_0004);
+    for _ in 0..CASES {
+        let page = rng.below(10_000);
+        let offsets = rand_addrs(&mut rng, 4096, 1, 50);
+        let mut t = Tlb::new(TlbConfig {
+            entries: 8,
+            page_bytes: 4096,
+            assoc: 8,
+        });
         t.access(page * 4096);
         for &o in &offsets {
-            prop_assert!(t.access(page * 4096 + o));
+            assert!(t.access(page * 4096 + o));
         }
     }
+}
 
-    /// Miss counts are monotone under stream extension (prefix property).
-    #[test]
-    fn misses_monotone(addrs in proptest::collection::vec(0u64..100_000, 2..300), cut in 1usize..200) {
-        let cut = cut.min(addrs.len() - 1);
+/// Miss counts are monotone under stream extension (prefix property).
+#[test]
+fn misses_monotone() {
+    let mut rng = SimRng::seed_from(0xCAC4_0005);
+    for _ in 0..CASES {
+        let addrs = rand_addrs(&mut rng, 100_000, 2, 300);
+        let cut = (1 + rng.below(199) as usize).min(addrs.len() - 1);
         let run = |xs: &[u64]| {
-            let mut c = Cache::new(CacheConfig { size_bytes: 512, line_bytes: 32, assoc: 1 });
+            let mut c = Cache::new(CacheConfig {
+                size_bytes: 512,
+                line_bytes: 32,
+                assoc: 1,
+            });
             for &a in xs {
                 c.access(a);
             }
             c.misses()
         };
-        prop_assert!(run(&addrs[..cut]) <= run(&addrs));
+        assert!(run(&addrs[..cut]) <= run(&addrs));
     }
 }

@@ -21,7 +21,6 @@
 //! The crate is generic over the payload type `P`; the DSM layer supplies
 //! its protocol messages. See [`NetworkSim`] for the main entry point.
 
-
 #![warn(missing_docs)]
 pub mod latency;
 pub mod message;

@@ -197,7 +197,8 @@ impl<P> NetworkSim<P> {
                     self.reliability.count_retransmission();
                     // Retransmissions consume real bandwidth.
                     self.stats.record(msg.kind, msg.payload_bytes);
-                    self.pending.insert((src, dst, seq), (msg.clone(), retries + 1));
+                    self.pending
+                        .insert((src, dst, seq), (msg.clone(), retries + 1));
                     if !self.reliability.should_drop() {
                         let wire = self.wire_delay(msg.payload_bytes);
                         self.queue.push(

@@ -2,6 +2,9 @@
 
 use std::fmt;
 
+use cvm_sim::json::JsonValue;
+use cvm_sim::Log2Hist;
+
 use crate::message::{MsgClass, MsgKind};
 
 /// Per-kind message counts and byte totals.
@@ -20,6 +23,7 @@ use crate::message::{MsgClass, MsgKind};
 pub struct NetStats {
     counts: [u64; MsgKind::ALL.len()],
     bytes: [u64; MsgKind::ALL.len()],
+    msg_size: Log2Hist,
 }
 
 fn kind_index(kind: MsgKind) -> usize {
@@ -40,6 +44,12 @@ impl NetStats {
         let i = kind_index(kind);
         self.counts[i] += 1;
         self.bytes[i] += bytes as u64;
+        self.msg_size.record(bytes as u64);
+    }
+
+    /// Distribution of on-wire message sizes, in bytes.
+    pub fn msg_size(&self) -> &Log2Hist {
+        &self.msg_size
     }
 
     /// Messages of one exact kind.
@@ -86,6 +96,50 @@ impl NetStats {
             self.counts[i] += other.counts[i];
             self.bytes[i] += other.bytes[i];
         }
+        self.msg_size.merge(&other.msg_size);
+    }
+
+    /// JSON form: per-kind counts/bytes (kinds with traffic only), class
+    /// and grand totals, and the message-size distribution summary.
+    pub fn to_json(&self) -> JsonValue {
+        let mut obj = JsonValue::object();
+        let mut kinds = JsonValue::object();
+        for &k in &MsgKind::ALL {
+            if self.kind_count(k) == 0 {
+                continue;
+            }
+            let mut row = JsonValue::object();
+            row.set("count", self.kind_count(k));
+            row.set("bytes", self.kind_bytes(k));
+            kinds.set(&format!("{k:?}"), row);
+        }
+        obj.set("kinds", kinds);
+        let mut classes = JsonValue::object();
+        for (name, class) in [
+            ("barrier", MsgClass::Barrier),
+            ("lock", MsgClass::Lock),
+            ("diff", MsgClass::Diff),
+            ("other", MsgClass::Other),
+        ] {
+            let mut row = JsonValue::object();
+            row.set("count", self.class_count(class));
+            row.set("bytes", self.class_bytes(class));
+            classes.set(name, row);
+        }
+        obj.set("classes", classes);
+        obj.set("total_count", self.total_count());
+        obj.set("total_bytes", self.total_bytes());
+        let h = &self.msg_size;
+        let mut size = JsonValue::object();
+        size.set("unit", "bytes");
+        size.set("count", h.count());
+        size.set("min", h.min());
+        size.set("p50", h.p50());
+        size.set("p90", h.p90());
+        size.set("p99", h.p99());
+        size.set("max", h.max());
+        obj.set("msg_size", size);
+        obj
     }
 }
 
@@ -147,5 +201,43 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!format!("{}", NetStats::new()).is_empty());
+    }
+
+    #[test]
+    fn msg_size_histogram_tracks_records() {
+        let mut s = NetStats::new();
+        s.record(MsgKind::PageReply, 8192);
+        s.record(MsgKind::LockGrant, 64);
+        assert_eq!(s.msg_size().count(), 2);
+        assert_eq!(s.msg_size().max(), 8192);
+        let mut other = NetStats::new();
+        other.record(MsgKind::DiffReply, 256);
+        s.merge(&other);
+        assert_eq!(s.msg_size().count(), 3);
+    }
+
+    #[test]
+    fn json_skips_idle_kinds_and_sums_classes() {
+        let mut s = NetStats::new();
+        s.record(MsgKind::LockGrant, 100);
+        let j = s.to_json();
+        let kinds = j.get("kinds").unwrap();
+        assert!(kinds.get("LockGrant").is_some());
+        assert!(kinds.get("PageRequest").is_none(), "zero kinds omitted");
+        assert_eq!(j.get("total_bytes").unwrap().as_u64(), Some(100));
+        assert_eq!(
+            j.get("classes")
+                .unwrap()
+                .get("lock")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            j.get("msg_size").unwrap().get("count").unwrap().as_u64(),
+            Some(1)
+        );
     }
 }

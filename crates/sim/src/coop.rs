@@ -37,7 +37,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 
 /// Identifier of a cooperative thread within one [`CoopScheduler`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -384,9 +384,7 @@ mod tests {
     fn many_threads_round_robin() {
         let mut s: CoopScheduler<usize> = CoopScheduler::new();
         let n = 16;
-        let tids: Vec<_> = (0..n)
-            .map(|i| s.spawn(move |y| y.block(i)))
-            .collect();
+        let tids: Vec<_> = (0..n).map(|i| s.spawn(move |y| y.block(i))).collect();
         for (i, &t) in tids.iter().enumerate() {
             assert_eq!(s.resume(t), Burst::Blocked(i));
         }

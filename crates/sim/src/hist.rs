@@ -1,0 +1,328 @@
+//! Log₂-bucketed histograms for latency and size distributions.
+//!
+//! The paper's tables report aggregate counters; tuning work (hot-page
+//! analysis, protocol comparisons) additionally needs *distributions* —
+//! a 3-hop lock acquire hiding behind a cheap mean is exactly what the
+//! histogram exposes. [`Log2Hist`] keeps one bucket per power of two, so
+//! recording is O(1), memory is constant, and merging across nodes is a
+//! component-wise add. Percentiles are resolved to the upper bound of the
+//! containing bucket (a ≤ 2× overestimate by construction — the standard
+//! HdrHistogram-style tradeoff at 1-bucket-per-octave resolution).
+//!
+//! # Example
+//!
+//! ```
+//! use cvm_sim::hist::Log2Hist;
+//! let mut h = Log2Hist::new();
+//! for v in [3, 5, 9, 1000] {
+//!     h.record(v);
+//! }
+//! assert_eq!(h.count(), 4);
+//! assert_eq!(h.min(), 3);
+//! assert_eq!(h.max(), 1000);
+//! assert!(h.percentile(50.0) >= 5);
+//! ```
+
+use std::fmt;
+
+/// Number of buckets: one for zero plus one per bit of a `u64`.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-size log₂ histogram of `u64` samples.
+///
+/// Bucket 0 counts exact zeros; bucket `i >= 1` counts samples in
+/// `[2^(i-1), 2^i)`. Exact `count`, `sum`, `min` and `max` are tracked
+/// alongside the buckets.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Log2Hist {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Hist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Hist {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Log2Hist {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index a value falls into.
+    pub fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive lower bound of bucket `i`.
+    pub fn bucket_lo(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i`.
+    pub fn bucket_hi(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Count in bucket `i` (see type docs for bucket bounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= BUCKETS`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// The value at-or-below which `p` percent of samples fall, resolved
+    /// to the containing bucket's upper bound (clamped to the observed
+    /// max). Returns 0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=100.0`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_hi(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`percentile`](Self::percentile) semantics).
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 90th percentile (see [`percentile`](Self::percentile) semantics).
+    pub fn p90(&self) -> u64 {
+        self.percentile(90.0)
+    }
+
+    /// 99th percentile (see [`percentile`](Self::percentile) semantics).
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// Adds every sample of `other` into this histogram.
+    pub fn merge(&mut self, other: &Log2Hist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)` triples, in ascending order.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_lo(i), Self::bucket_hi(i), c))
+            .collect()
+    }
+
+    /// Clears all samples.
+    pub fn reset(&mut self) {
+        *self = Self::new();
+    }
+}
+
+impl fmt::Debug for Log2Hist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Log2Hist[n={} min={} p50={} p90={} max={}]",
+            self.count,
+            self.min(),
+            self.p50(),
+            self.p90(),
+            self.max()
+        )
+    }
+}
+
+impl fmt::Display for Log2Hist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            return write!(f, "n=0");
+        }
+        write!(
+            f,
+            "n={} min={} p50={} p90={} max={}",
+            self.count,
+            self.min(),
+            self.p50(),
+            self.p90(),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_partition_u64() {
+        assert_eq!(Log2Hist::bucket_of(0), 0);
+        assert_eq!(Log2Hist::bucket_of(1), 1);
+        assert_eq!(Log2Hist::bucket_of(2), 2);
+        assert_eq!(Log2Hist::bucket_of(3), 2);
+        assert_eq!(Log2Hist::bucket_of(4), 3);
+        assert_eq!(Log2Hist::bucket_of(u64::MAX), 64);
+        for i in 0..BUCKETS {
+            let lo = Log2Hist::bucket_lo(i);
+            let hi = Log2Hist::bucket_hi(i);
+            assert!(lo <= hi);
+            assert_eq!(Log2Hist::bucket_of(lo), i);
+            assert_eq!(Log2Hist::bucket_of(hi), i);
+        }
+    }
+
+    #[test]
+    fn exact_aggregates() {
+        let mut h = Log2Hist::new();
+        for v in [0, 1, 7, 8, 1023] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1039);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1023);
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(1), 1);
+        assert_eq!(h.bucket(3), 1);
+        assert_eq!(h.bucket(4), 1);
+        assert_eq!(h.bucket(10), 1);
+    }
+
+    #[test]
+    fn percentile_within_one_octave() {
+        let mut h = Log2Hist::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.p50();
+        assert!((500..=1000).contains(&p50), "p50 = {p50}");
+        let p90 = h.p90();
+        assert!((900..=1000).contains(&p90), "p90 = {p90}");
+        assert_eq!(h.percentile(100.0), 1000);
+    }
+
+    #[test]
+    fn empty_histogram_is_calm() {
+        let h = Log2Hist::new();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let mut a = Log2Hist::new();
+        let mut b = Log2Hist::new();
+        let mut c = Log2Hist::new();
+        for v in [1u64, 5, 100] {
+            a.record(v);
+            c.record(v);
+        }
+        for v in [0u64, 900, 70_000] {
+            b.record(v);
+            c.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn single_sample_percentiles_are_exact() {
+        let mut h = Log2Hist::new();
+        h.record(937);
+        assert_eq!(h.p50(), 937);
+        assert_eq!(h.p90(), 937);
+        assert_eq!(h.max(), 937);
+    }
+}

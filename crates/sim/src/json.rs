@@ -1,0 +1,692 @@
+//! Dependency-free JSON document model, writer, and parser.
+//!
+//! Reports and trace exports must be machine-readable and *byte-stable*:
+//! two identical runs must serialize to identical bytes so perf diffs and
+//! golden tests work. [`JsonValue`] keeps object keys in insertion order,
+//! writes integers exactly, and formats floats with a fixed shortest-
+//! round-trip scheme, so serialization is a pure function of the value.
+//!
+//! The parser accepts strict JSON (no comments, no trailing commas) and
+//! exists so round-trip tests don't need an external crate.
+//!
+//! # Example
+//!
+//! ```
+//! use cvm_sim::json::JsonValue;
+//! let mut obj = JsonValue::object();
+//! obj.set("app", JsonValue::from("sor"));
+//! obj.set("nodes", JsonValue::from(4u64));
+//! let text = obj.to_string();
+//! assert_eq!(text, r#"{"app":"sor","nodes":4}"#);
+//! let back = JsonValue::parse(&text).unwrap();
+//! assert_eq!(back.get("nodes").unwrap().as_u64(), Some(4));
+//! ```
+
+use std::fmt;
+
+/// A JSON document: null, bool, number (int or float), string, array, or
+/// object with insertion-ordered keys.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer, written exactly.
+    UInt(u64),
+    /// A signed integer, written exactly.
+    Int(i64),
+    /// A finite float (NaN/inf are rejected at construction).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An object; keys keep insertion order for byte-stable output.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(n: u64) -> Self {
+        JsonValue::UInt(n)
+    }
+}
+impl From<u32> for JsonValue {
+    fn from(n: u32) -> Self {
+        JsonValue::UInt(n as u64)
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(n: usize) -> Self {
+        JsonValue::UInt(n as u64)
+    }
+}
+impl From<i64> for JsonValue {
+    fn from(n: i64) -> Self {
+        JsonValue::Int(n)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(x: f64) -> Self {
+        assert!(x.is_finite(), "JSON numbers must be finite, got {x}");
+        JsonValue::Float(x)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::Str(s.to_owned())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        JsonValue::Str(s)
+    }
+}
+impl<T: Into<JsonValue>> From<Vec<T>> for JsonValue {
+    fn from(xs: Vec<T>) -> Self {
+        JsonValue::Array(xs.into_iter().map(Into::into).collect())
+    }
+}
+
+impl JsonValue {
+    /// An empty object.
+    pub fn object() -> Self {
+        JsonValue::Object(Vec::new())
+    }
+
+    /// An empty array.
+    pub fn array() -> Self {
+        JsonValue::Array(Vec::new())
+    }
+
+    /// Inserts or replaces `key` on an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn set(&mut self, key: &str, value: impl Into<JsonValue>) -> &mut Self {
+        let JsonValue::Object(fields) = self else {
+            panic!("set on non-object JsonValue");
+        };
+        let value = value.into();
+        if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            fields.push((key.to_owned(), value));
+        }
+        self
+    }
+
+    /// Appends to an array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an array.
+    pub fn push(&mut self, value: impl Into<JsonValue>) -> &mut Self {
+        let JsonValue::Array(items) = self else {
+            panic!("push on non-array JsonValue");
+        };
+        items.push(value.into());
+        self
+    }
+
+    /// Looks up `key` on an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements if `self` is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents if `self` is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            JsonValue::UInt(n) => Some(n),
+            JsonValue::Int(n) if n >= 0 => Some(n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            JsonValue::UInt(n) => Some(n as f64),
+            JsonValue::Int(n) => Some(n as f64),
+            JsonValue::Float(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool` if it is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            JsonValue::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Serializes to compact JSON (no whitespace).
+    pub fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::UInt(n) => {
+                out.push_str(itoa_buf(*n).as_str());
+            }
+            JsonValue::Int(n) => {
+                if *n < 0 {
+                    out.push('-');
+                    out.push_str(itoa_buf(n.unsigned_abs()).as_str());
+                } else {
+                    out.push_str(itoa_buf(*n as u64).as_str());
+                }
+            }
+            JsonValue::Float(x) => write_f64(*x, out),
+            JsonValue::Str(s) => write_escaped(s, out),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Serializes with two-space indentation (for humans and diffs).
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            JsonValue::Array(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            JsonValue::Object(fields) if !fields.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    write_escaped(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            _ => self.write(out),
+        }
+    }
+
+    /// Parses strict JSON text.
+    pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters"));
+        }
+        Ok(value)
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn itoa_buf(n: u64) -> String {
+    n.to_string()
+}
+
+/// Writes a finite float deterministically: integral values get a `.0`
+/// suffix so they stay recognizably floats; others use Rust's shortest
+/// round-trip formatting, which is platform-independent.
+fn write_f64(x: f64, out: &mut String) {
+    if x == x.trunc() && x.abs() < 1e15 {
+        out.push_str(&format!("{x:.1}"));
+    } else {
+        out.push_str(&format!("{x}"));
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Error from [`JsonValue::parse`], with a byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input where it went wrong.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_owned(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => {
+                            s.push('"');
+                            self.pos += 1;
+                        }
+                        Some(b'\\') => {
+                            s.push('\\');
+                            self.pos += 1;
+                        }
+                        Some(b'/') => {
+                            s.push('/');
+                            self.pos += 1;
+                        }
+                        Some(b'n') => {
+                            s.push('\n');
+                            self.pos += 1;
+                        }
+                        Some(b'r') => {
+                            s.push('\r');
+                            self.pos += 1;
+                        }
+                        Some(b't') => {
+                            s.push('\t');
+                            self.pos += 1;
+                        }
+                        Some(b'b') => {
+                            s.push('\u{0008}');
+                            self.pos += 1;
+                        }
+                        Some(b'f') => {
+                            s.push('\u{000C}');
+                            self.pos += 1;
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                // High surrogate: a \uXXXX low surrogate
+                                // must follow.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("bad surrogate pair"));
+                                    }
+                                    let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(combined)
+                                        .ok_or_else(|| self.err("bad surrogate pair"))?
+                                } else {
+                                    return Err(self.err("lone surrogate"));
+                                }
+                            } else {
+                                char::from_u32(cp).ok_or_else(|| self.err("bad \\u escape"))?
+                            };
+                            s.push(c);
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    /// Reads 4 hex digits, leaving `pos` just past them.
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut cp = 0u32;
+        for _ in 0..4 {
+            let d = self
+                .peek()
+                .and_then(|b| (b as char).to_digit(16))
+                .ok_or_else(|| self.err("expected hex digit"))?;
+            cp = cp * 16 + d;
+            self.pos += 1;
+        }
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(JsonValue::Float)
+                .map_err(|_| self.err("invalid number"))
+        } else if let Ok(n) = text.parse::<u64>() {
+            Ok(JsonValue::UInt(n))
+        } else if let Ok(n) = text.parse::<i64>() {
+            Ok(JsonValue::Int(n))
+        } else {
+            text.parse::<f64>()
+                .map(JsonValue::Float)
+                .map_err(|_| self.err("invalid number"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_output_is_canonical() {
+        let mut obj = JsonValue::object();
+        obj.set("b", 1u64);
+        obj.set("a", JsonValue::from(vec![1u64, 2, 3]));
+        obj.set("s", "hi\n\"there\"");
+        assert_eq!(
+            obj.to_string(),
+            r#"{"b":1,"a":[1,2,3],"s":"hi\n\"there\""}"#
+        );
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let mut inner = JsonValue::object();
+        inner.set("x", 3.5f64);
+        inner.set("y", -7i64);
+        inner.set("flag", true);
+        let mut obj = JsonValue::object();
+        obj.set("inner", inner);
+        obj.set("null", JsonValue::Null);
+        obj.set("big", u64::MAX);
+        let text = obj.to_string();
+        let back = JsonValue::parse(&text).unwrap();
+        assert_eq!(back, obj);
+        assert_eq!(back.to_string(), text);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(JsonValue::parse("{").is_err());
+        assert!(JsonValue::parse("[1,]").is_err());
+        assert!(JsonValue::parse("nul").is_err());
+        assert!(JsonValue::parse("{} trailing").is_err());
+        assert!(JsonValue::parse(r#"{"a" 1}"#).is_err());
+    }
+
+    #[test]
+    fn floats_serialize_deterministically() {
+        assert_eq!(JsonValue::from(2.0f64).to_string(), "2.0");
+        assert_eq!(JsonValue::from(0.5f64).to_string(), "0.5");
+        assert_eq!(JsonValue::from(-1.25f64).to_string(), "-1.25");
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let s = "tab\tnewline\ncontrol\u{0001}quote\"";
+        let v = JsonValue::from(s);
+        let back = JsonValue::parse(&v.to_string()).unwrap();
+        assert_eq!(back.as_str(), Some(s));
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let mut obj = JsonValue::object();
+        obj.set("list", JsonValue::from(vec![1u64, 2]));
+        let mut sub = JsonValue::object();
+        sub.set("k", "v");
+        obj.set("sub", sub);
+        obj.set("empty", JsonValue::array());
+        let pretty = obj.to_pretty();
+        assert_eq!(JsonValue::parse(&pretty).unwrap(), obj);
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let v = JsonValue::parse(r#""😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F600}"));
+        let esc = JsonValue::parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(esc.as_str(), Some("\u{1F600}"));
+        assert!(JsonValue::parse(r#""\ud83d""#).is_err());
+    }
+
+    #[test]
+    fn get_and_accessors() {
+        let v = JsonValue::parse(r#"{"n":42,"x":1.5,"s":"hey","b":false}"#).unwrap();
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(42));
+        assert_eq!(v.get("x").unwrap().as_f64(), Some(1.5));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("hey"));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(false));
+        assert!(v.get("missing").is_none());
+    }
+}

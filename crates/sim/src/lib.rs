@@ -12,6 +12,11 @@
 //!   non-preemptive scheduling model of the paper.
 //! * [`stats`] — counters, accumulators and histograms shared by the higher
 //!   layers.
+//! * [`hist`] — log₂-bucketed latency/size histograms for the
+//!   observability layer.
+//! * [`json`] — a dependency-free, byte-stable JSON model used by report
+//!   serialization and the Chrome-trace exporter.
+//! * [`sync`] — thin `parking_lot`-style wrappers over [`std::sync`].
 //!
 //! # Example
 //!
@@ -25,15 +30,19 @@
 //! assert_eq!(q.pop().map(|(_, e)| e), Some("later"));
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod coop;
 pub mod event;
+pub mod hist;
+pub mod json;
 pub mod rng;
 pub mod stats;
+pub mod sync;
 pub mod time;
 
 pub use coop::{Burst, CoopScheduler, CoopThreadId, Yielder};
 pub use event::EventQueue;
+pub use hist::Log2Hist;
+pub use json::JsonValue;
 pub use rng::SimRng;
 pub use time::{SimDuration, VirtualTime};

@@ -3,9 +3,10 @@
 //! Every stochastic decision in the simulator (workload generation, optional
 //! network jitter) draws from a [`SimRng`] derived from the run's master
 //! seed, so a run is fully reproducible from its seed.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ seeded through SplitMix64
+//! (the reference seeding procedure), so the simulation has no external
+//! randomness dependency and the stream is stable across toolchains.
 
 /// A deterministic random-number generator.
 ///
@@ -19,27 +20,52 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
+}
+
+/// SplitMix64 step used to expand a 64-bit seed into generator state.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
-        SimRng {
-            inner: StdRng::seed_from_u64(seed),
-        }
+        let mut x = seed;
+        let s = [
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+        ];
+        SimRng { s }
     }
 
     /// Derives an independent child generator; `salt` distinguishes
     /// children of the same parent (e.g. one stream per node).
     pub fn derive(&mut self, salt: u64) -> SimRng {
-        let base = self.inner.next_u64();
+        let base = self.next_u64();
         SimRng::seed_from(base ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
     /// Uniform value in `[0, bound)`.
@@ -49,12 +75,15 @@ impl SimRng {
     /// Panics if `bound` is zero.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
-        self.inner.random_range(0..bound)
+        // Lemire's multiply-shift reduction; the modulo bias is at most
+        // bound / 2^64, far below anything the simulation can observe.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit_f64(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        // 53 high bits give the full double mantissa.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform float in `[lo, hi)`.
@@ -64,7 +93,7 @@ impl SimRng {
     /// Panics if `lo >= hi` or either bound is not finite.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range");
-        self.inner.random_range(lo..hi)
+        lo + self.unit_f64() * (hi - lo)
     }
 
     /// Fisher–Yates shuffle of a slice.
@@ -104,6 +133,15 @@ mod tests {
         let mut r = SimRng::seed_from(3);
         for _ in 0..1000 {
             assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn unit_f64_stays_in_range() {
+        let mut r = SimRng::seed_from(5);
+        for _ in 0..1000 {
+            let x = r.unit_f64();
+            assert!((0.0..1.0).contains(&x));
         }
     }
 

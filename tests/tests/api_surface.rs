@@ -24,7 +24,11 @@ fn ctx_metadata_is_consistent() {
         seen2.fetch_or(1 << ctx.global_id(), Ordering::SeqCst);
         ctx.barrier();
     });
-    assert_eq!(seen.load(Ordering::SeqCst), 0b11_1111, "all six threads ran");
+    assert_eq!(
+        seen.load(Ordering::SeqCst),
+        0b11_1111,
+        "all six threads ran"
+    );
 }
 
 #[test]

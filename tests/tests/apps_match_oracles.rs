@@ -135,6 +135,9 @@ fn water_sp_configs() {
         let got = water_sp::checksum_of_run(&cfg, nodes, threads);
         // Cell-list insertion order may differ under migration, so allow
         // a slightly looser tolerance than the elementwise-exact apps.
-        assert!(close(got, want, 1e-6), "Water-Sp {nodes}x{threads}: {got} vs {want}");
+        assert!(
+            close(got, want, 1e-6),
+            "Water-Sp {nodes}x{threads}: {got} vs {want}"
+        );
     }
 }

@@ -1,0 +1,131 @@
+//! End-to-end checks of the observability layer: report JSON round-trips
+//! and stays byte-identical across identical runs, histograms and
+//! attribution are populated by real workloads, and the Chrome trace
+//! export is balanced and loadable.
+
+use cvm_apps::{build_app, AppId, Scale};
+use cvm_dsm::{chrome_trace, CvmBuilder, CvmConfig, RunReport};
+use cvm_sim::json::JsonValue;
+
+fn run(app: AppId, nodes: usize, threads: usize, trace: usize) -> RunReport {
+    let mut cfg = CvmConfig::paper(nodes, threads);
+    cfg.trace_capacity = trace;
+    let mut b = CvmBuilder::new(cfg);
+    let body = build_app(&mut b, app, Scale::Small);
+    b.run(body)
+}
+
+#[test]
+fn report_json_round_trips() {
+    let r = run(AppId::Sor, 2, 2, 0);
+    let doc = r.to_json(10);
+    let compact = doc.to_string();
+    let pretty = doc.to_pretty();
+    assert_eq!(JsonValue::parse(&compact).unwrap(), doc);
+    assert_eq!(JsonValue::parse(&pretty).unwrap(), doc);
+}
+
+#[test]
+fn histograms_and_attribution_populated_by_real_run() {
+    let r = run(AppId::Sor, 4, 2, 0);
+    assert_eq!(
+        r.hist.fault_fetch_ns.count(),
+        r.stats.remote_faults,
+        "one fetch-latency sample per remote fault"
+    );
+    assert!(r.hist.fault_fetch_ns.p90() >= r.hist.fault_fetch_ns.p50());
+    assert_eq!(r.hist.diff_bytes.count(), r.stats.diffs_created);
+    assert!(
+        r.hist.barrier_stall_ns.count() >= r.stats.barriers_crossed,
+        "each crossed barrier stalls at least the master node"
+    );
+    // Attribution totals agree with the aggregate counters.
+    let doc = r.to_json(10);
+    let attr = doc.get("attr").unwrap();
+    assert!(attr.get("pages_touched").unwrap().as_u64().unwrap() > 0);
+    let hot = attr.get("hot_pages").unwrap().as_array().unwrap();
+    assert!(!hot.is_empty());
+    let fault_sum: u64 = hot
+        .iter()
+        .map(|row| row.get("faults").unwrap().as_u64().unwrap())
+        .sum();
+    assert!(fault_sum <= r.stats.remote_faults, "top-N is a subset");
+    // Lock-latency samples partition into 2-hop and 3-hop acquires.
+    let locky = run(AppId::WaterNsq, 4, 2, 0);
+    assert_eq!(
+        locky.hist.lock_2hop_ns.count() + locky.hist.lock_3hop_ns.count(),
+        locky.stats.remote_locks,
+        "every remote acquire is either 2-hop or 3-hop"
+    );
+}
+
+#[test]
+fn chrome_export_of_two_node_run_is_balanced() {
+    let r = run(AppId::Sor, 2, 2, 1_000_000);
+    let t = r.trace.as_ref().unwrap();
+    assert_eq!(t.overflow(), 0);
+    let doc = chrome_trace(t, 2);
+    let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+    let ph = |e: &JsonValue| e.get("ph").and_then(JsonValue::as_str).unwrap().to_owned();
+    let mut begins = Vec::new();
+    let mut ends = Vec::new();
+    for e in events {
+        match ph(e).as_str() {
+            "b" => begins.push(e.get("id").unwrap().as_u64().unwrap()),
+            "e" => ends.push(e.get("id").unwrap().as_u64().unwrap()),
+            _ => {}
+        }
+    }
+    assert!(!begins.is_empty(), "a real run produces duration spans");
+    begins.sort_unstable();
+    ends.sort_unstable();
+    assert_eq!(begins, ends, "every begin has exactly one end");
+    // Fault spans match the stats, one per remote fault.
+    let fault_spans = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(JsonValue::as_str) == Some("b")
+                && e.get("cat").and_then(JsonValue::as_str) == Some("fault")
+        })
+        .count() as u64;
+    assert_eq!(fault_spans, r.stats.remote_faults);
+    // Both nodes have a named track, and every event sits on a known tid.
+    let meta_names: Vec<String> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("M"))
+        .map(|e| {
+            e.get("args")
+                .unwrap()
+                .get("name")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_owned()
+        })
+        .collect();
+    assert_eq!(meta_names, ["node 0", "node 1"]);
+    for e in events {
+        assert!(e.get("tid").unwrap().as_u64().unwrap() < 2);
+    }
+    // The file parses back as strict JSON.
+    let text = doc.to_string();
+    assert_eq!(JsonValue::parse(&text).unwrap(), doc);
+}
+
+#[test]
+fn identical_runs_serialize_byte_identically() {
+    let a = run(AppId::WaterNsq, 2, 2, 10_000);
+    let b = run(AppId::WaterNsq, 2, 2, 10_000);
+    assert_eq!(
+        a.to_json(10).to_pretty(),
+        b.to_json(10).to_pretty(),
+        "report JSON must be deterministic"
+    );
+    let ta = a.trace.as_ref().unwrap();
+    let tb = b.trace.as_ref().unwrap();
+    assert_eq!(
+        chrome_trace(ta, 2).to_string(),
+        chrome_trace(tb, 2).to_string(),
+        "chrome trace must be deterministic"
+    );
+}

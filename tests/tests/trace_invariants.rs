@@ -21,7 +21,13 @@ fn trace_counts_agree_with_stats() {
         let r = traced_run(app, 4, 2);
         let t = r.trace.as_ref().expect("trace enabled");
         assert_eq!(t.overflow(), 0, "trace capacity too small for the test");
-        let count = |f: &dyn Fn(&TraceEvent) -> bool| t.iter().filter(|e| f(&e.event)).count() as u64;
+        assert_eq!(
+            t.events_total(),
+            t.len() as u64 + t.overflow(),
+            "{app}: events_total is recorded + dropped"
+        );
+        let count =
+            |f: &dyn Fn(&TraceEvent) -> bool| t.iter().filter(|e| f(&e.event)).count() as u64;
         assert_eq!(
             count(&|e| matches!(e, TraceEvent::ThreadSwitch { .. })),
             r.stats.thread_switches,
@@ -58,6 +64,28 @@ fn trace_counts_agree_with_stats() {
             "{app}: diff creations"
         );
     }
+}
+
+#[test]
+fn events_total_is_invariant_under_capacity() {
+    let full = traced_run(AppId::Sor, 2, 2);
+    let full_t = full.trace.as_ref().unwrap();
+    assert_eq!(full_t.overflow(), 0);
+    let truncated = {
+        let mut cfg = CvmConfig::paper(2, 2);
+        cfg.trace_capacity = 50;
+        let mut b = CvmBuilder::new(cfg);
+        let body = build_app(&mut b, AppId::Sor, Scale::Small);
+        b.run(body)
+    };
+    let trunc_t = truncated.trace.as_ref().unwrap();
+    assert_eq!(trunc_t.len(), 50);
+    assert!(trunc_t.overflow() > 0, "capacity 50 must overflow");
+    assert_eq!(
+        trunc_t.events_total(),
+        full_t.events_total(),
+        "capacity changes the recorded/dropped split, never the total"
+    );
 }
 
 #[test]
