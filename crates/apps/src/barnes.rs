@@ -372,7 +372,7 @@ pub fn oracle(cfg: &BarnesConfig) -> f64 {
         mass[i] = m;
     }
     for _ in 0..cfg.steps {
-        let bodies: Vec<([f64; 3], f64)> = pos.iter().cloned().zip(mass.iter().cloned()).collect();
+        let bodies: Vec<([f64; 3], f64)> = pos.iter().copied().zip(mass.iter().copied()).collect();
         let tree = Octree::build(&bodies);
         for i in 0..n {
             let (acc, _) = tree.force(bodies[i].0, cfg.theta);

@@ -22,6 +22,7 @@
 //! Problem sizes default to laptop scale; [`Scale::Paper`] restores the
 //! paper's inputs.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 // The numeric kernels use explicit index loops across several parallel
 // arrays (`for d in 0..3 { acc[d] += f[d]; }`); iterator rewrites obscure

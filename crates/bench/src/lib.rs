@@ -12,6 +12,7 @@
 //! regenerating them with the [`timing`] harness (self-contained — the
 //! workspace builds offline with no external crates).
 
+#![forbid(unsafe_code)]
 /// Shared tiny workloads so bench iterations stay fast.
 pub mod workloads {
     use cvm_apps::sor::SorConfig;

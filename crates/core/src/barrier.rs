@@ -48,6 +48,16 @@ impl BarrierMaster {
         self.epoch
     }
 
+    /// Arrivals recorded so far in the current episode.
+    pub fn arrived(&self) -> usize {
+        self.count
+    }
+
+    /// Arrivals expected per episode.
+    pub fn expected(&self) -> usize {
+        self.expected
+    }
+
     /// Records one arrival. Returns `true` when the expected number have
     /// arrived and the barrier can release.
     ///

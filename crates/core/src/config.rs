@@ -2,8 +2,9 @@
 
 use cvm_memsim::MemConfig;
 use cvm_net::{LatencyModel, LossConfig};
-use cvm_sim::SimDuration;
+use cvm_sim::{ExploreSpec, SimDuration};
 
+use crate::oracle::{FindingSink, InjectFault};
 use crate::protocol::ProtocolKind;
 
 /// Complete configuration of a CVM run.
@@ -86,6 +87,22 @@ pub struct CvmConfig {
     pub trace_capacity: usize,
     /// Master seed for all deterministic randomness.
     pub seed: u64,
+    /// Run the online invariant oracle: violations are recorded as
+    /// [`Finding`](crate::Finding)s into `verify_sink` (and onto the run
+    /// report) instead of panicking, and extra protocol checks — notice
+    /// coverage at merges, twin/diff round trips, diff apply order,
+    /// pending-implies-invalid — are enabled.
+    pub verify: bool,
+    /// Shared sink the oracle records into. Keep a clone to read findings
+    /// out even when the application itself panics on corrupted state.
+    pub verify_sink: FindingSink,
+    /// Deliberate protocol mutation for oracle self-tests (None = faithful
+    /// protocol).
+    pub inject: Option<InjectFault>,
+    /// Perturb scheduler pick decisions with this seeded schedule (the
+    /// schedule-exploration checker). None runs the configured FIFO/LIFO
+    /// policy unmodified.
+    pub explore: Option<ExploreSpec>,
 }
 
 impl CvmConfig {
@@ -121,6 +138,10 @@ impl CvmConfig {
             loss: None,
             trace_capacity: 0,
             seed: 0x5EED_CAFE,
+            verify: false,
+            verify_sink: FindingSink::new(),
+            inject: None,
+            explore: None,
         }
     }
 

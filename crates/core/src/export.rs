@@ -235,6 +235,55 @@ pub fn chrome_trace(trace: &Trace, nodes: usize) -> JsonValue {
                     vec![("page", page.0 as u64), ("target", *target as u64)],
                 );
             }
+            TraceEvent::NoticeCreated {
+                node,
+                writer,
+                interval,
+                page,
+            } => {
+                instant(
+                    format!("notice n{writer}.{interval}"),
+                    "verify",
+                    *node,
+                    at,
+                    vec![
+                        ("writer", *writer as u64),
+                        ("interval", u64::from(*interval)),
+                        ("page", page.0 as u64),
+                    ],
+                );
+            }
+            TraceEvent::DiffApplied {
+                node,
+                page,
+                writer,
+                upto,
+            } => {
+                instant(
+                    format!("apply p{}", page.0),
+                    "verify",
+                    *node,
+                    at,
+                    vec![
+                        ("page", page.0 as u64),
+                        ("writer", *writer as u64),
+                        ("upto", u64::from(*upto)),
+                    ],
+                );
+            }
+            TraceEvent::LockTransfer { lock, from, to } => {
+                instant(
+                    format!("token L{lock}"),
+                    "verify",
+                    *to,
+                    at,
+                    vec![
+                        ("lock", *lock as u64),
+                        ("from", *from as u64),
+                        ("to", *to as u64),
+                    ],
+                );
+            }
             TraceEvent::ThreadSwitch { node, from, to } => {
                 instant(
                     format!("switch t{from}->t{to}"),

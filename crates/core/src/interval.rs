@@ -92,6 +92,18 @@ impl VectorTime {
         self.entries.iter().zip(&other.entries).all(|(a, b)| a >= b)
     }
 
+    /// Strict domination: `self` covers `other` and differs somewhere.
+    /// Antisymmetric by construction: at most one of `a.dominates(&b)`,
+    /// `b.dominates(&a)` holds; both false means equal or incomparable
+    /// (concurrent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two timestamps have different lengths.
+    pub fn dominates(&self, other: &VectorTime) -> bool {
+        self.covers(other) && self != other
+    }
+
     /// Approximate wire size in bytes.
     pub fn wire_bytes(&self) -> usize {
         4 * self.entries.len()
@@ -152,6 +164,15 @@ impl IntervalLog {
     pub fn close(&mut self, dirty: Vec<PageId>) -> u32 {
         self.intervals.push(dirty);
         self.intervals.len() as u32
+    }
+
+    /// Pages dirtied in closed interval `interval` (1-based), or `None`
+    /// if that interval has not closed yet.
+    pub fn pages_of(&self, interval: u32) -> Option<&[PageId]> {
+        if interval == 0 {
+            return None;
+        }
+        self.intervals.get(interval as usize - 1).map(Vec::as_slice)
     }
 
     /// Write notices for this node's intervals in `(since, upto]`.
@@ -225,6 +246,28 @@ mod tests {
         assert_eq!(tail[0].page, PageId(3));
         assert_eq!(tail[0].interval, 2);
         assert!(log.notices_between(7, 2, 2).is_empty());
+    }
+
+    #[test]
+    fn dominates_is_strict_and_antisymmetric() {
+        let mut a = VectorTime::new(2);
+        let b = VectorTime::new(2);
+        assert!(!a.dominates(&b) && !b.dominates(&a), "equal dominates none");
+        a.advance(0, 1);
+        assert!(a.dominates(&b) && !b.dominates(&a));
+        let mut c = VectorTime::new(2);
+        c.advance(1, 1);
+        assert!(!a.dominates(&c) && !c.dominates(&a), "concurrent");
+    }
+
+    #[test]
+    fn pages_of_is_one_based() {
+        let mut log = IntervalLog::new();
+        assert_eq!(log.pages_of(0), None, "interval 0 is the startup epoch");
+        assert_eq!(log.pages_of(1), None, "not closed yet");
+        log.close(vec![PageId(4)]);
+        assert_eq!(log.pages_of(1), Some(&[PageId(4)][..]));
+        assert_eq!(log.pages_of(2), None);
     }
 
     #[test]

@@ -46,6 +46,7 @@
 //! assert_eq!(report.stats.barriers_crossed, 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod attr;
 pub mod barrier;
@@ -58,6 +59,7 @@ pub mod interval;
 pub mod lock;
 pub mod msg;
 pub mod node;
+pub mod oracle;
 pub mod page;
 pub mod protocol;
 pub mod report;
@@ -74,6 +76,7 @@ pub use diff::Diff;
 pub use export::chrome_trace;
 pub use hist::DsmHistograms;
 pub use interval::VectorTime;
+pub use oracle::{Finding, FindingSink, InjectFault, Invariant, Oracle};
 pub use page::{Addr, PageId, PageState};
 pub use protocol::ProtocolKind;
 pub use report::{NodeBreakdown, RunReport};

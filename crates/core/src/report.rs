@@ -9,6 +9,7 @@ use cvm_sim::{SimDuration, VirtualTime};
 
 use crate::attr::ResourceAttr;
 use crate::hist::DsmHistograms;
+use crate::oracle::Finding;
 use crate::stats::DsmStats;
 use crate::trace::Trace;
 
@@ -65,6 +66,12 @@ pub struct RunReport {
     pub attr: ResourceAttr,
     /// Protocol event trace, if tracing was enabled.
     pub trace: Option<Trace>,
+    /// Invariant violations recorded by the online oracle (empty unless
+    /// `verify` was set — and then hopefully still empty).
+    pub findings: Vec<Finding>,
+    /// Scheduler pick decisions perturbed by the exploration schedule
+    /// (0 when no exploration was configured).
+    pub explore_decisions: u64,
 }
 
 impl RunReport {
@@ -121,6 +128,19 @@ impl RunReport {
             t.set("events_total", trace.events_total());
             obj.set("trace", t);
         }
+        let mut findings = JsonValue::array();
+        for fd in &self.findings {
+            let mut row = JsonValue::object();
+            row.set("invariant", format!("{}", fd.invariant));
+            if let Some(n) = fd.node {
+                row.set("node", n);
+            }
+            row.set("at_ns", fd.at.as_ns());
+            row.set("detail", fd.detail.clone());
+            findings.push(row);
+        }
+        obj.set("findings", findings);
+        obj.set("explore_decisions", self.explore_decisions);
         obj
     }
 }
@@ -182,6 +202,8 @@ mod tests {
             hist: DsmHistograms::default(),
             attr: ResourceAttr::default(),
             trace: None,
+            findings: Vec::new(),
+            explore_decisions: 0,
         };
         assert!((report.fraction(|n| n.user) - 0.8).abs() < 1e-9);
         assert!((report.fraction(|n| n.barrier) - 0.2).abs() < 1e-9);
@@ -198,13 +220,25 @@ mod tests {
             hist: DsmHistograms::default(),
             attr: ResourceAttr::default(),
             trace: Some(Trace::new(16)),
+            findings: Vec::new(),
+            explore_decisions: 0,
         };
         report.hist.fault_fetch_ns.record(900);
         report.attr.page_mut(4).faults = 1;
         let j = report.to_json(8);
         assert_eq!(j.get("schema").unwrap().as_str(), Some("cvm-run-report"));
         assert_eq!(j.get("total_ns").unwrap().as_u64(), Some(100_000));
-        for key in ["stats", "net", "hist", "attr", "nodes", "mem", "trace"] {
+        for key in [
+            "stats",
+            "net",
+            "hist",
+            "attr",
+            "nodes",
+            "mem",
+            "trace",
+            "findings",
+            "explore_decisions",
+        ] {
             assert!(j.get(key).is_some(), "missing {key}");
         }
         assert_eq!(j.get("nodes").unwrap().as_array().unwrap().len(), 1);

@@ -8,7 +8,7 @@ use std::sync::Arc;
 use cvm_net::{Message, NetworkSim, NodeId};
 use cvm_sim::coop::{Burst, CoopScheduler, CoopThreadId, Yielder};
 use cvm_sim::sync::Mutex;
-use cvm_sim::{EventQueue, SimDuration, SimRng, VirtualTime};
+use cvm_sim::{EventQueue, ExploreSchedule, SimDuration, SimRng, VirtualTime};
 
 use cvm_memsim::MemSystem;
 
@@ -22,6 +22,7 @@ use crate::interval::{IntervalLog, VectorTime, WriteNotice};
 use crate::lock::{AcquireOutcome, ForwardOutcome, LockLocal, LockManager, ReleaseOutcome};
 use crate::msg::Payload;
 use crate::node::NodeCell;
+use crate::oracle::{InjectFault, Invariant, Oracle};
 use crate::page::{PageId, PageState};
 use crate::protocol::CopysetEntry;
 use crate::report::{MemMisses, NodeBreakdown, RunReport};
@@ -45,7 +46,12 @@ impl CvmBuilder {
     ///
     /// Panics if the configuration is invalid.
     pub fn new(cfg: CvmConfig) -> Self {
-        assert!(cfg.nodes > 0 && cfg.threads_per_node > 0);
+        Invariant::ConfigPositive.require(cfg.nodes > 0 && cfg.threads_per_node > 0, || {
+            format!(
+                "need at least one node and one thread per node, got {}x{}",
+                cfg.nodes, cfg.threads_per_node
+            )
+        });
         CvmBuilder { cfg, next_addr: 0 }
     }
 
@@ -233,6 +239,14 @@ struct Driver {
     lock_hops: HashMap<(usize, usize), u8>,
     /// Per node: first arrival time of the current barrier episode.
     barrier_arrived_at: Vec<Option<VirtualTime>>,
+    /// Invariant checker: panics on violation normally, records findings
+    /// under `cfg.verify`.
+    oracle: Oracle,
+    /// Seeded scheduler perturbation, when exploring.
+    explore: Option<ExploreSchedule>,
+    /// Occurrences of the configured injection's fault site seen so far
+    /// (the injection corrupts occurrence `nth` only).
+    inject_seen: u64,
 }
 
 type AppFn = Arc<dyn Fn(&mut ThreadCtx<'_>) + Send + Sync>;
@@ -298,6 +312,12 @@ impl Driver {
             }
         }
         let cfg2_trace = cfg.trace_capacity;
+        let oracle = if cfg.verify {
+            Oracle::recording(cfg.verify_sink.clone())
+        } else {
+            Oracle::disabled()
+        };
+        let explore = cfg.explore.map(ExploreSchedule::new);
         let mut net = NetworkSim::new(nodes, cfg.latency.clone());
         if !cfg.jitter_max.is_zero() {
             net.set_jitter(rng.derive(0x7177), cfg.jitter_max);
@@ -336,7 +356,24 @@ impl Driver {
             lock_req_at: HashMap::new(),
             lock_hops: HashMap::new(),
             barrier_arrived_at: vec![None; nodes],
+            oracle,
+            explore,
+            inject_seen: 0,
         }
+    }
+
+    /// True when the configured injection's fault site is at its targeted
+    /// occurrence; advances the occurrence counter either way.
+    fn inject_hits(&mut self, want: fn(&InjectFault) -> Option<u64>) -> bool {
+        let Some(fault) = &self.cfg.inject else {
+            return false;
+        };
+        let Some(nth) = want(fault) else {
+            return false;
+        };
+        let seen = self.inject_seen;
+        self.inject_seen += 1;
+        seen == nth
     }
 
     fn run(&mut self) -> RunReport {
@@ -417,6 +454,8 @@ impl Driver {
             } else {
                 None
             },
+            findings: self.cfg.verify_sink.snapshot(),
+            explore_decisions: self.explore.as_ref().map_or(0, ExploreSchedule::decisions),
         }
     }
 
@@ -480,7 +519,15 @@ impl Driver {
         let clock0 = self.ctl[n].sched.clock.max(t);
         self.settle_idle(n, clock0);
         self.ctl[n].sched.clock = clock0;
-        let tid = if self.cfg.lifo_schedule {
+        let explored = self
+            .explore
+            .as_mut()
+            .and_then(|e| e.pick(self.ctl[n].sched.ready.len()));
+        let tid = if let Some(idx) = explored {
+            // Exploration overrides the policy with a seeded choice among
+            // the ready set (budget-bounded, then the policy resumes).
+            self.ctl[n].sched.ready.remove(idx).expect("pick in range")
+        } else if self.cfg.lifo_schedule {
             // Memory-conscious policy: run the most recently readied
             // thread, whose working set is most likely still cached.
             self.ctl[n].sched.ready.pop_back().expect("ready checked")
@@ -619,7 +666,9 @@ impl Driver {
     }
 
     fn handle_acquire(&mut self, n: usize, tid: usize, lock: usize) {
-        assert!(lock < MAX_LOCKS, "lock index {lock} out of range");
+        Invariant::LockIndexInRange.require(lock < MAX_LOCKS, || {
+            format!("lock index {lock} outside the static table of {MAX_LOCKS}")
+        });
         match self.ctl[n].locks[lock].try_acquire(tid) {
             AcquireOutcome::LocalGrant => {
                 self.stats.local_lock_acquires += 1;
@@ -725,8 +774,16 @@ impl Driver {
         self.close_interval(n);
         let latest = self.ctl[n].log.latest();
         let since = self.ctl[n].nb.notices_sent_upto;
-        let notices = self.ctl[n].log.notices_between(n, since, latest);
+        let mut notices = self.ctl[n].log.notices_between(n, since, latest);
         self.ctl[n].nb.notices_sent_upto = latest;
+        if self.cfg.inject.is_some() {
+            notices.retain(|_| {
+                !self.inject_hits(|f| match f {
+                    InjectFault::DropWriteNotice { nth } => Some(*nth),
+                    _ => None,
+                })
+            });
+        }
         let vt = self.ctl[n].vt.clone();
         self.arrive_at_master(n, vt, notices, now);
     }
@@ -751,9 +808,7 @@ impl Driver {
             self.barrier_arrived_at[n] = Some(now);
         }
         if n == 0 {
-            if self.master.arrive(&vt, notices) {
-                self.barrier_release(now);
-            }
+            self.master_arrive(n, vt, notices, now);
         } else {
             let epoch = self.master.epoch();
             self.send(
@@ -767,6 +822,32 @@ impl Driver {
                 },
                 now,
             );
+        }
+    }
+
+    /// Feeds one arrival to the barrier master, auditing the arrival count
+    /// first so a broken episode records a finding instead of tripping the
+    /// master's internal assert.
+    fn master_arrive(
+        &mut self,
+        from: usize,
+        vt: VectorTime,
+        notices: Vec<WriteNotice>,
+        t: VirtualTime,
+    ) {
+        if self.master.arrived() >= self.master.expected() {
+            self.oracle
+                .check(Invariant::BarrierArrivalCount, false, Some(from), t, || {
+                    format!(
+                        "arrival past the {} expected in episode {}",
+                        self.master.expected(),
+                        self.master.epoch()
+                    )
+                });
+            return;
+        }
+        if self.master.arrive(&vt, notices) {
+            self.barrier_release(t);
         }
     }
 
@@ -875,7 +956,13 @@ impl Driver {
     /// the paper's "global data is consistent across all nodes until
     /// startup has finished".
     fn startup_reset(&mut self) {
-        assert!(self.net.in_flight() == 0, "messages in flight at startup");
+        self.oracle.check(
+            Invariant::QuiescentStartup,
+            self.net.in_flight() == 0,
+            None,
+            VirtualTime::ZERO,
+            || format!("{} messages in flight at startup", self.net.in_flight()),
+        );
         let init_mem = {
             let mut c0 = self.cells[0].lock();
             c0.twins.clear();
@@ -952,17 +1039,46 @@ impl Driver {
             self.ctl[n].page_close_gseq.insert(p, gseq);
         }
         let page_ids: Vec<PageId> = pages.iter().copied().map(PageId).collect();
+        let own_before = self.ctl[n].vt.get(n);
         let idx = self.ctl[n].log.close(page_ids.clone());
-        {
-            let at = self.ctl[n].sched.clock;
-            self.trace.record(
+        let at = self.ctl[n].sched.clock;
+        self.trace.record(
+            at,
+            TraceEvent::IntervalClosed {
+                node: n,
+                interval: idx,
+                pages: page_ids.len(),
+            },
+        );
+        if self.oracle.enabled() {
+            // A node's own component tracks exactly its closed-interval
+            // count, so each close extends it by one — no gaps, no
+            // regression.
+            self.oracle.check(
+                Invariant::VtMonotonic,
+                own_before + 1 == idx,
+                Some(n),
                 at,
-                TraceEvent::IntervalClosed {
-                    node: n,
-                    interval: idx,
-                    pages: page_ids.len(),
-                },
+                || format!("own vector component {own_before} but closed interval {idx}"),
             );
+            self.oracle.check(
+                Invariant::IntervalContiguity,
+                idx == self.ctl[n].log.latest(),
+                Some(n),
+                at,
+                || format!("interval {idx} closed out of sequence"),
+            );
+            for &page in &page_ids {
+                self.trace.record(
+                    at,
+                    TraceEvent::NoticeCreated {
+                        node: n,
+                        writer: n,
+                        interval: idx,
+                        page,
+                    },
+                );
+            }
         }
         self.ctl[n].vt.advance(n, idx);
         self.ctl[n].notice_store[n].insert(idx, page_ids);
@@ -1037,6 +1153,22 @@ impl Driver {
         if diff.is_empty() {
             return None;
         }
+        if self.oracle.enabled() {
+            // The diff must be exactly the delta between twin and page:
+            // patching the twin with it reproduces the current contents.
+            let ok = {
+                let cell = self.cells[n].lock();
+                let twin = cell.twins.get(&page).expect("twin checked");
+                let mut patched = twin.clone();
+                diff.apply(&mut patched);
+                patched == cell.page_bytes(page)
+            };
+            let at = self.ctl[n].sched.clock;
+            self.oracle
+                .check(Invariant::TwinDiffRoundTrip, ok, Some(n), at, || {
+                    format!("diff of p{page} does not reproduce the page from its twin")
+                });
+        }
         let last_tag = self.ctl[n]
             .diff_cache
             .get(&page)
@@ -1082,6 +1214,42 @@ impl Driver {
         Some((tag, gseq, diff))
     }
 
+    /// Merges `vt` into node `n`'s vector time, auditing (under `verify`)
+    /// that the advance is sound: no component names an interval its
+    /// writer never closed, and every interval newly covered has its
+    /// write notices present in `n`'s store — the coverage half of LRC's
+    /// correctness argument (a dropped notice means `n` silently keeps a
+    /// stale copy while claiming to have seen the write).
+    fn checked_merge(&mut self, n: usize, vt: &VectorTime, at: VirtualTime) {
+        if self.oracle.enabled() {
+            for q in 0..self.cfg.nodes {
+                let claimed = vt.get(q);
+                let closed = self.ctl[q].log.latest();
+                self.oracle
+                    .check(Invariant::VtBounded, claimed <= closed, Some(n), at, || {
+                        format!("timestamp names n{q}.{claimed} but only {closed} closed")
+                    });
+            }
+            let before = self.ctl[n].vt.clone();
+            self.ctl[n].vt.merge(vt);
+            for q in 0..self.cfg.nodes {
+                if q == n {
+                    continue;
+                }
+                let to = self.ctl[n].vt.get(q);
+                for ivl in before.get(q) + 1..=to {
+                    let known = self.ctl[n].notice_store[q].contains_key(&ivl);
+                    self.oracle
+                        .check(Invariant::NoticeCoverage, known, Some(n), at, || {
+                            format!("advanced past n{q}.{ivl} without its write notices")
+                        });
+                }
+            }
+        } else {
+            self.ctl[n].vt.merge(vt);
+        }
+    }
+
     /// Applies incoming write notices at node `n`: record, and invalidate
     /// resident pages.
     fn apply_notices(&mut self, n: usize, notices: &[WriteNotice]) {
@@ -1110,6 +1278,18 @@ impl Driver {
             if !slot.contains(&wn.page) {
                 slot.push(wn.page);
             }
+            if self.cfg.verify {
+                let at = self.ctl[n].sched.clock;
+                self.trace.record(
+                    at,
+                    TraceEvent::NoticeCreated {
+                        node: n,
+                        writer: wn.writer,
+                        interval: wn.interval,
+                        page: wn.page,
+                    },
+                );
+            }
             if wn.interval <= self.ctl[n].applied_ivl(wn.page.0, wn.writer) {
                 continue; // already reflected in our copy
             }
@@ -1120,22 +1300,46 @@ impl Driver {
             let p = wn.page.0;
             let state = self.cells[n].lock().state[p];
             if state.readable() {
-                // If we were concurrently writing it, extract our diff
-                // before losing the twin.
-                let _ = self.ensure_extracted(n, p);
-                let mut cell = self.cells[n].lock();
-                cell.twins.remove(&p);
-                cell.dirty.remove(&p);
-                cell.state[p] = PageState::Invalid;
-                drop(cell);
-                self.attr.page_mut(p).invalidations += 1;
+                let skip = self.inject_hits(|f| match f {
+                    InjectFault::SkipInvalidate { nth } => Some(*nth),
+                    _ => None,
+                });
+                if !skip {
+                    // If we were concurrently writing it, extract our diff
+                    // before losing the twin.
+                    let _ = self.ensure_extracted(n, p);
+                    let mut cell = self.cells[n].lock();
+                    cell.twins.remove(&p);
+                    cell.dirty.remove(&p);
+                    cell.state[p] = PageState::Invalid;
+                    drop(cell);
+                    self.attr.page_mut(p).invalidations += 1;
+                    let at = self.ctl[n].sched.clock;
+                    self.trace.record(
+                        at,
+                        TraceEvent::Invalidated {
+                            node: n,
+                            page: wn.page,
+                            writer: wn.writer,
+                        },
+                    );
+                }
+            }
+            if self.oracle.enabled() {
+                // The notice is now pending: a still-readable copy would
+                // serve stale data.
+                let readable = self.cells[n].lock().state[p].readable();
                 let at = self.ctl[n].sched.clock;
-                self.trace.record(
+                self.oracle.check(
+                    Invariant::PendingImpliesInvalid,
+                    !readable,
+                    Some(n),
                     at,
-                    TraceEvent::Invalidated {
-                        node: n,
-                        page: wn.page,
-                        writer: wn.writer,
+                    || {
+                        format!(
+                            "{} still readable with pending notice n{}.{}",
+                            wn.page, wn.writer, wn.interval
+                        )
                     },
                 );
             }
@@ -1177,6 +1381,16 @@ impl Driver {
         self.close_interval(granter);
         let notices = self.notices_for_grant(granter, acq_vt);
         let vt = self.ctl[granter].vt.clone();
+        if self.cfg.verify {
+            self.trace.record(
+                t,
+                TraceEvent::LockTransfer {
+                    lock,
+                    from: granter,
+                    to,
+                },
+            );
+        }
         self.send(granter, to, Payload::LockGrant { lock, vt, notices }, t);
     }
 
@@ -1189,7 +1403,18 @@ impl Driver {
         t: VirtualTime,
     ) {
         let prev = self.lock_mgrs[lock].enqueue(acquirer);
-        assert_ne!(prev, acquirer, "double lock request from {acquirer}");
+        self.oracle.check(
+            Invariant::SingleLockRequest,
+            prev != acquirer,
+            Some(acquirer),
+            t,
+            || format!("double request for lock {lock} from n{acquirer}"),
+        );
+        if prev == acquirer {
+            // Recording mode: forwarding a node to itself would wedge the
+            // distributed queue; stop after the finding.
+            return;
+        }
         // The manager decides the grant's path length here: token at the
         // manager → 2 hops, forwarded to the current owner → 3 hops.
         let hops = if prev == mgr_node { 2 } else { 3 };
@@ -1262,10 +1487,13 @@ impl Driver {
         t: VirtualTime,
     ) {
         if let Some(started) = self.barrier_arrived_at[n].take() {
-            self.hist.barrier_stall_ns.record(t.since(started).as_ns());
+            // Node clocks diverge, so the master-side release time can
+            // precede a fast node's arrival clock; its stall is then zero.
+            let stall = t.max(started).since(started);
+            self.hist.barrier_stall_ns.record(stall.as_ns());
         }
         self.apply_notices(n, &notices);
-        self.ctl[n].vt.merge(&vt);
+        self.checked_merge(n, &vt, t);
         let woken = self.ctl[n].nb.take_blocked();
         for tid in woken {
             self.make_ready(n, tid, t);
@@ -1275,14 +1503,32 @@ impl Driver {
     fn complete_fetch(&mut self, n: usize, page: usize, t: VirtualTime) {
         let mut fetch = self.ctl[n].fetches.remove(&page).expect("fetch exists");
         let mut words = 0usize;
+        // Apply in happens-before order: close-sequence, then writer,
+        // then the writer-local tag.
+        fetch.diffs.sort_by_key(|&(tag, gseq, w, _)| (gseq, w, tag));
+        if fetch.diffs.len() >= 2
+            && self.inject_hits(|f| match f {
+                InjectFault::ReorderDiffApply { nth } => Some(*nth),
+                _ => None,
+            })
+        {
+            fetch.diffs.reverse();
+        }
+        if self.oracle.enabled() {
+            let ordered = fetch
+                .diffs
+                .windows(2)
+                .all(|w| (w[0].1, w[0].2, w[0].0) <= (w[1].1, w[1].2, w[1].0));
+            self.oracle
+                .check(Invariant::DiffApplyOrder, ordered, Some(n), t, || {
+                    format!("diffs for p{page} applied out of happens-before order")
+                });
+        }
         {
             let mut cell = self.cells[n].lock();
             if let Some(base) = fetch.base.take() {
                 cell.page_bytes_mut(page).copy_from_slice(&base);
             }
-            // Apply in happens-before order: close-sequence, then writer,
-            // then the writer-local tag.
-            fetch.diffs.sort_by_key(|&(tag, gseq, w, _)| (gseq, w, tag));
             for (tag, _gseq, w, d) in &fetch.diffs {
                 d.apply(cell.page_bytes_mut(page));
                 words += d.words_applied();
@@ -1400,6 +1646,19 @@ impl Driver {
                 let key = (p, src);
                 let e = self.ctl[n].applied_ivl.entry(key).or_insert(0);
                 *e = (*e).max(upto);
+                if self.cfg.verify {
+                    // The applied watermark can run ahead of our vector
+                    // time; the race detector mirrors it from this event.
+                    self.trace.record(
+                        t,
+                        TraceEvent::DiffApplied {
+                            node: n,
+                            page,
+                            writer: src,
+                            upto,
+                        },
+                    );
+                }
                 if let Some(f) = self.ctl[n].fetches.get_mut(&p) {
                     for (tag, gseq, d) in diffs {
                         f.diffs.push((tag, gseq, src, d));
@@ -1417,8 +1676,32 @@ impl Driver {
                 self.forward_at(n, lock, acquirer, vt, t);
             }
             Payload::LockGrant { lock, vt, notices } => {
+                if self.oracle.enabled() {
+                    // The token is in flight to us: no node may still hold
+                    // it cached, and we must have an outstanding request
+                    // with a thread waiting — otherwise the wakeup is lost.
+                    let owners = (0..self.cfg.nodes)
+                        .filter(|&q| self.ctl[q].locks[lock].cached)
+                        .count();
+                    self.oracle
+                        .check(Invariant::LockSingleToken, owners == 0, Some(n), t, || {
+                            format!("lock {lock} granted while {owners} node(s) hold the token")
+                        });
+                    let lk = &self.ctl[n].locks[lock];
+                    let has_waiter = lk.requested && !lk.local_queue.is_empty();
+                    self.oracle.check(
+                        Invariant::LockGrantHasWaiter,
+                        has_waiter,
+                        Some(n),
+                        t,
+                        || format!("grant of lock {lock} with no requesting waiter"),
+                    );
+                    if !has_waiter {
+                        return;
+                    }
+                }
                 self.apply_notices(n, &notices);
-                self.ctl[n].vt.merge(&vt);
+                self.checked_merge(n, &vt, t);
                 self.trace
                     .record(t, TraceEvent::LockGranted { node: n, lock });
                 if let Some(started) = self.lock_req_at.remove(&(n, lock)) {
@@ -1441,12 +1724,23 @@ impl Driver {
                 vt,
                 notices,
             } => {
-                let _ = node;
-                debug_assert_eq!(n, 0, "arrivals go to the master");
-                debug_assert_eq!(epoch, self.master.epoch(), "barrier epoch skew");
-                if self.master.arrive(&vt, notices) {
-                    self.barrier_release(t);
-                }
+                self.oracle
+                    .check(Invariant::BarrierMasterRouting, n == 0, Some(n), t, || {
+                        format!("n{node}'s arrival delivered to n{n}, not the master")
+                    });
+                self.oracle.check(
+                    Invariant::BarrierEpochAgreement,
+                    epoch == self.master.epoch(),
+                    Some(node),
+                    t,
+                    || {
+                        format!(
+                            "n{node} arrived for episode {epoch}, master at {}",
+                            self.master.epoch()
+                        )
+                    },
+                );
+                self.master_arrive(node, vt, notices, t);
             }
             Payload::ReduceArrive { node, op, value } => {
                 debug_assert_eq!(n, 0, "reduce arrivals go to the master");
@@ -1478,6 +1772,17 @@ impl Driver {
                 *e = (*e).max(tag);
                 let e = self.ctl[n].applied_ivl.entry(kd).or_insert(0);
                 *e = (*e).max(upto);
+                if self.cfg.verify {
+                    self.trace.record(
+                        t,
+                        TraceEvent::DiffApplied {
+                            node: n,
+                            page,
+                            writer: src,
+                            upto,
+                        },
+                    );
+                }
                 // Retire satisfied notices and revalidate if nothing is
                 // pending any more.
                 let remaining: Vec<(usize, u32)> = self.ctl[n]

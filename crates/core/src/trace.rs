@@ -82,6 +82,45 @@ pub enum TraceEvent {
         /// Pages dirtied in the interval.
         pages: usize,
     },
+    /// A write notice became visible to a node (created locally at an
+    /// interval close, or received via a lock grant / barrier release).
+    /// Recorded only under `verify`; the offline race detector uses it to
+    /// replay notice coverage.
+    NoticeCreated {
+        /// Node the notice is now known at.
+        node: usize,
+        /// Writer that produced the interval.
+        writer: usize,
+        /// The writer's interval index.
+        interval: u32,
+        /// Page the notice covers.
+        page: PageId,
+    },
+    /// A diff application advanced a page's applied-interval watermark
+    /// (fetch reply or eager push). Recorded only under `verify`; the
+    /// watermark can run ahead of the receiver's vector time, which the
+    /// race detector must mirror to avoid false lost-update reports.
+    DiffApplied {
+        /// Node applying the diff.
+        node: usize,
+        /// Page patched.
+        page: PageId,
+        /// Writer whose modifications were applied.
+        writer: usize,
+        /// Writer intervals now folded into the copy, `..=upto`.
+        upto: u32,
+    },
+    /// The lock token moved between nodes (granted by the previous owner
+    /// or forwarded by the manager). Recorded only under `verify`; the
+    /// replay uses it to audit single-token ownership.
+    LockTransfer {
+        /// Lock index.
+        lock: usize,
+        /// Node releasing the token.
+        from: usize,
+        /// Node receiving the token.
+        to: usize,
+    },
     /// A write notice invalidated a resident copy.
     Invalidated {
         /// Node losing the copy.
@@ -167,6 +206,21 @@ impl fmt::Display for TraceEvent {
                 interval,
                 pages,
             } => write!(f, "n{node} closed interval {interval} ({pages} pages)"),
+            TraceEvent::NoticeCreated {
+                node,
+                writer,
+                interval,
+                page,
+            } => write!(f, "n{node} learned notice n{writer}.{interval} {page}"),
+            TraceEvent::DiffApplied {
+                node,
+                page,
+                writer,
+                upto,
+            } => write!(f, "n{node} applied diff {page} (n{writer} upto {upto})"),
+            TraceEvent::LockTransfer { lock, from, to } => {
+                write!(f, "lock {lock} token n{from} -> n{to}")
+            }
             TraceEvent::Invalidated { node, page, writer } => {
                 write!(f, "n{node} invalidated {page} (writer n{writer})")
             }
@@ -379,6 +433,23 @@ mod tests {
                 node: 0,
                 from: 1,
                 to: 2,
+            },
+            TraceEvent::NoticeCreated {
+                node: 1,
+                writer: 0,
+                interval: 2,
+                page: PageId(1),
+            },
+            TraceEvent::DiffApplied {
+                node: 1,
+                page: PageId(1),
+                writer: 0,
+                upto: 2,
+            },
+            TraceEvent::LockTransfer {
+                lock: 5,
+                from: 0,
+                to: 1,
             },
         ];
         for e in events {

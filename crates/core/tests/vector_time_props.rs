@@ -1,0 +1,113 @@
+//! Randomized edge-case tests for vector-timestamp comparison: partial
+//! order on incomparable (concurrent) timestamps, strict domination, and
+//! their interplay with `merge`. Driven by the deterministic `SimRng` so
+//! failures reproduce exactly.
+
+use cvm_dsm::VectorTime;
+use cvm_sim::SimRng;
+
+const CASES: usize = 300;
+
+fn rand_vt(rng: &mut SimRng, len: usize, bound: u64) -> VectorTime {
+    let mut t = VectorTime::new(len);
+    for i in 0..len {
+        t.advance(i, rng.below(bound) as u32);
+    }
+    t
+}
+
+/// A pair guaranteed concurrent: `a` is ahead on component 0, `b` on
+/// component 1, arbitrary elsewhere.
+fn concurrent_pair(rng: &mut SimRng, len: usize) -> (VectorTime, VectorTime) {
+    let mut a = rand_vt(rng, len, 50);
+    let mut b = a.clone();
+    a.advance(0, a.get(0) + 1 + rng.below(5) as u32);
+    b.advance(1, b.get(1) + 1 + rng.below(5) as u32);
+    (a, b)
+}
+
+#[test]
+fn incomparable_timestamps_cover_neither_way() {
+    let mut rng = SimRng::seed_from(0x5EED_0001);
+    for _ in 0..CASES {
+        let (a, b) = concurrent_pair(&mut rng, 4);
+        assert!(!a.covers(&b), "{a} should not cover {b}");
+        assert!(!b.covers(&a), "{b} should not cover {a}");
+        assert!(!a.dominates(&b) && !b.dominates(&a));
+    }
+}
+
+#[test]
+fn merge_of_incomparables_strictly_dominates_both() {
+    let mut rng = SimRng::seed_from(0x5EED_0002);
+    for _ in 0..CASES {
+        let (a, b) = concurrent_pair(&mut rng, 4);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert!(m.dominates(&a), "lub of concurrent times is strictly above");
+        assert!(m.dominates(&b));
+    }
+}
+
+#[test]
+fn dominates_is_antisymmetric_and_irreflexive() {
+    let mut rng = SimRng::seed_from(0x5EED_0003);
+    for _ in 0..CASES {
+        let a = rand_vt(&mut rng, 4, 20);
+        let b = rand_vt(&mut rng, 4, 20);
+        assert!(
+            !(a.dominates(&b) && b.dominates(&a)),
+            "domination both ways: {a} vs {b}"
+        );
+        assert!(!a.dominates(&a), "domination is strict: {a}");
+    }
+}
+
+#[test]
+fn dominates_agrees_with_covers_and_inequality() {
+    let mut rng = SimRng::seed_from(0x5EED_0004);
+    for _ in 0..CASES {
+        let a = rand_vt(&mut rng, 3, 10);
+        let b = rand_vt(&mut rng, 3, 10);
+        assert_eq!(a.dominates(&b), a.covers(&b) && a != b);
+    }
+}
+
+#[test]
+fn merge_is_idempotent_and_preserved_by_domination() {
+    let mut rng = SimRng::seed_from(0x5EED_0005);
+    for _ in 0..CASES {
+        let a = rand_vt(&mut rng, 4, 100);
+        let b = rand_vt(&mut rng, 4, 100);
+        let mut m = a.clone();
+        m.merge(&b);
+        // Idempotent: merging again changes nothing.
+        let mut mm = m.clone();
+        mm.merge(&b);
+        mm.merge(&a);
+        assert_eq!(mm, m);
+        // The lub never strictly dominates a time that already covers
+        // the other operand.
+        if a.covers(&b) {
+            assert_eq!(m, a);
+            assert!(!m.dominates(&a));
+        }
+    }
+}
+
+#[test]
+fn advance_creates_strict_domination() {
+    let mut rng = SimRng::seed_from(0x5EED_0006);
+    for _ in 0..CASES {
+        let a = rand_vt(&mut rng, 4, 100);
+        let q = rng.below(4) as usize;
+        let mut later = a.clone();
+        later.advance(q, a.get(q) + 1);
+        assert!(later.dominates(&a));
+        assert!(!a.dominates(&later));
+        // Advancing to a past value is a no-op, never a regression.
+        let mut same = a.clone();
+        same.advance(q, 0);
+        assert_eq!(same, a);
+    }
+}

@@ -1,0 +1,6 @@
+//! `cvm` — tables, single runs, benches and the verification checker
+//! (`cvm check`); see [`cvm_harness::cli`] for commands.
+
+fn main() {
+    cvm_harness::cli::run();
+}

@@ -1,0 +1,376 @@
+//! Command-line driver shared by the `harness` and `cvm` binaries.
+//!
+//! `harness` keeps its historical name; `cvm` is the same tool under the
+//! system's name, and is what the verification workflow documents
+//! (`cvm check`).
+
+use cvm_verify::check::{run_check as verify_check, CheckOptions};
+
+use crate::tables::{self, Suite};
+use crate::{bench, micro, AppId, Scale};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cvm <micro|table1|fig1|table2|table3|fig2|table4|table5|ablation|protocols|perturb|all> [--paper-scale]\n         \n         or:    cvm run <barnes|fft|ocean|sor|swm|water-sp|water-nsq>\n         or:    cvm bench [--json] [--nodes N] [--threads T] [--paper-scale]\n         or:    cvm check [--app NAME]... [--schedules N]\n         \n         run options:\n           --nodes N        processors (default 8)\n           --threads T      threads per node (default 2)\n           --paper-scale    the paper's input sizes\n           --eager          eager-update protocol instead of lazy multi-writer\n           --lifo           memory-conscious LIFO scheduling\n           --memsim         enable the cache/TLB simulator\n           --verify         run the online invariant oracle; findings are\n                            printed and make the exit status nonzero\n           --trace N        record and print the first N protocol events\n           --json FILE      write the full run report as JSON to FILE\n           --chrome-trace FILE\n                            write the protocol trace as Chrome trace-event\n                            JSON (load in chrome://tracing or Perfetto)\n         \n         bench options:\n           --json           additionally write one BENCH_<app>.json per app\n         \n         check options:\n           --app NAME       application to check (repeatable; default: all)\n           --nodes N        processors (default 2)\n           --threads T      threads per node (default 2)\n           --schedules N    perturbed schedules per app (default 8); an\n                            unperturbed baseline always runs first\n           --seed S         base exploration seed (schedule 0 uses it\n                            verbatim, so reported seeds replay directly)\n           --budget N       scheduler decisions each schedule may perturb\n                            (default 64)\n           --mutate KIND[:nth]\n                            inject a protocol mutation (oracle self-test):\n                            drop-notice | reorder-diff | skip-invalidate;\n                            exit status then inverts (0 = caught)\n           --trace-capacity N\n                            trace buffer per run (default 4000000)\n           --paper-scale    the paper's input sizes"
+    );
+    std::process::exit(2);
+}
+
+fn app_by_name(name: &str) -> Option<AppId> {
+    Some(match name {
+        "barnes" => AppId::Barnes,
+        "fft" => AppId::Fft,
+        "ocean" => AppId::Ocean,
+        "sor" => AppId::Sor,
+        "swm" | "swm750" => AppId::Swm750,
+        "water-sp" => AppId::WaterSp,
+        "water-nsq" => AppId::WaterNsq,
+        _ => return None,
+    })
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    s.strip_prefix("0x")
+        .map_or_else(|| s.parse().ok(), |hex| u64::from_str_radix(hex, 16).ok())
+}
+
+fn run_single(args: &[String]) {
+    use cvm_apps::build_app;
+    use cvm_dsm::{CvmBuilder, CvmConfig, ProtocolKind};
+    let mut app = None;
+    let mut nodes = 8usize;
+    let mut threads = 2usize;
+    let mut scale = Scale::Small;
+    let mut protocol = ProtocolKind::LazyMultiWriter;
+    let mut lifo = false;
+    let mut memsim = false;
+    let mut verify = false;
+    let mut trace = 0usize;
+    let mut json_path: Option<String> = None;
+    let mut chrome_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--nodes" => {
+                nodes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--paper-scale" => scale = Scale::Paper,
+            "--eager" => protocol = ProtocolKind::EagerUpdate,
+            "--lifo" => lifo = true,
+            "--memsim" => memsim = true,
+            "--verify" => verify = true,
+            "--trace" => {
+                trace = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--json" => json_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--chrome-trace" => chrome_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            name if app.is_none() => {
+                app = app_by_name(name).or_else(|| usage());
+            }
+            _ => usage(),
+        }
+    }
+    let Some(app) = app else { usage() };
+    if !app.supports_threads(threads) {
+        eprintln!("{app} does not support {threads} threads per node");
+        std::process::exit(2);
+    }
+    let mut cfg = CvmConfig::paper(nodes, threads);
+    cfg.protocol = protocol;
+    cfg.lifo_schedule = lifo;
+    cfg.memsim_enabled = memsim;
+    cfg.verify = verify;
+    cfg.trace_capacity = trace;
+    if (chrome_path.is_some() || verify) && trace == 0 {
+        // The timeline export and the offline race replay need events;
+        // default to a generous buffer.
+        cfg.trace_capacity = 1 << 20;
+    }
+    let mut b = CvmBuilder::new(cfg);
+    let body = build_app(&mut b, app, scale);
+    eprintln!("[harness] running {app} P={nodes} T={threads} protocol={protocol}");
+    let report = b.run(body);
+    println!("{report}");
+    println!(
+        "twins {} | local-lock acquires {} handoffs {} | barriers {} local {} reduces {}",
+        report.stats.twins_created,
+        report.stats.local_lock_acquires,
+        report.stats.local_lock_handoffs,
+        report.stats.barriers_crossed,
+        report.stats.local_barriers,
+        report.stats.global_reduces,
+    );
+    if protocol == ProtocolKind::EagerUpdate {
+        println!(
+            "pushes {} | copies dropped {}",
+            report.stats.updates_pushed, report.stats.copies_dropped
+        );
+    }
+    if let Some(t) = &report.trace {
+        if trace > 0 {
+            println!("\nprotocol trace (first {trace} events):");
+            print!("{}", t.render(trace));
+        }
+        // Always account for what the capacity dropped, so a truncated
+        // trace is never mistaken for a complete one.
+        println!(
+            "trace: {} events recorded, {} dropped ({} total)",
+            t.len(),
+            t.overflow(),
+            t.events_total()
+        );
+    }
+    if let Some(path) = &json_path {
+        let doc = report.to_json(crate::bench::TOP_N);
+        std::fs::write(path, doc.to_pretty()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[harness] wrote {path}");
+    }
+    if let Some(path) = &chrome_path {
+        let Some(t) = &report.trace else {
+            eprintln!("--chrome-trace needs tracing (internal error)");
+            std::process::exit(1);
+        };
+        let doc = cvm_dsm::chrome_trace(t, nodes);
+        std::fs::write(path, doc.to_string()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "[harness] wrote {path} ({} trace events) — load in chrome://tracing or ui.perfetto.dev",
+            t.len()
+        );
+    }
+    if verify {
+        let mut findings = report.findings.clone();
+        match &report.trace {
+            Some(t) if t.overflow() == 0 => {
+                findings.extend(cvm_verify::replay_race_check(t, nodes));
+            }
+            _ => eprintln!("[harness] trace truncated; offline race replay skipped"),
+        }
+        if findings.is_empty() {
+            println!("verify: 0 findings");
+        } else {
+            for f in &findings {
+                println!("verify: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_bench(args: &[String]) {
+    let mut json = false;
+    let mut nodes = 8usize;
+    let mut threads = 2usize;
+    let mut scale = Scale::Small;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--nodes" => {
+                nodes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--paper-scale" => scale = Scale::Paper,
+            _ => usage(),
+        }
+    }
+    eprintln!("[harness] bench suite P={nodes} T={threads}");
+    let outcomes = bench::run_suite(scale, nodes, threads);
+    print!("{}", bench::render_summary(&outcomes));
+    if json {
+        for o in &outcomes {
+            let path = bench::file_name(o.spec.app);
+            let doc = bench::to_json(o);
+            std::fs::write(&path, doc.to_pretty()).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("[harness] wrote {path}");
+        }
+    }
+}
+
+fn run_check(args: &[String]) {
+    use cvm_dsm::InjectFault;
+    let mut options = CheckOptions::default();
+    let mut apps: Vec<AppId> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--app" => {
+                let name = it.next().map_or_else(|| usage(), String::as_str);
+                if name == "all" {
+                    apps.extend(AppId::ALL);
+                } else {
+                    apps.push(app_by_name(name).unwrap_or_else(|| usage()));
+                }
+            }
+            "--nodes" => {
+                options.nodes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                options.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--schedules" => {
+                options.schedules = it
+                    .next()
+                    .and_then(|v| parse_u64(v))
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                options.seed = it
+                    .next()
+                    .and_then(|v| parse_u64(v))
+                    .unwrap_or_else(|| usage());
+            }
+            "--budget" => {
+                options.budget = it
+                    .next()
+                    .and_then(|v| parse_u64(v))
+                    .unwrap_or_else(|| usage());
+            }
+            "--mutate" => {
+                let spec = it.next().map_or_else(|| usage(), String::as_str);
+                options.inject = Some(InjectFault::parse(spec).unwrap_or_else(|| usage()));
+            }
+            "--trace-capacity" => {
+                options.trace_capacity = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--paper-scale" => options.scale = Scale::Paper,
+            _ => usage(),
+        }
+    }
+    if !apps.is_empty() {
+        options.apps = apps;
+    }
+    options.apps.retain(|a| a.supports_threads(options.threads));
+    match &options.inject {
+        Some(fault) => eprintln!(
+            "[cvm check] {} app(s), {}x{}, 1+{} schedules, budget {}, mutation {fault}",
+            options.apps.len(),
+            options.nodes,
+            options.threads,
+            options.schedules,
+            options.budget
+        ),
+        None => eprintln!(
+            "[cvm check] {} app(s), {}x{}, 1+{} schedules, budget {}",
+            options.apps.len(),
+            options.nodes,
+            options.threads,
+            options.schedules,
+            options.budget
+        ),
+    }
+    let report = verify_check(&options);
+    print!("{}", report.render());
+    let ok = if options.inject.is_some() {
+        // Self-test: the mutation must be *caught*.
+        if report.clean() {
+            eprintln!("[cvm check] FAIL: injected mutation went undetected");
+        }
+        !report.clean()
+    } else {
+        report.clean()
+    };
+    std::process::exit(i32::from(!ok));
+}
+
+/// Entry point shared by both binaries: parses `std::env::args` and
+/// dispatches.
+pub fn run() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("run") {
+        run_single(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("bench") {
+        run_bench(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("check") {
+        run_check(&args[1..]);
+        return;
+    }
+    let mut cmd: Option<String> = None;
+    let mut scale = Scale::Small;
+    for a in &args {
+        match a.as_str() {
+            "--paper-scale" => scale = Scale::Paper,
+            "--small" => scale = Scale::Small,
+            s if !s.starts_with('-') && cmd.is_none() => cmd = Some(s.to_owned()),
+            _ => usage(),
+        }
+    }
+    let cmd = cmd.unwrap_or_else(|| usage());
+    let mut suite = Suite::new(scale);
+    match cmd.as_str() {
+        "micro" => print!("{}", micro::render(&micro::report())),
+        "table1" => print!("{}", tables::table1(scale)),
+        "fig1" => print!("{}", tables::fig1(&mut suite)),
+        "table2" => print!("{}", tables::table2(&mut suite)),
+        "table3" => print!("{}", tables::table3(&mut suite)),
+        "fig2" => print!("{}", tables::fig2(&mut suite)),
+        "table4" => print!("{}", tables::table4(&mut suite)),
+        "table5" => print!("{}", tables::table5(&mut suite)),
+        "ablation" => print!("{}", tables::ablation(scale)),
+        "protocols" => print!("{}", tables::protocols(scale)),
+        "perturb" => print!("{}", tables::perturb(scale, 5)),
+        "all" => {
+            print!("{}", micro::render(&micro::report()));
+            println!();
+            print!("{}", tables::table1(scale));
+            println!();
+            print!("{}", tables::fig1(&mut suite));
+            println!();
+            print!("{}", tables::table2(&mut suite));
+            println!();
+            print!("{}", tables::table3(&mut suite));
+            println!();
+            print!("{}", tables::fig2(&mut suite));
+            println!();
+            print!("{}", tables::table4(&mut suite));
+            println!();
+            print!("{}", tables::table5(&mut suite));
+            println!();
+            print!("{}", tables::ablation(scale));
+            println!();
+            print!("{}", tables::protocols(scale));
+        }
+        _ => usage(),
+    }
+}

@@ -15,8 +15,10 @@
 //! and default to laptop-scale inputs; pass [`Scale::Paper`] for the
 //! paper's sizes.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod bench;
+pub mod cli;
 pub mod micro;
 pub mod runner;
 pub mod tables;

@@ -17,7 +17,7 @@ use crate::runner::{pct_change, run_app, run_water_nsq_variant, RunOutcome, RunS
 pub const THREADS: [usize; 4] = [1, 2, 3, 4];
 
 /// A memoized collection of runs.
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct Suite {
     scale: Scale,
     runs: HashMap<(AppId, usize, usize, bool), RunOutcome>,

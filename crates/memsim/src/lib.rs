@@ -14,6 +14,7 @@
 //! LRU, single level. Figure 2's claims are about *relative* miss growth,
 //! which these capture.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod cache;
 pub mod system;

@@ -21,6 +21,7 @@
 //! The crate is generic over the payload type `P`; the DSM layer supplies
 //! its protocol messages. See [`NetworkSim`] for the main entry point.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod latency;
 pub mod message;

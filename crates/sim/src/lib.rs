@@ -17,6 +17,8 @@
 //! * [`json`] — a dependency-free, byte-stable JSON model used by report
 //!   serialization and the Chrome-trace exporter.
 //! * [`sync`] — thin `parking_lot`-style wrappers over [`std::sync`].
+//! * [`explore`] — seeded perturbation of scheduler pick decisions for
+//!   the schedule-exploration checker.
 //!
 //! # Example
 //!
@@ -30,9 +32,11 @@
 //! assert_eq!(q.pop().map(|(_, e)| e), Some("later"));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod coop;
 pub mod event;
+pub mod explore;
 pub mod hist;
 pub mod json;
 pub mod rng;
@@ -42,6 +46,7 @@ pub mod time;
 
 pub use coop::{Burst, CoopScheduler, CoopThreadId, Yielder};
 pub use event::EventQueue;
+pub use explore::{ExploreSchedule, ExploreSpec};
 pub use hist::Log2Hist;
 pub use json::JsonValue;
 pub use rng::SimRng;

@@ -1,0 +1,247 @@
+//! The `cvm check` driver: schedule exploration per application with
+//! lint-style findings and replayable failure seeds.
+
+use std::fmt::Write as _;
+
+use cvm_apps::{AppId, Scale};
+use cvm_dsm::{Finding, InjectFault};
+use cvm_sim::ExploreSpec;
+
+use crate::explore::{minimize, run_schedule, RunPlan};
+
+/// What `cvm check` should do.
+#[derive(Debug, Clone)]
+pub struct CheckOptions {
+    /// Applications to check.
+    pub apps: Vec<AppId>,
+    /// Cluster geometry.
+    pub nodes: usize,
+    /// Threads per node.
+    pub threads: usize,
+    /// Perturbed schedules to explore per application (an unperturbed
+    /// baseline always runs first, on top of this count).
+    pub schedules: u64,
+    /// Base exploration seed; schedule `i` derives its seed from it
+    /// (schedule 0 uses it verbatim, so a reported seed replays with
+    /// `--schedules 1 --seed <seed>`).
+    pub seed: u64,
+    /// Scheduler pick decisions each explored schedule may perturb.
+    pub budget: u64,
+    /// Deliberate protocol mutation (oracle self-test), if any.
+    pub inject: Option<InjectFault>,
+    /// Trace capacity per run for the offline race replay.
+    pub trace_capacity: usize,
+    /// Problem size.
+    pub scale: Scale,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            apps: AppId::ALL.to_vec(),
+            nodes: 2,
+            threads: 2,
+            schedules: 8,
+            seed: 0xC11E_C4ED,
+            budget: 64,
+            inject: None,
+            trace_capacity: 4_000_000,
+            scale: Scale::Small,
+        }
+    }
+}
+
+impl CheckOptions {
+    /// The exploration spec of schedule `i` (0-based). Schedule 0 uses
+    /// the base seed verbatim so printed seeds replay directly.
+    pub fn spec_of(&self, i: u64) -> ExploreSpec {
+        ExploreSpec {
+            seed: self.seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            budget: self.budget,
+        }
+    }
+
+    fn plan(&self, app: AppId) -> RunPlan {
+        RunPlan {
+            app,
+            scale: self.scale,
+            nodes: self.nodes,
+            threads: self.threads,
+            inject: self.inject,
+            trace_capacity: self.trace_capacity,
+        }
+    }
+}
+
+/// A failing schedule, minimized and ready to replay.
+#[derive(Debug)]
+pub struct ScheduleFailure {
+    /// The schedule that first failed (`None` = the unperturbed
+    /// baseline).
+    pub spec: Option<ExploreSpec>,
+    /// The smallest perturbation budget that still fails (present only
+    /// when `spec` is a perturbed schedule).
+    pub minimized: Option<ExploreSpec>,
+    /// Findings of the failing run (online oracle + offline replay).
+    pub findings: Vec<Finding>,
+    /// Panic message if the failing run aborted.
+    pub panic: Option<String>,
+}
+
+/// One application's check outcome.
+#[derive(Debug)]
+pub struct AppCheck {
+    /// Application checked.
+    pub app: AppId,
+    /// Schedules actually run (exploration stops at the first failure).
+    pub schedules_run: u64,
+    /// Total scheduler decisions perturbed across all runs.
+    pub decisions: u64,
+    /// The first failing schedule, if any.
+    pub failure: Option<ScheduleFailure>,
+    /// Non-fatal caveats (e.g. trace overflow disabling the race replay).
+    pub warnings: Vec<String>,
+}
+
+impl AppCheck {
+    /// True if every schedule of this application came back clean.
+    pub fn clean(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// The full `cvm check` outcome.
+#[derive(Debug)]
+pub struct CheckReport {
+    /// Options the check ran with (used to render replay commands).
+    pub options: CheckOptions,
+    /// Per-application outcomes.
+    pub apps: Vec<AppCheck>,
+}
+
+impl CheckReport {
+    /// True if every application came back clean.
+    pub fn clean(&self) -> bool {
+        self.apps.iter().all(AppCheck::clean)
+    }
+
+    /// Lint-style rendering: one status line per application, indented
+    /// findings and a copy-pastable replay command per failure.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for app in &self.apps {
+            if let Some(fail) = &app.failure {
+                let which = match fail.spec {
+                    Some(spec) => format!("schedule seed={:#x} budget={}", spec.seed, spec.budget),
+                    None => "the unperturbed baseline".to_owned(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{}: FAIL after {} schedule(s) — {which}",
+                    app.app, app.schedules_run
+                );
+                if let Some(min) = fail.minimized {
+                    if min.budget == 0 {
+                        let _ = writeln!(
+                            out,
+                            "  minimized: fails with budget 0 (schedule-independent)"
+                        );
+                    } else {
+                        let _ = writeln!(
+                            out,
+                            "  minimized: seed={:#x} budget={}",
+                            min.seed, min.budget
+                        );
+                    }
+                }
+                for f in &fail.findings {
+                    let _ = writeln!(out, "  finding: {f}");
+                }
+                if let Some(p) = &fail.panic {
+                    let _ = writeln!(out, "  panic: {p}");
+                }
+                let replay = fail.minimized.or(fail.spec);
+                if let Some(spec) = replay {
+                    let _ = writeln!(
+                        out,
+                        "  replay: cvm check --app {} --nodes {} --threads {} \
+                         --schedules 1 --seed {:#x} --budget {}",
+                        app.app.name().to_lowercase(),
+                        self.options.nodes,
+                        self.options.threads,
+                        spec.seed,
+                        spec.budget
+                    );
+                }
+            } else {
+                let _ = writeln!(
+                    out,
+                    "{}: ok — {} schedule(s), {} perturbed decisions, 0 findings",
+                    app.app, app.schedules_run, app.decisions
+                );
+            }
+            for w in &app.warnings {
+                let _ = writeln!(out, "  warning: {w}");
+            }
+        }
+        out
+    }
+}
+
+/// Runs the check: per application, an unperturbed baseline followed by
+/// `schedules` seeded perturbations, stopping at (and minimizing) the
+/// first failure.
+pub fn run_check(options: &CheckOptions) -> CheckReport {
+    let mut apps = Vec::new();
+    for &app in &options.apps {
+        apps.push(check_app(options, app));
+    }
+    CheckReport {
+        options: options.clone(),
+        apps,
+    }
+}
+
+fn check_app(options: &CheckOptions, app: AppId) -> AppCheck {
+    let plan = options.plan(app);
+    let mut decisions = 0;
+    let mut warnings = Vec::new();
+    let mut schedules_run = 0;
+    // Baseline first: the configured policy, no perturbation.
+    let specs =
+        std::iter::once(None).chain((0..options.schedules).map(|i| Some(options.spec_of(i))));
+    for spec in specs {
+        let result = run_schedule(plan, spec);
+        schedules_run += 1;
+        decisions += result.decisions;
+        if result.trace_dropped > 0 && warnings.is_empty() {
+            warnings.push(format!(
+                "trace overflowed ({} events dropped) — race replay skipped; \
+                 raise the trace capacity to restore it",
+                result.trace_dropped
+            ));
+        }
+        if result.failed() {
+            let minimized = spec.map(|s| minimize(plan, s, 16));
+            return AppCheck {
+                app,
+                schedules_run,
+                decisions,
+                failure: Some(ScheduleFailure {
+                    spec,
+                    minimized,
+                    findings: result.findings,
+                    panic: result.panic,
+                }),
+                warnings,
+            };
+        }
+    }
+    AppCheck {
+        app,
+        schedules_run,
+        decisions,
+        failure: None,
+        warnings,
+    }
+}

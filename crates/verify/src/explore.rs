@@ -1,0 +1,120 @@
+//! Running one application under one (possibly perturbed) schedule and
+//! collecting everything the checkers need — even out of a panicking run.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use cvm_apps::{build_app, AppId, Scale};
+use cvm_dsm::{CvmBuilder, CvmConfig, Finding, FindingSink, InjectFault};
+use cvm_sim::ExploreSpec;
+
+use crate::race::replay_race_check;
+
+/// Everything a single checked run produced.
+#[derive(Debug)]
+pub struct ScheduleResult {
+    /// The perturbation that was applied (`None` = the configured
+    /// scheduling policy, unmodified).
+    pub spec: Option<ExploreSpec>,
+    /// Online oracle findings plus offline race-replay findings.
+    pub findings: Vec<Finding>,
+    /// Scheduler pick decisions the exploration actually perturbed.
+    pub decisions: u64,
+    /// Panic message if the run aborted (oracle findings recorded before
+    /// the panic are still salvaged into `findings`).
+    pub panic: Option<String>,
+    /// Protocol events dropped because the trace filled; nonzero means
+    /// the race replay was skipped as unsound.
+    pub trace_dropped: u64,
+}
+
+impl ScheduleResult {
+    /// True if this schedule demonstrated a protocol violation.
+    pub fn failed(&self) -> bool {
+        !self.findings.is_empty() || self.panic.is_some()
+    }
+}
+
+/// What to run and how hard to shake it.
+#[derive(Debug, Clone, Copy)]
+pub struct RunPlan {
+    /// Application under test.
+    pub app: AppId,
+    /// Problem size.
+    pub scale: Scale,
+    /// Cluster geometry.
+    pub nodes: usize,
+    /// Threads per node.
+    pub threads: usize,
+    /// Deliberate protocol mutation (oracle self-test), if any.
+    pub inject: Option<InjectFault>,
+    /// Trace capacity for the offline replay.
+    pub trace_capacity: usize,
+}
+
+/// Runs `plan.app` once under `spec`, with the online oracle recording
+/// and the trace enabled, then replays the trace through the race
+/// detector. Panics inside the run are caught; findings recorded before
+/// the panic survive.
+pub fn run_schedule(plan: RunPlan, spec: Option<ExploreSpec>) -> ScheduleResult {
+    let sink = FindingSink::new();
+    let run_sink = sink.clone();
+    let outcome = catch_unwind(AssertUnwindSafe(move || {
+        let mut cfg = CvmConfig::small(plan.nodes, plan.threads);
+        cfg.verify = true;
+        cfg.verify_sink = run_sink;
+        cfg.inject = plan.inject;
+        cfg.explore = spec;
+        cfg.trace_capacity = plan.trace_capacity;
+        let mut builder = CvmBuilder::new(cfg);
+        let body = build_app(&mut builder, plan.app, plan.scale);
+        builder.run(body)
+    }));
+    match outcome {
+        Ok(report) => {
+            let mut findings = report.findings.clone();
+            let trace = report.trace.as_ref().expect("tracing was enabled");
+            let dropped = trace.overflow();
+            if dropped == 0 {
+                findings.extend(replay_race_check(trace, plan.nodes));
+            }
+            ScheduleResult {
+                spec,
+                findings,
+                decisions: report.explore_decisions,
+                panic: None,
+                trace_dropped: dropped,
+            }
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            ScheduleResult {
+                spec,
+                findings: sink.snapshot(),
+                decisions: 0,
+                panic: Some(msg),
+                trace_dropped: 0,
+            }
+        }
+    }
+}
+
+/// Shrinks a failing schedule to the smallest perturbation budget that
+/// still fails, probing budgets `0..=probes` linearly (budget 0 is the
+/// default schedule, so a hit there means the bug is schedule-independent).
+/// Returns the original spec when no smaller budget reproduces.
+pub fn minimize(plan: RunPlan, failing: ExploreSpec, probes: u64) -> ExploreSpec {
+    for budget in 0..failing.budget.min(probes + 1) {
+        let candidate = ExploreSpec {
+            seed: failing.seed,
+            budget,
+        };
+        if run_schedule(plan, Some(candidate)).failed() {
+            return candidate;
+        }
+    }
+    failing
+}

@@ -1,0 +1,36 @@
+//! `cvm-verify` — offline checking for the CVM reproduction.
+//!
+//! Three coupled analyses, all built on artifacts the runtime already
+//! produces (the protocol [`Trace`](cvm_dsm::Trace) and the online
+//! [`Oracle`](cvm_dsm::Oracle) findings):
+//!
+//! * [`race`] — a vector-clock happens-before replay of the trace that
+//!   flags *lost updates*: a node whose clock advanced past a remote write
+//!   to a page it still holds valid, without ever learning the write
+//!   notice or applying the diff. Benign multiple-writer concurrency
+//!   (clocks incomparable) is deliberately not flagged — that is the
+//!   protocol working as designed.
+//! * [`explore`] — seeded schedule exploration: runs an application under
+//!   perturbed scheduler pick decisions
+//!   ([`ExploreSpec`](cvm_sim::ExploreSpec)), salvages oracle findings
+//!   even when the run panics, and minimizes failing schedules to the
+//!   smallest replayable perturbation budget.
+//! * [`check`] — the `cvm check` driver: explores a schedule budget per
+//!   application, replays every trace through the race detector, and
+//!   renders lint-style findings with a replay command line.
+//!
+//! The oracle's fault injection ([`InjectFault`](cvm_dsm::InjectFault))
+//! turns the whole stack into its own test: dropping a write notice,
+//! reordering diff application, or skipping an invalidation must each be
+//! caught, which `tests/mutations.rs` asserts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod explore;
+pub mod race;
+
+pub use check::{AppCheck, CheckOptions, CheckReport, ScheduleFailure};
+pub use explore::{run_schedule, ScheduleResult};
+pub use race::replay_race_check;

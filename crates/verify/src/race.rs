@@ -1,0 +1,438 @@
+//! Happens-before replay race detection over the protocol trace.
+//!
+//! Lazy release consistency promises: when a node's vector time advances
+//! past a remote interval, the write notices of that interval have been
+//! delivered, so every page the interval dirtied is either invalidated or
+//! already patched to (at least) that interval. A *lost update* is the
+//! negation — the clock moved, but the node still holds a valid copy of a
+//! dirtied page with neither the notice nor the diff. The reader sees
+//! stale data that *happens-before* its own time, which LRC forbids.
+//! Concurrent writes (incomparable clocks) are never flagged: the
+//! multiple-writer protocol makes them benign until a synchronization
+//! orders them.
+//!
+//! The replay mirrors each node's vector time using only trace events:
+//! own closes ([`IntervalClosed`](TraceEvent::IntervalClosed)), lock
+//! grants (the granter's clock captured at the
+//! [`LockTransfer`](TraceEvent::LockTransfer) that precedes the matching
+//! [`LockGranted`](TraceEvent::LockGranted)), and barrier releases (a
+//! global least-upper-bound — every node participates in every barrier).
+//! Page validity mirrors [`Invalidated`](TraceEvent::Invalidated) /
+//! [`FetchComplete`](TraceEvent::FetchComplete); notice knowledge mirrors
+//! [`NoticeCreated`](TraceEvent::NoticeCreated); the diff watermark
+//! mirrors [`DiffApplied`](TraceEvent::DiffApplied) (it can run ahead of
+//! the clock, which suppresses false positives).
+//!
+//! Scans are deferred to the node's *next own event* after a merge: a
+//! blocked node's invalidations are recorded before any of its threads
+//! run again, so at that point the mirror state is consistent.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use cvm_dsm::trace::TraceEvent;
+use cvm_dsm::{Finding, Invariant, PageId, Trace, VectorTime};
+use cvm_sim::VirtualTime;
+
+/// Replay state for one run.
+struct Replay {
+    nodes: usize,
+    /// Mirrored vector time per node.
+    vt: Vec<VectorTime>,
+    /// Clock prefix already audited per node.
+    scanned: Vec<VectorTime>,
+    /// Pages the node does *not* hold a readable copy of (startup leaves
+    /// every page valid everywhere, so absence means valid).
+    invalid: Vec<HashSet<PageId>>,
+    /// Write notices known at each node: `(writer, interval, page)`.
+    known: Vec<HashSet<(usize, u32, PageId)>>,
+    /// Diff watermark per `(node, page, writer)`: writer intervals folded
+    /// into the node's copy.
+    applied: HashMap<(usize, PageId, usize), u32>,
+    /// Pages dirtied by each closed interval `(writer, interval)`, learnt
+    /// from the writer's own `NoticeCreated` records.
+    interval_pages: HashMap<(usize, u32), Vec<PageId>>,
+    /// Granter clocks captured at `LockTransfer`, consumed in order by the
+    /// matching `LockGranted` (the token is single, so at most one grant
+    /// per lock is ever in flight).
+    pending_grant: HashMap<usize, VecDeque<VectorTime>>,
+    findings: Vec<Finding>,
+}
+
+impl Replay {
+    fn new(nodes: usize) -> Self {
+        Replay {
+            nodes,
+            vt: vec![VectorTime::new(nodes); nodes],
+            scanned: vec![VectorTime::new(nodes); nodes],
+            invalid: vec![HashSet::new(); nodes],
+            known: vec![HashSet::new(); nodes],
+            applied: HashMap::new(),
+            interval_pages: HashMap::new(),
+            pending_grant: HashMap::new(),
+            findings: Vec::new(),
+        }
+    }
+
+    /// Audits every interval node `n`'s clock has newly covered since the
+    /// last scan, flagging lost updates.
+    fn scan(&mut self, n: usize, at: VirtualTime) {
+        for q in 0..self.nodes {
+            if q == n {
+                continue;
+            }
+            let from = self.scanned[n].get(q) + 1;
+            let upto = self.vt[n].get(q);
+            for i in from..=upto {
+                let Some(pages) = self.interval_pages.get(&(q, i)) else {
+                    continue;
+                };
+                for &p in pages {
+                    let valid = !self.invalid[n].contains(&p);
+                    let noticed = self.known[n].contains(&(q, i, p));
+                    let patched = self.applied.get(&(n, p, q)).is_some_and(|&upto| upto >= i);
+                    if valid && !noticed && !patched {
+                        self.findings.push(Finding {
+                            invariant: Invariant::LostUpdate,
+                            node: Some(n),
+                            at,
+                            detail: format!(
+                                "n{n} holds a valid copy of {p} while its clock \
+                                 covers n{q}.{i}, which dirtied {p}; the write \
+                                 notice never arrived and no diff was applied"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        let vt = self.vt[n].clone();
+        self.scanned[n] = vt;
+    }
+
+    fn step(&mut self, at: VirtualTime, event: &TraceEvent) {
+        match *event {
+            // Not a scan point: an incoming notice batch can force a
+            // close (and a diff extraction) mid-application, after the
+            // clock merged but before the remaining notices are recorded.
+            TraceEvent::IntervalClosed { node, interval, .. } => {
+                self.vt[node].advance(node, interval);
+            }
+            TraceEvent::NoticeCreated {
+                node,
+                writer,
+                interval,
+                page,
+            } => {
+                self.known[node].insert((writer, interval, page));
+                if node == writer {
+                    self.interval_pages
+                        .entry((writer, interval))
+                        .or_default()
+                        .push(page);
+                }
+            }
+            TraceEvent::DiffApplied {
+                node,
+                page,
+                writer,
+                upto,
+            } => {
+                let w = self.applied.entry((node, page, writer)).or_insert(0);
+                *w = (*w).max(upto);
+            }
+            TraceEvent::Invalidated { node, page, .. } => {
+                self.invalid[node].insert(page);
+            }
+            TraceEvent::FetchComplete { node, page, .. } => {
+                self.invalid[node].remove(&page);
+                self.scan(node, at);
+            }
+            TraceEvent::LockTransfer { lock, from, .. } => {
+                let vt = self.vt[from].clone();
+                self.pending_grant.entry(lock).or_default().push_back(vt);
+            }
+            TraceEvent::LockGranted { node, lock } => {
+                if let Some(vt) = self
+                    .pending_grant
+                    .get_mut(&lock)
+                    .and_then(VecDeque::pop_front)
+                {
+                    self.vt[node].merge(&vt);
+                }
+                self.scan(node, at);
+            }
+            TraceEvent::BarrierReleased { .. } => {
+                // Global LUB: every node participates in every barrier and
+                // has closed (and recorded) its pre-arrival interval. Do
+                // NOT scan here — remote invalidations are recorded later,
+                // when each release message is delivered; the scan waits
+                // for that node's next own event.
+                let mut lub = VectorTime::new(self.nodes);
+                for vt in &self.vt {
+                    lub.merge(vt);
+                }
+                for vt in &mut self.vt {
+                    vt.merge(&lub);
+                }
+            }
+            TraceEvent::Fault { node, page, .. } => {
+                self.invalid[node].insert(page);
+                self.scan(node, at);
+            }
+            TraceEvent::LockRequested { node, .. }
+            | TraceEvent::LockLocalHandoff { node, .. }
+            | TraceEvent::BarrierArrived { node, .. }
+            | TraceEvent::ThreadSwitch { node, .. } => {
+                self.scan(node, at);
+            }
+            // DiffCreated can also fire mid-notice-application (diff
+            // extraction on invalidate); UpdatePushed is writer-side.
+            TraceEvent::DiffCreated { .. } | TraceEvent::UpdatePushed { .. } => {}
+        }
+    }
+}
+
+/// Replays a recorded trace through the happens-before race detector and
+/// returns every lost update found.
+///
+/// The trace must have been recorded with
+/// [`CvmConfig::verify`](cvm_dsm::CvmConfig) set, so that notice, diff
+/// watermark and lock-transfer events are present; without them the
+/// replay cannot see coverage and would report false positives, so pass
+/// the trace of a `verify` run only. The caller is responsible for
+/// checking [`Trace::overflow`] — a truncated trace cannot be soundly
+/// replayed.
+pub fn replay_race_check(trace: &Trace, nodes: usize) -> Vec<Finding> {
+    let mut replay = Replay::new(nodes);
+    let mut last = VirtualTime::ZERO;
+    for entry in trace.iter() {
+        replay.step(entry.at, &entry.event);
+        last = entry.at;
+    }
+    // Final audit: merges whose scan event never came (end of run).
+    for n in 0..nodes {
+        replay.scan(n, last);
+    }
+    replay.findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> VirtualTime {
+        VirtualTime::from_us(us)
+    }
+
+    /// Hand-built trace: n0 writes p3 in interval 1, n1 learns the notice
+    /// at a barrier and is invalidated — no finding.
+    #[test]
+    fn covered_write_is_clean() {
+        let mut tr = Trace::new(64);
+        tr.record(
+            t(1),
+            TraceEvent::NoticeCreated {
+                node: 0,
+                writer: 0,
+                interval: 1,
+                page: PageId(3),
+            },
+        );
+        tr.record(
+            t(1),
+            TraceEvent::IntervalClosed {
+                node: 0,
+                interval: 1,
+                pages: 1,
+            },
+        );
+        tr.record(
+            t(2),
+            TraceEvent::BarrierReleased {
+                epoch: 1,
+                notices: 1,
+            },
+        );
+        tr.record(
+            t(3),
+            TraceEvent::NoticeCreated {
+                node: 1,
+                writer: 0,
+                interval: 1,
+                page: PageId(3),
+            },
+        );
+        tr.record(
+            t(3),
+            TraceEvent::Invalidated {
+                node: 1,
+                page: PageId(3),
+                writer: 0,
+            },
+        );
+        tr.record(
+            t(4),
+            TraceEvent::ThreadSwitch {
+                node: 1,
+                from: 2,
+                to: 3,
+            },
+        );
+        assert!(replay_race_check(&tr, 2).is_empty());
+    }
+
+    /// Same trace with the receiving node's notice dropped: n1's clock
+    /// covers n0.1 after the barrier but it still holds p3 — lost update.
+    #[test]
+    fn dropped_notice_is_flagged() {
+        let mut tr = Trace::new(64);
+        tr.record(
+            t(1),
+            TraceEvent::NoticeCreated {
+                node: 0,
+                writer: 0,
+                interval: 1,
+                page: PageId(3),
+            },
+        );
+        tr.record(
+            t(1),
+            TraceEvent::IntervalClosed {
+                node: 0,
+                interval: 1,
+                pages: 1,
+            },
+        );
+        tr.record(
+            t(2),
+            TraceEvent::BarrierReleased {
+                epoch: 1,
+                notices: 1,
+            },
+        );
+        tr.record(
+            t(4),
+            TraceEvent::ThreadSwitch {
+                node: 1,
+                from: 2,
+                to: 3,
+            },
+        );
+        let findings = replay_race_check(&tr, 2);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].invariant, Invariant::LostUpdate);
+        assert_eq!(findings[0].node, Some(1));
+    }
+
+    /// A diff watermark at or past the interval suppresses the report
+    /// even without a notice (fetches can run ahead of the clock).
+    #[test]
+    fn applied_diff_suppresses_report() {
+        let mut tr = Trace::new(64);
+        tr.record(
+            t(1),
+            TraceEvent::NoticeCreated {
+                node: 0,
+                writer: 0,
+                interval: 1,
+                page: PageId(3),
+            },
+        );
+        tr.record(
+            t(1),
+            TraceEvent::IntervalClosed {
+                node: 0,
+                interval: 1,
+                pages: 1,
+            },
+        );
+        tr.record(
+            t(2),
+            TraceEvent::DiffApplied {
+                node: 1,
+                page: PageId(3),
+                writer: 0,
+                upto: 1,
+            },
+        );
+        tr.record(
+            t(3),
+            TraceEvent::BarrierReleased {
+                epoch: 1,
+                notices: 1,
+            },
+        );
+        tr.record(
+            t(4),
+            TraceEvent::ThreadSwitch {
+                node: 1,
+                from: 2,
+                to: 3,
+            },
+        );
+        assert!(replay_race_check(&tr, 2).is_empty());
+    }
+
+    /// Concurrent writers with incomparable clocks are benign — nothing
+    /// is flagged until a synchronization orders them.
+    #[test]
+    fn concurrent_writes_are_not_flagged() {
+        let mut tr = Trace::new(64);
+        for n in 0..2usize {
+            tr.record(
+                t(1),
+                TraceEvent::NoticeCreated {
+                    node: n,
+                    writer: n,
+                    interval: 1,
+                    page: PageId(3),
+                },
+            );
+            tr.record(
+                t(1),
+                TraceEvent::IntervalClosed {
+                    node: n,
+                    interval: 1,
+                    pages: 1,
+                },
+            );
+        }
+        assert!(replay_race_check(&tr, 2).is_empty());
+    }
+
+    /// Lock-grant merges carry the granter's clock captured at the
+    /// transfer; the grantee without the notice is flagged.
+    #[test]
+    fn lock_grant_merge_without_notice_is_flagged() {
+        let mut tr = Trace::new(64);
+        tr.record(
+            t(1),
+            TraceEvent::NoticeCreated {
+                node: 0,
+                writer: 0,
+                interval: 1,
+                page: PageId(9),
+            },
+        );
+        tr.record(
+            t(1),
+            TraceEvent::IntervalClosed {
+                node: 0,
+                interval: 1,
+                pages: 1,
+            },
+        );
+        tr.record(
+            t(2),
+            TraceEvent::LockTransfer {
+                lock: 0,
+                from: 0,
+                to: 1,
+            },
+        );
+        tr.record(t(3), TraceEvent::LockGranted { node: 1, lock: 0 });
+        let findings = replay_race_check(&tr, 2);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].node, Some(1));
+    }
+}

@@ -1,0 +1,131 @@
+//! Oracle self-tests: each injected protocol mutation must be caught,
+//! and the faithful protocol must come back clean.
+
+use cvm_apps::{AppId, Scale};
+use cvm_dsm::{InjectFault, Invariant};
+use cvm_sim::ExploreSpec;
+use cvm_verify::check::{run_check, CheckOptions};
+use cvm_verify::explore::{run_schedule, RunPlan};
+
+fn plan(inject: Option<InjectFault>) -> RunPlan {
+    RunPlan {
+        app: AppId::Sor,
+        scale: Scale::Small,
+        nodes: 2,
+        threads: 2,
+        inject,
+        trace_capacity: 4_000_000,
+    }
+}
+
+#[test]
+fn faithful_run_is_clean() {
+    let result = run_schedule(plan(None), None);
+    assert_eq!(result.panic, None);
+    assert!(
+        result.findings.is_empty(),
+        "clean run reported findings: {:?}",
+        result.findings
+    );
+    assert_eq!(result.trace_dropped, 0, "raise the test trace capacity");
+}
+
+#[test]
+fn explored_schedules_are_clean_and_perturbed() {
+    let spec = ExploreSpec {
+        seed: 0xFEED_F00D,
+        budget: 32,
+    };
+    let result = run_schedule(plan(None), Some(spec));
+    assert_eq!(result.panic, None);
+    assert!(
+        result.findings.is_empty(),
+        "explored schedule reported findings: {:?}",
+        result.findings
+    );
+    assert!(
+        result.decisions > 0,
+        "the exploration budget perturbed no decisions"
+    );
+}
+
+#[test]
+fn dropped_write_notice_is_caught() {
+    let result = run_schedule(plan(Some(InjectFault::DropWriteNotice { nth: 0 })), None);
+    assert!(result.failed(), "dropped notice went undetected");
+    assert!(
+        result.findings.iter().any(|f| matches!(
+            f.invariant,
+            Invariant::NoticeCoverage | Invariant::LostUpdate
+        )),
+        "expected NoticeCoverage or LostUpdate, got: {:?} panic: {:?}",
+        result.findings,
+        result.panic
+    );
+}
+
+#[test]
+fn reordered_diff_apply_is_caught() {
+    let result = run_schedule(plan(Some(InjectFault::ReorderDiffApply { nth: 0 })), None);
+    assert!(
+        result.failed(),
+        "reordered diff application went undetected"
+    );
+    assert!(
+        result
+            .findings
+            .iter()
+            .any(|f| f.invariant == Invariant::DiffApplyOrder),
+        "expected DiffApplyOrder, got: {:?} panic: {:?}",
+        result.findings,
+        result.panic
+    );
+}
+
+#[test]
+fn skipped_invalidate_is_caught() {
+    let result = run_schedule(plan(Some(InjectFault::SkipInvalidate { nth: 0 })), None);
+    assert!(result.failed(), "skipped invalidation went undetected");
+    assert!(
+        result.findings.iter().any(|f| matches!(
+            f.invariant,
+            Invariant::PendingImpliesInvalid | Invariant::LostUpdate
+        )),
+        "expected PendingImpliesInvalid or LostUpdate, got: {:?} panic: {:?}",
+        result.findings,
+        result.panic
+    );
+}
+
+#[test]
+fn check_driver_minimizes_injected_failures() {
+    let options = CheckOptions {
+        apps: vec![AppId::Sor],
+        schedules: 2,
+        inject: Some(InjectFault::DropWriteNotice { nth: 0 }),
+        ..CheckOptions::default()
+    };
+    let report = run_check(&options);
+    assert!(!report.clean(), "injected fault not detected by cvm check");
+    let failure = report.apps[0].failure.as_ref().expect("failure recorded");
+    // The injection fires independent of scheduling, so the unperturbed
+    // baseline (spec None) must already catch it.
+    assert!(failure.spec.is_none(), "baseline should have failed first");
+    let rendered = report.render();
+    assert!(
+        rendered.contains("FAIL"),
+        "render misses failure: {rendered}"
+    );
+}
+
+#[test]
+fn check_driver_reports_clean_suite() {
+    let options = CheckOptions {
+        apps: vec![AppId::Sor],
+        schedules: 1,
+        ..CheckOptions::default()
+    };
+    let report = run_check(&options);
+    assert!(report.clean(), "clean SOR reported: {}", report.render());
+    assert!(report.render().contains("ok"));
+}

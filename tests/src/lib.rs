@@ -3,6 +3,7 @@
 //! The actual tests live in `tests/tests/*.rs`; this library only hosts
 //! shared helpers.
 
+#![forbid(unsafe_code)]
 use cvm_dsm::{CvmConfig, RunReport};
 
 /// Builds the fast test configuration used across integration tests.
