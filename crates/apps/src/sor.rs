@@ -164,22 +164,29 @@ fn run(
 /// Reads back the checksum computed by a finished run — for tests, using a
 /// fresh single-node run (the report itself carries no application data).
 pub fn checksum_of_run(cfg: &SorConfig, nodes: usize, threads: usize) -> f64 {
+    checksum_of_config(cfg, cvm_dsm::CvmConfig::small(nodes, threads)).0
+}
+
+/// Like [`checksum_of_run`], but over an arbitrary system configuration
+/// (lossy wire, jitter, eager protocol, …); also returns the run's report
+/// so tests can inspect the transport statistics alongside the result.
+pub fn checksum_of_config(cfg: &SorConfig, dsm: cvm_dsm::CvmConfig) -> (f64, cvm_dsm::RunReport) {
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
-    let mut b = CvmBuilder::new(cvm_dsm::CvmConfig::small(nodes, threads));
+    let mut b = CvmBuilder::new(dsm);
     let grid: SharedMat<f64> = b.alloc_mat(cfg.n + 2, cfg.n + 2);
     let sink = b.alloc::<f64>(2);
     let out = Arc::new(AtomicU64::new(0));
     let out2 = Arc::clone(&out);
     let cfg = *cfg;
-    b.run(move |ctx| {
+    let report = b.run(move |ctx| {
         run(ctx, &cfg, grid, sink);
         if ctx.global_id() == 0 {
             let v = sink.read(ctx, 1);
             out2.store(v.to_bits(), Ordering::SeqCst);
         }
     });
-    f64::from_bits(out.load(Ordering::SeqCst))
+    (f64::from_bits(out.load(Ordering::SeqCst)), report)
 }
 
 #[cfg(test)]

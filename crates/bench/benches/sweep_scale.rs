@@ -1,0 +1,53 @@
+//! Sweep-engine scaling: how the `cvm sweep` wall-clock falls as workers
+//! are added, with the determinism contract checked along the way — the
+//! parallel sweep must emit byte-for-byte the JSON of the serial one.
+//!
+//! On a single-core host the parallel legs still run (oversubscribed) to
+//! exercise the determinism contract; the ≥ 2x speedup gate only arms
+//! when the machine actually has ≥ 4 cores.
+
+use std::time::Instant;
+
+use cvm_apps::AppId;
+use cvm_harness::sweep::{run_sweep, SweepConfig};
+
+/// A sweep big enough to amortize thread spawn, small enough to iterate.
+fn workload(workers: usize) -> SweepConfig {
+    SweepConfig {
+        apps: vec![AppId::Sor, AppId::Fft, AppId::WaterSp],
+        nodes: vec![4, 8],
+        threads: vec![1, 2],
+        workers,
+        ..SweepConfig::default()
+    }
+}
+
+fn timed(workers: usize) -> (f64, String) {
+    let t0 = Instant::now();
+    let report = run_sweep(workload(workers));
+    (t0.elapsed().as_secs_f64(), report.to_json().to_pretty())
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    println!("sweep_scale: {cores} core(s) available");
+    let (serial_s, serial_json) = timed(1);
+    println!("sweep_scale/workers=1: {serial_s:.2}s");
+    for workers in [2usize, 4] {
+        // Oversubscribing a small host is still a valid determinism test;
+        // only the speedup expectation needs real cores behind it.
+        let (par_s, par_json) = timed(workers);
+        let speedup = serial_s / par_s;
+        println!("sweep_scale/workers={workers}: {par_s:.2}s ({speedup:.2}x)");
+        assert_eq!(
+            serial_json, par_json,
+            "sweep output changed with {workers} workers"
+        );
+        if workers == 4 && cores >= 4 {
+            assert!(
+                speedup >= 2.0,
+                "4 workers on {cores} cores only {speedup:.2}x over serial"
+            );
+        }
+    }
+}

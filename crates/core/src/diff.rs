@@ -64,16 +64,20 @@ impl Diff {
         );
         let mut runs: Vec<DiffRun> = Vec::new();
         let mut open: Option<DiffRun> = None;
-        for w in 0..twin.len() / DIFF_WORD {
-            let o = w * DIFF_WORD;
-            let differs = twin[o..o + DIFF_WORD] != current[o..o + DIFF_WORD];
-            if differs {
+        // chunks_exact lets the word comparison compile to a single
+        // branch-free load/compare per word (no per-word bounds checks) —
+        // this loop runs once over the whole page for every diff created.
+        let words = twin
+            .chunks_exact(DIFF_WORD)
+            .zip(current.chunks_exact(DIFF_WORD));
+        for (w, (t, c)) in words.enumerate() {
+            if t != c {
                 match &mut open {
-                    Some(run) => run.data.extend_from_slice(&current[o..o + DIFF_WORD]),
+                    Some(run) => run.data.extend_from_slice(c),
                     None => {
                         open = Some(DiffRun {
-                            offset: o,
-                            data: current[o..o + DIFF_WORD].to_vec(),
+                            offset: w * DIFF_WORD,
+                            data: c.to_vec(),
                         });
                     }
                 }

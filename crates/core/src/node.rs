@@ -7,7 +7,7 @@
 //! simulator. It is wrapped in a mutex, but the baton discipline of
 //! [`cvm_sim::coop`] means the lock is never contended.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 use cvm_memsim::MemSystem;
 
@@ -22,8 +22,11 @@ pub struct NodeCell {
     pub mem: Vec<u8>,
     /// Protection state per page.
     pub state: Vec<PageState>,
-    /// Twins of dirty pages (pristine copies for diffing).
-    pub twins: HashMap<usize, Vec<u8>>,
+    /// Twins of dirty pages (pristine copies for diffing), directly
+    /// indexed by page number. A flat page table instead of a hash map:
+    /// the twin lookup sits on the per-fault fast path, and the sweep's
+    /// page counts are small enough that one `Option` per page is cheap.
+    twins: Vec<Option<Vec<u8>>>,
     /// Pages written during the current open interval.
     pub dirty: BTreeSet<usize>,
     /// Virtual nanoseconds consumed by the running thread since the driver
@@ -46,7 +49,7 @@ impl NodeCell {
             page_size,
             mem: vec![0; page_size * pages],
             state: vec![PageState::Unmapped; pages],
-            twins: HashMap::new(),
+            twins: vec![None; pages],
             dirty: BTreeSet::new(),
             burst_ns: 0,
             lb_result: 0.0,
@@ -89,13 +92,56 @@ impl NodeCell {
     /// Panics if `page` is out of range.
     pub fn ensure_twin(&mut self, page: usize) -> bool {
         self.dirty.insert(page);
-        if self.twins.contains_key(&page) {
+        if self.twins[page].is_some() {
             false
         } else {
             let copy = self.page_bytes(page).to_vec();
-            self.twins.insert(page, copy);
+            self.twins[page] = Some(copy);
             self.twin_creations += 1;
             true
+        }
+    }
+
+    /// The twin of `page`, if one exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn twin(&self, page: usize) -> Option<&[u8]> {
+        self.twins[page].as_deref()
+    }
+
+    /// True if `page` currently has a twin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn has_twin(&self, page: usize) -> bool {
+        self.twins[page].is_some()
+    }
+
+    /// Replaces (or installs) the twin of `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn set_twin(&mut self, page: usize, data: Vec<u8>) {
+        self.twins[page] = Some(data);
+    }
+
+    /// Discards the twin of `page`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn clear_twin(&mut self, page: usize) {
+        self.twins[page] = None;
+    }
+
+    /// Discards every twin (startup reset).
+    pub fn clear_twins(&mut self) {
+        for t in &mut self.twins {
+            *t = None;
         }
     }
 
@@ -127,9 +173,11 @@ mod tests {
         c.mem[10] = 7;
         assert!(c.ensure_twin(0));
         c.mem[10] = 9;
-        assert_eq!(c.twins[&0][10], 7);
+        assert_eq!(c.twin(0).expect("twin exists")[10], 7);
         assert!(!c.ensure_twin(0), "second call reuses the twin");
         assert_eq!(c.twin_creations, 1);
+        c.clear_twin(0);
+        assert!(!c.has_twin(0));
     }
 
     #[test]
@@ -141,7 +189,7 @@ mod tests {
         assert_eq!(closed, vec![1]);
         assert_eq!(c.state[1], PageState::ReadOnly);
         assert!(c.dirty.is_empty());
-        assert!(c.twins.contains_key(&1), "twin survives the close");
+        assert!(c.has_twin(1), "twin survives the close");
     }
 
     #[test]

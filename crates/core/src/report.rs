@@ -3,7 +3,7 @@
 
 use std::fmt;
 
-use cvm_net::NetStats;
+use cvm_net::{LossStats, NetStats};
 use cvm_sim::json::JsonValue;
 use cvm_sim::{SimDuration, VirtualTime};
 
@@ -56,6 +56,10 @@ pub struct RunReport {
     pub stats: DsmStats,
     /// Traffic statistics (Table 2).
     pub net: NetStats,
+    /// Reliability-layer counters (all zero unless loss injection was
+    /// configured; then `retransmissions > 0` is the proof the run really
+    /// exercised the recovery path).
+    pub loss: LossStats,
     /// Per-node breakdown (Figure 1).
     pub nodes: Vec<NodeBreakdown>,
     /// Memory-system misses, if the simulator was enabled (Figure 2).
@@ -80,6 +84,20 @@ impl RunReport {
         self.total_time.as_ms_f64()
     }
 
+    /// Sums the per-node breakdowns into one system-wide breakdown (the
+    /// sweep's aggregation primitive; `clock` carries the max node clock).
+    pub fn breakdown_sum(&self) -> NodeBreakdown {
+        let mut sum = NodeBreakdown::default();
+        for n in &self.nodes {
+            sum.user += n.user;
+            sum.barrier += n.barrier;
+            sum.fault += n.fault;
+            sum.lock += n.lock;
+            sum.clock = sum.clock.max(n.clock);
+        }
+        sum
+    }
+
     /// Average per-node share of one Figure 1 category, as a fraction of
     /// total run time.
     pub fn fraction(&self, pick: impl Fn(&NodeBreakdown) -> SimDuration) -> f64 {
@@ -102,6 +120,12 @@ impl RunReport {
         obj.set("total_ms", self.total_ms());
         obj.set("stats", self.stats.to_json());
         obj.set("net", self.net.to_json());
+        let mut loss = JsonValue::object();
+        loss.set("dropped", self.loss.dropped);
+        loss.set("retransmissions", self.loss.retransmissions);
+        loss.set("duplicates_suppressed", self.loss.duplicates_suppressed);
+        loss.set("acks_sent", self.loss.acks_sent);
+        obj.set("loss", loss);
         obj.set("hist", self.hist.to_json());
         obj.set("attr", self.attr.to_json(top_n));
         let mut nodes = JsonValue::array();
@@ -150,6 +174,16 @@ impl fmt::Display for RunReport {
         writeln!(f, "run: {:.3} ms", self.total_ms())?;
         writeln!(f, "{}", self.stats)?;
         writeln!(f, "{}", self.net)?;
+        if self.loss != LossStats::default() {
+            writeln!(
+                f,
+                "loss: dropped {} retransmissions {} dup-suppressed {} acks {}",
+                self.loss.dropped,
+                self.loss.retransmissions,
+                self.loss.duplicates_suppressed,
+                self.loss.acks_sent
+            )?;
+        }
         if self.hist.rows().iter().any(|(_, _, h)| h.count() > 0) {
             write!(f, "{}", self.hist)?;
         }
@@ -187,6 +221,7 @@ mod tests {
             total_time: VirtualTime::from_us(100),
             stats: DsmStats::default(),
             net: NetStats::new(),
+            loss: LossStats::default(),
             nodes: vec![
                 NodeBreakdown {
                     user: SimDuration::from_us(60),
@@ -210,11 +245,45 @@ mod tests {
     }
 
     #[test]
+    fn breakdown_sum_aggregates_nodes() {
+        let report = RunReport {
+            total_time: VirtualTime::from_us(100),
+            stats: DsmStats::default(),
+            net: NetStats::new(),
+            loss: LossStats::default(),
+            nodes: vec![
+                NodeBreakdown {
+                    user: SimDuration::from_us(60),
+                    fault: SimDuration::from_us(5),
+                    clock: VirtualTime::from_us(80),
+                    ..Default::default()
+                },
+                NodeBreakdown {
+                    user: SimDuration::from_us(100),
+                    clock: VirtualTime::from_us(100),
+                    ..Default::default()
+                },
+            ],
+            mem: MemMisses::default(),
+            hist: DsmHistograms::default(),
+            attr: ResourceAttr::default(),
+            trace: None,
+            findings: Vec::new(),
+            explore_decisions: 0,
+        };
+        let sum = report.breakdown_sum();
+        assert_eq!(sum.user, SimDuration::from_us(160));
+        assert_eq!(sum.fault, SimDuration::from_us(5));
+        assert_eq!(sum.clock, VirtualTime::from_us(100), "clock is the max");
+    }
+
+    #[test]
     fn json_has_all_sections() {
         let mut report = RunReport {
             total_time: VirtualTime::from_us(100),
             stats: DsmStats::default(),
             net: NetStats::new(),
+            loss: LossStats::default(),
             nodes: vec![NodeBreakdown::default()],
             mem: MemMisses::default(),
             hist: DsmHistograms::default(),
@@ -231,6 +300,7 @@ mod tests {
         for key in [
             "stats",
             "net",
+            "loss",
             "hist",
             "attr",
             "nodes",

@@ -445,6 +445,7 @@ impl Driver {
             total_time: total,
             stats,
             net: self.net.stats().clone(),
+            loss: self.net.loss_stats(),
             nodes,
             mem,
             hist: self.hist.clone(),
@@ -965,7 +966,7 @@ impl Driver {
         );
         let init_mem = {
             let mut c0 = self.cells[0].lock();
-            c0.twins.clear();
+            c0.clear_twins();
             c0.dirty.clear();
             c0.twin_creations = 0;
             c0.mem.clone()
@@ -1141,13 +1142,13 @@ impl Driver {
     /// Extracts (lazily) the node's pending modifications of `page` into a
     /// cached diff. Returns the newly created entry, if any.
     fn ensure_extracted(&mut self, n: usize, page: usize) -> Option<(u32, u64, Diff)> {
-        let has_twin = self.cells[n].lock().twins.contains_key(&page);
+        let has_twin = self.cells[n].lock().has_twin(page);
         if !has_twin {
             return None;
         }
         let diff = {
             let cell = self.cells[n].lock();
-            let twin = cell.twins.get(&page).expect("twin checked");
+            let twin = cell.twin(page).expect("twin checked");
             Diff::create(PageId(page), twin, cell.page_bytes(page))
         };
         if diff.is_empty() {
@@ -1158,8 +1159,8 @@ impl Driver {
             // patching the twin with it reproduces the current contents.
             let ok = {
                 let cell = self.cells[n].lock();
-                let twin = cell.twins.get(&page).expect("twin checked");
-                let mut patched = twin.clone();
+                let twin = cell.twin(page).expect("twin checked");
+                let mut patched = twin.to_vec();
                 diff.apply(&mut patched);
                 patched == cell.page_bytes(page)
             };
@@ -1186,7 +1187,7 @@ impl Driver {
             // Refresh the twin so later diffs cover only newer writes.
             let mut cell = self.cells[n].lock();
             let current = cell.page_bytes(page).to_vec();
-            cell.twins.insert(page, current);
+            cell.set_twin(page, current);
         }
         self.ctl[n]
             .diff_cache
@@ -1309,7 +1310,7 @@ impl Driver {
                     // before losing the twin.
                     let _ = self.ensure_extracted(n, p);
                     let mut cell = self.cells[n].lock();
-                    cell.twins.remove(&p);
+                    cell.clear_twin(p);
                     cell.dirty.remove(&p);
                     cell.state[p] = PageState::Invalid;
                     drop(cell);

@@ -21,6 +21,7 @@ pub mod bench;
 pub mod cli;
 pub mod micro;
 pub mod runner;
+pub mod sweep;
 pub mod tables;
 
 pub use runner::{run_app, run_water_nsq_variant, RunOutcome, RunSpec};

@@ -1,0 +1,467 @@
+//! `cvm sweep` — the full configuration cross-product, in parallel.
+//!
+//! The paper's evaluation is a sweep: seven applications × {4, 8, 16}
+//! processors × 1–4 threads per node. This module runs that cross-product
+//! on a pool of scoped OS threads ([`cvm_sim::workq`]), aggregates each
+//! run's [`RunReport`](cvm_dsm::RunReport) into a [`SweepReport`], and
+//! emits:
+//!
+//! * `BENCH_sweep.json` — one machine-readable summary per configuration,
+//!   for the perf trajectory;
+//! * markdown tables mirroring the paper's Figure 1 breakdown (compute /
+//!   remote-fault / lock / barrier shares), its message-count and
+//!   data-volume tables, and speedup-vs-one-thread columns.
+//!
+//! Determinism: every configuration derives its seed from the master seed
+//! with [`workq::seed_split`] (a pure function of the configuration, not
+//! of the worker that runs it), and results are keyed by configuration
+//! index — so the report is **byte-identical at any worker count**. Host
+//! wall-clock is printed to stderr only, never serialized.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cvm_apps::{AppId, Scale};
+use cvm_net::MsgClass;
+use cvm_sim::json::JsonValue;
+use cvm_sim::workq;
+
+use crate::bench::slug;
+use crate::runner::{run_app, RunOutcome, RunSpec};
+
+/// Processor counts evaluated by the paper (4, 8, and a virtualized 16).
+pub const NODES: [usize; 3] = [4, 8, 16];
+
+/// The sweep report file name.
+pub const FILE_NAME: &str = "BENCH_sweep.json";
+
+/// What to sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Problem scale.
+    pub scale: Scale,
+    /// Applications (paper order).
+    pub apps: Vec<AppId>,
+    /// Processor counts.
+    pub nodes: Vec<usize>,
+    /// Threads-per-node levels.
+    pub threads: Vec<usize>,
+    /// Worker threads running simulations concurrently (0 = one per
+    /// available core).
+    pub workers: usize,
+    /// Master seed; each configuration splits its own seed off this.
+    pub seed: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            scale: Scale::Small,
+            apps: AppId::ALL.to_vec(),
+            nodes: NODES.to_vec(),
+            threads: crate::tables::THREADS.to_vec(),
+            workers: 0,
+            seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// The configurations this sweep will run, in report order: the full
+    /// cross-product minus thread counts an application rejects.
+    pub fn specs(&self) -> Vec<RunSpec> {
+        let mut specs = Vec::new();
+        for &app in &self.apps {
+            for &nodes in &self.nodes {
+                for &threads in &self.threads {
+                    if !app.supports_threads(threads) {
+                        continue;
+                    }
+                    let mut spec = RunSpec::new(app, self.scale, nodes, threads);
+                    spec.seed = workq::seed_split(self.seed, config_salt(app, nodes, threads));
+                    specs.push(spec);
+                }
+            }
+        }
+        specs
+    }
+
+    /// The effective worker count.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        }
+    }
+}
+
+/// A stable per-configuration salt: which worker runs a configuration can
+/// never matter, only the configuration itself.
+fn config_salt(app: AppId, nodes: usize, threads: usize) -> u64 {
+    let app_idx = AppId::ALL
+        .iter()
+        .position(|&a| a == app)
+        .expect("app registered") as u64;
+    (app_idx << 16) | ((nodes as u64) << 8) | threads as u64
+}
+
+/// The aggregated result of one sweep.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// The sweep's configuration.
+    pub config: SweepConfig,
+    /// One outcome per configuration, in [`SweepConfig::specs`] order.
+    pub outcomes: Vec<RunOutcome>,
+    /// Host wall-clock of the whole sweep, milliseconds (diagnostic only —
+    /// deliberately *not* serialized, so reports stay byte-identical
+    /// across machines and worker counts).
+    pub host_wall_ms: f64,
+}
+
+/// Runs the sweep: every configuration on the worker pool, results in
+/// configuration order.
+pub fn run_sweep(config: SweepConfig) -> SweepReport {
+    let specs = config.specs();
+    let workers = config.effective_workers();
+    eprintln!(
+        "[sweep] {} configurations on {} worker(s)",
+        specs.len(),
+        workers
+    );
+    let started = Instant::now();
+    let outcomes = workq::run_indexed(workers, specs, |_, spec| {
+        let t0 = Instant::now();
+        let outcome = run_app(spec);
+        eprintln!(
+            "[sweep] {} P={} T={} done in {:.2}s host",
+            outcome.spec.app,
+            outcome.spec.nodes,
+            outcome.spec.threads,
+            t0.elapsed().as_secs_f64()
+        );
+        outcome
+    });
+    let host_wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "[sweep] complete: {} runs in {:.2}s host wall-clock",
+        outcomes.len(),
+        host_wall_ms / 1e3
+    );
+    SweepReport {
+        config,
+        outcomes,
+        host_wall_ms,
+    }
+}
+
+impl SweepReport {
+    /// The single-thread outcome matching `(app, nodes)`, the speedup
+    /// baseline — `None` when the sweep did not include one thread.
+    fn one_thread_base(&self, app: AppId, nodes: usize) -> Option<&RunOutcome> {
+        self.outcomes
+            .iter()
+            .find(|o| o.spec.app == app && o.spec.nodes == nodes && o.spec.threads == 1)
+    }
+
+    /// Speedup of `outcome` over the one-thread run of the same
+    /// application and node count.
+    pub fn speedup_vs_one_thread(&self, outcome: &RunOutcome) -> Option<f64> {
+        let base = self.one_thread_base(outcome.spec.app, outcome.spec.nodes)?;
+        Some(base.time_ms() / outcome.time_ms())
+    }
+
+    /// The whole sweep as one JSON document (`BENCH_sweep.json`): the
+    /// matrix plus one compact summary per configuration. Host timings are
+    /// excluded by design.
+    pub fn to_json(&self) -> JsonValue {
+        let mut obj = JsonValue::object();
+        obj.set("schema", "cvm-sweep");
+        obj.set("version", 1u64);
+        obj.set(
+            "scale",
+            match self.config.scale {
+                Scale::Paper => "paper",
+                Scale::Small => "small",
+            },
+        );
+        obj.set("seed", self.config.seed);
+        let mut nodes = JsonValue::array();
+        for &n in &self.config.nodes {
+            nodes.push(n);
+        }
+        obj.set("nodes", nodes);
+        let mut threads = JsonValue::array();
+        for &t in &self.config.threads {
+            threads.push(t);
+        }
+        obj.set("threads", threads);
+        let mut configs = JsonValue::array();
+        for o in &self.outcomes {
+            configs.push(self.outcome_json(o));
+        }
+        obj.set("configs", configs);
+        obj
+    }
+
+    /// One configuration's summary row.
+    fn outcome_json(&self, o: &RunOutcome) -> JsonValue {
+        let r = &o.report;
+        let mut row = JsonValue::object();
+        row.set("app", slug(o.spec.app));
+        row.set("nodes", o.spec.nodes);
+        row.set("threads", o.spec.threads);
+        row.set("seed", o.spec.seed);
+        row.set("total_ns", r.total_time.as_ns());
+        row.set("total_ms", r.total_ms());
+        let sum = r.breakdown_sum();
+        let mut breakdown = JsonValue::object();
+        breakdown.set("user_ns", sum.user.as_ns());
+        breakdown.set("barrier_ns", sum.barrier.as_ns());
+        breakdown.set("fault_ns", sum.fault.as_ns());
+        breakdown.set("lock_ns", sum.lock.as_ns());
+        let mut shares = JsonValue::object();
+        shares.set("user", r.fraction(|n| n.user));
+        shares.set("barrier", r.fraction(|n| n.barrier));
+        shares.set("fault", r.fraction(|n| n.fault));
+        shares.set("lock", r.fraction(|n| n.lock));
+        breakdown.set("shares", shares);
+        row.set("breakdown", breakdown);
+        let mut msgs = JsonValue::object();
+        msgs.set("barrier", r.net.class_count(MsgClass::Barrier));
+        msgs.set("lock", r.net.class_count(MsgClass::Lock));
+        msgs.set("diff", r.net.class_count(MsgClass::Diff));
+        msgs.set("total", r.net.total_count());
+        msgs.set("per_node", r.net.total_count() as f64 / o.spec.nodes as f64);
+        row.set("msgs", msgs);
+        let mut bytes = JsonValue::object();
+        bytes.set("barrier", r.net.class_bytes(MsgClass::Barrier));
+        bytes.set("lock", r.net.class_bytes(MsgClass::Lock));
+        bytes.set("diff", r.net.class_bytes(MsgClass::Diff));
+        bytes.set("total", r.net.total_bytes());
+        bytes.set("kb", r.net.total_bytes() / 1024);
+        row.set("bytes", bytes);
+        let mut stats = JsonValue::object();
+        stats.set("remote_faults", r.stats.remote_faults);
+        stats.set("remote_locks", r.stats.remote_locks);
+        stats.set("diffs_created", r.stats.diffs_created);
+        stats.set("diffs_used", r.stats.diffs_used);
+        stats.set("thread_switches", r.stats.thread_switches);
+        stats.set("twins_created", r.stats.twins_created);
+        stats.set("barriers_crossed", r.stats.barriers_crossed);
+        row.set("stats", stats);
+        match self.speedup_vs_one_thread(o) {
+            Some(s) => {
+                row.set("speedup_vs_1t", s);
+            }
+            None => {
+                row.set("speedup_vs_1t", JsonValue::Null);
+            }
+        }
+        row
+    }
+
+    /// Figure 1-style markdown table: per configuration, total time
+    /// normalized to the one-thread run of the same (app, nodes), and the
+    /// compute / remote-fault / lock / barrier shares of the run.
+    pub fn breakdown_table(&self) -> String {
+        let mut out = String::from(
+            "## Execution-time breakdown (Fig. 1)\n\n\
+             | app | P | T | norm. time | compute % | fault % | lock % | barrier % |\n\
+             |---|---:|---:|---:|---:|---:|---:|---:|\n",
+        );
+        for o in &self.outcomes {
+            let norm = self
+                .one_thread_base(o.spec.app, o.spec.nodes)
+                .map_or(1.0, |b| o.time_ms() / b.time_ms());
+            let r = &o.report;
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {:.3} | {:.1} | {:.1} | {:.1} | {:.1} |",
+                o.spec.app.name(),
+                o.spec.nodes,
+                o.spec.threads,
+                norm,
+                r.fraction(|n| n.user) * 100.0,
+                r.fraction(|n| n.fault) * 100.0,
+                r.fraction(|n| n.lock) * 100.0,
+                r.fraction(|n| n.barrier) * 100.0,
+            );
+        }
+        out
+    }
+
+    /// Message-count markdown table (the paper's Table 2 counts), with a
+    /// per-node column.
+    pub fn messages_table(&self) -> String {
+        let mut out = String::from(
+            "## Message counts\n\n\
+             | app | P | T | barrier | lock | diff | total | per node |\n\
+             |---|---:|---:|---:|---:|---:|---:|---:|\n",
+        );
+        for o in &self.outcomes {
+            let n = &o.report.net;
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} | {} | {:.1} |",
+                o.spec.app.name(),
+                o.spec.nodes,
+                o.spec.threads,
+                n.class_count(MsgClass::Barrier),
+                n.class_count(MsgClass::Lock),
+                n.class_count(MsgClass::Diff),
+                n.total_count(),
+                n.total_count() as f64 / o.spec.nodes as f64,
+            );
+        }
+        out
+    }
+
+    /// Data-volume markdown table (the paper's bandwidth columns).
+    pub fn data_table(&self) -> String {
+        let mut out = String::from(
+            "## Data volume\n\n\
+             | app | P | T | diff KB | total KB | KB per node |\n\
+             |---|---:|---:|---:|---:|---:|\n",
+        );
+        for o in &self.outcomes {
+            let n = &o.report.net;
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {:.1} |",
+                o.spec.app.name(),
+                o.spec.nodes,
+                o.spec.threads,
+                n.class_bytes(MsgClass::Diff) / 1024,
+                n.total_bytes() / 1024,
+                n.total_bytes() as f64 / 1024.0 / o.spec.nodes as f64,
+            );
+        }
+        out
+    }
+
+    /// Speedup-vs-one-thread markdown table: one row per (app, nodes),
+    /// one column per thread level.
+    pub fn speedup_table(&self) -> String {
+        let mut out = String::from("## Speedup vs 1 thread/node\n\n| app | P |");
+        for &t in &self.config.threads {
+            let _ = write!(out, " T={t} |");
+        }
+        out.push('\n');
+        out.push_str("|---|---:|");
+        for _ in &self.config.threads {
+            out.push_str("---:|");
+        }
+        out.push('\n');
+        for &app in &self.config.apps {
+            for &nodes in &self.config.nodes {
+                let _ = write!(out, "| {} | {} |", app.name(), nodes);
+                for &t in &self.config.threads {
+                    let cell = self
+                        .outcomes
+                        .iter()
+                        .find(|o| o.spec.app == app && o.spec.nodes == nodes && o.spec.threads == t)
+                        .and_then(|o| self.speedup_vs_one_thread(o));
+                    match cell {
+                        Some(s) => {
+                            let _ = write!(out, " {s:.2}x |");
+                        }
+                        None => {
+                            let _ = write!(out, " - |");
+                        }
+                    }
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// All markdown tables, in presentation order.
+    pub fn render_tables(&self) -> String {
+        format!(
+            "{}\n{}\n{}\n{}",
+            self.breakdown_table(),
+            self.messages_table(),
+            self.data_table(),
+            self.speedup_table()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config(workers: usize) -> SweepConfig {
+        SweepConfig {
+            apps: vec![AppId::Sor, AppId::Fft],
+            nodes: vec![2],
+            threads: vec![1, 2],
+            workers,
+            ..SweepConfig::default()
+        }
+    }
+
+    #[test]
+    fn specs_skip_unsupported_thread_levels() {
+        let cfg = SweepConfig {
+            apps: vec![AppId::Ocean],
+            nodes: vec![4],
+            threads: vec![1, 2, 3, 4],
+            ..SweepConfig::default()
+        };
+        let specs = cfg.specs();
+        assert_eq!(specs.len(), 3, "Ocean rejects T=3");
+        assert!(specs.iter().all(|s| s.threads != 3));
+    }
+
+    #[test]
+    fn config_seeds_are_stable_and_distinct() {
+        let a = tiny_config(1).specs();
+        let b = tiny_config(4).specs();
+        assert_eq!(
+            a.iter().map(|s| s.seed).collect::<Vec<_>>(),
+            b.iter().map(|s| s.seed).collect::<Vec<_>>(),
+            "worker count must not shift seeds"
+        );
+        let mut seeds: Vec<u64> = a.iter().map(|s| s.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), a.len(), "every config gets its own seed");
+    }
+
+    #[test]
+    fn sweep_json_and_tables_cover_every_config() {
+        let report = run_sweep(tiny_config(2));
+        assert_eq!(report.outcomes.len(), 4);
+        let j = report.to_json();
+        assert_eq!(j.get("schema").unwrap().as_str(), Some("cvm-sweep"));
+        let configs = j.get("configs").unwrap().as_array().unwrap();
+        assert_eq!(configs.len(), 4);
+        // One-thread rows have speedup exactly 1; two-thread rows have some
+        // finite positive speedup.
+        for c in configs {
+            let s = c.get("speedup_vs_1t").unwrap().as_f64().unwrap();
+            assert!(s > 0.0);
+            if c.get("threads").unwrap().as_u64() == Some(1) {
+                assert!((s - 1.0).abs() < 1e-12);
+            }
+        }
+        let tables = report.render_tables();
+        for needle in ["SOR", "FFT", "compute %", "per node", "T=2"] {
+            assert!(tables.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn sweep_reports_match_across_worker_counts() {
+        let serial = run_sweep(tiny_config(1));
+        let parallel = run_sweep(tiny_config(3));
+        assert_eq!(
+            serial.to_json().to_pretty(),
+            parallel.to_json().to_pretty(),
+            "sweep JSON must be byte-identical at any worker count"
+        );
+    }
+}

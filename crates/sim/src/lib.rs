@@ -19,6 +19,9 @@
 //! * [`sync`] — thin `parking_lot`-style wrappers over [`std::sync`].
 //! * [`explore`] — seeded perturbation of scheduler pick decisions for
 //!   the schedule-exploration checker.
+//! * [`workq`] — deterministic fan-out of independent jobs (the sweep
+//!   engine's worker pool): results keyed by item index, seeds split per
+//!   item, so any worker count produces identical output.
 //!
 //! # Example
 //!
@@ -43,6 +46,7 @@ pub mod rng;
 pub mod stats;
 pub mod sync;
 pub mod time;
+pub mod workq;
 
 pub use coop::{Burst, CoopScheduler, CoopThreadId, Yielder};
 pub use event::EventQueue;

@@ -78,6 +78,38 @@ fn water_nsq_correct_under_loss() {
 }
 
 #[test]
+fn thirty_percent_loss_is_invisible_to_the_application() {
+    // A full application run over a wire dropping nearly one in three
+    // transmissions must produce the *identical* result as the lossless
+    // run — and the report must show the reliability layer earned it.
+    let cfg = sor::SorConfig {
+        n: 46,
+        iters: 3,
+        omega: 1.12,
+    };
+    let (clean, clean_report) = sor::checksum_of_config(&cfg, CvmConfig::small(4, 2));
+    let (noisy, noisy_report) = sor::checksum_of_config(&cfg, lossy(4, 2, 0.30));
+    assert_eq!(
+        noisy.to_bits(),
+        clean.to_bits(),
+        "loss changed the application result"
+    );
+    assert!(
+        (clean - sor::oracle(&cfg)).abs() <= 1e-9 * clean.abs().max(1.0),
+        "lossless run disagrees with the sequential oracle"
+    );
+    // The loss counters ride on the RunReport: the clean run is silent,
+    // the noisy run shows real drops, retransmissions and dup-kills.
+    assert_eq!(clean_report.loss, cvm_net::LossStats::default());
+    assert!(noisy_report.loss.dropped > 0, "30% loss dropped nothing?");
+    assert!(
+        noisy_report.loss.retransmissions > 0,
+        "drops were never repaired"
+    );
+    assert!(noisy_report.total_time > clean_report.total_time);
+}
+
+#[test]
 fn lossy_runs_are_deterministic() {
     let run = || {
         let mut b = CvmBuilder::new(lossy(2, 2, 0.2));

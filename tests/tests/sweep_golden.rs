@@ -1,0 +1,78 @@
+//! Golden determinism for the sweep's unit of work: the same seed and
+//! configuration must yield **byte-identical** `RunReport` JSON — across
+//! repeated runs, and across any worker count of the fan-out queue. This
+//! is the property that lets `cvm sweep` parallelize freely without ever
+//! changing its output.
+
+use cvm_apps::{build_app, AppId, Scale};
+use cvm_dsm::{CvmBuilder, CvmConfig};
+use cvm_sim::workq;
+
+/// Runs `app` on a 4-node cluster and returns its report serialized with
+/// the byte-stable pretty printer.
+fn report_json(app: AppId, threads: usize, seed: u64) -> String {
+    let mut cfg = CvmConfig::small(4, threads);
+    cfg.seed = seed;
+    let mut b = CvmBuilder::new(cfg);
+    let body = build_app(&mut b, app, Scale::Small);
+    b.run(body).to_json(8).to_pretty()
+}
+
+#[test]
+fn every_app_is_byte_identical_across_runs() {
+    for app in AppId::ALL {
+        let seed = workq::seed_split(0x60_1D, app as u64);
+        let first = report_json(app, 2, seed);
+        let second = report_json(app, 2, seed);
+        assert_eq!(first, second, "{app}: report JSON differs between runs");
+        assert!(
+            first.contains("\"loss\""),
+            "{app}: report JSON is missing the loss section"
+        );
+    }
+}
+
+#[test]
+fn reports_are_byte_identical_across_worker_counts() {
+    // The exact shape the sweep engine relies on: fan the apps out over
+    // the work queue and compare the ordered JSON outputs for a serial
+    // and a parallel run.
+    let jobs = || AppId::ALL.to_vec();
+    let run = |workers: usize| {
+        workq::run_indexed(workers, jobs(), |i, app| {
+            report_json(app, 2, workq::seed_split(0xD15C, i as u64))
+        })
+    };
+    let serial = run(1);
+    let parallel = run(3);
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(
+            s,
+            p,
+            "{}: JSON differs between 1 and 3 workers",
+            AppId::ALL[i]
+        );
+    }
+}
+
+#[test]
+fn golden_runs_are_not_vacuous() {
+    // The byte-equality above would be meaningless if the serializer
+    // collapsed distinct runs to the same bytes. With network jitter
+    // enabled the seed must reach the timing, and thus the JSON.
+    let with_jitter = |seed: u64| {
+        let mut cfg = CvmConfig::small(4, 2);
+        cfg.seed = seed;
+        cfg.jitter_max = cvm_sim::SimDuration::from_us(20);
+        let mut b = CvmBuilder::new(cfg);
+        let body = build_app(&mut b, AppId::Sor, Scale::Small);
+        b.run(body).to_json(8).to_pretty()
+    };
+    assert_eq!(with_jitter(1), with_jitter(1), "jittered runs still golden");
+    assert_ne!(
+        with_jitter(1),
+        with_jitter(2),
+        "seed does not reach the report; goldens are vacuous"
+    );
+}
