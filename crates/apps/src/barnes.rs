@@ -389,9 +389,18 @@ pub fn oracle(cfg: &BarnesConfig) -> f64 {
 
 /// Runs the app and returns the checksum (tests).
 pub fn checksum_of_run(cfg: &BarnesConfig, nodes: usize, threads: usize) -> f64 {
+    checksum_of_config(cfg, cvm_dsm::CvmConfig::small(nodes, threads)).0
+}
+
+/// Like [`checksum_of_run`], but over an arbitrary system configuration
+/// (protocol under test, jitter, …); also returns the run's report.
+pub fn checksum_of_config(
+    cfg: &BarnesConfig,
+    dsm: cvm_dsm::CvmConfig,
+) -> (f64, cvm_dsm::RunReport) {
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
-    let mut b = CvmBuilder::new(cvm_dsm::CvmConfig::small(nodes, threads));
+    let mut b = CvmBuilder::new(dsm);
     let arrays = Arrays {
         pos: b.alloc::<f64>(3 * cfg.n),
         vel: b.alloc::<f64>(3 * cfg.n),
@@ -401,13 +410,13 @@ pub fn checksum_of_run(cfg: &BarnesConfig, nodes: usize, threads: usize) -> f64 
     let out = Arc::new(AtomicU64::new(0));
     let out2 = Arc::clone(&out);
     let cfg = *cfg;
-    b.run(move |ctx| {
+    let report = b.run(move |ctx| {
         run(ctx, &cfg, &arrays);
         if ctx.global_id() == 0 {
             out2.store(arrays.sink.read(ctx, 1).to_bits(), Ordering::SeqCst);
         }
     });
-    f64::from_bits(out.load(Ordering::SeqCst))
+    (f64::from_bits(out.load(Ordering::SeqCst)), report)
 }
 
 #[cfg(test)]

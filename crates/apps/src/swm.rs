@@ -302,20 +302,26 @@ pub fn oracle(cfg: &SwmConfig) -> f64 {
 
 /// Runs the app and returns the checksum (tests).
 pub fn checksum_of_run(cfg: &SwmConfig, nodes: usize, threads: usize) -> f64 {
+    checksum_of_config(cfg, cvm_dsm::CvmConfig::small(nodes, threads)).0
+}
+
+/// Like [`checksum_of_run`], but over an arbitrary system configuration
+/// (protocol under test, jitter, …); also returns the run's report.
+pub fn checksum_of_config(cfg: &SwmConfig, dsm: cvm_dsm::CvmConfig) -> (f64, cvm_dsm::RunReport) {
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
-    let mut b = CvmBuilder::new(cvm_dsm::CvmConfig::small(nodes, threads));
+    let mut b = CvmBuilder::new(dsm);
     let f = alloc_fields(&mut b, cfg.n);
     let out = Arc::new(AtomicU64::new(0));
     let out2 = Arc::clone(&out);
     let cfg = *cfg;
-    b.run(move |ctx| {
+    let report = b.run(move |ctx| {
         run(ctx, &cfg, &f);
         if ctx.global_id() == 0 {
             out2.store(f.sink.read(ctx, 1).to_bits(), Ordering::SeqCst);
         }
     });
-    f64::from_bits(out.load(Ordering::SeqCst))
+    (f64::from_bits(out.load(Ordering::SeqCst)), report)
 }
 
 #[cfg(test)]

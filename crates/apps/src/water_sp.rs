@@ -88,7 +88,7 @@ fn alloc_arrays(b: &mut CvmBuilder, cfg: &WaterSpConfig) -> Arrays {
 /// Panics if the cell count exceeds the available per-cell lock range.
 pub fn build(b: &mut CvmBuilder, cfg: WaterSpConfig) -> AppBody {
     assert!(
-        CELL_LOCK_BASE + cfg.b * cfg.b * cfg.b <= cvm_dsm::system::MAX_LOCKS,
+        CELL_LOCK_BASE + cfg.b * cfg.b * cfg.b <= cvm_dsm::driver::MAX_LOCKS,
         "too many cells for the lock table"
     );
     let a = alloc_arrays(b, &cfg);
@@ -446,20 +446,29 @@ pub fn oracle(cfg: &WaterSpConfig) -> f64 {
 
 /// Runs the app and returns the checksum (tests).
 pub fn checksum_of_run(cfg: &WaterSpConfig, nodes: usize, threads: usize) -> f64 {
+    checksum_of_config(cfg, cvm_dsm::CvmConfig::small(nodes, threads)).0
+}
+
+/// Like [`checksum_of_run`], but over an arbitrary system configuration
+/// (protocol under test, jitter, …); also returns the run's report.
+pub fn checksum_of_config(
+    cfg: &WaterSpConfig,
+    dsm: cvm_dsm::CvmConfig,
+) -> (f64, cvm_dsm::RunReport) {
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
-    let mut b = CvmBuilder::new(cvm_dsm::CvmConfig::small(nodes, threads));
+    let mut b = CvmBuilder::new(dsm);
     let a = alloc_arrays(&mut b, cfg);
     let out = Arc::new(AtomicU64::new(0));
     let out2 = Arc::clone(&out);
     let cfg = *cfg;
-    b.run(move |ctx| {
+    let report = b.run(move |ctx| {
         run(ctx, &cfg, &a);
         if ctx.global_id() == 0 {
             out2.store(a.sink.read(ctx, 1).to_bits(), Ordering::SeqCst);
         }
     });
-    f64::from_bits(out.load(Ordering::SeqCst))
+    (f64::from_bits(out.load(Ordering::SeqCst)), report)
 }
 
 #[cfg(test)]

@@ -1,0 +1,198 @@
+//! Munin-style eager update protocol.
+//!
+//! At every interval close the writer *pushes* its new diffs to every
+//! node holding a copy. Readers rarely fault, but bandwidth scales with
+//! the copyset — the comparison that motivated CVM's protocol work. An
+//! adaptive copyset-pruning rule (drop a member after
+//! [`PRUNE_AFTER_UNUSED`](crate::protocol::PRUNE_AFTER_UNUSED)
+//! consecutive unused updates, as in Munin) keeps the protocol from
+//! degenerating to broadcast.
+//!
+//! Faults still use the shared pull mechanism: a pruned or invalidated
+//! node fetches lazily and thereby re-registers in the copyset.
+
+use cvm_sim::VirtualTime;
+
+use crate::msg::Payload;
+use crate::page::{PageId, PageState};
+use crate::protocol::CopysetEntry;
+use crate::trace::TraceEvent;
+
+use super::{Coherence, DriverCore};
+
+/// Eager update with adaptive copyset pruning.
+///
+/// The copysets are protocol-private state, driver-global as a stand-in
+/// for the home-directory state a real system distributes.
+#[derive(Debug, Default)]
+pub(super) struct EagerUpdate {
+    copysets: Vec<CopysetEntry>,
+}
+
+impl Coherence for EagerUpdate {
+    fn reset(&mut self, core: &mut DriverCore) {
+        self.copysets = (0..core.cfg.pages())
+            .map(|_| CopysetEntry::full(core.cfg.nodes))
+            .collect();
+    }
+
+    /// At interval close, extract and push the new diff of every dirtied
+    /// page to the page's copyset, pruning members that never touch the
+    /// page between pushes (Munin's update timeout).
+    fn on_interval_close(&mut self, core: &mut DriverCore, n: usize, pages: &[usize]) {
+        let now = core.ctl[n].sched.clock;
+        for &p in pages {
+            let Some(entry) = core.ensure_extracted(n, p) else {
+                continue;
+            };
+            // Tag of the diff before the one just extracted: the
+            // receiver-side continuity check (never pruned, so the
+            // second-to-last cache entry is authoritative).
+            let prev = core.ctl[n]
+                .diff_cache
+                .get(&p)
+                .and_then(|v| v.len().checked_sub(2).map(|i| v[i].0))
+                .unwrap_or(0);
+            let upto = core.ctl[n].log.latest();
+            for target in self.copysets[p].push_targets(n) {
+                if self.copysets[p].record_push(target) {
+                    // Too many unused updates: drop the member. The
+                    // notification stands in for the directory update a
+                    // distributed implementation would send.
+                    self.copysets[p].remove(target);
+                    core.stats.copies_dropped += 1;
+                    core.send_remote(
+                        n,
+                        target,
+                        Payload::DropCopy {
+                            page: PageId(p),
+                            node: target,
+                        },
+                        now,
+                    );
+                } else {
+                    core.stats.updates_pushed += 1;
+                    core.trace.record(
+                        now,
+                        TraceEvent::UpdatePushed {
+                            node: n,
+                            page: PageId(p),
+                            target,
+                        },
+                    );
+                    core.send_remote(
+                        n,
+                        target,
+                        Payload::UpdatePush {
+                            page: PageId(p),
+                            diff: entry.clone(),
+                            prev,
+                            upto,
+                        },
+                        now,
+                    );
+                }
+            }
+        }
+    }
+
+    fn on_fault(&mut self, core: &mut DriverCore, n: usize, tid: usize, page: PageId, write: bool) {
+        core.pull_fault(n, tid, page, write);
+    }
+
+    fn on_message(
+        &mut self,
+        core: &mut DriverCore,
+        n: usize,
+        src: usize,
+        payload: Payload,
+        t: VirtualTime,
+    ) {
+        match payload {
+            Payload::UpdatePush {
+                page,
+                diff,
+                prev,
+                upto,
+            } => {
+                let p = page.0;
+                if core.ctl[n].fetches.contains_key(&p) {
+                    // A lazy fetch is in flight; let it win (its reply
+                    // includes this diff from the writer's cache) rather
+                    // than risk applying out of order.
+                    return;
+                }
+                let has_copy = core.cells[n].lock().state[p].has_copy();
+                if !has_copy {
+                    return;
+                }
+                let (tag, gseq, d) = diff;
+                if gseq <= core.ctl[n].applied_gseq.get(&p).copied().unwrap_or(0) {
+                    // A causally *later* diff is already in: applying this
+                    // one would resurrect overwritten words. Refuse it and
+                    // leave the watermarks alone — the write notice will
+                    // invalidate us and the refault pulls diffs in order.
+                    return;
+                }
+                if core.ctl[n].applied_dtag(p, src) < prev {
+                    // Gap in the writer's diff stream (an earlier push was
+                    // refused or is still in flight). Applying this one
+                    // would let `upto` retire notices whose data we never
+                    // received; refuse and recover through the refault.
+                    return;
+                }
+                {
+                    let mut cell = core.cells[n].lock();
+                    d.apply(cell.page_bytes_mut(p));
+                    // Keep a concurrent twin in step so our own next diff
+                    // covers only our own writes; otherwise the pushed
+                    // words would be re-diffed under our tag and overwrite
+                    // the writer's later updates on other copies.
+                    if let Some(twin) = cell.twin_mut(p) {
+                        d.apply(twin);
+                    }
+                }
+                core.stats.diffs_used += 1;
+                let kd = (p, src);
+                let e = core.ctl[n].applied_dtag.entry(kd).or_insert(0);
+                *e = (*e).max(tag);
+                core.ctl[n].applied_gseq.insert(p, gseq);
+                let e = core.ctl[n].applied_ivl.entry(kd).or_insert(0);
+                *e = (*e).max(upto);
+                if core.cfg.verify {
+                    core.trace.record(
+                        t,
+                        TraceEvent::DiffApplied {
+                            node: n,
+                            page,
+                            writer: src,
+                            upto,
+                        },
+                    );
+                }
+                // Retire satisfied notices and revalidate if nothing is
+                // pending any more.
+                let remaining = core.retire_pending(n, p);
+                if !remaining {
+                    let mut cell = core.cells[n].lock();
+                    if cell.state[p] == PageState::Invalid {
+                        cell.state[p] = PageState::ReadOnly;
+                    }
+                }
+            }
+            Payload::DropCopy { .. } => {
+                // Informational: the writer stopped pushing to us. Our
+                // copy stays valid until a write notice invalidates it;
+                // the next fault re-registers us in the copyset.
+            }
+            other => {
+                if let Some(p) = core.pull_message(n, src, other, t) {
+                    // The faulting node demonstrably uses the page:
+                    // (re)join the copyset.
+                    self.copysets[p].add(n);
+                    self.copysets[p].record_use(n);
+                }
+            }
+        }
+    }
+}

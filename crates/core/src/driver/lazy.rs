@@ -1,0 +1,42 @@
+//! The paper's protocol: lazy release consistency with multiple writers,
+//! invalidate-based.
+//!
+//! Modifications travel as write notices at synchronization; data moves
+//! only when a faulting reader pulls a base copy and per-writer diffs.
+//! Everything this protocol does is the shared mechanism, so the impl is
+//! the identity over the pull paths — the baseline other protocols are
+//! measured against.
+
+use cvm_sim::VirtualTime;
+
+use crate::msg::Payload;
+use crate::page::PageId;
+
+use super::{Coherence, DriverCore};
+
+/// Lazy multiple-writer LRC (the CVM default).
+#[derive(Debug, Default)]
+pub(super) struct LazyMultiWriter;
+
+impl Coherence for LazyMultiWriter {
+    fn reset(&mut self, _core: &mut DriverCore) {}
+
+    fn on_interval_close(&mut self, _core: &mut DriverCore, _n: usize, _pages: &[usize]) {
+        // Lazy: notices travel at synchronization; data stays put.
+    }
+
+    fn on_fault(&mut self, core: &mut DriverCore, n: usize, tid: usize, page: PageId, write: bool) {
+        core.pull_fault(n, tid, page, write);
+    }
+
+    fn on_message(
+        &mut self,
+        core: &mut DriverCore,
+        n: usize,
+        src: usize,
+        payload: Payload,
+        t: VirtualTime,
+    ) {
+        let _ = core.pull_message(n, src, payload, t);
+    }
+}

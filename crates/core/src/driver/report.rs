@@ -1,0 +1,69 @@
+//! Report assembly: the single path that turns driver state into a
+//! [`RunReport`]. Reads every layer's counters; calls nothing.
+//!
+//! Both report producers — the `end_measure` snapshot taken while the run
+//! is still in flight, and the end-of-run report — go through
+//! [`DriverCore::snapshot_report`], which aggregates the per-node
+//! breakdowns with [`RunReport::breakdown_sum`] (the same primitive the
+//! sweep uses), so there is exactly one place where per-node time turns
+//! into system-wide statistics.
+
+use cvm_sim::ExploreSchedule;
+
+use crate::report::{MemMisses, RunReport};
+
+use super::DriverCore;
+
+impl DriverCore {
+    pub(super) fn build_report(&mut self) -> RunReport {
+        if let Some(snap) = self.snapshot.take() {
+            return snap;
+        }
+        self.snapshot_report()
+    }
+
+    /// Assembles a report from the current state.
+    pub(super) fn snapshot_report(&self) -> RunReport {
+        let mut nodes = Vec::with_capacity(self.cfg.nodes);
+        let mut stats = self.stats.clone();
+        for (n, ctl) in self.ctl.iter().enumerate() {
+            let mut b = ctl.breakdown;
+            b.clock = ctl.sched.clock;
+            stats.twins_created += self.cells[n].lock().twin_creations;
+            nodes.push(b);
+        }
+        let mut mem = MemMisses::default();
+        for cell in &self.cells {
+            let c = cell.lock();
+            if let Some(m) = &c.memsim {
+                mem.dcache += m.dcache_misses();
+                mem.dtlb += m.dtlb_misses();
+                mem.itlb += m.itlb_misses();
+            }
+        }
+        let mut report = RunReport {
+            total_time: cvm_sim::VirtualTime::ZERO,
+            stats,
+            net: self.net.stats().clone(),
+            loss: self.net.loss_stats(),
+            nodes,
+            mem,
+            hist: self.hist.clone(),
+            attr: self.attr.clone(),
+            trace: if self.trace.enabled() {
+                Some(self.trace.clone())
+            } else {
+                None
+            },
+            findings: self.cfg.verify_sink.snapshot(),
+            explore_decisions: self.explore.as_ref().map_or(0, ExploreSchedule::decisions),
+        };
+        let sum = report.breakdown_sum();
+        report.total_time = sum.clock;
+        report.stats.user_time += sum.user;
+        report.stats.wait_barrier += sum.barrier;
+        report.stats.wait_fault += sum.fault;
+        report.stats.wait_lock += sum.lock;
+        report
+    }
+}

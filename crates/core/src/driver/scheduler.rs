@@ -1,0 +1,160 @@
+//! Scheduler layer: per-node run queues, wait-class accounting and the
+//! non-preemptive thread switch (the paper's core mechanism — switch to
+//! another ready thread on a remote request instead of spinning).
+//!
+//! This layer never branches on the protocol kind: a page-fault block is
+//! handed to the active [`Coherence`] impl, everything else to the sync
+//! services.
+
+use cvm_sim::coop::Burst;
+use cvm_sim::{SimDuration, VirtualTime};
+
+use crate::ctx::BlockReason;
+use crate::sched::WaitClass;
+use crate::trace::TraceEvent;
+
+use super::{Coherence, DriverCore, MainEvent};
+
+impl DriverCore {
+    pub(super) fn schedule_resume(&mut self, n: usize, t: VirtualTime) {
+        if !self.ctl[n].sched.resume_scheduled {
+            self.ctl[n].sched.resume_scheduled = true;
+            self.mainq.push(t, MainEvent::NodeResume(n));
+        }
+    }
+
+    pub(super) fn make_ready(&mut self, n: usize, tid: usize, t: VirtualTime) {
+        self.ctl[n].sched.ready.push_back(tid);
+        let at = self.ctl[n].sched.clock.max(t);
+        self.schedule_resume(n, at);
+    }
+
+    /// Snapshot of what an idle node is waiting for, by priority.
+    fn wait_class(&self, n: usize) -> WaitClass {
+        let ctl = &self.ctl[n];
+        if ctl.out_faults > 0 {
+            WaitClass::Fault
+        } else if ctl.out_locks > 0 || ctl.locks.iter().any(|l| !l.local_queue.is_empty()) {
+            WaitClass::Lock
+        } else if !ctl.nb.blocked.is_empty() {
+            WaitClass::Barrier
+        } else {
+            WaitClass::Other
+        }
+    }
+
+    fn begin_idle_if_needed(&mut self, n: usize) {
+        let all_done = self.ctl[n].sched.all_finished();
+        if !all_done && self.ctl[n].sched.idle_since.is_none() {
+            let class = self.wait_class(n);
+            let clock = self.ctl[n].sched.clock;
+            self.ctl[n].sched.idle_since = Some((clock, class));
+        }
+    }
+
+    fn settle_idle(&mut self, n: usize, until: VirtualTime) {
+        if let Some((since, class)) = self.ctl[n].sched.idle_since.take() {
+            if until > since {
+                let d = until - since;
+                let b = &mut self.ctl[n].breakdown;
+                match class {
+                    WaitClass::Fault => b.fault += d,
+                    WaitClass::Lock => b.lock += d,
+                    WaitClass::Barrier | WaitClass::Other => b.barrier += d,
+                }
+            }
+        }
+    }
+
+    pub(super) fn run_node(&mut self, proto: &mut dyn Coherence, n: usize, t: VirtualTime) {
+        self.ctl[n].sched.resume_scheduled = false;
+        if !self.ctl[n].sched.has_ready() {
+            return;
+        }
+        let clock0 = self.ctl[n].sched.clock.max(t);
+        self.settle_idle(n, clock0);
+        self.ctl[n].sched.clock = clock0;
+        let explored = self
+            .explore
+            .as_mut()
+            .and_then(|e| e.pick(self.ctl[n].sched.ready.len()));
+        let tid = if let Some(idx) = explored {
+            // Exploration overrides the policy with a seeded choice among
+            // the ready set (budget-bounded, then the policy resumes).
+            self.ctl[n].sched.ready.remove(idx).expect("pick in range")
+        } else if self.cfg.lifo_schedule {
+            // Memory-conscious policy: run the most recently readied
+            // thread, whose working set is most likely still cached.
+            self.ctl[n].sched.ready.pop_back().expect("ready checked")
+        } else {
+            self.ctl[n].sched.ready.pop_front().expect("ready checked")
+        };
+        if let Some(prev) = self.ctl[n].sched.last_ran {
+            if prev != tid {
+                self.ctl[n].sched.clock += self.cfg.thread_switch;
+                self.ctl[n].breakdown.user += self.cfg.thread_switch;
+                self.stats.thread_switches += 1;
+            }
+        }
+        if let Some(prev) = self.ctl[n].sched.last_ran {
+            if prev != tid && self.trace.enabled() {
+                let at = self.ctl[n].sched.clock;
+                self.trace.record(
+                    at,
+                    TraceEvent::ThreadSwitch {
+                        node: n,
+                        from: prev,
+                        to: tid,
+                    },
+                );
+            }
+        }
+        self.ctl[n].sched.last_ran = Some(tid);
+        let burst = self.coop.resume(self.threads[tid].coop);
+        let consumed = SimDuration::from_ns(self.cells[n].lock().drain_burst());
+        self.ctl[n].sched.clock += consumed;
+        self.ctl[n].breakdown.user += consumed;
+        match burst {
+            Burst::Finished => {
+                self.threads[tid].finished = true;
+                self.ctl[n].sched.finished += 1;
+                self.finished_total += 1;
+            }
+            Burst::Blocked(reason) => self.handle_reason(proto, n, tid, reason),
+        }
+        if self.ctl[n].sched.has_ready() {
+            let at = self.ctl[n].sched.clock;
+            self.schedule_resume(n, at);
+        } else {
+            self.begin_idle_if_needed(n);
+        }
+    }
+
+    /// Routes an application block reason to the owning layer.
+    fn handle_reason(
+        &mut self,
+        proto: &mut dyn Coherence,
+        n: usize,
+        tid: usize,
+        reason: BlockReason,
+    ) {
+        match reason {
+            BlockReason::Fault { page, write } => proto.on_fault(self, n, tid, page, write),
+            BlockReason::Acquire { lock } => self.handle_acquire(proto, n, tid, lock),
+            BlockReason::Release { lock } => self.handle_release(proto, n, tid, lock),
+            BlockReason::Barrier => self.handle_barrier(proto, n, tid),
+            BlockReason::LocalBarrier { reduce } => self.handle_local_barrier(n, tid, reduce),
+            BlockReason::GlobalReduce { reduce } => {
+                self.handle_global_reduce(proto, n, tid, reduce);
+            }
+            BlockReason::Startup => self.handle_startup(proto),
+            BlockReason::EndMeasure => self.handle_end_measure(tid),
+            BlockReason::Yield => self.ctl[n].sched.ready.push_back(tid),
+        }
+    }
+
+    pub(super) fn note_request_initiated(&mut self, n: usize) {
+        self.stats.outstanding_faults += self.ctl[n].out_faults as u64;
+        self.stats.outstanding_locks += self.ctl[n].out_locks as u64;
+    }
+}

@@ -1,0 +1,636 @@
+//! Sync services: the distributed lock manager (with local-queue
+//! preference), the barrier master, local and global reductions, and the
+//! startup / end-of-measurement rendezvous.
+//!
+//! Synchronization is where lazy consistency information travels — lock
+//! grants and barrier releases carry vector times and write notices — so
+//! this layer calls into the shared coherence mechanism
+//! (`close_interval`, `apply_notices`, `checked_merge`) but never into a
+//! specific protocol.
+
+use cvm_net::NetworkSim;
+use cvm_sim::{EventQueue, SimRng, VirtualTime};
+
+use cvm_memsim::MemSystem;
+
+use crate::barrier::ReduceOp;
+use crate::interval::{VectorTime, WriteNotice};
+use crate::lock::{AcquireOutcome, ForwardOutcome, ReleaseOutcome};
+use crate::msg::Payload;
+use crate::oracle::{InjectFault, Invariant};
+use crate::page::PageState;
+use crate::report::NodeBreakdown;
+use crate::trace::TraceEvent;
+
+use super::{Coherence, DriverCore, MAX_LOCKS};
+
+impl DriverCore {
+    pub(super) fn handle_acquire(
+        &mut self,
+        proto: &mut dyn Coherence,
+        n: usize,
+        tid: usize,
+        lock: usize,
+    ) {
+        Invariant::LockIndexInRange.require(lock < MAX_LOCKS, || {
+            format!("lock index {lock} outside the static table of {MAX_LOCKS}")
+        });
+        match self.ctl[n].locks[lock].try_acquire(tid) {
+            AcquireOutcome::LocalGrant => {
+                self.stats.local_lock_acquires += 1;
+                self.attr.lock_mut(lock).local_acquires += 1;
+                self.ctl[n].sched.ready.push_back(tid);
+            }
+            AcquireOutcome::QueuedLocally => {
+                self.stats.block_same_lock += 1;
+                self.attr.lock_mut(lock).contended += 1;
+            }
+            AcquireOutcome::SendRequest => {
+                self.note_request_initiated(n);
+                let at = self.ctl[n].sched.clock;
+                self.trace
+                    .record(at, TraceEvent::LockRequested { node: n, lock });
+                self.stats.remote_locks += 1;
+                self.ctl[n].out_locks += 1;
+                self.attr.lock_mut(lock).remote_acquires += 1;
+                self.lock_req_at.insert((n, lock), at);
+                let now = self.ctl[n].sched.clock;
+                let vt = self.ctl[n].vt.clone();
+                let mgr = lock % self.cfg.nodes;
+                if mgr == n {
+                    self.manager_handle(proto, n, lock, n, vt, now);
+                } else {
+                    self.send(
+                        proto,
+                        n,
+                        mgr,
+                        Payload::LockRequest {
+                            lock,
+                            acquirer: n,
+                            vt,
+                        },
+                        now,
+                    );
+                }
+            }
+        }
+    }
+
+    pub(super) fn handle_release(
+        &mut self,
+        proto: &mut dyn Coherence,
+        n: usize,
+        tid: usize,
+        lock: usize,
+    ) {
+        let now = self.ctl[n].sched.clock;
+        let prefer_local = self.cfg.prefer_local_lock_waiters;
+        match self.ctl[n].locks[lock].release(tid, prefer_local) {
+            ReleaseOutcome::LocalHandoff(next) => {
+                self.stats.local_lock_handoffs += 1;
+                self.attr.lock_mut(lock).local_handoffs += 1;
+                self.trace
+                    .record(now, TraceEvent::LockLocalHandoff { node: n, lock });
+                self.ctl[n].sched.ready.push_back(next);
+            }
+            ReleaseOutcome::GrantRemote(node, avt) => {
+                self.grant_lock(proto, n, lock, node, &avt, now);
+                // Ablation path: with fair ordering, remaining local
+                // waiters must re-request the token remotely.
+                if !self.ctl[n].locks[lock].local_queue.is_empty()
+                    && !self.ctl[n].locks[lock].requested
+                {
+                    self.ctl[n].locks[lock].requested = true;
+                    self.note_request_initiated(n);
+                    self.stats.remote_locks += 1;
+                    self.ctl[n].out_locks += 1;
+                    self.attr.lock_mut(lock).remote_acquires += 1;
+                    self.lock_req_at.insert((n, lock), now);
+                    let vt = self.ctl[n].vt.clone();
+                    let mgr = lock % self.cfg.nodes;
+                    if mgr == n {
+                        self.manager_handle(proto, n, lock, n, vt, now);
+                    } else {
+                        self.send(
+                            proto,
+                            n,
+                            mgr,
+                            Payload::LockRequest {
+                                lock,
+                                acquirer: n,
+                                vt,
+                            },
+                            now,
+                        );
+                    }
+                }
+            }
+            ReleaseOutcome::KeepCached => {}
+        }
+        // The releasing thread continues immediately (front of the queue,
+        // no switch charge since it is the same thread).
+        self.ctl[n].sched.ready.push_front(tid);
+    }
+
+    pub(super) fn handle_barrier(&mut self, proto: &mut dyn Coherence, n: usize, tid: usize) {
+        let last = self.ctl[n].nb.arrive_local(tid, self.cfg.threads_per_node);
+        let now = self.ctl[n].sched.clock;
+        if !last {
+            if !self.cfg.aggregate_barriers {
+                // Ablation: every thread sends its own arrival message
+                // (consistency information still flows once, with the
+                // node's final arrival).
+                let vt = self.ctl[n].vt.clone();
+                self.arrive_at_master(proto, n, vt, Vec::new(), now);
+            }
+            return;
+        }
+        self.close_interval(proto, n);
+        let latest = self.ctl[n].log.latest();
+        let since = self.ctl[n].nb.notices_sent_upto;
+        let mut notices = self.ctl[n].log.notices_between(n, since, latest);
+        self.ctl[n].nb.notices_sent_upto = latest;
+        if self.cfg.inject.is_some() {
+            notices.retain(|_| {
+                !self.inject_hits(|f| match f {
+                    InjectFault::DropWriteNotice { nth } => Some(*nth),
+                    _ => None,
+                })
+            });
+        }
+        let vt = self.ctl[n].vt.clone();
+        self.arrive_at_master(proto, n, vt, notices, now);
+    }
+
+    fn arrive_at_master(
+        &mut self,
+        proto: &mut dyn Coherence,
+        n: usize,
+        vt: VectorTime,
+        notices: Vec<WriteNotice>,
+        now: VirtualTime,
+    ) {
+        self.trace.record(
+            now,
+            TraceEvent::BarrierArrived {
+                node: n,
+                epoch: self.master.epoch(),
+            },
+        );
+        // First arrival starts the node's stall clock (the non-aggregated
+        // ablation arrives once per thread).
+        if self.barrier_arrived_at[n].is_none() {
+            self.barrier_arrived_at[n] = Some(now);
+        }
+        if n == 0 {
+            self.master_arrive(proto, n, vt, notices, now);
+        } else {
+            let epoch = self.master.epoch();
+            self.send(
+                proto,
+                n,
+                0,
+                Payload::BarrierArrive {
+                    epoch,
+                    node: n,
+                    vt,
+                    notices,
+                },
+                now,
+            );
+        }
+    }
+
+    /// Feeds one arrival to the barrier master, auditing the arrival count
+    /// first so a broken episode records a finding instead of tripping the
+    /// master's internal assert.
+    pub(super) fn master_arrive(
+        &mut self,
+        proto: &mut dyn Coherence,
+        from: usize,
+        vt: VectorTime,
+        notices: Vec<WriteNotice>,
+        t: VirtualTime,
+    ) {
+        if self.master.arrived() >= self.master.expected() {
+            self.oracle
+                .check(Invariant::BarrierArrivalCount, false, Some(from), t, || {
+                    format!(
+                        "arrival past the {} expected in episode {}",
+                        self.master.expected(),
+                        self.master.epoch()
+                    )
+                });
+            return;
+        }
+        if self.master.arrive(&vt, notices) {
+            self.barrier_release(proto, t);
+        }
+    }
+
+    pub(super) fn handle_local_barrier(
+        &mut self,
+        n: usize,
+        tid: usize,
+        reduce: Option<(ReduceOp, f64)>,
+    ) {
+        let last = self.ctl[n]
+            .lb
+            .arrive(tid, reduce, self.cfg.threads_per_node);
+        if !last {
+            return;
+        }
+        self.stats.local_barriers += 1;
+        let (woken, val) = self.ctl[n].lb.complete();
+        self.cells[n].lock().lb_result = val.unwrap_or(0.0);
+        for t in woken {
+            self.ctl[n].sched.ready.push_back(t);
+        }
+    }
+
+    pub(super) fn handle_end_measure(&mut self, _tid: usize) {
+        self.endm_arrived += 1;
+        if self.endm_arrived < self.threads.len() {
+            return;
+        }
+        self.endm_arrived = 0;
+        self.snapshot = Some(self.snapshot_report());
+        // Wake everyone; the rendezvous acts as a barrier without cost.
+        for tid in 0..self.threads.len() {
+            let n = self.threads[tid].node;
+            self.ctl[n].sched.ready.push_back(tid);
+        }
+        for n in 0..self.cfg.nodes {
+            let at = self.ctl[n].sched.clock;
+            self.schedule_resume(n, at);
+        }
+    }
+
+    pub(super) fn handle_global_reduce(
+        &mut self,
+        proto: &mut dyn Coherence,
+        n: usize,
+        tid: usize,
+        reduce: (ReduceOp, f64),
+    ) {
+        let last = self.ctl[n]
+            .gred
+            .arrive(tid, Some(reduce), self.cfg.threads_per_node);
+        if !last {
+            return;
+        }
+        // Threads stay parked in `gred.blocked` until the release; only
+        // the per-node combined value travels.
+        let acc = self.ctl[n].gred.reduce_acc.expect("contributions present");
+        let now = self.ctl[n].sched.clock;
+        if n == 0 {
+            self.reduce_arrive_at_master(proto, 0, reduce.0, acc, now);
+        } else {
+            self.send(
+                proto,
+                n,
+                0,
+                Payload::ReduceArrive {
+                    node: n,
+                    op: reduce.0,
+                    value: acc,
+                },
+                now,
+            );
+        }
+    }
+
+    pub(super) fn reduce_arrive_at_master(
+        &mut self,
+        proto: &mut dyn Coherence,
+        _node: usize,
+        op: ReduceOp,
+        value: f64,
+        t: VirtualTime,
+    ) {
+        self.gred_count += 1;
+        self.gred_acc = Some(match self.gred_acc {
+            Some(acc) => op.combine(acc, value),
+            None => value,
+        });
+        self.gred_op = Some(op);
+        if self.gred_count < self.cfg.nodes {
+            return;
+        }
+        let result = self.gred_acc.take().expect("accumulated");
+        self.gred_count = 0;
+        self.gred_op = None;
+        self.stats.global_reduces += 1;
+        for q in 1..self.cfg.nodes {
+            self.send(proto, 0, q, Payload::ReduceRelease { value: result }, t);
+        }
+        self.apply_reduce_release(0, result, t);
+    }
+
+    pub(super) fn apply_reduce_release(&mut self, n: usize, value: f64, t: VirtualTime) {
+        self.cells[n].lock().gr_result = value;
+        let (woken, _) = self.ctl[n].gred.complete();
+        for tid in woken {
+            self.make_ready(n, tid, t);
+        }
+    }
+
+    pub(super) fn handle_startup(&mut self, proto: &mut dyn Coherence) {
+        self.startup_arrived += 1;
+        if self.startup_arrived < self.threads.len() {
+            return;
+        }
+        self.startup_reset(proto);
+    }
+
+    /// Makes global data uniform across nodes and zeroes all measurements:
+    /// the paper's "global data is consistent across all nodes until
+    /// startup has finished".
+    fn startup_reset(&mut self, proto: &mut dyn Coherence) {
+        self.oracle.check(
+            Invariant::QuiescentStartup,
+            self.net.in_flight() == 0,
+            None,
+            VirtualTime::ZERO,
+            || format!("{} messages in flight at startup", self.net.in_flight()),
+        );
+        let init_mem = {
+            let mut c0 = self.cells[0].lock();
+            c0.clear_twins();
+            c0.dirty.clear();
+            c0.twin_creations = 0;
+            c0.mem.clone()
+        };
+        for (n, cell) in self.cells.iter().enumerate() {
+            let mut c = cell.lock();
+            if n != 0 {
+                c.mem.copy_from_slice(&init_mem);
+                c.twin_creations = 0;
+            }
+            for s in &mut c.state {
+                *s = PageState::ReadOnly;
+            }
+            if self.cfg.memsim_enabled {
+                c.memsim = Some(MemSystem::new(self.cfg.mem));
+            }
+        }
+        for ctl in &mut self.ctl {
+            ctl.sched.clock = VirtualTime::ZERO;
+            ctl.sched.last_ran = None;
+            ctl.sched.idle_since = None;
+            ctl.breakdown = NodeBreakdown::default();
+            debug_assert!(ctl.fetches.is_empty());
+            debug_assert!(ctl.pending.is_empty());
+        }
+        self.stats.reset();
+        self.trace.reset();
+        self.hist.reset();
+        self.attr.reset();
+        self.lock_req_at.clear();
+        self.lock_hops.clear();
+        for slot in &mut self.barrier_arrived_at {
+            *slot = None;
+        }
+        proto.reset(self);
+        self.net = NetworkSim::new(self.cfg.nodes, self.cfg.latency.clone());
+        let mut rng = SimRng::seed_from(self.cfg.seed ^ 0xBEEF);
+        if !self.cfg.jitter_max.is_zero() {
+            self.net.set_jitter(rng.derive(0x7177), self.cfg.jitter_max);
+        }
+        if let Some(loss) = self.cfg.loss {
+            self.net.enable_loss(rng.derive(0xDEAD), loss);
+        }
+        self.mainq = EventQueue::new();
+        for n in 0..self.cfg.nodes {
+            self.ctl[n].sched.resume_scheduled = false;
+        }
+        for tid in 0..self.threads.len() {
+            let n = self.threads[tid].node;
+            self.ctl[n].sched.ready.push_back(tid);
+        }
+        for n in 0..self.cfg.nodes {
+            self.schedule_resume(n, VirtualTime::ZERO);
+        }
+        self.startup_arrived = 0;
+    }
+
+    /// Notices for every interval (any writer) in `granter`'s vector time
+    /// but not in `acq_vt` — the LRC grant payload.
+    fn notices_for_grant(&self, granter: usize, acq_vt: &VectorTime) -> Vec<WriteNotice> {
+        let ctl = &self.ctl[granter];
+        let mut out = Vec::new();
+        for q in 0..self.cfg.nodes {
+            let from = acq_vt.get(q);
+            let to = ctl.vt.get(q);
+            if to <= from {
+                continue;
+            }
+            for (&ivl, pages) in ctl.notice_store[q].range(from + 1..=to) {
+                for &page in pages {
+                    out.push(WriteNotice {
+                        writer: q,
+                        interval: ivl,
+                        page,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn grant_lock(
+        &mut self,
+        proto: &mut dyn Coherence,
+        granter: usize,
+        lock: usize,
+        to: usize,
+        acq_vt: &VectorTime,
+        t: VirtualTime,
+    ) {
+        self.close_interval(proto, granter);
+        let notices = self.notices_for_grant(granter, acq_vt);
+        let vt = self.ctl[granter].vt.clone();
+        if self.cfg.verify {
+            self.trace.record(
+                t,
+                TraceEvent::LockTransfer {
+                    lock,
+                    from: granter,
+                    to,
+                },
+            );
+        }
+        self.send(
+            proto,
+            granter,
+            to,
+            Payload::LockGrant { lock, vt, notices },
+            t,
+        );
+    }
+
+    pub(super) fn manager_handle(
+        &mut self,
+        proto: &mut dyn Coherence,
+        mgr_node: usize,
+        lock: usize,
+        acquirer: usize,
+        vt: VectorTime,
+        t: VirtualTime,
+    ) {
+        let prev = self.lock_mgrs[lock].enqueue(acquirer);
+        self.oracle.check(
+            Invariant::SingleLockRequest,
+            prev != acquirer,
+            Some(acquirer),
+            t,
+            || format!("double request for lock {lock} from n{acquirer}"),
+        );
+        if prev == acquirer {
+            // Recording mode: forwarding a node to itself would wedge the
+            // distributed queue; stop after the finding.
+            return;
+        }
+        // The manager decides the grant's path length here: token at the
+        // manager → 2 hops, forwarded to the current owner → 3 hops.
+        let hops = if prev == mgr_node { 2 } else { 3 };
+        self.lock_hops.insert((lock, acquirer), hops);
+        if prev == mgr_node {
+            self.forward_at(proto, prev, lock, acquirer, vt, t);
+        } else {
+            self.send(
+                proto,
+                mgr_node,
+                prev,
+                Payload::LockForward { lock, acquirer, vt },
+                t,
+            );
+        }
+    }
+
+    pub(super) fn forward_at(
+        &mut self,
+        proto: &mut dyn Coherence,
+        owner: usize,
+        lock: usize,
+        acquirer: usize,
+        vt: VectorTime,
+        t: VirtualTime,
+    ) {
+        match self.ctl[owner].locks[lock].handle_forward(acquirer, vt) {
+            ForwardOutcome::GrantNow(to, avt) => self.grant_lock(proto, owner, lock, to, &avt, t),
+            ForwardOutcome::Parked => {}
+        }
+    }
+
+    /// A lock grant arrived at the acquirer: absorb the consistency
+    /// information it carries and wake the waiting thread.
+    pub(super) fn handle_lock_grant(
+        &mut self,
+        proto: &mut dyn Coherence,
+        n: usize,
+        lock: usize,
+        vt: VectorTime,
+        notices: Vec<WriteNotice>,
+        t: VirtualTime,
+    ) {
+        if self.oracle.enabled() {
+            // The token is in flight to us: no node may still hold
+            // it cached, and we must have an outstanding request
+            // with a thread waiting — otherwise the wakeup is lost.
+            let owners = (0..self.cfg.nodes)
+                .filter(|&q| self.ctl[q].locks[lock].cached)
+                .count();
+            self.oracle
+                .check(Invariant::LockSingleToken, owners == 0, Some(n), t, || {
+                    format!("lock {lock} granted while {owners} node(s) hold the token")
+                });
+            let lk = &self.ctl[n].locks[lock];
+            let has_waiter = lk.requested && !lk.local_queue.is_empty();
+            self.oracle.check(
+                Invariant::LockGrantHasWaiter,
+                has_waiter,
+                Some(n),
+                t,
+                || format!("grant of lock {lock} with no requesting waiter"),
+            );
+            if !has_waiter {
+                return;
+            }
+        }
+        self.apply_notices(proto, n, &notices);
+        self.checked_merge(n, &vt, t);
+        self.trace
+            .record(t, TraceEvent::LockGranted { node: n, lock });
+        if let Some(started) = self.lock_req_at.remove(&(n, lock)) {
+            let ns = t.since(started).as_ns();
+            match self.lock_hops.remove(&(lock, n)) {
+                Some(3) => {
+                    self.hist.lock_3hop_ns.record(ns);
+                    self.attr.lock_mut(lock).three_hop += 1;
+                }
+                _ => self.hist.lock_2hop_ns.record(ns),
+            }
+        }
+        let tid = self.ctl[n].locks[lock].apply_grant();
+        self.ctl[n].out_locks -= 1;
+        self.make_ready(n, tid, t);
+    }
+
+    fn barrier_release(&mut self, proto: &mut dyn Coherence, t: VirtualTime) {
+        let (vt, notices) = self.master.release();
+        self.stats.barriers_crossed += 1;
+        self.trace.record(
+            t,
+            TraceEvent::BarrierReleased {
+                epoch: self.master.epoch(),
+                notices: notices.len(),
+            },
+        );
+        // Aggregated: one release per node; ablation: one per thread.
+        let copies = if self.cfg.aggregate_barriers {
+            1
+        } else {
+            self.cfg.threads_per_node
+        };
+        for q in 1..self.cfg.nodes {
+            for _ in 0..copies {
+                self.send(
+                    proto,
+                    0,
+                    q,
+                    Payload::BarrierRelease {
+                        epoch: self.master.epoch(),
+                        vt: vt.clone(),
+                        notices: notices.clone(),
+                    },
+                    t,
+                );
+            }
+        }
+        self.ctl[0].release_seen = self.master.epoch();
+        self.apply_release(proto, 0, vt, notices, t);
+    }
+
+    pub(super) fn apply_release(
+        &mut self,
+        proto: &mut dyn Coherence,
+        n: usize,
+        vt: VectorTime,
+        notices: Vec<WriteNotice>,
+        t: VirtualTime,
+    ) {
+        if let Some(started) = self.barrier_arrived_at[n].take() {
+            // Node clocks diverge, so the master-side release time can
+            // precede a fast node's arrival clock; its stall is then zero.
+            let stall = t.max(started).since(started);
+            self.hist.barrier_stall_ns.record(stall.as_ns());
+        }
+        self.apply_notices(proto, n, &notices);
+        self.checked_merge(n, &vt, t);
+        let woken = self.ctl[n].nb.take_blocked();
+        for tid in woken {
+            self.make_ready(n, tid, t);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Transport dispatch: sending messages into the simulated network and
+//! routing arrivals to the owning layer.
+//!
+//! Sync-service payloads (locks, barriers, reductions) go to the sync
+//! layer; everything else is data-plane traffic owned by the active
+//! [`Coherence`] impl. This is pure routing — no payload is interpreted
+//! here and no protocol kind is consulted.
+
+use cvm_net::{Message, NodeId};
+use cvm_sim::VirtualTime;
+
+use crate::msg::Payload;
+use crate::oracle::Invariant;
+
+use super::{Coherence, DriverCore};
+
+impl DriverCore {
+    /// Sends a payload, short-circuiting self-sends straight back into
+    /// [`handle_payload`](Self::handle_payload) (the sync services route
+    /// to static managers that may be the sender itself).
+    pub(super) fn send(
+        &mut self,
+        proto: &mut dyn Coherence,
+        from: usize,
+        to: usize,
+        payload: Payload,
+        t: VirtualTime,
+    ) {
+        if from == to {
+            self.handle_payload(proto, to, from, payload, t);
+            return;
+        }
+        self.send_remote(from, to, payload, t);
+    }
+
+    /// Sends a payload that is known to cross the network: the coherence
+    /// protocols always address a *remote* party (a page's home, a
+    /// pending writer, a copyset member), so no self-send shortcut — and
+    /// no `&mut dyn Coherence` reentrancy — is needed.
+    pub(super) fn send_remote(&mut self, from: usize, to: usize, payload: Payload, t: VirtualTime) {
+        debug_assert_ne!(from, to, "send_remote used for a self-send");
+        let kind = payload.kind();
+        let bytes = payload.wire_bytes();
+        self.net.send(
+            t,
+            Message::new(NodeId(from), NodeId(to), kind, bytes, payload),
+        );
+    }
+
+    /// Routes an arrived payload to the sync services or to the protocol.
+    pub(super) fn handle_payload(
+        &mut self,
+        proto: &mut dyn Coherence,
+        n: usize,
+        src: usize,
+        payload: Payload,
+        t: VirtualTime,
+    ) {
+        match payload {
+            Payload::LockRequest { lock, acquirer, vt } => {
+                self.manager_handle(proto, n, lock, acquirer, vt, t);
+            }
+            Payload::LockForward { lock, acquirer, vt } => {
+                self.forward_at(proto, n, lock, acquirer, vt, t);
+            }
+            Payload::LockGrant { lock, vt, notices } => {
+                self.handle_lock_grant(proto, n, lock, vt, notices, t);
+            }
+            Payload::BarrierArrive {
+                epoch,
+                node,
+                vt,
+                notices,
+            } => {
+                self.oracle
+                    .check(Invariant::BarrierMasterRouting, n == 0, Some(n), t, || {
+                        format!("n{node}'s arrival delivered to n{n}, not the master")
+                    });
+                self.oracle.check(
+                    Invariant::BarrierEpochAgreement,
+                    epoch == self.master.epoch(),
+                    Some(node),
+                    t,
+                    || {
+                        format!(
+                            "n{node} arrived for episode {epoch}, master at {}",
+                            self.master.epoch()
+                        )
+                    },
+                );
+                self.master_arrive(proto, node, vt, notices, t);
+            }
+            Payload::ReduceArrive { node, op, value } => {
+                debug_assert_eq!(n, 0, "reduce arrivals go to the master");
+                self.reduce_arrive_at_master(proto, node, op, value, t);
+            }
+            Payload::ReduceRelease { value } => {
+                self.apply_reduce_release(n, value, t);
+            }
+            Payload::BarrierRelease { epoch, vt, notices } => {
+                // Duplicate releases (non-aggregated ablation) are stale
+                // after the first: drop them so they cannot wake waiters
+                // of a later episode.
+                if epoch <= self.ctl[n].release_seen {
+                    return;
+                }
+                self.ctl[n].release_seen = epoch;
+                self.apply_release(proto, n, vt, notices, t);
+            }
+            data => proto.on_message(self, n, src, data, t),
+        }
+    }
+}

@@ -53,6 +53,7 @@ pub mod barrier;
 pub mod config;
 pub mod ctx;
 pub mod diff;
+pub mod driver;
 pub mod export;
 pub mod hist;
 pub mod interval;
@@ -66,13 +67,13 @@ pub mod report;
 pub mod sched;
 pub mod shared;
 pub mod stats;
-pub mod system;
 pub mod trace;
 
 pub use attr::{LockAttr, PageAttr, ResourceAttr};
 pub use config::CvmConfig;
 pub use ctx::{ReduceOp, ThreadCtx};
 pub use diff::Diff;
+pub use driver::{Coherence, CvmBuilder};
 pub use export::chrome_trace;
 pub use hist::DsmHistograms;
 pub use interval::VectorTime;
@@ -82,5 +83,4 @@ pub use protocol::ProtocolKind;
 pub use report::{NodeBreakdown, RunReport};
 pub use shared::{Shareable, SharedMat, SharedVec};
 pub use stats::DsmStats;
-pub use system::CvmBuilder;
 pub use trace::Trace;

@@ -113,6 +113,12 @@ pub enum Payload {
         page: PageId,
         /// `(interval tag, close sequence, diff)`.
         diff: (u32, u64, Diff),
+        /// Tag of the writer's *previous* diff of this page (0 if none).
+        /// The receiver applies the push only when its copy already
+        /// reflects that tag — a gap means an earlier push was refused or
+        /// reordered, and applying this one would let `upto` retire a
+        /// notice whose data never arrived.
+        prev: u32,
         /// The writer's latest closed interval (retires notices).
         upto: u32,
     },
@@ -123,6 +129,39 @@ pub enum Payload {
         page: PageId,
         /// Node leaving the copyset.
         node: usize,
+    },
+    /// Home-based protocol: a writer flushing one closed interval of
+    /// `page` to the page's home. Sent even when the interval's diff is
+    /// empty (silent stores), so the home's coverage watermark always
+    /// advances to `upto`.
+    HomeFlush {
+        /// Page concerned.
+        page: PageId,
+        /// `(interval tag, close sequence, diff)` — `None` for a silent
+        /// interval.
+        diff: Option<(u32, u64, Diff)>,
+        /// The writer's latest closed interval (coverage watermark).
+        upto: u32,
+    },
+    /// Home-based protocol: a faulting node asking the home for the
+    /// up-to-date page, once the home has absorbed the named intervals.
+    HomeRequest {
+        /// Page wanted.
+        page: PageId,
+        /// `(writer, interval)` pairs the reply must cover — the
+        /// requester's pending write notices plus its own last flush.
+        needs: Vec<(usize, u32)>,
+    },
+    /// Home-based protocol: the home's reply — the whole current page in
+    /// one message.
+    HomeReply {
+        /// Page carried.
+        page: PageId,
+        /// The home's current page contents.
+        data: Vec<u8>,
+        /// Per writer: the highest interval reflected in `data`, so the
+        /// requester can retire its write notices.
+        watermarks: Vec<(usize, u32)>,
     },
     /// Barrier release fan-out from the master.
     BarrierRelease {
@@ -150,6 +189,9 @@ impl Payload {
             Payload::ReduceArrive { .. } => MsgKind::BarrierArrive,
             Payload::UpdatePush { .. } => MsgKind::UpdatePush,
             Payload::DropCopy { .. } => MsgKind::DropCopy,
+            Payload::HomeFlush { .. } => MsgKind::HomeFlush,
+            Payload::HomeRequest { .. } => MsgKind::HomeRequest,
+            Payload::HomeReply { .. } => MsgKind::HomeReply,
             Payload::ReduceRelease { .. } => MsgKind::BarrierRelease,
             Payload::BarrierRelease { .. } => MsgKind::BarrierRelease,
         }
@@ -179,8 +221,15 @@ impl Payload {
                 }
                 Payload::ReduceArrive { .. } => 24,
                 Payload::ReduceRelease { .. } => 16,
-                Payload::UpdatePush { diff, .. } => 16 + diff.2.wire_bytes(),
+                Payload::UpdatePush { diff, .. } => 20 + diff.2.wire_bytes(),
                 Payload::DropCopy { .. } => 12,
+                Payload::HomeFlush { diff, .. } => {
+                    16 + diff.as_ref().map_or(0, |(_, _, d)| d.wire_bytes())
+                }
+                Payload::HomeRequest { needs, .. } => 12 + needs.len() * 8,
+                Payload::HomeReply {
+                    data, watermarks, ..
+                } => 8 + data.len() + watermarks.len() * 8,
             }
     }
 }

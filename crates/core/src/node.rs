@@ -111,6 +111,17 @@ impl NodeCell {
         self.twins[page].as_deref()
     }
 
+    /// Mutable access to the twin of `page`, if one exists (the
+    /// home-based protocol patches incoming flushes into a concurrent
+    /// writer's twin so later diffs cover only the writer's own stores).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn twin_mut(&mut self, page: usize) -> Option<&mut [u8]> {
+        self.twins[page].as_deref_mut()
+    }
+
     /// True if `page` currently has a twin.
     ///
     /// # Panics

@@ -22,6 +22,17 @@
 //!   CVM's protocol work. An adaptive *copyset pruning* rule (drop a node
 //!   after [`PRUNE_AFTER_UNUSED`] consecutive unused updates, as in Munin)
 //!   keeps the eager protocol from degenerating to broadcast.
+//! * [`ProtocolKind::HomeLazy`] — home-based LRC: every page has a static
+//!   home node; writers flush their diffs to the home at interval close,
+//!   and a faulting reader fetches the whole up-to-date page from the home
+//!   in a single round trip. Fewer messages per fault than the homeless
+//!   protocol (one request/reply pair regardless of the writer count), but
+//!   more data volume (full pages instead of diffs) — the classic
+//!   trade-off.
+//!
+//! The driver consumes the selection through the `Coherence` trait (see
+//! `driver::coherence`): each kind maps to one trait impl; no other layer
+//! branches on the kind.
 
 use std::fmt;
 
@@ -34,15 +45,46 @@ pub enum ProtocolKind {
     LazyMultiWriter,
     /// Eager update: diffs pushed to the copyset at interval close.
     EagerUpdate,
+    /// Home-based LRC: diffs flushed to a per-page home at interval close;
+    /// faulting readers fetch the whole page from the home.
+    HomeLazy,
 }
 
 impl ProtocolKind {
+    /// Every implemented protocol, in sweep/report order. The position in
+    /// this array is the protocol's stable index for seed derivation.
+    pub const ALL: [ProtocolKind; 3] = [
+        ProtocolKind::LazyMultiWriter,
+        ProtocolKind::EagerUpdate,
+        ProtocolKind::HomeLazy,
+    ];
+
     /// Protocol name for reports.
     pub fn name(self) -> &'static str {
         match self {
             ProtocolKind::LazyMultiWriter => "lazy-multi-writer",
             ProtocolKind::EagerUpdate => "eager-update",
+            ProtocolKind::HomeLazy => "home-lazy",
         }
+    }
+
+    /// Short CLI spelling (`--protocol` axis values).
+    pub fn slug(self) -> &'static str {
+        match self {
+            ProtocolKind::LazyMultiWriter => "lazy-mw",
+            ProtocolKind::EagerUpdate => "eager-update",
+            ProtocolKind::HomeLazy => "home-lazy",
+        }
+    }
+
+    /// Parses a CLI spelling (several aliases per protocol).
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "lazy-mw" | "lazy" | "lazy-multi-writer" => ProtocolKind::LazyMultiWriter,
+            "eager-update" | "eager" => ProtocolKind::EagerUpdate,
+            "home-lazy" | "home" | "home-based" => ProtocolKind::HomeLazy,
+            _ => return None,
+        })
     }
 
     /// True if writers push diffs at interval close.
@@ -52,7 +94,7 @@ impl ProtocolKind {
 
     /// True if write notices invalidate remote copies (lazy pull).
     pub fn invalidates(self) -> bool {
-        matches!(self, ProtocolKind::LazyMultiWriter)
+        matches!(self, ProtocolKind::LazyMultiWriter | ProtocolKind::HomeLazy)
     }
 }
 
@@ -188,6 +230,22 @@ mod tests {
         assert!(!ProtocolKind::LazyMultiWriter.pushes_updates());
         assert!(ProtocolKind::EagerUpdate.pushes_updates());
         assert!(!ProtocolKind::EagerUpdate.invalidates());
+        assert!(ProtocolKind::HomeLazy.invalidates());
+        assert!(!ProtocolKind::HomeLazy.pushes_updates());
         assert_eq!(ProtocolKind::default(), ProtocolKind::LazyMultiWriter);
+        assert_eq!(ProtocolKind::ALL[0], ProtocolKind::default());
+    }
+
+    #[test]
+    fn parse_round_trips_slugs() {
+        for kind in ProtocolKind::ALL {
+            assert_eq!(ProtocolKind::parse(kind.slug()), Some(kind));
+        }
+        assert_eq!(
+            ProtocolKind::parse("home"),
+            Some(ProtocolKind::HomeLazy),
+            "aliases accepted"
+        );
+        assert_eq!(ProtocolKind::parse("bogus"), None);
     }
 }

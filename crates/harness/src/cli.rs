@@ -11,7 +11,7 @@ use crate::{bench, micro, AppId, Scale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: cvm <micro|table1|fig1|table2|table3|fig2|table4|table5|ablation|protocols|perturb|all> [--paper-scale]\n         \n         or:    cvm run <barnes|fft|ocean|sor|swm|water-sp|water-nsq>\n         or:    cvm bench [--json] [--nodes N] [--threads T] [--paper-scale]\n         or:    cvm sweep [--json] [--workers N] [--nodes LIST] [--threads LIST]\n         or:    cvm check [--app NAME]... [--schedules N]\n         \n         run options:\n           --nodes N        processors (default 8)\n           --threads T      threads per node (default 2)\n           --paper-scale    the paper's input sizes\n           --eager          eager-update protocol instead of lazy multi-writer\n           --lifo           memory-conscious LIFO scheduling\n           --memsim         enable the cache/TLB simulator\n           --verify         run the online invariant oracle; findings are\n                            printed and make the exit status nonzero\n           --trace N        record and print the first N protocol events\n           --json FILE      write the full run report as JSON to FILE\n           --chrome-trace FILE\n                            write the protocol trace as Chrome trace-event\n                            JSON (load in chrome://tracing or Perfetto)\n         \n         bench options:\n           --json           additionally write one BENCH_<app>.json per app\n         \n         sweep options:\n           --json           write the aggregated report to BENCH_sweep.json\n           --out FILE       write the aggregated report to FILE instead\n           --md FILE        write the markdown tables to FILE as well\n           --workers N      simulation worker threads (default: one per core);\n                            any value produces byte-identical reports\n           --nodes LIST     comma-separated processor counts (default 4,8,16)\n           --threads LIST   comma-separated threads/node levels (default 1,2,3,4)\n           --app NAME       restrict to one app (repeatable; default: all 7)\n           --seed S         master seed; each configuration splits its own\n           --paper-scale    the paper's input sizes\n         \n         check options:\n           --app NAME       application to check (repeatable; default: all)\n           --nodes N        processors (default 2)\n           --threads T      threads per node (default 2)\n           --schedules N    perturbed schedules per app (default 8); an\n                            unperturbed baseline always runs first\n           --seed S         base exploration seed (schedule 0 uses it\n                            verbatim, so reported seeds replay directly)\n           --budget N       scheduler decisions each schedule may perturb\n                            (default 64)\n           --mutate KIND[:nth]\n                            inject a protocol mutation (oracle self-test):\n                            drop-notice | reorder-diff | skip-invalidate;\n                            exit status then inverts (0 = caught)\n           --trace-capacity N\n                            trace buffer per run (default 4000000)\n           --paper-scale    the paper's input sizes"
+        "usage: cvm <micro|table1|fig1|table2|table3|fig2|table4|table5|ablation|protocols|perturb|all> [--paper-scale]\n         \n         or:    cvm run <barnes|fft|ocean|sor|swm|water-sp|water-nsq>\n         or:    cvm bench [--json] [--nodes N] [--threads T] [--paper-scale]\n         or:    cvm sweep [--json] [--workers N] [--nodes LIST] [--threads LIST]\n         or:    cvm check [--app NAME]... [--schedules N]\n         \n         run options:\n           --nodes N        processors (default 8)\n           --threads T      threads per node (default 2)\n           --paper-scale    the paper's input sizes\n           --protocol NAME  coherence protocol: lazy-mw | eager-update |\n                            home-lazy (default lazy-mw)\n           --eager          shorthand for --protocol eager-update\n           --lifo           memory-conscious LIFO scheduling\n           --memsim         enable the cache/TLB simulator\n           --verify         run the online invariant oracle; findings are\n                            printed and make the exit status nonzero\n           --trace N        record and print the first N protocol events\n           --json FILE      write the full run report as JSON to FILE\n           --chrome-trace FILE\n                            write the protocol trace as Chrome trace-event\n                            JSON (load in chrome://tracing or Perfetto)\n         \n         bench options:\n           --json           additionally write one BENCH_<app>.json per app\n         \n         sweep options:\n           --json           write the aggregated report to BENCH_sweep.json\n           --out FILE       write the aggregated report to FILE instead\n           --md FILE        write the markdown tables to FILE as well\n           --workers N      simulation worker threads (default: one per core);\n                            any value produces byte-identical reports\n           --nodes LIST     comma-separated processor counts (default 4,8,16)\n           --threads LIST   comma-separated threads/node levels (default 1,2,3,4)\n           --app NAME       restrict to one app (repeatable; default: all 7)\n           --protocol LIST  comma-separated protocols to cross (default\n                            lazy-mw); several add a comparison table\n           --seed S         master seed; each configuration splits its own\n           --paper-scale    the paper's input sizes\n         \n         check options:\n           --app NAME       application to check (repeatable; default: all)\n           --protocol NAME  coherence protocol to explore (default lazy-mw)\n           --nodes N        processors (default 2)\n           --threads T      threads per node (default 2)\n           --schedules N    perturbed schedules per app (default 8); an\n                            unperturbed baseline always runs first\n           --seed S         base exploration seed (schedule 0 uses it\n                            verbatim, so reported seeds replay directly)\n           --budget N       scheduler decisions each schedule may perturb\n                            (default 64)\n           --mutate KIND[:nth]\n                            inject a protocol mutation (oracle self-test):\n                            drop-notice | reorder-diff | skip-invalidate;\n                            exit status then inverts (0 = caught)\n           --trace-capacity N\n                            trace buffer per run (default 4000000)\n           --paper-scale    the paper's input sizes"
     );
     std::process::exit(2);
 }
@@ -64,6 +64,12 @@ fn run_single(args: &[String]) {
                     .unwrap_or_else(|| usage());
             }
             "--paper-scale" => scale = Scale::Paper,
+            "--protocol" => {
+                protocol = it
+                    .next()
+                    .and_then(|v| ProtocolKind::parse(v))
+                    .unwrap_or_else(|| usage());
+            }
             "--eager" => protocol = ProtocolKind::EagerUpdate,
             "--lifo" => lifo = true,
             "--memsim" => memsim = true,
@@ -112,7 +118,7 @@ fn run_single(args: &[String]) {
         report.stats.local_barriers,
         report.stats.global_reduces,
     );
-    if protocol == ProtocolKind::EagerUpdate {
+    if report.stats.updates_pushed > 0 || report.stats.copies_dropped > 0 {
         println!(
             "pushes {} | copies dropped {}",
             report.stats.updates_pushed, report.stats.copies_dropped
@@ -258,6 +264,17 @@ fn run_sweep_cmd(args: &[String]) {
                 let name = it.next().map_or_else(|| usage(), String::as_str);
                 apps.push(app_by_name(name).unwrap_or_else(|| usage()));
             }
+            "--protocol" => {
+                let list = it.next().map_or_else(|| usage(), String::as_str);
+                cfg.protocols = list
+                    .split(',')
+                    .map(|s| cvm_dsm::ProtocolKind::parse(s.trim()))
+                    .collect::<Option<Vec<_>>>()
+                    .unwrap_or_else(|| usage());
+                if cfg.protocols.is_empty() {
+                    usage();
+                }
+            }
             "--seed" => {
                 cfg.seed = it
                     .next()
@@ -304,6 +321,12 @@ fn run_check(args: &[String]) {
                 } else {
                     apps.push(app_by_name(name).unwrap_or_else(|| usage()));
                 }
+            }
+            "--protocol" => {
+                options.protocol = it
+                    .next()
+                    .and_then(|v| cvm_dsm::ProtocolKind::parse(v))
+                    .unwrap_or_else(|| usage());
             }
             "--nodes" => {
                 options.nodes = it
@@ -355,18 +378,20 @@ fn run_check(args: &[String]) {
     options.apps.retain(|a| a.supports_threads(options.threads));
     match &options.inject {
         Some(fault) => eprintln!(
-            "[cvm check] {} app(s), {}x{}, 1+{} schedules, budget {}, mutation {fault}",
+            "[cvm check] {} app(s), {}x{}, {}, 1+{} schedules, budget {}, mutation {fault}",
             options.apps.len(),
             options.nodes,
             options.threads,
+            options.protocol,
             options.schedules,
             options.budget
         ),
         None => eprintln!(
-            "[cvm check] {} app(s), {}x{}, 1+{} schedules, budget {}",
+            "[cvm check] {} app(s), {}x{}, {}, 1+{} schedules, budget {}",
             options.apps.len(),
             options.nodes,
             options.threads,
+            options.protocol,
             options.schedules,
             options.budget
         ),

@@ -22,6 +22,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use cvm_apps::{AppId, Scale};
+use cvm_dsm::ProtocolKind;
 use cvm_net::MsgClass;
 use cvm_sim::json::JsonValue;
 use cvm_sim::workq;
@@ -46,6 +47,9 @@ pub struct SweepConfig {
     pub nodes: Vec<usize>,
     /// Threads-per-node levels.
     pub threads: Vec<usize>,
+    /// Coherence protocols (an extra cross-product axis; the default
+    /// sweeps only the paper's lazy multi-writer protocol).
+    pub protocols: Vec<ProtocolKind>,
     /// Worker threads running simulations concurrently (0 = one per
     /// available core).
     pub workers: usize,
@@ -60,6 +64,7 @@ impl Default for SweepConfig {
             apps: AppId::ALL.to_vec(),
             nodes: NODES.to_vec(),
             threads: crate::tables::THREADS.to_vec(),
+            protocols: vec![ProtocolKind::LazyMultiWriter],
             workers: 0,
             seed: 0x5EED_CAFE,
         }
@@ -71,15 +76,21 @@ impl SweepConfig {
     /// cross-product minus thread counts an application rejects.
     pub fn specs(&self) -> Vec<RunSpec> {
         let mut specs = Vec::new();
-        for &app in &self.apps {
-            for &nodes in &self.nodes {
-                for &threads in &self.threads {
-                    if !app.supports_threads(threads) {
-                        continue;
+        for &protocol in &self.protocols {
+            for &app in &self.apps {
+                for &nodes in &self.nodes {
+                    for &threads in &self.threads {
+                        if !app.supports_threads(threads) {
+                            continue;
+                        }
+                        let mut spec = RunSpec::new(app, self.scale, nodes, threads);
+                        spec.protocol = protocol;
+                        spec.seed = workq::seed_split(
+                            self.seed,
+                            config_salt(protocol, app, nodes, threads),
+                        );
+                        specs.push(spec);
                     }
-                    let mut spec = RunSpec::new(app, self.scale, nodes, threads);
-                    spec.seed = workq::seed_split(self.seed, config_salt(app, nodes, threads));
-                    specs.push(spec);
                 }
             }
         }
@@ -97,13 +108,19 @@ impl SweepConfig {
 }
 
 /// A stable per-configuration salt: which worker runs a configuration can
-/// never matter, only the configuration itself.
-fn config_salt(app: AppId, nodes: usize, threads: usize) -> u64 {
+/// never matter, only the configuration itself. The protocol index sits
+/// in the high bits so lazy multi-writer (index 0) keeps the exact seeds
+/// of the pre-protocol-axis sweeps.
+fn config_salt(protocol: ProtocolKind, app: AppId, nodes: usize, threads: usize) -> u64 {
+    let proto_idx = ProtocolKind::ALL
+        .iter()
+        .position(|&p| p == protocol)
+        .expect("protocol registered") as u64;
     let app_idx = AppId::ALL
         .iter()
         .position(|&a| a == app)
         .expect("app registered") as u64;
-    (app_idx << 16) | ((nodes as u64) << 8) | threads as u64
+    (proto_idx << 32) | (app_idx << 16) | ((nodes as u64) << 8) | threads as u64
 }
 
 /// The aggregated result of one sweep.
@@ -156,19 +173,46 @@ pub fn run_sweep(config: SweepConfig) -> SweepReport {
 }
 
 impl SweepReport {
-    /// The single-thread outcome matching `(app, nodes)`, the speedup
-    /// baseline — `None` when the sweep did not include one thread.
-    fn one_thread_base(&self, app: AppId, nodes: usize) -> Option<&RunOutcome> {
-        self.outcomes
-            .iter()
-            .find(|o| o.spec.app == app && o.spec.nodes == nodes && o.spec.threads == 1)
+    /// The single-thread outcome matching `(protocol, app, nodes)`, the
+    /// speedup baseline — `None` when the sweep did not include one
+    /// thread. Baselines never cross protocols: each protocol's speedup
+    /// is measured against its own one-thread run.
+    fn one_thread_base(
+        &self,
+        protocol: ProtocolKind,
+        app: AppId,
+        nodes: usize,
+    ) -> Option<&RunOutcome> {
+        self.outcomes.iter().find(|o| {
+            o.spec.protocol == protocol
+                && o.spec.app == app
+                && o.spec.nodes == nodes
+                && o.spec.threads == 1
+        })
     }
 
     /// Speedup of `outcome` over the one-thread run of the same
-    /// application and node count.
+    /// protocol, application and node count.
     pub fn speedup_vs_one_thread(&self, outcome: &RunOutcome) -> Option<f64> {
-        let base = self.one_thread_base(outcome.spec.app, outcome.spec.nodes)?;
+        let base =
+            self.one_thread_base(outcome.spec.protocol, outcome.spec.app, outcome.spec.nodes)?;
         Some(base.time_ms() / outcome.time_ms())
+    }
+
+    /// True when the sweep covers more than the default protocol — the
+    /// cue to annotate rows and render the protocol-comparison table.
+    fn multi_protocol(&self) -> bool {
+        self.config.protocols != [ProtocolKind::LazyMultiWriter]
+    }
+
+    /// Row label for `outcome`: the app name, protocol-qualified when
+    /// the sweep covers several protocols.
+    fn row_label(&self, o: &RunOutcome) -> String {
+        if self.multi_protocol() {
+            format!("{} [{}]", o.spec.app.name(), o.spec.protocol.slug())
+        } else {
+            o.spec.app.name().to_owned()
+        }
     }
 
     /// The whole sweep as one JSON document (`BENCH_sweep.json`): the
@@ -196,6 +240,15 @@ impl SweepReport {
             threads.push(t);
         }
         obj.set("threads", threads);
+        // Only sweeps that use the protocol axis mention it, so the
+        // default report stays byte-identical to pre-axis sweeps.
+        if self.multi_protocol() {
+            let mut protocols = JsonValue::array();
+            for &p in &self.config.protocols {
+                protocols.push(p.slug());
+            }
+            obj.set("protocols", protocols);
+        }
         let mut configs = JsonValue::array();
         for o in &self.outcomes {
             configs.push(self.outcome_json(o));
@@ -209,6 +262,9 @@ impl SweepReport {
         let r = &o.report;
         let mut row = JsonValue::object();
         row.set("app", slug(o.spec.app));
+        if o.spec.protocol != ProtocolKind::LazyMultiWriter {
+            row.set("protocol", o.spec.protocol.slug());
+        }
         row.set("nodes", o.spec.nodes);
         row.set("threads", o.spec.threads);
         row.set("seed", o.spec.seed);
@@ -272,13 +328,13 @@ impl SweepReport {
         );
         for o in &self.outcomes {
             let norm = self
-                .one_thread_base(o.spec.app, o.spec.nodes)
+                .one_thread_base(o.spec.protocol, o.spec.app, o.spec.nodes)
                 .map_or(1.0, |b| o.time_ms() / b.time_ms());
             let r = &o.report;
             let _ = writeln!(
                 out,
                 "| {} | {} | {} | {:.3} | {:.1} | {:.1} | {:.1} | {:.1} |",
-                o.spec.app.name(),
+                self.row_label(o),
                 o.spec.nodes,
                 o.spec.threads,
                 norm,
@@ -304,7 +360,7 @@ impl SweepReport {
             let _ = writeln!(
                 out,
                 "| {} | {} | {} | {} | {} | {} | {} | {:.1} |",
-                o.spec.app.name(),
+                self.row_label(o),
                 o.spec.nodes,
                 o.spec.threads,
                 n.class_count(MsgClass::Barrier),
@@ -329,7 +385,7 @@ impl SweepReport {
             let _ = writeln!(
                 out,
                 "| {} | {} | {} | {} | {} | {:.1} |",
-                o.spec.app.name(),
+                self.row_label(o),
                 o.spec.nodes,
                 o.spec.threads,
                 n.class_bytes(MsgClass::Diff) / 1024,
@@ -353,39 +409,108 @@ impl SweepReport {
             out.push_str("---:|");
         }
         out.push('\n');
-        for &app in &self.config.apps {
-            for &nodes in &self.config.nodes {
-                let _ = write!(out, "| {} | {} |", app.name(), nodes);
-                for &t in &self.config.threads {
-                    let cell = self
-                        .outcomes
-                        .iter()
-                        .find(|o| o.spec.app == app && o.spec.nodes == nodes && o.spec.threads == t)
-                        .and_then(|o| self.speedup_vs_one_thread(o));
-                    match cell {
-                        Some(s) => {
-                            let _ = write!(out, " {s:.2}x |");
-                        }
-                        None => {
-                            let _ = write!(out, " - |");
+        for &protocol in &self.config.protocols {
+            for &app in &self.config.apps {
+                for &nodes in &self.config.nodes {
+                    let label = if self.multi_protocol() {
+                        format!("{} [{}]", app.name(), protocol.slug())
+                    } else {
+                        app.name().to_owned()
+                    };
+                    let _ = write!(out, "| {label} | {nodes} |");
+                    for &t in &self.config.threads {
+                        let cell = self
+                            .outcomes
+                            .iter()
+                            .find(|o| {
+                                o.spec.protocol == protocol
+                                    && o.spec.app == app
+                                    && o.spec.nodes == nodes
+                                    && o.spec.threads == t
+                            })
+                            .and_then(|o| self.speedup_vs_one_thread(o));
+                        match cell {
+                            Some(s) => {
+                                let _ = write!(out, " {s:.2}x |");
+                            }
+                            None => {
+                                let _ = write!(out, " - |");
+                            }
                         }
                     }
+                    out.push('\n');
                 }
-                out.push('\n');
             }
         }
         out
     }
 
-    /// All markdown tables, in presentation order.
+    /// Protocol-comparison markdown table: per `(app, nodes, threads)`,
+    /// one column group per protocol — messages, data volume and
+    /// non-overlapped fault stall. This is where home-based LRC's trade
+    /// (fewer messages, more bytes) shows against the homeless lazy
+    /// protocol and the eager-update pusher.
+    pub fn protocol_table(&self) -> String {
+        let mut out = String::from("## Protocol comparison\n\n| app | P | T |");
+        for &p in &self.config.protocols {
+            let _ = write!(out, " {0} msgs | {0} KB | {0} fault ms |", p.slug());
+        }
+        out.push('\n');
+        out.push_str("|---|---:|---:|");
+        for _ in &self.config.protocols {
+            out.push_str("---:|---:|---:|");
+        }
+        out.push('\n');
+        for &app in &self.config.apps {
+            for &nodes in &self.config.nodes {
+                for &threads in &self.config.threads {
+                    if !app.supports_threads(threads) {
+                        continue;
+                    }
+                    let _ = write!(out, "| {} | {} | {} |", app.name(), nodes, threads);
+                    for &protocol in &self.config.protocols {
+                        let o = self.outcomes.iter().find(|o| {
+                            o.spec.protocol == protocol
+                                && o.spec.app == app
+                                && o.spec.nodes == nodes
+                                && o.spec.threads == threads
+                        });
+                        match o {
+                            Some(o) => {
+                                let _ = write!(
+                                    out,
+                                    " {} | {} | {:.2} |",
+                                    o.report.net.total_count(),
+                                    o.report.net.total_bytes() / 1024,
+                                    o.report.stats.wait_fault.as_ms_f64(),
+                                );
+                            }
+                            None => out.push_str(" - | - | - |"),
+                        }
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+
+    /// All markdown tables, in presentation order. The protocol
+    /// comparison appears only when the sweep actually crossed protocols,
+    /// keeping single-protocol output unchanged.
     pub fn render_tables(&self) -> String {
-        format!(
+        let mut out = format!(
             "{}\n{}\n{}\n{}",
             self.breakdown_table(),
             self.messages_table(),
             self.data_table(),
             self.speedup_table()
-        )
+        );
+        if self.multi_protocol() {
+            out.push('\n');
+            out.push_str(&self.protocol_table());
+        }
+        out
     }
 }
 
@@ -452,6 +577,34 @@ mod tests {
         for needle in ["SOR", "FFT", "compute %", "per node", "T=2"] {
             assert!(tables.contains(needle), "missing {needle}");
         }
+    }
+
+    #[test]
+    fn protocol_axis_keeps_lazy_seeds_and_renders_comparison() {
+        let base = tiny_config(1);
+        let lazy_seeds: Vec<u64> = base.specs().iter().map(|s| s.seed).collect();
+        let mut cfg = tiny_config(1);
+        cfg.protocols = ProtocolKind::ALL.to_vec();
+        let specs = cfg.specs();
+        assert_eq!(specs.len(), 3 * lazy_seeds.len());
+        assert_eq!(
+            specs[..lazy_seeds.len()]
+                .iter()
+                .map(|s| s.seed)
+                .collect::<Vec<_>>(),
+            lazy_seeds,
+            "adding protocols must not shift the lazy seeds"
+        );
+        let report = run_sweep(cfg);
+        let tables = report.render_tables();
+        assert!(tables.contains("## Protocol comparison"));
+        assert!(tables.contains("[home-lazy]"));
+        let j = report.to_json();
+        assert!(j.get("protocols").is_some(), "protocol axis is recorded");
+        // Single-protocol sweeps must not mention the axis at all.
+        let plain = run_sweep(tiny_config(1));
+        assert!(plain.to_json().get("protocols").is_none());
+        assert!(!plain.render_tables().contains("Protocol comparison"));
     }
 
     #[test]

@@ -411,7 +411,7 @@ pub fn protocols(scale: Scale) -> String {
         "app        protocol            time(ms) rem_faults diff_msgs  pushes  drops bw_kbytes\n",
     );
     for app in [AppId::Sor, AppId::Ocean, AppId::WaterNsq] {
-        for proto in [ProtocolKind::LazyMultiWriter, ProtocolKind::EagerUpdate] {
+        for proto in ProtocolKind::ALL {
             let mut spec = RunSpec::new(app, scale, 8, 2);
             spec.protocol = proto;
             eprintln!("[harness] protocol {app} {proto}");

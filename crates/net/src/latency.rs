@@ -47,6 +47,12 @@ pub struct HandlerCosts {
     pub update_push: SimDuration,
     /// Copyset-drop notification.
     pub drop_copy: SimDuration,
+    /// Home-based flush at the home (apply diff in place).
+    pub home_flush: SimDuration,
+    /// Home-based page request at the home (lookup + send).
+    pub home_request: SimDuration,
+    /// Home-based page reply at the faulter (`bcopy` + protection change).
+    pub home_reply: SimDuration,
     /// Anything else.
     pub other: SimDuration,
 }
@@ -66,6 +72,9 @@ impl HandlerCosts {
             barrier_release: SimDuration::from_us(216),
             update_push: SimDuration::from_us(100),
             drop_copy: SimDuration::from_us(50),
+            home_flush: SimDuration::from_us(100),
+            home_request: SimDuration::from_us(100),
+            home_reply: SimDuration::from_us(100),
             other: SimDuration::from_us(50),
         }
     }
@@ -84,6 +93,9 @@ impl HandlerCosts {
             MsgKind::BarrierRelease => self.barrier_release,
             MsgKind::UpdatePush => self.update_push,
             MsgKind::DropCopy => self.drop_copy,
+            MsgKind::HomeFlush => self.home_flush,
+            MsgKind::HomeRequest => self.home_request,
+            MsgKind::HomeReply => self.home_reply,
             MsgKind::Other => self.other,
         }
     }
@@ -146,6 +158,9 @@ impl LatencyModel {
                 barrier_release: SimDuration::ZERO,
                 update_push: SimDuration::ZERO,
                 drop_copy: SimDuration::ZERO,
+                home_flush: SimDuration::ZERO,
+                home_request: SimDuration::ZERO,
+                home_reply: SimDuration::ZERO,
                 other: SimDuration::ZERO,
             },
         }

@@ -52,6 +52,14 @@ pub enum MsgKind {
     UpdatePush,
     /// Copyset-pruning notification (eager protocol).
     DropCopy,
+    /// Home-based protocol: a writer flushing its interval's diff to the
+    /// page's home node.
+    HomeFlush,
+    /// Home-based protocol: a faulting reader asking the home for the
+    /// up-to-date page.
+    HomeRequest,
+    /// Home-based protocol: the home's full-page reply.
+    HomeReply,
     /// Anything else (control, shutdown, diagnostics).
     Other,
 }
@@ -77,7 +85,10 @@ impl MsgKind {
             | MsgKind::PageReply
             | MsgKind::DiffRequest
             | MsgKind::DiffReply
-            | MsgKind::UpdatePush => MsgClass::Diff,
+            | MsgKind::UpdatePush
+            | MsgKind::HomeFlush
+            | MsgKind::HomeRequest
+            | MsgKind::HomeReply => MsgClass::Diff,
             MsgKind::DropCopy => MsgClass::Other,
             MsgKind::LockRequest | MsgKind::LockForward | MsgKind::LockGrant => MsgClass::Lock,
             MsgKind::BarrierArrive | MsgKind::BarrierRelease => MsgClass::Barrier,
@@ -86,7 +97,7 @@ impl MsgKind {
     }
 
     /// All kinds, for iteration in stats and tests.
-    pub const ALL: [MsgKind; 12] = [
+    pub const ALL: [MsgKind; 15] = [
         MsgKind::PageRequest,
         MsgKind::PageReply,
         MsgKind::DiffRequest,
@@ -98,6 +109,9 @@ impl MsgKind {
         MsgKind::BarrierRelease,
         MsgKind::UpdatePush,
         MsgKind::DropCopy,
+        MsgKind::HomeFlush,
+        MsgKind::HomeRequest,
+        MsgKind::HomeReply,
         MsgKind::Other,
     ];
 }

@@ -4,7 +4,7 @@
 use std::fmt::Write as _;
 
 use cvm_apps::{AppId, Scale};
-use cvm_dsm::{Finding, InjectFault};
+use cvm_dsm::{Finding, InjectFault, ProtocolKind};
 use cvm_sim::ExploreSpec;
 
 use crate::explore::{minimize, run_schedule, RunPlan};
@@ -18,6 +18,9 @@ pub struct CheckOptions {
     pub nodes: usize,
     /// Threads per node.
     pub threads: usize,
+    /// Coherence protocol to explore (every protocol must survive the
+    /// same schedule shaking as the default).
+    pub protocol: ProtocolKind,
     /// Perturbed schedules to explore per application (an unperturbed
     /// baseline always runs first, on top of this count).
     pub schedules: u64,
@@ -41,6 +44,7 @@ impl Default for CheckOptions {
             apps: AppId::ALL.to_vec(),
             nodes: 2,
             threads: 2,
+            protocol: ProtocolKind::LazyMultiWriter,
             schedules: 8,
             seed: 0xC11E_C4ED,
             budget: 64,
@@ -67,6 +71,7 @@ impl CheckOptions {
             scale: self.scale,
             nodes: self.nodes,
             threads: self.threads,
+            protocol: self.protocol,
             inject: self.inject,
             trace_capacity: self.trace_capacity,
         }
@@ -162,9 +167,14 @@ impl CheckReport {
                 }
                 let replay = fail.minimized.or(fail.spec);
                 if let Some(spec) = replay {
+                    let proto = if self.options.protocol == ProtocolKind::default() {
+                        String::new()
+                    } else {
+                        format!(" --protocol {}", self.options.protocol.slug())
+                    };
                     let _ = writeln!(
                         out,
-                        "  replay: cvm check --app {} --nodes {} --threads {} \
+                        "  replay: cvm check --app {} --nodes {} --threads {}{proto} \
                          --schedules 1 --seed {:#x} --budget {}",
                         app.app.name().to_lowercase(),
                         self.options.nodes,

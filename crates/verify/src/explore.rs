@@ -4,7 +4,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use cvm_apps::{build_app, AppId, Scale};
-use cvm_dsm::{CvmBuilder, CvmConfig, Finding, FindingSink, InjectFault};
+use cvm_dsm::{CvmBuilder, CvmConfig, Finding, FindingSink, InjectFault, ProtocolKind};
 use cvm_sim::ExploreSpec;
 
 use crate::race::replay_race_check;
@@ -45,6 +45,8 @@ pub struct RunPlan {
     pub nodes: usize,
     /// Threads per node.
     pub threads: usize,
+    /// Coherence protocol under test.
+    pub protocol: ProtocolKind,
     /// Deliberate protocol mutation (oracle self-test), if any.
     pub inject: Option<InjectFault>,
     /// Trace capacity for the offline replay.
@@ -60,6 +62,7 @@ pub fn run_schedule(plan: RunPlan, spec: Option<ExploreSpec>) -> ScheduleResult 
     let run_sink = sink.clone();
     let outcome = catch_unwind(AssertUnwindSafe(move || {
         let mut cfg = CvmConfig::small(plan.nodes, plan.threads);
+        cfg.protocol = plan.protocol;
         cfg.verify = true;
         cfg.verify_sink = run_sink;
         cfg.inject = plan.inject;

@@ -2,7 +2,7 @@
 //! and the faithful protocol must come back clean.
 
 use cvm_apps::{AppId, Scale};
-use cvm_dsm::{InjectFault, Invariant};
+use cvm_dsm::{InjectFault, Invariant, ProtocolKind};
 use cvm_sim::ExploreSpec;
 use cvm_verify::check::{run_check, CheckOptions};
 use cvm_verify::explore::{run_schedule, RunPlan};
@@ -13,6 +13,7 @@ fn plan(inject: Option<InjectFault>) -> RunPlan {
         scale: Scale::Small,
         nodes: 2,
         threads: 2,
+        protocol: ProtocolKind::LazyMultiWriter,
         inject,
         trace_capacity: 4_000_000,
     }
@@ -116,6 +117,20 @@ fn check_driver_minimizes_injected_failures() {
         rendered.contains("FAIL"),
         "render misses failure: {rendered}"
     );
+}
+
+#[test]
+fn non_default_protocols_survive_schedule_exploration() {
+    for protocol in [ProtocolKind::EagerUpdate, ProtocolKind::HomeLazy] {
+        let options = CheckOptions {
+            apps: vec![AppId::Sor],
+            schedules: 2,
+            protocol,
+            ..CheckOptions::default()
+        };
+        let report = run_check(&options);
+        assert!(report.clean(), "{protocol}: {}", report.render());
+    }
 }
 
 #[test]

@@ -1,0 +1,197 @@
+//! Protocol equivalence: the coherence protocol is a performance choice,
+//! never a semantic one. Every application must compute the *same*
+//! result under lazy multi-writer, eager update and home-based LRC — at
+//! paper geometry (8 nodes) with and without multi-threading — and the
+//! home-based protocol must show its signature trade against the
+//! homeless one: fewer messages, more bytes.
+//!
+//! The checksums are compared within the oracle suite's 1e-9 relative
+//! band, not bit-for-bit: the applications accumulate their checksums
+//! under locks (or reductions combined in arrival order), and a protocol
+//! legitimately changes message timing and therefore lock-grant order —
+//! reordering a floating-point sum by a few ulp. A *lost or duplicated
+//! update* would move the result far outside the band (and is caught
+//! independently by the invariant oracle and the race replay).
+
+use cvm_apps::{barnes, fft, ocean, sor, swm, water_nsq, water_sp};
+use cvm_dsm::{CvmConfig, ProtocolKind, RunReport};
+
+/// Paper geometry: 8 processors, single-threaded and multi-threaded.
+const GEOMETRIES: [(usize, usize); 2] = [(8, 1), (8, 4)];
+
+fn dsm(nodes: usize, threads: usize, protocol: ProtocolKind) -> CvmConfig {
+    let mut cfg = CvmConfig::small(nodes, threads);
+    cfg.protocol = protocol;
+    cfg
+}
+
+/// Runs `checksum` under all three protocols at every geometry and
+/// asserts equal results within a relative band (1e-9 for the
+/// elementwise-exact apps; Water-Sp's cell-list insertion order is
+/// timing-sensitive, so it gets the same 1e-6 band its oracle test uses).
+fn assert_equivalent<F>(what: &str, rel: f64, checksum: F)
+where
+    F: Fn(CvmConfig) -> (f64, RunReport),
+{
+    for (nodes, threads) in GEOMETRIES {
+        let (want, _) = checksum(dsm(nodes, threads, ProtocolKind::LazyMultiWriter));
+        for protocol in [ProtocolKind::EagerUpdate, ProtocolKind::HomeLazy] {
+            let (got, _) = checksum(dsm(nodes, threads, protocol));
+            let s = got.abs().max(want.abs()).max(1.0);
+            assert!(
+                (got - want).abs() <= rel * s,
+                "{what} {nodes}x{threads}: {protocol} diverged ({got} vs {want})"
+            );
+        }
+    }
+}
+
+#[test]
+fn sor_equivalent_across_protocols() {
+    let cfg = sor::SorConfig {
+        n: 46,
+        iters: 4,
+        omega: 1.12,
+    };
+    assert_equivalent("SOR", 1e-9, |dsm| sor::checksum_of_config(&cfg, dsm));
+}
+
+#[test]
+fn fft_equivalent_across_protocols() {
+    let cfg = fft::FftConfig { m: 32 };
+    assert_equivalent("FFT", 1e-9, |dsm| fft::checksum_of_config(&cfg, dsm));
+}
+
+#[test]
+fn barnes_equivalent_across_protocols() {
+    let cfg = barnes::BarnesConfig {
+        n: 80,
+        steps: 2,
+        theta: 0.7,
+        dt: 0.01,
+    };
+    assert_equivalent("Barnes", 1e-9, |dsm| barnes::checksum_of_config(&cfg, dsm));
+}
+
+#[test]
+fn ocean_equivalent_across_protocols() {
+    let cfg = ocean::OceanConfig {
+        n: 24,
+        steps: 2,
+        sweeps: 1,
+        coarse_sweeps: 1,
+        use_reduction: true,
+    };
+    assert_equivalent("Ocean", 1e-9, |dsm| ocean::checksum_of_config(&cfg, dsm));
+}
+
+#[test]
+fn swm_equivalent_across_protocols() {
+    let cfg = swm::SwmConfig { n: 24, steps: 2 };
+    assert_equivalent("SWM750", 1e-9, |dsm| swm::checksum_of_config(&cfg, dsm));
+}
+
+/// Water-Nsq accumulates forces into scratch sections under per-section
+/// locks, so the summation *order* follows lock-grant order — protocol
+/// timing — and the `r2 < cutoff2` branch discretely amplifies the
+/// resulting ulp differences in later steps. (At `NoOpts` with one step,
+/// all three protocols agree bit-for-bit; the staggered-lock optimization
+/// is what makes the sum order timing-sensitive.) Hence the wider band,
+/// like Water-Sp's.
+#[test]
+fn water_nsq_equivalent_across_protocols() {
+    let cfg = water_nsq::WaterNsqConfig {
+        n: 24,
+        steps: 2,
+        dt: 0.002,
+        cutoff2: 0.3,
+        opt: water_nsq::WaterNsqOpt::BothOpts,
+    };
+    assert_equivalent("Water-Nsq", 1e-5, |dsm| {
+        water_nsq::checksum_of_config(&cfg, dsm)
+    });
+}
+
+#[test]
+fn water_sp_equivalent_across_protocols() {
+    let cfg = water_sp::WaterSpConfig {
+        n: 48,
+        b: 4,
+        steps: 2,
+        dt: 0.002,
+    };
+    assert_equivalent("Water-Sp", 1e-6, |dsm| {
+        water_sp::checksum_of_config(&cfg, dsm)
+    });
+}
+
+/// The converse of the relative bands above: when the application's sum
+/// order does NOT depend on lock-grant timing (Water-Nsq without the
+/// staggered-lock optimization, a single step), every protocol produces
+/// the *bit-identical* result. Any protocol-level lost or duplicated
+/// update would break this exact equality.
+#[test]
+fn order_insensitive_app_is_bit_identical_across_protocols() {
+    let cfg = water_nsq::WaterNsqConfig {
+        n: 24,
+        steps: 1,
+        dt: 0.002,
+        cutoff2: 0.3,
+        opt: water_nsq::WaterNsqOpt::NoOpts,
+    };
+    let (want, _) = water_nsq::checksum_of_config(&cfg, dsm(8, 1, ProtocolKind::LazyMultiWriter));
+    for protocol in [ProtocolKind::EagerUpdate, ProtocolKind::HomeLazy] {
+        let (got, _) = water_nsq::checksum_of_config(&cfg, dsm(8, 1, protocol));
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "{protocol} not bit-identical: {got} vs {want}"
+        );
+    }
+}
+
+/// Home-based LRC's signature trade on a fault-heavy stencil code: every
+/// fault is one request/reply pair (fewer messages than chasing every
+/// pending writer for diffs), but each reply carries the whole page
+/// (more data than diffs). Measured on SOR at 8x4.
+#[test]
+fn home_lazy_trades_messages_for_bytes_on_sor() {
+    let cfg = sor::SorConfig {
+        n: 46,
+        iters: 4,
+        omega: 1.12,
+    };
+    let (_, lazy) = sor::checksum_of_config(&cfg, dsm(8, 4, ProtocolKind::LazyMultiWriter));
+    let (_, home) = sor::checksum_of_config(&cfg, dsm(8, 4, ProtocolKind::HomeLazy));
+    assert!(
+        home.net.total_count() < lazy.net.total_count(),
+        "home-lazy should send fewer messages: {} vs {}",
+        home.net.total_count(),
+        lazy.net.total_count()
+    );
+    assert!(
+        home.net.total_bytes() > lazy.net.total_bytes(),
+        "home-lazy should pay in bytes: {} vs {}",
+        home.net.total_bytes(),
+        lazy.net.total_bytes()
+    );
+}
+
+/// The home protocol is as deterministic as the others: identical seeds
+/// give identical transport statistics.
+#[test]
+fn home_lazy_is_deterministic() {
+    let cfg = ocean::OceanConfig {
+        n: 24,
+        steps: 2,
+        sweeps: 1,
+        coarse_sweeps: 1,
+        use_reduction: true,
+    };
+    let run = || ocean::checksum_of_config(&cfg, dsm(4, 2, ProtocolKind::HomeLazy));
+    let ((ca, a), (cb, b)) = (run(), run());
+    assert_eq!(ca.to_bits(), cb.to_bits());
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.net, b.net);
+    assert_eq!(a.total_time, b.total_time);
+}
