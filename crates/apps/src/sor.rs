@@ -48,10 +48,17 @@ impl SorConfig {
 /// monotonicity assertion at the end.
 pub fn build(b: &mut CvmBuilder, cfg: SorConfig) -> AppBody {
     let grid: SharedMat<f64> = b.alloc_mat(cfg.n + 2, cfg.n + 2);
-    let sink = b.alloc::<f64>(2);
+    let sink = alloc_sink(b);
     Box::new(move |ctx: &mut ThreadCtx<'_>| {
         run(ctx, &cfg, grid, sink);
     })
+}
+
+/// Checksum sink: slot 0 is the lock-accumulated total, slot 1 the
+/// published result, slots `2..2+T` the per-thread partials.
+fn alloc_sink(b: &mut CvmBuilder) -> cvm_dsm::SharedVec<f64> {
+    let threads = b.config().nodes * b.config().threads_per_node;
+    b.alloc::<f64>(threads + 2)
 }
 
 /// Reference sequential implementation (oracle for tests): returns the
@@ -140,23 +147,34 @@ fn run(
 
     ctx.end_measured();
 
-    // Checksum of the owned block, accumulated under a lock so thread 0
-    // can validate the global result (measurement noise is negligible:
-    // this runs once after the timed iterations).
+    // Checksum of the owned block. Each thread publishes its partial in
+    // its own slot; thread 0 folds the slots in index order so the
+    // published result never depends on timing (lock-grant order varies
+    // with wire conditions, and float addition is not associative). The
+    // lock-accumulated total stays as a cross-check on lock exactness.
     let mut local = 0.0;
     for r in row_lo..row_hi {
         for c in 1..=cfg.n {
             local += grid.read(ctx, r, c);
         }
     }
+    sink.write(ctx, 2 + ctx.global_id(), local);
     ctx.acquire(0);
     let acc = sink.read(ctx, 0);
     sink.write(ctx, 0, acc + local);
     ctx.release(0);
     ctx.barrier();
     if ctx.global_id() == 0 {
-        let total = sink.read(ctx, 0);
+        let locked = sink.read(ctx, 0);
+        let mut total = 0.0;
+        for t in 0..ctx.total_threads() {
+            total += sink.read(ctx, 2 + t);
+        }
         assert!(total.is_finite(), "SOR diverged");
+        assert!(
+            (locked - total).abs() <= 1e-9 * total.abs().max(1.0),
+            "lock-accumulated checksum disagrees with ordered reduction"
+        );
         sink.write(ctx, 1, total);
     }
 }
@@ -175,7 +193,7 @@ pub fn checksum_of_config(cfg: &SorConfig, dsm: cvm_dsm::CvmConfig) -> (f64, cvm
     use std::sync::Arc;
     let mut b = CvmBuilder::new(dsm);
     let grid: SharedMat<f64> = b.alloc_mat(cfg.n + 2, cfg.n + 2);
-    let sink = b.alloc::<f64>(2);
+    let sink = alloc_sink(&mut b);
     let out = Arc::new(AtomicU64::new(0));
     let out2 = Arc::clone(&out);
     let cfg = *cfg;

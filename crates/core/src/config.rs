@@ -1,7 +1,7 @@
 //! System configuration.
 
 use cvm_memsim::MemConfig;
-use cvm_net::{LatencyModel, LossConfig};
+use cvm_net::{FaultPlan, LatencyModel, LossConfig};
 use cvm_sim::{ExploreSpec, SimDuration};
 
 use crate::oracle::{FindingSink, InjectFault};
@@ -82,6 +82,13 @@ pub struct CvmConfig {
     /// travel over the acknowledgement/retransmission layer — CVM's
     /// "efficient, end-to-end protocols built on top of UDP".
     pub loss: Option<LossConfig>,
+    /// Deterministic fault plan layered over every transmission: per-link
+    /// loss, duplication, reordering, corruption drops, node stalls,
+    /// transient partitions. A non-empty plan implies the reliability
+    /// layer (a default adaptive [`LossConfig`] is enabled if `loss` is
+    /// `None`). Seeded independently, so `None` and `Some(empty)` produce
+    /// identical runs.
+    pub faults: Option<FaultPlan>,
     /// Protocol-trace capacity in events (0 disables tracing). The trace
     /// is returned on the run report.
     pub trace_capacity: usize,
@@ -136,6 +143,7 @@ impl CvmConfig {
             prefer_local_lock_waiters: true,
             jitter_max: SimDuration::ZERO,
             loss: None,
+            faults: None,
             trace_capacity: 0,
             seed: 0x5EED_CAFE,
             verify: false,

@@ -128,6 +128,15 @@ impl Diff {
         self.modified_bytes() / DIFF_WORD
     }
 
+    /// The word indices this diff writes, ascending (runs are word
+    /// aligned and sorted by offset).
+    pub fn words(&self) -> impl Iterator<Item = usize> + '_ {
+        self.runs.iter().flat_map(|r| {
+            let w0 = r.offset / DIFF_WORD;
+            w0..w0 + r.data.len() / DIFF_WORD
+        })
+    }
+
     /// True if two diffs of the same page touch a common word — for
     /// race-free programs concurrent diffs never overlap.
     pub fn overlaps(&self, other: &Diff) -> bool {

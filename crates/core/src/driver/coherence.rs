@@ -253,10 +253,17 @@ impl DriverCore {
                     format!("diffs for p{page} applied out of happens-before order")
                 });
         }
+        let eager = self.cfg.protocol == crate::protocol::ProtocolKind::EagerUpdate;
         {
             let mut cell = self.cells[n].lock();
             if let Some(base) = fetch.base.take() {
                 cell.page_bytes_mut(page).copy_from_slice(&base);
+                if eager {
+                    // The whole page was replaced by a copy of unknown
+                    // word provenance; stale per-word versions would
+                    // overstate what we hold.
+                    self.ctl[n].word_ver.remove(&page);
+                }
             }
             for (tag, gseq, w, d) in &fetch.diffs {
                 d.apply(cell.page_bytes_mut(page));
@@ -266,6 +273,9 @@ impl DriverCore {
                 *e = (*e).max(*tag);
                 let e = self.ctl[n].applied_gseq.entry(page).or_insert(0);
                 *e = (*e).max(*gseq);
+                if eager {
+                    self.ctl[n].note_words(page, d, *gseq);
+                }
             }
         }
         self.stats.diffs_used += fetch.diffs.len() as u64;

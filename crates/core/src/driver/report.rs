@@ -46,6 +46,11 @@ impl DriverCore {
             stats,
             net: self.net.stats().clone(),
             loss: self.net.loss_stats(),
+            // Failures so far; the end-of-run path overwrites both fields
+            // with the final values (this snapshot is taken mid-run, so
+            // "unfinished" is not meaningful here).
+            failures: self.net.delivery_failures(),
+            unfinished_threads: 0,
             nodes,
             mem,
             hist: self.hist.clone(),

@@ -400,6 +400,13 @@ impl DriverCore {
         if let Some(loss) = self.cfg.loss {
             self.net.enable_loss(rng.derive(0xDEAD), loss);
         }
+        if let Some(plan) = self.cfg.faults.as_ref().filter(|p| !p.is_empty()) {
+            if self.cfg.loss.is_none() {
+                self.net
+                    .enable_loss(rng.derive(0xDEAD), cvm_net::LossConfig::clean_adaptive());
+            }
+            self.net.set_faults(rng.derive(0xFA17), plan.clone());
+        }
         self.mainq = EventQueue::new();
         for n in 0..self.cfg.nodes {
             self.ctl[n].sched.resume_scheduled = false;

@@ -72,6 +72,7 @@ pub mod trace;
 pub use attr::{LockAttr, PageAttr, ResourceAttr};
 pub use config::CvmConfig;
 pub use ctx::{ReduceOp, ThreadCtx};
+pub use cvm_net::{FaultPlan, PLAN_CATALOG};
 pub use diff::Diff;
 pub use driver::{Coherence, CvmBuilder};
 pub use export::chrome_trace;

@@ -121,6 +121,16 @@ pub enum Payload {
         prev: u32,
         /// The writer's latest closed interval (retires notices).
         upto: u32,
+        /// Causal base: the highest close sequence among diffs the writer
+        /// knew to touch the words this diff writes (a lock-protected
+        /// read-modify-write chains through here). A receiver whose own
+        /// version of those words is behind this is missing a causal
+        /// predecessor and must refuse the push — applying it would let
+        /// the recovery fetch later patch the *older* diff over this
+        /// newer one, resurrecting overwritten words. Word-disjoint
+        /// concurrent diffs carry independent bases and never block each
+        /// other.
+        base: u64,
     },
     /// Copyset pruning: the named node stops receiving pushes for `page`
     /// (after too many consecutive unused updates).
@@ -221,7 +231,7 @@ impl Payload {
                 }
                 Payload::ReduceArrive { .. } => 24,
                 Payload::ReduceRelease { .. } => 16,
-                Payload::UpdatePush { diff, .. } => 20 + diff.2.wire_bytes(),
+                Payload::UpdatePush { diff, .. } => 28 + diff.2.wire_bytes(),
                 Payload::DropCopy { .. } => 12,
                 Payload::HomeFlush { diff, .. } => {
                     16 + diff.as_ref().map_or(0, |(_, _, d)| d.wire_bytes())

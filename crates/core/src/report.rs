@@ -3,7 +3,7 @@
 
 use std::fmt;
 
-use cvm_net::{LossStats, NetStats};
+use cvm_net::{DeliveryFailure, LossStats, NetStats};
 use cvm_sim::json::JsonValue;
 use cvm_sim::{SimDuration, VirtualTime};
 
@@ -60,6 +60,13 @@ pub struct RunReport {
     /// configured; then `retransmissions > 0` is the proof the run really
     /// exercised the recovery path).
     pub loss: LossStats,
+    /// Messages the reliability layer abandoned after retry exhaustion
+    /// (graceful degradation instead of a panic). Empty in a healthy run.
+    pub failures: Vec<DeliveryFailure>,
+    /// Threads still blocked when the run ended because traffic they
+    /// depended on was abandoned. Non-zero only when `failures` is
+    /// non-empty.
+    pub unfinished_threads: usize,
     /// Per-node breakdown (Figure 1).
     pub nodes: Vec<NodeBreakdown>,
     /// Memory-system misses, if the simulator was enabled (Figure 2).
@@ -82,6 +89,13 @@ impl RunReport {
     /// Total time in milliseconds.
     pub fn total_ms(&self) -> f64 {
         self.total_time.as_ms_f64()
+    }
+
+    /// True if the run completed degraded: some traffic was abandoned at
+    /// retry exhaustion (an unresponsive peer), so results describe a
+    /// partially-finished computation rather than a clean run.
+    pub fn degraded(&self) -> bool {
+        !self.failures.is_empty() || self.unfinished_threads > 0
     }
 
     /// Sums the per-node breakdowns into one system-wide breakdown (the
@@ -121,11 +135,34 @@ impl RunReport {
         obj.set("stats", self.stats.to_json());
         obj.set("net", self.net.to_json());
         let mut loss = JsonValue::object();
+        loss.set("sends", self.loss.sends);
+        loss.set("delivered", self.loss.delivered);
+        loss.set("gave_up", self.loss.gave_up);
         loss.set("dropped", self.loss.dropped);
+        loss.set("ack_drops", self.loss.ack_drops);
+        loss.set("corrupt_drops", self.loss.corrupt_drops);
+        loss.set("partition_drops", self.loss.partition_drops);
+        loss.set("duplicates_injected", self.loss.duplicates_injected);
+        loss.set("reorders_injected", self.loss.reorders_injected);
         loss.set("retransmissions", self.loss.retransmissions);
         loss.set("duplicates_suppressed", self.loss.duplicates_suppressed);
         loss.set("acks_sent", self.loss.acks_sent);
         obj.set("loss", loss);
+        if self.degraded() {
+            let mut degraded = JsonValue::object();
+            degraded.set("unfinished_threads", self.unfinished_threads);
+            let mut rows = JsonValue::array();
+            for fail in &self.failures {
+                let mut row = JsonValue::object();
+                row.set("src", fail.src.0);
+                row.set("dst", fail.dst.0);
+                row.set("seq", fail.seq);
+                row.set("kind", format!("{:?}", fail.kind));
+                rows.push(row);
+            }
+            degraded.set("failures", rows);
+            obj.set("degraded", degraded);
+        }
         obj.set("hist", self.hist.to_json());
         obj.set("attr", self.attr.to_json(top_n));
         let mut nodes = JsonValue::array();
@@ -184,6 +221,15 @@ impl fmt::Display for RunReport {
                 self.loss.acks_sent
             )?;
         }
+        if self.degraded() {
+            writeln!(
+                f,
+                "DEGRADED: {} message(s) abandoned at retry exhaustion, \
+                 {} thread(s) unfinished",
+                self.failures.len(),
+                self.unfinished_threads
+            )?;
+        }
         if self.hist.rows().iter().any(|(_, _, h)| h.count() > 0) {
             write!(f, "{}", self.hist)?;
         }
@@ -222,6 +268,8 @@ mod tests {
             stats: DsmStats::default(),
             net: NetStats::new(),
             loss: LossStats::default(),
+            failures: Vec::new(),
+            unfinished_threads: 0,
             nodes: vec![
                 NodeBreakdown {
                     user: SimDuration::from_us(60),
@@ -251,6 +299,8 @@ mod tests {
             stats: DsmStats::default(),
             net: NetStats::new(),
             loss: LossStats::default(),
+            failures: Vec::new(),
+            unfinished_threads: 0,
             nodes: vec![
                 NodeBreakdown {
                     user: SimDuration::from_us(60),
@@ -284,6 +334,8 @@ mod tests {
             stats: DsmStats::default(),
             net: NetStats::new(),
             loss: LossStats::default(),
+            failures: Vec::new(),
+            unfinished_threads: 0,
             nodes: vec![NodeBreakdown::default()],
             mem: MemMisses::default(),
             hist: DsmHistograms::default(),

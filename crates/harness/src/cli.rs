@@ -11,7 +11,7 @@ use crate::{bench, micro, AppId, Scale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: cvm <micro|table1|fig1|table2|table3|fig2|table4|table5|ablation|protocols|perturb|all> [--paper-scale]\n         \n         or:    cvm run <barnes|fft|ocean|sor|swm|water-sp|water-nsq>\n         or:    cvm bench [--json] [--nodes N] [--threads T] [--paper-scale]\n         or:    cvm sweep [--json] [--workers N] [--nodes LIST] [--threads LIST]\n         or:    cvm check [--app NAME]... [--schedules N]\n         \n         run options:\n           --nodes N        processors (default 8)\n           --threads T      threads per node (default 2)\n           --paper-scale    the paper's input sizes\n           --protocol NAME  coherence protocol: lazy-mw | eager-update |\n                            home-lazy (default lazy-mw)\n           --eager          shorthand for --protocol eager-update\n           --lifo           memory-conscious LIFO scheduling\n           --memsim         enable the cache/TLB simulator\n           --verify         run the online invariant oracle; findings are\n                            printed and make the exit status nonzero\n           --trace N        record and print the first N protocol events\n           --json FILE      write the full run report as JSON to FILE\n           --chrome-trace FILE\n                            write the protocol trace as Chrome trace-event\n                            JSON (load in chrome://tracing or Perfetto)\n         \n         bench options:\n           --json           additionally write one BENCH_<app>.json per app\n         \n         sweep options:\n           --json           write the aggregated report to BENCH_sweep.json\n           --out FILE       write the aggregated report to FILE instead\n           --md FILE        write the markdown tables to FILE as well\n           --workers N      simulation worker threads (default: one per core);\n                            any value produces byte-identical reports\n           --nodes LIST     comma-separated processor counts (default 4,8,16)\n           --threads LIST   comma-separated threads/node levels (default 1,2,3,4)\n           --app NAME       restrict to one app (repeatable; default: all 7)\n           --protocol LIST  comma-separated protocols to cross (default\n                            lazy-mw); several add a comparison table\n           --seed S         master seed; each configuration splits its own\n           --paper-scale    the paper's input sizes\n         \n         check options:\n           --app NAME       application to check (repeatable; default: all)\n           --protocol NAME  coherence protocol to explore (default lazy-mw)\n           --nodes N        processors (default 2)\n           --threads T      threads per node (default 2)\n           --schedules N    perturbed schedules per app (default 8); an\n                            unperturbed baseline always runs first\n           --seed S         base exploration seed (schedule 0 uses it\n                            verbatim, so reported seeds replay directly)\n           --budget N       scheduler decisions each schedule may perturb\n                            (default 64)\n           --mutate KIND[:nth]\n                            inject a protocol mutation (oracle self-test):\n                            drop-notice | reorder-diff | skip-invalidate;\n                            exit status then inverts (0 = caught)\n           --trace-capacity N\n                            trace buffer per run (default 4000000)\n           --paper-scale    the paper's input sizes"
+        "usage: cvm <micro|table1|fig1|table2|table3|fig2|table4|table5|ablation|protocols|perturb|all> [--paper-scale]\n         \n         or:    cvm run <barnes|fft|ocean|sor|swm|water-sp|water-nsq>\n         or:    cvm bench [--json] [--nodes N] [--threads T] [--paper-scale]\n         or:    cvm sweep [--json] [--workers N] [--nodes LIST] [--threads LIST]\n         or:    cvm faults [--json] [--plan NAME]... [--workers N]\n         or:    cvm check [--app NAME]... [--schedules N] [--faults NAME]\n         \n         run options:\n           --nodes N        processors (default 8)\n           --threads T      threads per node (default 2)\n           --paper-scale    the paper's input sizes\n           --protocol NAME  coherence protocol: lazy-mw | eager-update |\n                            home-lazy (default lazy-mw)\n           --eager          shorthand for --protocol eager-update\n           --lifo           memory-conscious LIFO scheduling\n           --memsim         enable the cache/TLB simulator\n           --verify         run the online invariant oracle; findings are\n                            printed and make the exit status nonzero\n           --trace N        record and print the first N protocol events\n           --json FILE      write the full run report as JSON to FILE\n           --chrome-trace FILE\n                            write the protocol trace as Chrome trace-event\n                            JSON (load in chrome://tracing or Perfetto)\n         \n         bench options:\n           --json           additionally write one BENCH_<app>.json per app\n         \n         sweep options:\n           --json           write the aggregated report to BENCH_sweep.json\n           --out FILE       write the aggregated report to FILE instead\n           --md FILE        write the markdown tables to FILE as well\n           --workers N      simulation worker threads (default: one per core);\n                            any value produces byte-identical reports\n           --nodes LIST     comma-separated processor counts (default 4,8,16)\n           --threads LIST   comma-separated threads/node levels (default 1,2,3,4)\n           --app NAME       restrict to one app (repeatable; default: all 7)\n           --protocol LIST  comma-separated protocols to cross (default\n                            lazy-mw); several add a comparison table\n           --seed S         master seed; each configuration splits its own\n           --paper-scale    the paper's input sizes\n         \n         faults options:\n           --json           write the campaign report to BENCH_faults.json\n           --out FILE       write the campaign report to FILE instead\n           --md FILE        write the markdown degradation tables to FILE\n           --workers N      simulation worker threads (default: one per core);\n                            any value produces byte-identical reports\n           --app NAME       restrict to one app (repeatable; default: all 7)\n           --protocol LIST  comma-separated protocols (default: all 3)\n           --plan NAME      fault plan from the catalog (repeatable;\n                            default: the whole catalog)\n           --nodes N        processors (default 4)\n           --threads T      threads per node (default 2)\n           --seed S         master seed; each cell splits its own\n           --paper-scale    the paper's input sizes\n           exit status is nonzero if any cell violated exactly-once\n           delivery or oracle cleanliness\n         \n         check options:\n           --app NAME       application to check (repeatable; default: all)\n           --protocol NAME  coherence protocol to explore (default lazy-mw)\n           --nodes N        processors (default 2)\n           --threads T      threads per node (default 2)\n           --schedules N    perturbed schedules per app (default 8); an\n                            unperturbed baseline always runs first\n           --seed S         base exploration seed (schedule 0 uses it\n                            verbatim, so reported seeds replay directly)\n           --budget N       scheduler decisions each schedule may perturb\n                            (default 64)\n           --faults NAME    layer a fault plan from the catalog under the\n                            explored schedules (loss, dup, reorder, ...)\n           --mutate KIND[:nth]\n                            inject a protocol mutation (oracle self-test):\n                            drop-notice | reorder-diff | skip-invalidate;\n                            exit status then inverts (0 = caught)\n           --trace-capacity N\n                            trace buffer per run (default 4000000)\n           --paper-scale    the paper's input sizes"
     );
     std::process::exit(2);
 }
@@ -307,6 +307,107 @@ fn run_sweep_cmd(args: &[String]) {
     }
 }
 
+fn plan_by_name(name: &str) -> Option<&'static str> {
+    cvm_net::PLAN_CATALOG.iter().find(|p| **p == name).copied()
+}
+
+fn run_faults_cmd(args: &[String]) {
+    use crate::faults::{run_campaign, FaultsConfig, FILE_NAME};
+    let mut cfg = FaultsConfig::default();
+    let mut json = false;
+    let mut out_path: Option<String> = None;
+    let mut md_path: Option<String> = None;
+    let mut apps: Vec<crate::AppId> = Vec::new();
+    let mut plans: Vec<&'static str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--out" => out_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--md" => md_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--workers" => {
+                cfg.workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--app" => {
+                let name = it.next().map_or_else(|| usage(), String::as_str);
+                apps.push(app_by_name(name).unwrap_or_else(|| usage()));
+            }
+            "--protocol" => {
+                let list = it.next().map_or_else(|| usage(), String::as_str);
+                cfg.protocols = list
+                    .split(',')
+                    .map(|s| cvm_dsm::ProtocolKind::parse(s.trim()))
+                    .collect::<Option<Vec<_>>>()
+                    .unwrap_or_else(|| usage());
+                if cfg.protocols.is_empty() {
+                    usage();
+                }
+            }
+            "--plan" => {
+                let name = it.next().map_or_else(|| usage(), String::as_str);
+                plans.push(plan_by_name(name).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown fault plan {name:?}; catalog: {}",
+                        cvm_net::PLAN_CATALOG.join(", ")
+                    );
+                    std::process::exit(2);
+                }));
+            }
+            "--nodes" => {
+                cfg.nodes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                cfg.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                cfg.seed = it
+                    .next()
+                    .and_then(|v| parse_u64(v))
+                    .unwrap_or_else(|| usage());
+            }
+            "--paper-scale" => cfg.scale = Scale::Paper,
+            _ => usage(),
+        }
+    }
+    if !apps.is_empty() {
+        cfg.apps = apps;
+    }
+    if !plans.is_empty() {
+        cfg.plans = plans;
+    }
+    cfg.apps.retain(|a| a.supports_threads(cfg.threads));
+    let report = run_campaign(cfg);
+    print!("{}", report.render_tables());
+    if let Some(path) = &md_path {
+        std::fs::write(path, report.render_tables()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[faults] wrote {path}");
+    }
+    if json || out_path.is_some() {
+        let path = out_path.unwrap_or_else(|| FILE_NAME.to_owned());
+        std::fs::write(&path, report.to_json().to_pretty()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[faults] wrote {path}");
+    }
+    if !report.clean() {
+        eprintln!("[faults] FAIL: the campaign found violations");
+        std::process::exit(1);
+    }
+}
+
 fn run_check(args: &[String]) {
     use cvm_dsm::InjectFault;
     let mut options = CheckOptions::default();
@@ -361,6 +462,16 @@ fn run_check(args: &[String]) {
             "--mutate" => {
                 let spec = it.next().map_or_else(|| usage(), String::as_str);
                 options.inject = Some(InjectFault::parse(spec).unwrap_or_else(|| usage()));
+            }
+            "--faults" => {
+                let name = it.next().map_or_else(|| usage(), String::as_str);
+                options.faults = Some(plan_by_name(name).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown fault plan {name:?}; catalog: {}",
+                        cvm_net::PLAN_CATALOG.join(", ")
+                    );
+                    std::process::exit(2);
+                }));
             }
             "--trace-capacity" => {
                 options.trace_capacity = it
@@ -424,6 +535,10 @@ pub fn run() {
     }
     if args.first().map(String::as_str) == Some("sweep") {
         run_sweep_cmd(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("faults") {
+        run_faults_cmd(&args[1..]);
         return;
     }
     if args.first().map(String::as_str) == Some("check") {

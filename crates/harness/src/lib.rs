@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 pub mod bench;
 pub mod cli;
+pub mod faults;
 pub mod micro;
 pub mod runner;
 pub mod sweep;

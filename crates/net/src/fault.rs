@@ -1,0 +1,479 @@
+//! Deterministic fault injection: the `FaultPlan` layer.
+//!
+//! CVM's communication layer is "efficient, end-to-end protocols built on
+//! top of UDP" — loss, duplication and reordering are the normal case, not
+//! the exception. This module turns those conditions into a first-class,
+//! composable experiment input: a [`FaultPlan`] describes *which* faults to
+//! inject (per-link asymmetric loss, duplication, reordering windows,
+//! detected-corruption drops, node stall windows, and transient partitions
+//! that heal), and [`NetworkSim`](crate::NetworkSim) evaluates the plan on
+//! every transmission with a dedicated RNG — so a plan is **seed-stable**:
+//! the same `(plan, seed)` pair injects the identical fault sequence on
+//! every run, on any machine, at any worker count.
+//!
+//! A plan composes: several [`LinkRule`]s may match one transmission (each
+//! rolls independently), stall windows and partitions stack on top of link
+//! rules, and the uniform [`LossConfig`](crate::LossConfig) probability
+//! still applies underneath. Any plan that can discard traffic requires
+//! the acknowledgement/retransmission layer to be enabled — dropping
+//! without retransmission would silently violate the exactly-once
+//! delivery contract instead of degrading gracefully.
+
+use cvm_sim::{SimDuration, SimRng, VirtualTime};
+
+/// Why a transmission was discarded by the fault layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropCause {
+    /// Plain packet loss (the datagram vanished on the wire).
+    Loss,
+    /// Checksum-detected corruption: the receiver saw the packet, found it
+    /// damaged, and discarded it (indistinguishable from loss to the
+    /// sender, but accounted separately).
+    Corrupt,
+    /// The link crossed an active partition.
+    Partition,
+}
+
+/// The fate the fault layer assigns one transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxFate {
+    /// Deliver, possibly late (reordering) and possibly twice
+    /// (duplication; the second copy arrives `dup_delay` after the first).
+    Deliver {
+        /// Extra wire delay from reordering rules (zero = in order).
+        delay: SimDuration,
+        /// A duplicate copy to inject, arriving this much after the first.
+        duplicate: Option<SimDuration>,
+    },
+    /// Discard the transmission.
+    Drop(DropCause),
+}
+
+/// Fault probabilities for one (possibly wildcarded) directed link.
+///
+/// `src`/`dst` of `None` match any node, so a single rule can cover the
+/// whole mesh; `src: None, dst: Some(0)` injects *asymmetric* loss — the
+/// forward path into node 0 is lossy while node 0's own sends are clean.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkRule {
+    /// Sending node this rule applies to (`None` = any).
+    pub src: Option<usize>,
+    /// Receiving node this rule applies to (`None` = any).
+    pub dst: Option<usize>,
+    /// Probability the transmission is lost outright.
+    pub loss: f64,
+    /// Probability the transmission is duplicated on the wire.
+    pub duplicate: f64,
+    /// Probability the transmission arrives corrupted and is dropped by
+    /// the receiver's checksum.
+    pub corrupt: f64,
+    /// Probability the transmission is delayed (reordered past later
+    /// traffic on the same link).
+    pub reorder: f64,
+    /// Extra delay drawn uniformly from `[0, reorder_window)` when the
+    /// reorder roll hits.
+    pub reorder_window: SimDuration,
+}
+
+impl Default for LinkRule {
+    fn default() -> Self {
+        LinkRule {
+            src: None,
+            dst: None,
+            loss: 0.0,
+            duplicate: 0.0,
+            corrupt: 0.0,
+            reorder: 0.0,
+            reorder_window: SimDuration::from_ms(2),
+        }
+    }
+}
+
+impl LinkRule {
+    fn matches(&self, src: usize, dst: usize) -> bool {
+        self.src.is_none_or(|s| s == src) && self.dst.is_none_or(|d| d == dst)
+    }
+
+    fn validate(&self) {
+        for (name, p) in [
+            ("loss", self.loss),
+            ("duplicate", self.duplicate),
+            ("corrupt", self.corrupt),
+            ("reorder", self.reorder),
+        ] {
+            assert!(
+                (0.0..1.0).contains(&p),
+                "link-rule {name} probability must be in [0, 1), got {p}"
+            );
+        }
+    }
+}
+
+/// A window during which one node's protocol handler is stalled (a GC
+/// pause, a scheduling hiccup, an overloaded peer): arrivals at the node
+/// are not serviced before the window ends, so its replies and
+/// acknowledgements come late and the sender's timers must cope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallWindow {
+    /// The stalled node.
+    pub node: usize,
+    /// Window start (inclusive).
+    pub from: VirtualTime,
+    /// Window end (exclusive) — service resumes here.
+    pub until: VirtualTime,
+}
+
+/// A transient network partition: while active, every transmission
+/// crossing between `island` and the rest of the cluster is dropped. At
+/// `until` the partition heals and retransmission timers recover the
+/// traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Nodes on the isolated side (traffic *within* the island, and
+    /// within its complement, still flows).
+    pub island: Vec<usize>,
+    /// Partition start (inclusive).
+    pub from: VirtualTime,
+    /// Heal time (exclusive) — `VirtualTime::MAX` never heals.
+    pub until: VirtualTime,
+}
+
+impl Partition {
+    fn severs(&self, src: usize, dst: usize, at: VirtualTime) -> bool {
+        at >= self.from
+            && at < self.until
+            && (self.island.contains(&src) != self.island.contains(&dst))
+    }
+}
+
+/// A composable, deterministic description of what to break.
+///
+/// The empty plan (`FaultPlan::default()`) injects nothing and draws no
+/// randomness, so enabling it is observationally identical to not
+/// enabling it at all.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Per-link fault probabilities; every matching rule rolls.
+    pub rules: Vec<LinkRule>,
+    /// Node stall windows.
+    pub stalls: Vec<StallWindow>,
+    /// Transient partitions.
+    pub partitions: Vec<Partition>,
+}
+
+/// Names of the standard campaign plans (`cvm faults`), in grid order.
+pub const PLAN_CATALOG: [&str; 12] = [
+    "none",
+    "loss-1",
+    "loss-5",
+    "loss-10",
+    "loss-30",
+    "asym-loss",
+    "dup",
+    "reorder",
+    "corrupt",
+    "stall",
+    "partition",
+    "storm",
+];
+
+impl FaultPlan {
+    /// True if the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty() && self.stalls.is_empty() && self.partitions.is_empty()
+    }
+
+    /// True if the plan can discard traffic (and therefore requires the
+    /// reliability layer underneath).
+    pub fn can_drop(&self) -> bool {
+        !self.partitions.is_empty() || self.rules.iter().any(|r| r.loss > 0.0 || r.corrupt > 0.0)
+    }
+
+    /// A plan with a single mesh-wide rule.
+    pub fn uniform(rule: LinkRule) -> Self {
+        FaultPlan {
+            rules: vec![rule],
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Looks up one of the standard campaign plans by name (see
+    /// [`PLAN_CATALOG`]). `nodes` scales the stall/partition targets: the
+    /// victim node is `1 % nodes` so the plan is valid on any cluster.
+    pub fn named(name: &str, nodes: usize) -> Option<FaultPlan> {
+        let victim = 1 % nodes.max(1);
+        let loss = |p: f64| {
+            Some(FaultPlan::uniform(LinkRule {
+                loss: p,
+                ..LinkRule::default()
+            }))
+        };
+        match name {
+            "none" => Some(FaultPlan::default()),
+            "loss-1" => loss(0.01),
+            "loss-5" => loss(0.05),
+            "loss-10" => loss(0.10),
+            "loss-30" => loss(0.30),
+            // Asymmetric: the path *into* node 0 (every node's manager for
+            // most locks and the barrier master) drops a quarter of its
+            // traffic; node 0's own sends are clean.
+            "asym-loss" => Some(FaultPlan::uniform(LinkRule {
+                dst: Some(0),
+                loss: 0.25,
+                ..LinkRule::default()
+            })),
+            "dup" => Some(FaultPlan::uniform(LinkRule {
+                duplicate: 0.15,
+                ..LinkRule::default()
+            })),
+            "reorder" => Some(FaultPlan::uniform(LinkRule {
+                reorder: 0.30,
+                reorder_window: SimDuration::from_ms(2),
+                ..LinkRule::default()
+            })),
+            "corrupt" => Some(FaultPlan::uniform(LinkRule {
+                corrupt: 0.05,
+                ..LinkRule::default()
+            })),
+            "stall" => Some(FaultPlan {
+                stalls: vec![StallWindow {
+                    node: victim,
+                    from: VirtualTime::from_us(40_000),
+                    until: VirtualTime::from_us(140_000),
+                }],
+                ..FaultPlan::default()
+            }),
+            "partition" => Some(FaultPlan {
+                partitions: vec![Partition {
+                    island: vec![victim],
+                    from: VirtualTime::from_us(40_000),
+                    until: VirtualTime::from_us(120_000),
+                }],
+                ..FaultPlan::default()
+            }),
+            "storm" => Some(FaultPlan {
+                rules: vec![LinkRule {
+                    loss: 0.05,
+                    duplicate: 0.05,
+                    corrupt: 0.02,
+                    reorder: 0.20,
+                    reorder_window: SimDuration::from_ms(1),
+                    ..LinkRule::default()
+                }],
+                stalls: vec![StallWindow {
+                    node: victim,
+                    from: VirtualTime::from_us(40_000),
+                    until: VirtualTime::from_us(100_000),
+                }],
+                partitions: vec![Partition {
+                    island: vec![victim],
+                    from: VirtualTime::from_us(150_000),
+                    until: VirtualTime::from_us(220_000),
+                }],
+            }),
+            _ => None,
+        }
+    }
+
+    /// Panics if any probability is out of `[0, 1)` or a window is
+    /// inverted.
+    pub fn validate(&self) {
+        for rule in &self.rules {
+            rule.validate();
+        }
+        for s in &self.stalls {
+            assert!(s.from <= s.until, "stall window inverted");
+        }
+        for p in &self.partitions {
+            assert!(p.from <= p.until, "partition window inverted");
+        }
+    }
+}
+
+/// The plan plus its RNG: evaluates one transmission at a time.
+#[derive(Debug)]
+pub(crate) struct FaultInjector {
+    plan: FaultPlan,
+    rng: SimRng,
+}
+
+impl FaultInjector {
+    pub(crate) fn new(rng: SimRng, plan: FaultPlan) -> Self {
+        plan.validate();
+        FaultInjector { plan, rng }
+    }
+
+    /// Rolls the fate of one transmission on `src → dst` at `now`.
+    /// Partitions are checked first (deterministic, no randomness drawn);
+    /// each matching rule then rolls corruption, loss, duplication and
+    /// reordering in that fixed order. Rolls are only drawn for nonzero
+    /// probabilities, so a plan that never mentions a fault kind leaves
+    /// the random stream — and therefore every other decision — intact.
+    pub(crate) fn roll(&mut self, src: usize, dst: usize, now: VirtualTime) -> TxFate {
+        if self.plan.partitions.iter().any(|p| p.severs(src, dst, now)) {
+            return TxFate::Drop(DropCause::Partition);
+        }
+        let mut delay = SimDuration::ZERO;
+        let mut duplicate = None;
+        for rule in &self.plan.rules {
+            if !rule.matches(src, dst) {
+                continue;
+            }
+            if rule.corrupt > 0.0 && self.rng.unit_f64() < rule.corrupt {
+                return TxFate::Drop(DropCause::Corrupt);
+            }
+            if rule.loss > 0.0 && self.rng.unit_f64() < rule.loss {
+                return TxFate::Drop(DropCause::Loss);
+            }
+            if rule.duplicate > 0.0 && self.rng.unit_f64() < rule.duplicate {
+                // The copy trails the original by a draw from the reorder
+                // window (a duplicated datagram rarely arrives back-to-back).
+                let lag = self.rng.below(rule.reorder_window.as_ns().max(1));
+                duplicate = Some(SimDuration::from_ns(lag));
+            }
+            if rule.reorder > 0.0 && self.rng.unit_f64() < rule.reorder {
+                delay += SimDuration::from_ns(self.rng.below(rule.reorder_window.as_ns().max(1)));
+            }
+        }
+        TxFate::Deliver { delay, duplicate }
+    }
+
+    /// If `node` is stalled at `at`, the time its handler becomes
+    /// available again (the latest covering window's end).
+    pub(crate) fn stall_release(&self, node: usize, at: VirtualTime) -> Option<VirtualTime> {
+        self.plan
+            .stalls
+            .iter()
+            .filter(|s| s.node == node && at >= s.from && at < s.until)
+            .map(|s| s.until)
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn injector(plan: FaultPlan, seed: u64) -> FaultInjector {
+        FaultInjector::new(SimRng::seed_from(seed), plan)
+    }
+
+    #[test]
+    fn empty_plan_always_delivers_and_draws_nothing() {
+        let mut f = injector(FaultPlan::default(), 1);
+        for i in 0..100 {
+            assert_eq!(
+                f.roll(i % 4, (i + 1) % 4, VirtualTime::from_us(i as u64)),
+                TxFate::Deliver {
+                    delay: SimDuration::ZERO,
+                    duplicate: None
+                }
+            );
+        }
+        // The RNG was never advanced: it still matches a fresh one.
+        assert_eq!(f.rng.next_u64(), SimRng::seed_from(1).next_u64());
+    }
+
+    #[test]
+    fn plans_are_seed_stable() {
+        let plan = FaultPlan::named("storm", 4).unwrap();
+        let run = |seed| {
+            let mut f = injector(plan.clone(), seed);
+            (0..500)
+                .map(|i| f.roll(i % 4, (i + 1) % 4, VirtualTime::from_us(50_000 + i as u64)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn asymmetric_loss_spares_the_reverse_path() {
+        let plan = FaultPlan::named("asym-loss", 4).unwrap();
+        let mut f = injector(plan, 3);
+        let mut into_0_drops = 0;
+        let mut from_0_drops = 0;
+        for _ in 0..2000 {
+            if matches!(f.roll(2, 0, VirtualTime::ZERO), TxFate::Drop(_)) {
+                into_0_drops += 1;
+            }
+            if matches!(f.roll(0, 2, VirtualTime::ZERO), TxFate::Drop(_)) {
+                from_0_drops += 1;
+            }
+        }
+        assert!((350..650).contains(&into_0_drops), "~25% of 2000");
+        assert_eq!(from_0_drops, 0, "reverse path must be clean");
+    }
+
+    #[test]
+    fn partitions_sever_exactly_the_crossing_links_and_heal() {
+        let plan = FaultPlan::named("partition", 4).unwrap();
+        let mut f = injector(plan, 1);
+        let during = VirtualTime::from_us(60_000);
+        let after = VirtualTime::from_us(130_000);
+        assert_eq!(f.roll(0, 1, during), TxFate::Drop(DropCause::Partition));
+        assert_eq!(f.roll(1, 0, during), TxFate::Drop(DropCause::Partition));
+        assert!(matches!(f.roll(0, 2, during), TxFate::Deliver { .. }));
+        assert!(matches!(f.roll(0, 1, after), TxFate::Deliver { .. }));
+    }
+
+    #[test]
+    fn stall_release_covers_only_the_window() {
+        let plan = FaultPlan::named("stall", 4).unwrap();
+        let f = injector(plan, 1);
+        assert_eq!(f.stall_release(1, VirtualTime::from_us(10_000)), None);
+        assert_eq!(
+            f.stall_release(1, VirtualTime::from_us(50_000)),
+            Some(VirtualTime::from_us(140_000))
+        );
+        assert_eq!(f.stall_release(0, VirtualTime::from_us(50_000)), None);
+        assert_eq!(f.stall_release(1, VirtualTime::from_us(140_000)), None);
+    }
+
+    #[test]
+    fn corruption_and_duplication_roll_per_rule() {
+        let plan = FaultPlan::uniform(LinkRule {
+            corrupt: 0.5,
+            duplicate: 0.5,
+            ..LinkRule::default()
+        });
+        let mut f = injector(plan, 42);
+        let mut corrupt = 0;
+        let mut dup = 0;
+        for _ in 0..1000 {
+            match f.roll(0, 1, VirtualTime::ZERO) {
+                TxFate::Drop(DropCause::Corrupt) => corrupt += 1,
+                TxFate::Deliver {
+                    duplicate: Some(_), ..
+                } => dup += 1,
+                _ => {}
+            }
+        }
+        assert!((400..600).contains(&corrupt), "got {corrupt}");
+        // Duplication rolls only on the half that survived corruption.
+        assert!((150..350).contains(&dup), "got {dup}");
+    }
+
+    #[test]
+    fn catalog_names_all_resolve() {
+        for name in PLAN_CATALOG {
+            let plan = FaultPlan::named(name, 4).expect(name);
+            plan.validate();
+            assert_eq!(plan.is_empty(), name == "none");
+        }
+        assert!(FaultPlan::named("no-such-plan", 4).is_none());
+        // Single-node clusters clamp the victim in range.
+        assert!(FaultPlan::named("stall", 1).is_some());
+    }
+
+    #[test]
+    fn can_drop_identifies_reliability_requirement() {
+        assert!(!FaultPlan::default().can_drop());
+        assert!(!FaultPlan::named("dup", 4).unwrap().can_drop());
+        assert!(!FaultPlan::named("reorder", 4).unwrap().can_drop());
+        assert!(!FaultPlan::named("stall", 4).unwrap().can_drop());
+        for lossy in ["loss-10", "asym-loss", "corrupt", "partition", "storm"] {
+            assert!(FaultPlan::named(lossy, 4).unwrap().can_drop(), "{lossy}");
+        }
+    }
+}

@@ -96,6 +96,9 @@ impl HandlerCosts {
             MsgKind::HomeFlush => self.home_flush,
             MsgKind::HomeRequest => self.home_request,
             MsgKind::HomeReply => self.home_reply,
+            // Acks are consumed by the messaging layer on receipt; they
+            // never occupy the protocol handler.
+            MsgKind::Ack => SimDuration::ZERO,
             MsgKind::Other => self.other,
         }
     }

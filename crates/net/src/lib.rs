@@ -23,14 +23,16 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+pub mod fault;
 pub mod latency;
 pub mod message;
 pub mod network;
 pub mod reliable;
 pub mod stats;
 
+pub use fault::{FaultPlan, LinkRule, Partition, StallWindow, PLAN_CATALOG};
 pub use latency::{HandlerCosts, LatencyModel};
 pub use message::{Message, MsgClass, MsgKind, NodeId};
-pub use network::NetworkSim;
-pub use reliable::{LossConfig, LossStats};
+pub use network::{NetworkSim, ACK_BYTES};
+pub use reliable::{AdaptiveRto, DeliveryFailure, LossConfig, LossStats, RtoPolicy};
 pub use stats::NetStats;

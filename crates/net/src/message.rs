@@ -60,6 +60,10 @@ pub enum MsgKind {
     HomeRequest,
     /// Home-based protocol: the home's full-page reply.
     HomeReply,
+    /// Reliability-layer acknowledgement (consumed by the messaging
+    /// layer, never delivered to the protocol; tracked so ack bandwidth
+    /// is accounted like retransmission bandwidth).
+    Ack,
     /// Anything else (control, shutdown, diagnostics).
     Other,
 }
@@ -92,12 +96,12 @@ impl MsgKind {
             MsgKind::DropCopy => MsgClass::Other,
             MsgKind::LockRequest | MsgKind::LockForward | MsgKind::LockGrant => MsgClass::Lock,
             MsgKind::BarrierArrive | MsgKind::BarrierRelease => MsgClass::Barrier,
-            MsgKind::Other => MsgClass::Other,
+            MsgKind::Ack | MsgKind::Other => MsgClass::Other,
         }
     }
 
     /// All kinds, for iteration in stats and tests.
-    pub const ALL: [MsgKind; 15] = [
+    pub const ALL: [MsgKind; 16] = [
         MsgKind::PageRequest,
         MsgKind::PageReply,
         MsgKind::DiffRequest,
@@ -112,6 +116,7 @@ impl MsgKind {
         MsgKind::HomeFlush,
         MsgKind::HomeRequest,
         MsgKind::HomeReply,
+        MsgKind::Ack,
         MsgKind::Other,
     ];
 }

@@ -8,18 +8,33 @@
 //! messages in service-completion order, which is the instant their effects
 //! become visible to the protocol — so the DSM driver can simply apply each
 //! message as it pops.
+//!
+//! With the reliability layer enabled ([`NetworkSim::enable_loss`])
+//! delivery is exactly-once and *in order per link*: an out-of-order
+//! arrival is acknowledged immediately but held back until its gap fills,
+//! so a retransmission delay never reorders a link's traffic (retransmitted
+//! messages arrive a full RTO late — far beyond the wire size-skew the
+//! protocols tolerate). An in-order message is acknowledged when its
+//! *service* completes — not when it arrives — so the sender's measured
+//! round trip includes handler queueing, exactly the component that makes
+//! a fixed timeout fire while a message is still waiting in line. A
+//! [`FaultPlan`] layered on top
+//! ([`NetworkSim::set_faults`]) injects per-link loss, duplication,
+//! reordering, corruption drops, node stalls and transient partitions,
+//! deterministically from its own RNG stream.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use cvm_sim::{EventQueue, SimDuration, SimRng, VirtualTime};
 
+use crate::fault::{DropCause, FaultInjector, FaultPlan, TxFate};
 use crate::latency::LatencyModel;
-use crate::message::Message;
-use crate::reliable::{LossConfig, LossStats, ReliabilityState};
+use crate::message::{Message, MsgKind};
+use crate::reliable::{DeliveryFailure, LossConfig, LossStats, ReliabilityState};
 use crate::stats::NetStats;
 
 /// Wire size of an acknowledgement (reliability layer).
-const ACK_BYTES: usize = 32;
+pub const ACK_BYTES: usize = 32;
 
 struct Envelope<P> {
     msg: Message<P>,
@@ -29,11 +44,22 @@ struct Envelope<P> {
 
 enum Phase<P> {
     Arrival(Envelope<P>),
-    Serviced(Message<P>),
+    /// Service completion; the key, when present, is the `(src, dst, seq)`
+    /// to acknowledge at this instant (fresh reliable deliveries only).
+    Serviced(Message<P>, Option<(usize, usize, u64)>),
     /// Retransmission timer for `(src, dst, seq)`.
     Retry(usize, usize, u64),
     /// An acknowledgement for `(src, dst, seq)` arriving back at `src`.
     AckArrival(usize, usize, u64),
+}
+
+/// A sent-but-unacknowledged message awaiting possible retransmission.
+struct PendingMsg<P> {
+    msg: Message<P>,
+    retries: u32,
+    /// Original send time; the RTT sample when the ack returns (Karn's
+    /// rule: only taken if the message was never retransmitted).
+    sent_at: VirtualTime,
 }
 
 /// Simulated network connecting `n` nodes.
@@ -61,9 +87,18 @@ pub struct NetworkSim<P> {
     jitter: Option<(SimRng, SimDuration)>,
     in_flight: usize,
     reliability: ReliabilityState,
-    /// Unacknowledged messages awaiting possible retransmission:
-    /// `(src, dst, seq) → (message, retries)`.
-    pending: HashMap<(usize, usize, u64), (Message<P>, u32)>,
+    faults: Option<FaultInjector>,
+    pending: HashMap<(usize, usize, u64), PendingMsg<P>>,
+    /// Next sequence to hand to the protocol per link: the reliability
+    /// layer delivers in order, like any transport built over a lossy
+    /// datagram network. Without this, a retransmitted message arrives a
+    /// full RTO late — a reordering orders of magnitude beyond the wire
+    /// size-skew the protocols are built to tolerate.
+    deliver_next: HashMap<(usize, usize), u64>,
+    /// Arrived-but-out-of-order messages per link, held until their gap
+    /// fills (or the gap's sender gives up). Bounded by the reorder
+    /// window, like the dedup state.
+    reorder_buf: HashMap<(usize, usize), BTreeMap<u64, Message<P>>>,
 }
 
 impl<P> std::fmt::Debug for NetworkSim<P> {
@@ -91,7 +126,10 @@ impl<P> NetworkSim<P> {
             jitter: None,
             in_flight: 0,
             reliability: ReliabilityState::default(),
+            faults: None,
             pending: HashMap::new(),
+            deliver_next: HashMap::new(),
+            reorder_buf: HashMap::new(),
         }
     }
 
@@ -102,9 +140,39 @@ impl<P> NetworkSim<P> {
         self.reliability.enable(rng, config);
     }
 
+    /// Layers a [`FaultPlan`] over every transmission, evaluated with its
+    /// own RNG stream (independent of the uniform-loss stream, so adding a
+    /// plan never perturbs unrelated random decisions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan can discard or duplicate traffic while the
+    /// reliability layer is disabled — without acknowledgements those
+    /// faults would silently break exactly-once delivery instead of
+    /// degrading gracefully.
+    pub fn set_faults(&mut self, rng: SimRng, plan: FaultPlan) {
+        let needs_reliability = plan.can_drop() || plan.rules.iter().any(|r| r.duplicate > 0.0);
+        assert!(
+            !needs_reliability || self.reliability.enabled(),
+            "fault plans that drop or duplicate traffic require the reliability layer"
+        );
+        self.faults = Some(FaultInjector::new(rng, plan));
+    }
+
     /// Reliability-layer counters (drops, retransmissions, duplicates).
     pub fn loss_stats(&self) -> LossStats {
         self.reliability.stats()
+    }
+
+    /// Messages the reliability layer gave up on (retry exhaustion), in
+    /// deterministic order. Empty in a healthy run.
+    pub fn delivery_failures(&self) -> Vec<DeliveryFailure> {
+        self.reliability.delivery_failures()
+    }
+
+    /// Out-of-order dedup entries currently held (memory-bound metric).
+    pub fn dedup_entries(&self) -> usize {
+        self.reliability.dedup_entries()
     }
 
     /// Enables uniform random extra delay in `[0, max)` per message, for
@@ -124,6 +192,109 @@ impl<P> NetworkSim<P> {
             wire += SimDuration::from_ns(rng.below(max.as_ns().max(1)));
         }
         wire
+    }
+
+    /// The round trip this message cannot possibly beat: its own wire
+    /// time, its handler service time, and the ack's wire time back, plus
+    /// 12.5% headroom so an ack that arrives exactly on the uncontended
+    /// round trip still beats the timer. The adaptive RTO never fires
+    /// below this, so an uncontended slow message is never retransmitted
+    /// while in flight.
+    fn rto_floor(&self, msg: &Message<P>) -> SimDuration {
+        let round_trip = self.model.wire_time(msg.payload_bytes)
+            + self.model.handler_time(msg.kind)
+            + self.model.wire_time(ACK_BYTES);
+        round_trip + round_trip / 8
+    }
+
+    /// Puts one copy of `msg` on the wire: rolls uniform loss, then the
+    /// fault plan, and schedules the arrival(s) that survive.
+    fn transmit(&mut self, now: VirtualTime, msg: Message<P>, seq: Option<u64>)
+    where
+        P: Clone,
+    {
+        let (src, dst) = (msg.src.0, msg.dst.0);
+        if seq.is_some() && self.reliability.should_drop() {
+            return;
+        }
+        let fate = match &mut self.faults {
+            Some(f) => f.roll(src, dst, now),
+            None => TxFate::Deliver {
+                delay: SimDuration::ZERO,
+                duplicate: None,
+            },
+        };
+        match fate {
+            TxFate::Drop(cause) => {
+                let s = self.reliability.stats_mut();
+                match cause {
+                    DropCause::Loss => s.dropped += 1,
+                    DropCause::Corrupt => s.corrupt_drops += 1,
+                    DropCause::Partition => s.partition_drops += 1,
+                }
+            }
+            TxFate::Deliver { delay, duplicate } => {
+                if !delay.is_zero() {
+                    self.reliability.stats_mut().reorders_injected += 1;
+                }
+                let wire = self.wire_delay(msg.payload_bytes);
+                if let Some(lag) = duplicate {
+                    self.reliability.stats_mut().duplicates_injected += 1;
+                    let copy = Envelope {
+                        msg: msg.clone(),
+                        seq,
+                    };
+                    self.queue
+                        .push(now + wire + delay + lag, Phase::Arrival(copy));
+                }
+                self.queue
+                    .push(now + wire + delay, Phase::Arrival(Envelope { msg, seq }));
+            }
+        }
+    }
+
+    /// Sends the acknowledgement for `(src, dst, seq)` from `dst` back to
+    /// `src`, subject to the same loss and fault plan as data (on the
+    /// reverse link). Ack bandwidth is accounted in [`NetStats`] under
+    /// [`MsgKind::Ack`]; drops land in `ack_drops`, never in the data-loss
+    /// counter.
+    fn send_ack(&mut self, now: VirtualTime, src: usize, dst: usize, seq: u64) {
+        if self.reliability.should_drop_ack() {
+            return;
+        }
+        let fate = match &mut self.faults {
+            Some(f) => f.roll(dst, src, now),
+            None => TxFate::Deliver {
+                delay: SimDuration::ZERO,
+                duplicate: None,
+            },
+        };
+        match fate {
+            TxFate::Drop(cause) => {
+                let s = self.reliability.stats_mut();
+                s.ack_drops += 1;
+                match cause {
+                    DropCause::Loss => {}
+                    DropCause::Corrupt => s.corrupt_drops += 1,
+                    DropCause::Partition => s.partition_drops += 1,
+                }
+            }
+            TxFate::Deliver { delay, duplicate } => {
+                self.reliability.count_ack();
+                self.stats.record(MsgKind::Ack, ACK_BYTES);
+                let wire = self.wire_delay(ACK_BYTES);
+                self.queue
+                    .push(now + wire + delay, Phase::AckArrival(src, dst, seq));
+                if let Some(lag) = duplicate {
+                    // A duplicated ack still costs wire bandwidth; the
+                    // second arrival is a no-op at the sender.
+                    self.reliability.count_ack();
+                    self.stats.record(MsgKind::Ack, ACK_BYTES);
+                    self.queue
+                        .push(now + wire + delay + lag, Phase::AckArrival(src, dst, seq));
+                }
+            }
+        }
     }
 
     /// Pops the next message in service-completion order, returning the
@@ -160,67 +331,149 @@ impl<P> NetworkSim<P> {
                 Some(_) => {}
             }
             match self.queue.pop().expect("peeked nonempty") {
-                (arrived, Phase::Arrival(env)) => {
-                    let (src, dst) = (env.msg.src.0, env.msg.dst.0);
-                    if let Some(seq) = env.seq {
-                        // Acknowledge (the ack itself may be dropped) and
-                        // deduplicate retransmissions.
-                        self.reliability.count_ack();
-                        if !self.reliability.should_drop() {
-                            let wire = self.wire_delay(ACK_BYTES);
-                            self.queue
-                                .push(arrived + wire, Phase::AckArrival(src, dst, seq));
-                        }
-                        if !self.reliability.first_delivery(src, dst, seq) {
-                            continue; // duplicate: suppress
-                        }
+                (arrived, Phase::Arrival(env)) => self.handle_arrival(arrived, env),
+                (done, Phase::Serviced(msg, ack)) => {
+                    if let Some((src, dst, seq)) = ack {
+                        self.send_ack(done, src, dst, seq);
                     }
-                    let start = arrived.max(self.handler_free[dst]);
-                    let done = start + self.model.handler_time(env.msg.kind);
-                    self.handler_free[dst] = done;
-                    self.queue.push(done, Phase::Serviced(env.msg));
-                }
-                (done, Phase::Serviced(msg)) => {
                     self.in_flight -= 1;
                     return Some((done, msg));
                 }
-                (now, Phase::Retry(src, dst, seq)) => {
-                    let Some((msg, retries)) = self.pending.remove(&(src, dst, seq)) else {
-                        continue; // already acknowledged
-                    };
-                    let cfg = self.reliability.config().expect("loss enabled");
-                    assert!(
-                        retries < cfg.max_retries,
-                        "message {src}->{dst} seq {seq} exceeded {} retries",
-                        cfg.max_retries
-                    );
-                    self.reliability.count_retransmission();
-                    // Retransmissions consume real bandwidth.
-                    self.stats.record(msg.kind, msg.payload_bytes);
-                    self.pending
-                        .insert((src, dst, seq), (msg.clone(), retries + 1));
-                    if !self.reliability.should_drop() {
-                        let wire = self.wire_delay(msg.payload_bytes);
-                        self.queue.push(
-                            now + wire,
-                            Phase::Arrival(Envelope {
-                                msg,
-                                seq: Some(seq),
-                            }),
-                        );
+                (now, Phase::Retry(src, dst, seq)) => self.handle_retry(now, src, dst, seq),
+                (t, Phase::AckArrival(src, dst, seq)) => {
+                    if let Some(p) = self.pending.remove(&(src, dst, seq)) {
+                        if p.retries == 0 {
+                            // Karn's rule: the RTT of a retransmitted
+                            // message is ambiguous; never sample it.
+                            self.reliability.sample_rtt(src, dst, t.since(p.sent_at));
+                        }
                     }
-                    self.queue.push(now + cfg.rto, Phase::Retry(src, dst, seq));
-                }
-                (_, Phase::AckArrival(src, dst, seq)) => {
-                    self.pending.remove(&(src, dst, seq));
                 }
             }
         }
     }
 
+    fn handle_arrival(&mut self, arrived: VirtualTime, env: Envelope<P>) {
+        let (src, dst) = (env.msg.src.0, env.msg.dst.0);
+        let Some(seq) = env.seq else {
+            self.schedule_service(arrived, env.msg, None);
+            return;
+        };
+        if !self.reliability.first_arrival(src, dst, seq) {
+            // Duplicate: the sender is evidently missing our ack, so
+            // re-ack immediately — but never re-deliver.
+            self.send_ack(arrived, src, dst, seq);
+            return;
+        }
+        let next = self.deliver_next.get(&(src, dst)).copied().unwrap_or(0);
+        if seq != next {
+            // Out of order: the message has arrived — ack it now, so the
+            // sender does not retransmit something we already hold — but
+            // its delivery waits for the link gap to fill.
+            self.send_ack(arrived, src, dst, seq);
+            self.reorder_buf
+                .entry((src, dst))
+                .or_default()
+                .insert(seq, env.msg);
+            return;
+        }
+        // In order: service now, ack at service completion (so the
+        // sender's RTT sample includes handler queueing).
+        self.reliability.count_delivered();
+        self.deliver_next.insert((src, dst), seq + 1);
+        self.schedule_service(arrived, env.msg, Some((src, dst, seq)));
+        self.drain_in_order(arrived, src, dst);
+    }
+
+    /// Queues `msg` for its destination handler starting no earlier than
+    /// `at`; `ack`, when present, is acknowledged at service completion.
+    fn schedule_service(
+        &mut self,
+        at: VirtualTime,
+        msg: Message<P>,
+        ack: Option<(usize, usize, u64)>,
+    ) {
+        let dst = msg.dst.0;
+        let mut start = at.max(self.handler_free[dst]);
+        if let Some(release) = self
+            .faults
+            .as_ref()
+            .and_then(|f| f.stall_release(dst, start))
+        {
+            start = release;
+        }
+        let done = start + self.model.handler_time(msg.kind);
+        self.handler_free[dst] = done;
+        self.queue.push(done, Phase::Serviced(msg, ack));
+    }
+
+    /// Delivers every buffered message on `src → dst` that is now in
+    /// order, skipping tombstoned sequences (abandoned at retry
+    /// exhaustion — they will never arrive, and must not block the link).
+    /// Held-back messages were already acknowledged at arrival, so their
+    /// service completion carries no ack.
+    fn drain_in_order(&mut self, now: VirtualTime, src: usize, dst: usize) {
+        loop {
+            let next = self.deliver_next.get(&(src, dst)).copied().unwrap_or(0);
+            let held = self
+                .reorder_buf
+                .get_mut(&(src, dst))
+                .and_then(|b| b.remove(&next));
+            if let Some(m) = held {
+                self.reliability.count_delivered();
+                self.deliver_next.insert((src, dst), next + 1);
+                self.schedule_service(now, m, None);
+            } else if self.reliability.is_failed(src, dst, next) {
+                self.deliver_next.insert((src, dst), next + 1);
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn handle_retry(&mut self, now: VirtualTime, src: usize, dst: usize, seq: u64)
+    where
+        P: Clone,
+    {
+        let Some(p) = self.pending.remove(&(src, dst, seq)) else {
+            return; // already acknowledged
+        };
+        let cfg = self.reliability.config().expect("loss enabled");
+        if p.retries >= cfg.max_retries {
+            // Retry exhaustion is a structured outcome, not a crash: the
+            // message becomes a DeliveryFailure and its sequence is
+            // tombstoned so a late copy can never resurrect it.
+            if self.reliability.give_up(src, dst, seq, p.msg.kind) {
+                self.in_flight -= 1;
+                // The tombstoned sequence will never arrive; unblock any
+                // later messages held behind it in the reorder buffer.
+                self.drain_in_order(now, src, dst);
+            }
+            return;
+        }
+        self.reliability.count_retransmission();
+        // Retransmissions consume real bandwidth.
+        self.stats.record(p.msg.kind, p.msg.payload_bytes);
+        let floor = self.rto_floor(&p.msg);
+        let retries = p.retries + 1;
+        self.pending.insert(
+            (src, dst, seq),
+            PendingMsg {
+                msg: p.msg.clone(),
+                retries,
+                sent_at: p.sent_at,
+            },
+        );
+        self.transmit(now, p.msg, Some(seq));
+        let rto = self.reliability.rto_for(src, dst, retries, floor);
+        self.queue.push(now + rto, Phase::Retry(src, dst, seq));
+    }
+
     /// Sends `msg` at virtual time `now`. Arrival and service are scheduled
     /// automatically; the message is eventually returned by
-    /// [`next`](Self::next) exactly once, even under injected loss.
+    /// [`next`](Self::next) exactly once, even under injected loss — or, if
+    /// the peer stays unresponsive past `max_retries`, it surfaces in
+    /// [`delivery_failures`](Self::delivery_failures) instead.
     ///
     /// # Panics
     ///
@@ -239,32 +492,53 @@ impl<P> NetworkSim<P> {
         if self.reliability.enabled() {
             let (src, dst) = (msg.src.0, msg.dst.0);
             let seq = self.reliability.next_seq(src, dst);
-            let cfg = self.reliability.config().expect("enabled");
-            self.pending.insert((src, dst, seq), (msg.clone(), 0));
-            if !self.reliability.should_drop() {
-                let wire = self.wire_delay(msg.payload_bytes);
-                self.queue.push(
-                    now + wire,
-                    Phase::Arrival(Envelope {
-                        msg,
-                        seq: Some(seq),
-                    }),
-                );
-            }
-            self.queue.push(now + cfg.rto, Phase::Retry(src, dst, seq));
+            let floor = self.rto_floor(&msg);
+            self.pending.insert(
+                (src, dst, seq),
+                PendingMsg {
+                    msg: msg.clone(),
+                    retries: 0,
+                    sent_at: now,
+                },
+            );
+            self.transmit(now, msg, Some(seq));
+            let rto = self.reliability.rto_for(src, dst, 0, floor);
+            self.queue.push(now + rto, Phase::Retry(src, dst, seq));
         } else {
-            let wire = self.wire_delay(msg.payload_bytes);
-            self.queue
-                .push(now + wire, Phase::Arrival(Envelope { msg, seq: None }));
+            self.transmit(now, msg, None);
         }
     }
 
-    /// Completion time of the earliest pending event (arrival or service).
-    pub fn peek_time(&self) -> Option<VirtualTime> {
+    /// Drops bookkeeping events at the head of the queue that can no
+    /// longer do anything: a retry timer or ack arrival whose pending
+    /// entry is gone (the message was acknowledged or abandoned). Without
+    /// this, a cleared timer makes the network look busy for up to one
+    /// RTO after the last real delivery.
+    fn purge_dead(&mut self) {
+        while let Some((_, phase)) = self.queue.peek() {
+            let dead = match phase {
+                Phase::Retry(src, dst, seq) | Phase::AckArrival(src, dst, seq) => {
+                    !self.pending.contains_key(&(*src, *dst, *seq))
+                }
+                Phase::Arrival(_) | Phase::Serviced(..) => false,
+            };
+            if !dead {
+                break;
+            }
+            self.queue.pop();
+        }
+    }
+
+    /// Completion time of the earliest *live* pending event (arrival,
+    /// service, or an armed retransmission timer). `None` means the
+    /// network is quiescent: dead timer residue does not count.
+    pub fn peek_time(&mut self) -> Option<VirtualTime> {
+        self.purge_dead();
         self.queue.peek_time()
     }
 
-    /// Number of messages sent but not yet returned by `next`.
+    /// Number of messages sent but not yet returned by `next` (abandoned
+    /// messages leave this count when the sender gives up).
     pub fn in_flight(&self) -> usize {
         self.in_flight
     }
@@ -372,6 +646,55 @@ mod tests {
         };
         assert_eq!(run(1), run(1));
         assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn reliable_delivery_acks_at_service_completion() {
+        let mut net = NetworkSim::new(2, LatencyModel::paper());
+        net.enable_loss(SimRng::seed_from(1), LossConfig::clean_adaptive());
+        net.send(VirtualTime::ZERO, msg(0, 1, MsgKind::LockRequest, 64));
+        let (_, m) = net.next().unwrap();
+        assert_eq!(m.payload, 0);
+        // Drain the ack arrival; afterwards the network is quiescent.
+        assert!(net.next().is_none());
+        assert_eq!(net.peek_time(), None);
+        let s = net.loss_stats();
+        assert_eq!(s.acks_sent, 1);
+        assert_eq!(s.delivered, 1);
+        assert!(s.balanced());
+        // Ack bandwidth is accounted like any other traffic.
+        assert_eq!(net.stats().kind_count(MsgKind::Ack), 1);
+        assert_eq!(net.stats().kind_bytes(MsgKind::Ack), ACK_BYTES as u64);
+    }
+
+    #[test]
+    fn stalled_node_defers_service_not_arrival() {
+        use crate::fault::StallWindow;
+        let mut net = NetworkSim::new(2, LatencyModel::paper());
+        let plan = FaultPlan {
+            stalls: vec![StallWindow {
+                node: 1,
+                from: VirtualTime::ZERO,
+                until: VirtualTime::from_us(5_000),
+            }],
+            ..FaultPlan::default()
+        };
+        net.set_faults(SimRng::seed_from(1), plan);
+        net.send(VirtualTime::ZERO, msg(0, 1, MsgKind::LockRequest, 64));
+        let (t, _) = net.next().unwrap();
+        let expect =
+            VirtualTime::from_us(5_000) + LatencyModel::paper().handler_time(MsgKind::LockRequest);
+        assert_eq!(t, expect, "service starts when the stall releases");
+    }
+
+    #[test]
+    #[should_panic(expected = "require the reliability layer")]
+    fn lossy_fault_plan_without_reliability_rejected() {
+        let mut net: NetworkSim<u32> = NetworkSim::new(2, LatencyModel::paper());
+        net.set_faults(
+            SimRng::seed_from(1),
+            FaultPlan::named("loss-10", 2).unwrap(),
+        );
     }
 
     #[test]

@@ -1,0 +1,305 @@
+//! Regression tests for the loss-path bug cluster fixed alongside the
+//! fault-injection subsystem, plus property tests of the reliability
+//! layer's exactly-once guarantee under composed faults.
+//!
+//! Each regression test names the bug it pins down:
+//!
+//! 1. *Phantom timer events* — a cleared retransmission timer kept
+//!    `peek_time()` non-quiescent for up to one RTO.
+//! 2. *Ack accounting* — dropped acks were counted as sent, ack drops
+//!    polluted the data-loss counter, and ack bandwidth was invisible.
+//! 3. *Unbounded dedup memory* — delivered-sequence state grew by one
+//!    entry per message forever.
+//! 4. *Spurious retransmission* — a message slower than the fixed RTO was
+//!    retransmitted while still in flight, double-counting bandwidth.
+
+use cvm_net::{
+    FaultPlan, LatencyModel, LinkRule, LossConfig, Message, MsgKind, NetworkSim, NodeId, RtoPolicy,
+    ACK_BYTES,
+};
+use cvm_sim::{SimDuration, SimRng, VirtualTime};
+
+fn msg(src: usize, dst: usize, kind: MsgKind, bytes: usize, id: u64) -> Message<u64> {
+    Message::new(NodeId(src), NodeId(dst), kind, bytes, id)
+}
+
+/// Drains the network to quiescence, returning every delivery in order.
+fn drain(net: &mut NetworkSim<u64>) -> Vec<(VirtualTime, u64)> {
+    let mut out = Vec::new();
+    while let Some((t, m)) = net.next() {
+        out.push((t, m.payload));
+    }
+    out
+}
+
+/// Bug 1: after the ack clears `pending`, the already-queued retry timer
+/// must not make the network look busy.
+#[test]
+fn cleared_retry_timer_is_not_pending_activity() {
+    let mut net = NetworkSim::new(2, LatencyModel::paper());
+    net.enable_loss(SimRng::seed_from(1), LossConfig::clean_adaptive());
+    net.send(VirtualTime::ZERO, msg(0, 1, MsgKind::LockRequest, 64, 7));
+    let (done, _) = net.next().expect("delivered");
+    // Let the ack arrive (one wire hop after service completion), but stay
+    // well before the ~5 ms retransmission timer.
+    let ack_at = done + LatencyModel::paper().wire_time(ACK_BYTES);
+    assert!(net.poll(ack_at).is_none(), "only the ack is left");
+    assert_eq!(net.in_flight(), 0);
+    assert_eq!(
+        net.peek_time(),
+        None,
+        "nothing is in flight: the dead retry timer must not report activity"
+    );
+}
+
+/// Bug 2: `acks_sent` counts only acks actually transmitted, ack drops
+/// have their own counter, and ack bandwidth is visible in `NetStats`.
+#[test]
+fn ack_drops_are_not_sent_acks_and_ack_bandwidth_is_accounted() {
+    let mut net = NetworkSim::new(2, LatencyModel::paper());
+    net.enable_loss(SimRng::seed_from(11), LossConfig::clean_adaptive());
+    // Asymmetric plan: the ack path 1 → 0 loses 60% of its traffic, the
+    // data path 0 → 1 is clean.
+    net.set_faults(
+        SimRng::seed_from(5),
+        FaultPlan::uniform(LinkRule {
+            src: Some(1),
+            dst: Some(0),
+            loss: 0.6,
+            ..LinkRule::default()
+        }),
+    );
+    for i in 0..50 {
+        net.send(
+            VirtualTime::from_us(i * 10),
+            msg(0, 1, MsgKind::LockRequest, 64, i),
+        );
+    }
+    let delivered = drain(&mut net);
+    assert_eq!(delivered.len(), 50, "every message delivered exactly once");
+    let s = net.loss_stats();
+    assert!(s.balanced(), "{s:?}");
+    assert_eq!(s.dropped, 0, "ack drops must not pollute the data counter");
+    assert!(s.ack_drops > 0, "the lossy reverse path dropped acks");
+    assert!(
+        s.retransmissions > 0,
+        "lost acks force data retransmissions"
+    );
+    // The sent-counter counts transmissions, not attempts — and every
+    // transmitted ack's bytes are on the books.
+    assert_eq!(
+        net.stats().kind_count(MsgKind::Ack),
+        s.acks_sent,
+        "NetStats and LossStats agree on transmitted acks"
+    );
+    assert_eq!(
+        net.stats().kind_bytes(MsgKind::Ack),
+        s.acks_sent * ACK_BYTES as u64,
+        "ack bandwidth accounted like retransmission bandwidth"
+    );
+}
+
+/// Bug 3: in-order delivery must not accumulate dedup state (the old
+/// per-link `HashSet` grew by one entry per message forever).
+#[test]
+fn dedup_memory_stays_bounded_over_long_runs() {
+    let mut net = NetworkSim::new(2, LatencyModel::instant());
+    net.enable_loss(SimRng::seed_from(3), LossConfig::clean_adaptive());
+    for i in 0..2000 {
+        net.send(
+            VirtualTime::from_us(i),
+            msg(0, 1, MsgKind::UpdatePush, 64, i),
+        );
+    }
+    let delivered = drain(&mut net);
+    assert_eq!(delivered.len(), 2000);
+    assert_eq!(
+        net.dedup_entries(),
+        0,
+        "2000 in-order deliveries must leave zero sparse dedup entries"
+    );
+}
+
+/// Bug 4, fixed-RTO half: a message whose wire time alone exceeds the
+/// fixed timeout is retransmitted while still in flight, double-counting
+/// its bytes — the legacy behaviour, demonstrated on the legacy policy.
+#[test]
+fn fixed_rto_spuriously_retransmits_slow_messages() {
+    const BIG: usize = 3_000_000; // wire ≈ 6.4 ms > the 5 ms fixed RTO
+    let mut net = NetworkSim::new(2, LatencyModel::paper());
+    net.enable_loss(
+        SimRng::seed_from(1),
+        LossConfig {
+            loss_probability: 0.0,
+            rto: RtoPolicy::Fixed(SimDuration::from_ms(5)),
+            max_retries: 64,
+        },
+    );
+    net.send(VirtualTime::ZERO, msg(0, 1, MsgKind::DiffReply, BIG, 1));
+    let delivered = drain(&mut net);
+    assert_eq!(delivered.len(), 1, "still exactly-once to the protocol");
+    let s = net.loss_stats();
+    assert!(
+        s.retransmissions >= 1,
+        "the fixed RTO fires while the message is on the wire: {s:?}"
+    );
+    assert!(s.duplicates_suppressed >= 1, "{s:?}");
+    assert!(
+        net.stats().kind_bytes(MsgKind::DiffReply) >= 2 * BIG as u64,
+        "spurious retransmission double-counts bandwidth"
+    );
+}
+
+/// Bug 4, adaptive half: the per-message floor (wire + handler + ack wire,
+/// with headroom) keeps the timer from ever firing below the uncontended
+/// round trip, eliminating the spurious retransmission on the same
+/// scenario.
+#[test]
+fn adaptive_rto_floor_eliminates_spurious_retransmission() {
+    const BIG: usize = 3_000_000;
+    let mut net = NetworkSim::new(2, LatencyModel::paper());
+    net.enable_loss(SimRng::seed_from(1), LossConfig::clean_adaptive());
+    net.send(VirtualTime::ZERO, msg(0, 1, MsgKind::DiffReply, BIG, 1));
+    let delivered = drain(&mut net);
+    assert_eq!(delivered.len(), 1);
+    let s = net.loss_stats();
+    assert_eq!(s.retransmissions, 0, "{s:?}");
+    assert_eq!(s.duplicates_suppressed, 0, "{s:?}");
+    assert_eq!(
+        net.stats().kind_bytes(MsgKind::DiffReply),
+        BIG as u64,
+        "each byte on the wire exactly once"
+    );
+    assert!(s.balanced());
+}
+
+/// Retry exhaustion against an unresponsive peer is a structured outcome,
+/// not a panic: the send resolves as a `DeliveryFailure`, the counters
+/// balance, and the network reaches quiescence.
+#[test]
+fn retry_exhaustion_degrades_instead_of_panicking() {
+    let mut net = NetworkSim::new(3, LatencyModel::paper());
+    net.enable_loss(
+        SimRng::seed_from(9),
+        LossConfig {
+            max_retries: 4,
+            ..LossConfig::clean_adaptive()
+        },
+    );
+    // Node 2 is cut off forever.
+    net.set_faults(
+        SimRng::seed_from(2),
+        FaultPlan {
+            partitions: vec![cvm_net::Partition {
+                island: vec![2],
+                from: VirtualTime::ZERO,
+                until: VirtualTime::MAX,
+            }],
+            ..FaultPlan::default()
+        },
+    );
+    net.send(VirtualTime::ZERO, msg(0, 2, MsgKind::PageRequest, 64, 1));
+    net.send(VirtualTime::ZERO, msg(0, 1, MsgKind::LockRequest, 64, 2));
+    let delivered = drain(&mut net);
+    assert_eq!(delivered.len(), 1, "the healthy link still delivers");
+    assert_eq!(delivered[0].1, 2);
+    let failures = net.delivery_failures();
+    assert_eq!(failures.len(), 1);
+    assert_eq!(failures[0].dst, NodeId(2));
+    assert_eq!(failures[0].kind, MsgKind::PageRequest);
+    let s = net.loss_stats();
+    assert!(s.balanced(), "{s:?}");
+    assert_eq!(s.gave_up, 1);
+    assert_eq!(net.in_flight(), 0, "abandoned messages leave in_flight");
+    assert_eq!(net.peek_time(), None, "fully quiescent after giving up");
+}
+
+/// Property: exactly-once delivery under loss × duplication × reordering ×
+/// corruption, across seeds. Every payload reaches the protocol exactly
+/// once, the counters balance, and the run is deterministic per seed.
+#[test]
+fn exactly_once_under_composed_faults_across_seeds() {
+    let storm = FaultPlan::uniform(LinkRule {
+        loss: 0.15,
+        duplicate: 0.15,
+        corrupt: 0.05,
+        reorder: 0.30,
+        reorder_window: SimDuration::from_ms(2),
+        ..LinkRule::default()
+    });
+    let run = |seed: u64| {
+        let mut net = NetworkSim::new(4, LatencyModel::paper());
+        net.enable_loss(
+            SimRng::seed_from(seed),
+            LossConfig {
+                loss_probability: 0.10,
+                ..LossConfig::clean_adaptive()
+            },
+        );
+        net.set_faults(SimRng::seed_from(seed ^ 0xFA17), storm.clone());
+        let mut traffic = SimRng::seed_from(seed ^ 0x7AFF);
+        let n = 300;
+        for i in 0..n {
+            let src = traffic.below(4) as usize;
+            let dst = (src + 1 + traffic.below(3) as usize) % 4;
+            let kind = if i % 3 == 0 {
+                MsgKind::DiffReply
+            } else {
+                MsgKind::LockRequest
+            };
+            net.send(VirtualTime::from_us(i * 50), msg(src, dst, kind, 64, i));
+        }
+        let delivered = drain(&mut net);
+        let mut ids: Vec<u64> = delivered.iter().map(|&(_, id)| id).collect();
+        ids.sort_unstable();
+        assert_eq!(
+            ids,
+            (0..n).collect::<Vec<_>>(),
+            "seed {seed}: every message exactly once"
+        );
+        let s = net.loss_stats();
+        assert!(s.balanced(), "seed {seed}: {s:?}");
+        assert_eq!(s.gave_up, 0, "seed {seed}: nothing abandoned");
+        assert!(s.dropped > 0 && s.duplicates_injected > 0, "seed {seed}");
+        assert!(
+            s.corrupt_drops > 0 && s.reorders_injected > 0,
+            "seed {seed}"
+        );
+        assert_eq!(net.in_flight(), 0);
+        assert_eq!(net.peek_time(), None);
+        delivered
+    };
+    for seed in [1, 7, 42, 1999, 0xC0FFEE] {
+        let a = run(seed);
+        let b = run(seed);
+        assert_eq!(a, b, "seed {seed}: deterministic replay");
+    }
+}
+
+/// A fault plan draws from its own RNG stream: enabling an *empty* plan
+/// must not perturb any delivery time of an otherwise identical run.
+#[test]
+fn empty_fault_plan_is_observationally_inert() {
+    let run = |with_plan: bool| {
+        let mut net = NetworkSim::new(3, LatencyModel::paper());
+        net.enable_loss(SimRng::seed_from(4), LossConfig::lossy_10pct());
+        net.set_jitter(SimRng::seed_from(8), SimDuration::from_us(50));
+        if with_plan {
+            net.set_faults(SimRng::seed_from(99), FaultPlan::default());
+        }
+        for i in 0..100 {
+            net.send(
+                VirtualTime::from_us(i * 20),
+                msg(
+                    (i % 3) as usize,
+                    ((i + 1) % 3) as usize,
+                    MsgKind::UpdatePush,
+                    128,
+                    i,
+                ),
+            );
+        }
+        drain(&mut net)
+    };
+    assert_eq!(run(false), run(true));
+}

@@ -84,6 +84,13 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|s| s.time)
     }
 
+    /// The earliest pending event and its firing time, without removing it.
+    /// Lets a caller decide whether the head is still meaningful (e.g. a
+    /// cancelled timer) before popping it.
+    pub fn peek(&self) -> Option<(VirtualTime, &E)> {
+        self.heap.peek().map(|s| (s.time, &s.event))
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()

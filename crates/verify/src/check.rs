@@ -32,6 +32,10 @@ pub struct CheckOptions {
     pub budget: u64,
     /// Deliberate protocol mutation (oracle self-test), if any.
     pub inject: Option<InjectFault>,
+    /// Named fault plan (from [`cvm_dsm::PLAN_CATALOG`]) layered under
+    /// every explored schedule: the oracle and race replay then run over
+    /// a faulty wire repaired by the reliability layer.
+    pub faults: Option<&'static str>,
     /// Trace capacity per run for the offline race replay.
     pub trace_capacity: usize,
     /// Problem size.
@@ -49,6 +53,7 @@ impl Default for CheckOptions {
             seed: 0xC11E_C4ED,
             budget: 64,
             inject: None,
+            faults: None,
             trace_capacity: 4_000_000,
             scale: Scale::Small,
         }
@@ -73,6 +78,7 @@ impl CheckOptions {
             threads: self.threads,
             protocol: self.protocol,
             inject: self.inject,
+            faults: self.faults,
             trace_capacity: self.trace_capacity,
         }
     }
@@ -167,11 +173,14 @@ impl CheckReport {
                 }
                 let replay = fail.minimized.or(fail.spec);
                 if let Some(spec) = replay {
-                    let proto = if self.options.protocol == ProtocolKind::default() {
+                    let mut proto = if self.options.protocol == ProtocolKind::default() {
                         String::new()
                     } else {
                         format!(" --protocol {}", self.options.protocol.slug())
                     };
+                    if let Some(faults) = self.options.faults {
+                        let _ = write!(proto, " --faults {faults}");
+                    }
                     let _ = writeln!(
                         out,
                         "  replay: cvm check --app {} --nodes {} --threads {}{proto} \

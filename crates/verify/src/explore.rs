@@ -4,7 +4,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use cvm_apps::{build_app, AppId, Scale};
-use cvm_dsm::{CvmBuilder, CvmConfig, Finding, FindingSink, InjectFault, ProtocolKind};
+use cvm_dsm::{CvmBuilder, CvmConfig, FaultPlan, Finding, FindingSink, InjectFault, ProtocolKind};
 use cvm_sim::ExploreSpec;
 
 use crate::race::replay_race_check;
@@ -49,6 +49,9 @@ pub struct RunPlan {
     pub protocol: ProtocolKind,
     /// Deliberate protocol mutation (oracle self-test), if any.
     pub inject: Option<InjectFault>,
+    /// Named fault plan (from [`cvm_dsm::PLAN_CATALOG`]) layered under
+    /// the explored schedules, if any.
+    pub faults: Option<&'static str>,
     /// Trace capacity for the offline replay.
     pub trace_capacity: usize,
 }
@@ -66,6 +69,9 @@ pub fn run_schedule(plan: RunPlan, spec: Option<ExploreSpec>) -> ScheduleResult 
         cfg.verify = true;
         cfg.verify_sink = run_sink;
         cfg.inject = plan.inject;
+        if let Some(name) = plan.faults {
+            cfg.faults = Some(FaultPlan::named(name, plan.nodes).expect("fault plan in catalog"));
+        }
         cfg.explore = spec;
         cfg.trace_capacity = plan.trace_capacity;
         let mut builder = CvmBuilder::new(cfg);

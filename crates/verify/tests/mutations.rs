@@ -15,6 +15,7 @@ fn plan(inject: Option<InjectFault>) -> RunPlan {
         threads: 2,
         protocol: ProtocolKind::LazyMultiWriter,
         inject,
+        faults: None,
         trace_capacity: 4_000_000,
     }
 }

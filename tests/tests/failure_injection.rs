@@ -4,14 +4,17 @@
 
 use cvm_apps::{sor, water_nsq};
 use cvm_dsm::{CvmBuilder, CvmConfig};
-use cvm_net::LossConfig;
+use cvm_net::{AdaptiveRto, LossConfig, RtoPolicy};
 use cvm_sim::SimDuration;
 
 fn lossy(nodes: usize, threads: usize, pct: f64) -> CvmConfig {
     let mut c = CvmConfig::small(nodes, threads);
     c.loss = Some(LossConfig {
         loss_probability: pct,
-        rto: SimDuration::from_ms(3),
+        rto: RtoPolicy::Adaptive(AdaptiveRto {
+            initial: SimDuration::from_ms(3),
+            ..AdaptiveRto::default()
+        }),
         max_retries: 64,
     });
     c

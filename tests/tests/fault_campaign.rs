@@ -1,0 +1,119 @@
+//! The fault-injection campaign, end to end through the public stack:
+//! determinism across worker counts, graceful degradation through the
+//! full driver, and the inertness of an empty fault plan all the way up
+//! at the sweep level.
+
+use cvm_apps::{sor, AppId};
+use cvm_dsm::{CvmBuilder, CvmConfig, FaultPlan, ProtocolKind};
+use cvm_harness::faults::{run_campaign, FaultsConfig};
+use cvm_harness::sweep::{run_sweep, SweepConfig};
+use cvm_net::{AdaptiveRto, LossConfig, Partition, RtoPolicy};
+use cvm_sim::VirtualTime;
+
+#[test]
+fn tiny_campaign_is_byte_identical_across_worker_counts() {
+    let cfg = |workers| FaultsConfig {
+        apps: vec![AppId::Sor, AppId::Fft],
+        protocols: vec![ProtocolKind::LazyMultiWriter, ProtocolKind::HomeLazy],
+        plans: vec!["none", "loss-10", "storm"],
+        nodes: 2,
+        threads: 2,
+        workers,
+        ..FaultsConfig::default()
+    };
+    let serial = run_campaign(cfg(1));
+    let parallel = run_campaign(cfg(4));
+    assert!(serial.clean(), "{}", serial.violations_section());
+    assert_eq!(
+        serial.to_json().to_pretty(),
+        parallel.to_json().to_pretty(),
+        "campaign JSON must be byte-identical at any worker count"
+    );
+}
+
+#[test]
+fn permanent_partition_degrades_through_the_full_driver() {
+    // Node 1 is cut off forever and the retry budget is tiny: the run
+    // must complete with a degraded report — abandoned traffic and
+    // unfinished threads on the record — instead of panicking.
+    let mut cfg = CvmConfig::small(3, 1);
+    cfg.loss = Some(LossConfig {
+        loss_probability: 0.0,
+        rto: RtoPolicy::Adaptive(AdaptiveRto::default()),
+        max_retries: 4,
+    });
+    cfg.faults = Some(FaultPlan {
+        partitions: vec![Partition {
+            island: vec![1],
+            from: VirtualTime::ZERO,
+            until: VirtualTime::MAX,
+        }],
+        ..FaultPlan::default()
+    });
+    let mut b = CvmBuilder::new(cfg);
+    let v = b.alloc::<u64>(8);
+    let report = b.run(move |ctx| {
+        ctx.startup_done();
+        v.write(ctx, ctx.global_id(), ctx.global_id() as u64);
+        ctx.barrier();
+        let _ = v.read(ctx, 0);
+    });
+    assert!(report.degraded(), "a severed node must degrade the run");
+    assert!(!report.failures.is_empty(), "abandoned traffic recorded");
+    assert!(report.unfinished_threads > 0, "stuck threads recorded");
+    assert!(
+        report.loss.balanced(),
+        "counters balance even when degraded"
+    );
+    let json = report.to_json(0).to_pretty();
+    assert!(json.contains("\"degraded\""), "degradation serialized");
+}
+
+#[test]
+fn empty_fault_plan_leaves_the_report_identical() {
+    let sor_cfg = sor::SorConfig {
+        n: 40,
+        iters: 2,
+        omega: 1.1,
+    };
+    let run = |faults: Option<FaultPlan>| {
+        let mut cfg = CvmConfig::small(2, 2);
+        cfg.faults = faults;
+        sor::checksum_of_config(&sor_cfg, cfg)
+    };
+    let (clean_sum, clean) = run(None);
+    let (empty_sum, empty) = run(Some(FaultPlan::default()));
+    assert_eq!(clean_sum.to_bits(), empty_sum.to_bits());
+    assert_eq!(clean.total_time, empty.total_time);
+    assert_eq!(clean.stats, empty.stats);
+    assert_eq!(
+        clean.to_json(0).to_pretty(),
+        empty.to_json(0).to_pretty(),
+        "an empty plan must be observationally inert end to end"
+    );
+}
+
+#[test]
+fn sweep_report_is_unchanged_with_faults_disabled() {
+    // The sweep never sets a fault plan; this pins the integration down:
+    // merely *linking* the fault layer (and the reliability rework behind
+    // it) must not move a single byte of the fault-free sweep report.
+    let cfg = |workers| SweepConfig {
+        apps: vec![AppId::Sor],
+        nodes: vec![2],
+        threads: vec![1, 2],
+        workers,
+        ..SweepConfig::default()
+    };
+    let a = run_sweep(cfg(1));
+    let b = run_sweep(cfg(2));
+    assert_eq!(
+        a.to_json().to_pretty(),
+        b.to_json().to_pretty(),
+        "fault-free sweep must stay byte-identical across worker counts"
+    );
+    for o in &a.outcomes {
+        assert_eq!(o.report.loss, cvm_net::LossStats::default());
+        assert!(!o.report.degraded());
+    }
+}
