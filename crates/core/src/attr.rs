@@ -23,6 +23,10 @@ pub struct PageAttr {
     pub diffs_created: u64,
     /// Total modified bytes across those diffs.
     pub diff_bytes: u64,
+    /// Total virtual time inside RemoteFault spans on this page (0 when
+    /// span recording is off): *where the fault latency went*, not just
+    /// how often it struck.
+    pub fault_span_ns: u64,
 }
 
 impl PageAttr {
@@ -46,6 +50,9 @@ pub struct LockAttr {
     /// Remote acquires that took the 3-hop path (manager forwarded to the
     /// current owner).
     pub three_hop: u64,
+    /// Total virtual time inside LockAcquire spans on this lock (0 when
+    /// span recording is off).
+    pub acquire_span_ns: u64,
 }
 
 impl LockAttr {
@@ -141,6 +148,7 @@ impl ResourceAttr {
             row.set("invalidations", a.invalidations);
             row.set("diffs_created", a.diffs_created);
             row.set("diff_bytes", a.diff_bytes);
+            row.set("fault_span_ns", a.fault_span_ns);
             hot_pages.push(row);
         }
         obj.set("hot_pages", hot_pages);
@@ -153,6 +161,7 @@ impl ResourceAttr {
             row.set("local_handoffs", a.local_handoffs);
             row.set("contended", a.contended);
             row.set("three_hop", a.three_hop);
+            row.set("acquire_span_ns", a.acquire_span_ns);
             hot_locks.push(row);
         }
         obj.set("hot_locks", hot_locks);

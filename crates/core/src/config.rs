@@ -92,6 +92,10 @@ pub struct CvmConfig {
     /// Protocol-trace capacity in events (0 disables tracing). The trace
     /// is returned on the run report.
     pub trace_capacity: usize,
+    /// Record the causal span forest (see [`crate::span`]). Off by
+    /// default: span bookkeeping is pure observation — it never touches
+    /// modelled time — but costs host memory and report size.
+    pub spans: bool,
     /// Master seed for all deterministic randomness.
     pub seed: u64,
     /// Run the online invariant oracle: violations are recorded as
@@ -145,6 +149,7 @@ impl CvmConfig {
             loss: None,
             faults: None,
             trace_capacity: 0,
+            spans: false,
             seed: 0x5EED_CAFE,
             verify: false,
             verify_sink: FindingSink::new(),

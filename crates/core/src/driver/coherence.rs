@@ -17,6 +17,7 @@ use crate::interval::{VectorTime, WriteNotice};
 use crate::msg::Payload;
 use crate::oracle::{InjectFault, Invariant};
 use crate::page::{PageId, PageState};
+use crate::span::{SpanKind, SpanResource};
 use crate::trace::TraceEvent;
 
 use super::DriverCore;
@@ -66,6 +67,8 @@ pub(super) struct PendingFetch {
     pub(super) diffs: Vec<(u32, u64, usize, Diff)>,
     /// When the fault left the node (histogram sample start).
     pub(super) started: VirtualTime,
+    /// The RemoteFault span covering this fetch (0 when spans are off).
+    pub(super) span: u64,
 }
 
 impl DriverCore {
@@ -123,9 +126,17 @@ impl DriverCore {
                 write,
             },
         );
+        // The fault span's parent is whatever invalidated the page (the
+        // lock grant or barrier release that delivered the notice), so
+        // `cvm explain` can walk from a slow fault back to its cause.
+        let parent = self.page_cause.get(&p).copied().unwrap_or(0);
+        let span = self
+            .spans
+            .open(SpanKind::RemoteFault, n, SpanResource::Page(p), parent, now);
         let mut fetch = PendingFetch {
             waiters: vec![(tid, write)],
             started: now,
+            span,
             ..Default::default()
         };
         if need_base {
@@ -134,11 +145,18 @@ impl DriverCore {
         fetch.replies_needed += writers.len();
         self.ctl[n].fetches.insert(p, fetch);
         if need_base {
+            self.cur_span =
+                self.spans
+                    .open(SpanKind::PagePull, n, SpanResource::Page(p), span, now);
             self.send_remote(n, home, Payload::PageRequest { page }, now);
         }
         for (w, since) in writers {
+            self.cur_span =
+                self.spans
+                    .open(SpanKind::DiffPull, n, SpanResource::Page(p), span, now);
             self.send_remote(n, w, Payload::DiffRequest { page, since }, now);
         }
+        self.cur_span = 0;
     }
 
     /// Shared message path for the pull-based protocols: page/diff
@@ -165,6 +183,8 @@ impl DriverCore {
                 None
             }
             Payload::PageReply { page, data } => {
+                // The reply closes the PagePull child it rode in on.
+                self.spans.close(self.cur_span, t);
                 let p = page.0;
                 if let Some(f) = self.ctl[n].fetches.get_mut(&p) {
                     f.base = Some(data);
@@ -193,6 +213,8 @@ impl DriverCore {
                 None
             }
             Payload::DiffReply { page, diffs, upto } => {
+                // The reply closes the DiffPull child it rode in on.
+                self.spans.close(self.cur_span, t);
                 let p = page.0;
                 let key = (p, src);
                 let e = self.ctl[n].applied_ivl.entry(key).or_insert(0);
@@ -310,6 +332,10 @@ impl DriverCore {
             .fault_fetch_ns
             .record(self.ctl[n].sched.clock.since(fetch.started).as_ns());
         let clock = self.ctl[n].sched.clock;
+        self.spans.close(fetch.span, clock);
+        if let Some(rec) = self.spans.get(fetch.span) {
+            self.attr.page_mut(page).fault_span_ns += rec.duration_ns();
+        }
         for (tid, _write) in fetch.waiters {
             self.make_ready(n, tid, clock);
         }
@@ -317,6 +343,8 @@ impl DriverCore {
 
     /// Opens a single-reply [`PendingFetch`] for `page` with `tid` as the
     /// first waiter (the shape every single-round-trip protocol uses).
+    /// Returns the fetch's RemoteFault span id so the caller can stamp
+    /// the outgoing request (0 when spans are off).
     pub(super) fn open_fetch(
         &mut self,
         n: usize,
@@ -324,16 +352,26 @@ impl DriverCore {
         tid: usize,
         write: bool,
         now: VirtualTime,
-    ) {
+    ) -> u64 {
+        let parent = self.page_cause.get(&page).copied().unwrap_or(0);
+        let span = self.spans.open(
+            SpanKind::RemoteFault,
+            n,
+            SpanResource::Page(page),
+            parent,
+            now,
+        );
         self.ctl[n].fetches.insert(
             page,
             PendingFetch {
                 waiters: vec![(tid, write)],
                 replies_needed: 1,
                 started: now,
+                span,
                 ..Default::default()
             },
         );
+        span
     }
 
     /// Drops pending write notices for `page` that the applied-interval
@@ -581,6 +619,11 @@ impl DriverCore {
                 pend.push((wn.writer, wn.interval));
             }
             let p = wn.page.0;
+            // Remember which span delivered the notice: a later fault on
+            // this page is *caused* by it, and links as its child.
+            if self.cur_span != 0 {
+                self.page_cause.insert(p, self.cur_span);
+            }
             let state = self.cells[n].lock().state[p];
             if state.readable() {
                 let skip = self.inject_hits(|f| match f {

@@ -36,6 +36,10 @@ struct ParkedReq {
     requester: usize,
     /// `(writer, interval)` pairs the reply must cover.
     needs: Vec<(usize, u32)>,
+    /// The requester's RemoteFault span (0 when spans are off): the
+    /// eventual reply must ride in it, not in whatever flush span
+    /// happened to unpark the request.
+    span: u64,
 }
 
 /// Home-based LRC.
@@ -74,7 +78,7 @@ impl HomeLazy {
                 // The home's own fault: the page bytes are current now.
                 core.complete_fetch(n, p, t);
             } else {
-                self.reply(core, n, p, req.requester, t);
+                self.reply(core, n, p, req.requester, req.span, t);
             }
         }
         if !keep.is_empty() {
@@ -83,8 +87,17 @@ impl HomeLazy {
     }
 
     /// Sends the whole current page, with per-writer watermarks so the
-    /// requester can retire its write notices.
-    fn reply(&self, core: &mut DriverCore, home: usize, p: usize, to: usize, t: VirtualTime) {
+    /// requester can retire its write notices. The reply rides in `span`,
+    /// the requester's fault span.
+    fn reply(
+        &self,
+        core: &mut DriverCore,
+        home: usize,
+        p: usize,
+        to: usize,
+        span: u64,
+        t: VirtualTime,
+    ) {
         let data = core.cells[home].lock().page_bytes(p).to_vec();
         let watermarks: Vec<(usize, u32)> = (0..core.cfg.nodes)
             .filter_map(|w| {
@@ -92,6 +105,8 @@ impl HomeLazy {
                 (v > 0).then_some((w, v))
             })
             .collect();
+        let saved = core.cur_span;
+        core.cur_span = span;
         core.send_remote(
             home,
             to,
@@ -102,6 +117,7 @@ impl HomeLazy {
             },
             t,
         );
+        core.cur_span = saved;
     }
 }
 
@@ -199,10 +215,11 @@ impl Coherence for HomeLazy {
                     write,
                 },
             );
-            core.open_fetch(n, p, tid, write, now);
+            let span = core.open_fetch(n, p, tid, write, now);
             self.parked[n].entry(p).or_default().push(ParkedReq {
                 requester: n,
                 needs,
+                span,
             });
             return;
         }
@@ -235,8 +252,10 @@ impl Coherence for HomeLazy {
                 write,
             },
         );
-        core.open_fetch(n, p, tid, write, now);
+        let span = core.open_fetch(n, p, tid, write, now);
+        core.cur_span = span;
         core.send_remote(n, home, Payload::HomeRequest { page, needs }, now);
+        core.cur_span = 0;
     }
 
     fn on_message(
@@ -296,11 +315,12 @@ impl Coherence for HomeLazy {
                     .iter()
                     .all(|&(w, i)| core.ctl[n].applied_ivl(p, w) >= i);
                 if covered {
-                    self.reply(core, n, p, src, t);
+                    self.reply(core, n, p, src, core.cur_span, t);
                 } else {
                     self.parked[n].entry(p).or_default().push(ParkedReq {
                         requester: src,
                         needs,
+                        span: core.cur_span,
                     });
                 }
             }

@@ -77,6 +77,7 @@ use crate::protocol::ProtocolKind;
 use crate::report::{NodeBreakdown, RunReport};
 use crate::sched::NodeSched;
 use crate::shared::{Shareable, SharedMat, SharedVec};
+use crate::span::SpanForest;
 use crate::stats::DsmStats;
 use crate::trace::Trace;
 
@@ -320,6 +321,20 @@ pub struct DriverCore {
     lock_hops: HashMap<(usize, usize), u8>,
     /// Per node: first arrival time of the current barrier episode.
     barrier_arrived_at: Vec<Option<VirtualTime>>,
+    /// Causal span forest (`cfg.spans` gates recording).
+    spans: SpanForest,
+    /// Ambient span context: the span of the message being handled (or
+    /// of the operation being driven), stamped onto outgoing messages.
+    cur_span: u64,
+    /// Page → span that invalidated it, linking the
+    /// notice→refault→pull recovery chain into one causal tree.
+    page_cause: HashMap<usize, u64>,
+    /// Per node: the open Barrier span of the current episode (0 none).
+    barrier_span: Vec<u64>,
+    /// Per node: the open Reduce span of the current episode (0 none).
+    reduce_span: Vec<u64>,
+    /// `(node, lock)` → open LockAcquire span awaiting its grant.
+    lock_span: HashMap<(usize, usize), u64>,
     /// Invariant checker: panics on violation normally, records findings
     /// under `cfg.verify`.
     oracle: Oracle,
@@ -420,6 +435,7 @@ impl Driver {
             }
         }
         let cfg2_trace = cfg.trace_capacity;
+        let cfg2_spans = cfg.spans;
         let oracle = if cfg.verify {
             Oracle::recording(cfg.verify_sink.clone())
         } else {
@@ -475,6 +491,12 @@ impl Driver {
             lock_req_at: HashMap::new(),
             lock_hops: HashMap::new(),
             barrier_arrived_at: vec![None; nodes],
+            spans: SpanForest::new(cfg2_spans),
+            cur_span: 0,
+            page_cause: HashMap::new(),
+            barrier_span: vec![0; nodes],
+            reduce_span: vec![0; nodes],
+            lock_span: HashMap::new(),
             oracle,
             explore,
             inject_seen: 0,
@@ -496,7 +518,17 @@ impl Driver {
         loop {
             let limit = core.mainq.peek_time().unwrap_or(VirtualTime::MAX);
             if let Some((t, msg)) = core.net.poll(limit) {
+                if core.spans.enabled() {
+                    if let Some(info) = core.net.last_delivery() {
+                        core.spans
+                            .record_hop(msg.span, msg.src.0, msg.dst.0, msg.kind, info);
+                    }
+                }
+                // Handlers run inside the delivered message's causal
+                // span: their own sends inherit it via send_remote.
+                core.cur_span = msg.span;
                 core.handle_payload(&mut *proto, msg.dst.0, msg.src.0, msg.payload, t);
+                core.cur_span = 0;
                 continue;
             }
             match core.mainq.pop() {

@@ -60,6 +60,11 @@ impl DriverCore {
             } else {
                 None
             },
+            spans: if self.spans.enabled() {
+                Some(self.spans.clone())
+            } else {
+                None
+            },
             findings: self.cfg.verify_sink.snapshot(),
             explore_decisions: self.explore.as_ref().map_or(0, ExploreSchedule::decisions),
         };

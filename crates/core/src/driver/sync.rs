@@ -20,6 +20,7 @@ use crate::msg::Payload;
 use crate::oracle::{InjectFault, Invariant};
 use crate::page::PageState;
 use crate::report::NodeBreakdown;
+use crate::span::{SpanKind, SpanResource};
 use crate::trace::TraceEvent;
 
 use super::{Coherence, DriverCore, MAX_LOCKS};
@@ -55,6 +56,14 @@ impl DriverCore {
                 self.attr.lock_mut(lock).remote_acquires += 1;
                 self.lock_req_at.insert((n, lock), at);
                 let now = self.ctl[n].sched.clock;
+                // The acquire span covers request to grant; the request
+                // (and any forward the manager issues inside the same
+                // ambient context) rides in it.
+                let span =
+                    self.spans
+                        .open(SpanKind::LockAcquire, n, SpanResource::Lock(lock), 0, now);
+                self.lock_span.insert((n, lock), span);
+                self.cur_span = span;
                 let vt = self.ctl[n].vt.clone();
                 let mgr = lock % self.cfg.nodes;
                 if mgr == n {
@@ -72,6 +81,7 @@ impl DriverCore {
                         now,
                     );
                 }
+                self.cur_span = 0;
             }
         }
     }
@@ -106,6 +116,11 @@ impl DriverCore {
                     self.ctl[n].out_locks += 1;
                     self.attr.lock_mut(lock).remote_acquires += 1;
                     self.lock_req_at.insert((n, lock), now);
+                    let span =
+                        self.spans
+                            .open(SpanKind::LockAcquire, n, SpanResource::Lock(lock), 0, now);
+                    self.lock_span.insert((n, lock), span);
+                    self.cur_span = span;
                     let vt = self.ctl[n].vt.clone();
                     let mgr = lock % self.cfg.nodes;
                     if mgr == n {
@@ -123,6 +138,7 @@ impl DriverCore {
                             now,
                         );
                     }
+                    self.cur_span = 0;
                 }
             }
             ReleaseOutcome::KeepCached => {}
@@ -181,7 +197,17 @@ impl DriverCore {
         // ablation arrives once per thread).
         if self.barrier_arrived_at[n].is_none() {
             self.barrier_arrived_at[n] = Some(now);
+            // One Barrier span per node per episode: arrival to release.
+            self.barrier_span[n] = self.spans.open(
+                SpanKind::Barrier,
+                n,
+                SpanResource::Barrier(self.master.epoch()),
+                0,
+                now,
+            );
         }
+        let saved = self.cur_span;
+        self.cur_span = self.barrier_span[n];
         if n == 0 {
             self.master_arrive(proto, n, vt, notices, now);
         } else {
@@ -199,6 +225,7 @@ impl DriverCore {
                 now,
             );
         }
+        self.cur_span = saved;
     }
 
     /// Feeds one arrival to the barrier master, auditing the arrival count
@@ -283,6 +310,13 @@ impl DriverCore {
         // the per-node combined value travels.
         let acc = self.ctl[n].gred.reduce_acc.expect("contributions present");
         let now = self.ctl[n].sched.clock;
+        // One Reduce span per node per episode: last local arrival to
+        // release, mirroring the barrier span.
+        self.reduce_span[n] = self
+            .spans
+            .open(SpanKind::Reduce, n, SpanResource::None, 0, now);
+        let saved = self.cur_span;
+        self.cur_span = self.reduce_span[n];
         if n == 0 {
             self.reduce_arrive_at_master(proto, 0, reduce.0, acc, now);
         } else {
@@ -298,6 +332,7 @@ impl DriverCore {
                 now,
             );
         }
+        self.cur_span = saved;
     }
 
     pub(super) fn reduce_arrive_at_master(
@@ -321,13 +356,19 @@ impl DriverCore {
         self.gred_count = 0;
         self.gred_op = None;
         self.stats.global_reduces += 1;
+        let saved = self.cur_span;
         for q in 1..self.cfg.nodes {
+            // As with barriers, each release rides in the recipient's span.
+            self.cur_span = self.reduce_span[q];
             self.send(proto, 0, q, Payload::ReduceRelease { value: result }, t);
         }
+        self.cur_span = saved;
         self.apply_reduce_release(0, result, t);
     }
 
     pub(super) fn apply_reduce_release(&mut self, n: usize, value: f64, t: VirtualTime) {
+        let span = std::mem::replace(&mut self.reduce_span[n], 0);
+        self.spans.close(span, t);
         self.cells[n].lock().gr_result = value;
         let (woken, _) = self.ctl[n].gred.complete();
         for tid in woken {
@@ -391,6 +432,14 @@ impl DriverCore {
         for slot in &mut self.barrier_arrived_at {
             *slot = None;
         }
+        // Span ids restart at 1 so the measured region's forest is
+        // identical no matter what startup did.
+        self.spans.reset();
+        self.cur_span = 0;
+        self.page_cause.clear();
+        self.barrier_span.fill(0);
+        self.reduce_span.fill(0);
+        self.lock_span.clear();
         proto.reset(self);
         self.net = NetworkSim::new(self.cfg.nodes, self.cfg.latency.clone());
         let mut rng = SimRng::seed_from(self.cfg.seed ^ 0xBEEF);
@@ -454,6 +503,11 @@ impl DriverCore {
         acq_vt: &VectorTime,
         t: VirtualTime,
     ) {
+        // Whatever context we grant from (a release, a parked forward, a
+        // just-arrived forward), the grant belongs to the *acquirer's*
+        // LockAcquire span.
+        let saved = self.cur_span;
+        self.cur_span = self.lock_span.get(&(to, lock)).copied().unwrap_or(0);
         self.close_interval(proto, granter);
         let notices = self.notices_for_grant(granter, acq_vt);
         let vt = self.ctl[granter].vt.clone();
@@ -474,6 +528,7 @@ impl DriverCore {
             Payload::LockGrant { lock, vt, notices },
             t,
         );
+        self.cur_span = saved;
     }
 
     pub(super) fn manager_handle(
@@ -569,15 +624,24 @@ impl DriverCore {
         self.checked_merge(n, &vt, t);
         self.trace
             .record(t, TraceEvent::LockGranted { node: n, lock });
+        let span = self.lock_span.remove(&(n, lock)).unwrap_or(0);
+        self.spans.close(span, t);
         if let Some(started) = self.lock_req_at.remove(&(n, lock)) {
             let ns = t.since(started).as_ns();
             match self.lock_hops.remove(&(lock, n)) {
                 Some(3) => {
                     self.hist.lock_3hop_ns.record(ns);
                     self.attr.lock_mut(lock).three_hop += 1;
+                    self.spans.set_hop_count(span, 3);
                 }
-                _ => self.hist.lock_2hop_ns.record(ns),
+                _ => {
+                    self.hist.lock_2hop_ns.record(ns);
+                    self.spans.set_hop_count(span, 2);
+                }
             }
+        }
+        if let Some(rec) = self.spans.get(span) {
+            self.attr.lock_mut(lock).acquire_span_ns += rec.duration_ns();
         }
         let tid = self.ctl[n].locks[lock].apply_grant();
         self.ctl[n].out_locks -= 1;
@@ -600,7 +664,11 @@ impl DriverCore {
         } else {
             self.cfg.threads_per_node
         };
+        let saved = self.cur_span;
         for q in 1..self.cfg.nodes {
+            // Each release rides in the *recipient's* Barrier span, so
+            // its wire and handler time land on that node's episode.
+            self.cur_span = self.barrier_span[q];
             for _ in 0..copies {
                 self.send(
                     proto,
@@ -616,7 +684,9 @@ impl DriverCore {
             }
         }
         self.ctl[0].release_seen = self.master.epoch();
+        self.cur_span = self.barrier_span[0];
         self.apply_release(proto, 0, vt, notices, t);
+        self.cur_span = saved;
     }
 
     pub(super) fn apply_release(
@@ -632,6 +702,8 @@ impl DriverCore {
             // precede a fast node's arrival clock; its stall is then zero.
             let stall = t.max(started).since(started);
             self.hist.barrier_stall_ns.record(stall.as_ns());
+            let span = std::mem::replace(&mut self.barrier_span[n], 0);
+            self.spans.close(span, t.max(started));
         }
         self.apply_notices(proto, n, &notices);
         self.checked_merge(n, &vt, t);

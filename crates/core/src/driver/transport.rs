@@ -41,9 +41,13 @@ impl DriverCore {
         debug_assert_ne!(from, to, "send_remote used for a self-send");
         let kind = payload.kind();
         let bytes = payload.wire_bytes();
+        // The ambient causal span rides in the header's reserved bytes;
+        // a remote handler's own sends inherit it, which is what links
+        // child spans across nodes (self-sends stay synchronous inside
+        // the same ambient context and need no stamp).
         self.net.send(
             t,
-            Message::new(NodeId(from), NodeId(to), kind, bytes, payload),
+            Message::new(NodeId(from), NodeId(to), kind, bytes, payload).with_span(self.cur_span),
         );
     }
 

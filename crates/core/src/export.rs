@@ -11,12 +11,21 @@
 //! matching `"e"` with the same `cat`/`id` even when episodes on one node
 //! overlap; begins left open by a truncated trace are dropped rather than
 //! emitted unbalanced.
+//!
+//! When a causal [`SpanForest`] is supplied
+//! ([`chrome_trace_with_spans`]), the export adds a second process
+//! (`pid 1`, "causal spans"): every closed span becomes a nested async
+//! span on its node's track carrying its id, parent and
+//! wire/handler/wait/backoff split, and every cross-node hop becomes a
+//! flow event (`"s"`/`"f"`) from the sender's track to the receiver's,
+//! so Perfetto draws the causal arrows across nodes.
 
 use std::collections::HashMap;
 
 use cvm_sim::json::JsonValue;
 use cvm_sim::VirtualTime;
 
+use crate::span::SpanForest;
 use crate::trace::{Trace, TraceEvent};
 
 /// Timestamp in microseconds, the trace-event format's native unit.
@@ -35,6 +44,19 @@ fn event_base(name: &str, cat: &str, ph: &str, node: usize, at: VirtualTime) -> 
     e
 }
 
+/// `process_name` / `thread_name` metadata event.
+fn meta_event(what: &str, pid: u64, tid: usize, name: String) -> JsonValue {
+    let mut meta = JsonValue::object();
+    meta.set("name", what);
+    meta.set("ph", "M");
+    meta.set("pid", pid);
+    meta.set("tid", tid);
+    let mut args = JsonValue::object();
+    args.set("name", name);
+    meta.set("args", args);
+    meta
+}
+
 /// A span currently open during the export walk.
 struct OpenSpan {
     started: VirtualTime,
@@ -48,18 +70,27 @@ struct OpenSpan {
 /// Converts `trace` into a trace-event JSON document with one track per
 /// node (`nodes` names the tracks even if some recorded no events).
 pub fn chrome_trace(trace: &Trace, nodes: usize) -> JsonValue {
+    chrome_trace_with_spans(trace, nodes, None)
+}
+
+/// [`chrome_trace`] plus — when `spans` is given — a second "causal
+/// spans" process with nested span tracks and cross-node flow arrows.
+pub fn chrome_trace_with_spans(
+    trace: &Trace,
+    nodes: usize,
+    spans: Option<&SpanForest>,
+) -> JsonValue {
     let mut events = JsonValue::array();
-    // Track names: one per node.
+    // Process and track names: stable pid/tid so saved traces diff.
+    events.push(meta_event("process_name", 0, 0, "cvm protocol".to_owned()));
     for n in 0..nodes {
-        let mut meta = JsonValue::object();
-        meta.set("name", "thread_name");
-        meta.set("ph", "M");
-        meta.set("pid", 0u64);
-        meta.set("tid", n);
-        let mut args = JsonValue::object();
-        args.set("name", format!("node {n}"));
-        meta.set("args", args);
-        events.push(meta);
+        events.push(meta_event("thread_name", 0, n, format!("node {n}")));
+    }
+    if spans.is_some() {
+        events.push(meta_event("process_name", 1, 0, "causal spans".to_owned()));
+        for n in 0..nodes {
+            events.push(meta_event("thread_name", 1, n, format!("node {n} spans")));
+        }
     }
 
     let mut next_id = 0u64;
@@ -316,10 +347,64 @@ pub fn chrome_trace(trace: &Trace, nodes: usize) -> JsonValue {
         events.push(i);
     }
 
+    if let Some(forest) = spans {
+        emit_span_events(&mut events, forest);
+    }
+
     let mut doc = JsonValue::object();
     doc.set("traceEvents", events);
     doc.set("displayTimeUnit", "ms");
     doc
+}
+
+/// Emits the causal forest on `pid 1`: one balanced async `"b"`/`"e"`
+/// pair per closed span (id = the span's own id, so the trace
+/// cross-references `cvm explain`) and one `"s"` → `"f"` flow per
+/// cross-node hop.
+fn emit_span_events(events: &mut JsonValue, forest: &SpanForest) {
+    let mut flow_id = 0u64;
+    for s in forest.iter() {
+        if !s.closed {
+            continue; // Balanced-pairs invariant: open spans are dropped.
+        }
+        let name = format!("{} {}", s.kind.name(), s.resource.label());
+        let cat = s.kind.name();
+        let mut b = event_base(&name, cat, "b", s.node, s.open);
+        b.set("pid", 1u64);
+        b.set("id", s.id);
+        let seg = s.segments();
+        let mut args = JsonValue::object();
+        args.set("span", s.id);
+        args.set("parent", s.parent);
+        args.set("resource", s.resource.label().as_str());
+        args.set("hops", s.hops.len());
+        args.set("wire_ns", seg.wire);
+        args.set("handler_ns", seg.handler);
+        args.set("wait_ns", seg.protocol_wait);
+        args.set("backoff_ns", seg.backoff);
+        b.set("args", args);
+        events.push(b);
+        let mut e = event_base(&name, cat, "e", s.node, s.close);
+        e.set("pid", 1u64);
+        e.set("id", s.id);
+        events.push(e);
+        for h in &s.hops {
+            if h.src == h.dst {
+                continue;
+            }
+            let hop_name = format!("{}", h.kind);
+            let mut fs = event_base(&hop_name, "flow", "s", h.src, h.tx);
+            fs.set("pid", 1u64);
+            fs.set("id", flow_id);
+            events.push(fs);
+            let mut ff = event_base(&hop_name, "flow", "f", h.dst, h.serviced);
+            ff.set("pid", 1u64);
+            ff.set("id", flow_id);
+            ff.set("bp", "e");
+            events.push(ff);
+            flow_id += 1;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -427,7 +512,82 @@ mod tests {
             .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("M"))
             .filter_map(|e| e.get("args")?.get("name")?.as_str())
             .collect();
-        assert_eq!(names, ["node 0", "node 1", "node 2"]);
+        assert_eq!(names, ["cvm protocol", "node 0", "node 1", "node 2"]);
+    }
+
+    #[test]
+    fn span_forest_exports_nested_spans_and_flows() {
+        use crate::span::{SpanKind, SpanResource};
+        use cvm_net::{DeliveryInfo, MsgKind};
+        let mut f = SpanForest::new(true);
+        let fault = f.open(SpanKind::RemoteFault, 0, SpanResource::Page(7), 0, t(10));
+        let pull = f.open(SpanKind::PagePull, 0, SpanResource::Page(7), fault, t(11));
+        f.record_hop(
+            pull,
+            0,
+            1,
+            MsgKind::PageRequest,
+            DeliveryInfo {
+                sent_at: t(11),
+                tx_at: t(11),
+                arrived_at: t(14),
+                serviced_at: t(15),
+                retries: 0,
+            },
+        );
+        f.close(pull, t(20));
+        f.close(fault, t(22));
+        let dangling = f.open(SpanKind::Reduce, 1, SpanResource::None, 0, t(30));
+        assert!(f.get(dangling).is_some_and(|s| !s.closed));
+        let trace = Trace::new(100);
+        let doc = chrome_trace_with_spans(&trace, 2, Some(&f));
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // Two processes are named.
+        let procs: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(JsonValue::as_str) == Some("process_name"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        assert_eq!(procs, ["cvm protocol", "causal spans"]);
+        // The two closed spans export balanced, the open one is dropped.
+        let span_begins: Vec<u64> = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(JsonValue::as_str) == Some("b")
+                    && e.get("pid").and_then(JsonValue::as_u64) == Some(1)
+            })
+            .map(|e| e.get("id").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(span_begins, vec![fault, pull]);
+        let span_ends = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(JsonValue::as_str) == Some("e")
+                    && e.get("pid").and_then(JsonValue::as_u64) == Some(1)
+            })
+            .count();
+        assert_eq!(span_ends, 2);
+        // The child's begin carries its parent id and segment split.
+        let child = events
+            .iter()
+            .find(|e| {
+                e.get("ph").and_then(JsonValue::as_str) == Some("b")
+                    && e.get("id").and_then(JsonValue::as_u64) == Some(pull)
+            })
+            .unwrap();
+        let args = child.get("args").unwrap();
+        assert_eq!(args.get("parent").unwrap().as_u64(), Some(fault));
+        assert_eq!(args.get("wire_ns").unwrap().as_u64(), Some(3_000));
+        // The cross-node hop became one flow start + finish pair.
+        let flows: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(JsonValue::as_str) == Some("flow"))
+            .map(|e| e.get("ph").and_then(JsonValue::as_str).unwrap())
+            .collect();
+        assert_eq!(flows, ["s", "f"]);
+        // Still strict JSON.
+        let text = doc.to_string();
+        assert_eq!(JsonValue::parse(&text).unwrap(), doc);
     }
 
     #[test]

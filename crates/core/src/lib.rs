@@ -66,6 +66,7 @@ pub mod protocol;
 pub mod report;
 pub mod sched;
 pub mod shared;
+pub mod span;
 pub mod stats;
 pub mod trace;
 
@@ -75,7 +76,7 @@ pub use ctx::{ReduceOp, ThreadCtx};
 pub use cvm_net::{FaultPlan, PLAN_CATALOG};
 pub use diff::Diff;
 pub use driver::{Coherence, CvmBuilder};
-pub use export::chrome_trace;
+pub use export::{chrome_trace, chrome_trace_with_spans};
 pub use hist::DsmHistograms;
 pub use interval::VectorTime;
 pub use oracle::{Finding, FindingSink, InjectFault, Invariant, Oracle};
@@ -83,5 +84,6 @@ pub use page::{Addr, PageId, PageState};
 pub use protocol::ProtocolKind;
 pub use report::{NodeBreakdown, RunReport};
 pub use shared::{Shareable, SharedMat, SharedVec};
+pub use span::{SpanForest, SpanKind, SpanRecord, SpanResource};
 pub use stats::DsmStats;
 pub use trace::Trace;

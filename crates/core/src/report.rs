@@ -10,6 +10,7 @@ use cvm_sim::{SimDuration, VirtualTime};
 use crate::attr::ResourceAttr;
 use crate::hist::DsmHistograms;
 use crate::oracle::Finding;
+use crate::span::SpanForest;
 use crate::stats::DsmStats;
 use crate::trace::Trace;
 
@@ -77,6 +78,9 @@ pub struct RunReport {
     pub attr: ResourceAttr,
     /// Protocol event trace, if tracing was enabled.
     pub trace: Option<Trace>,
+    /// Causal span forest, if span recording was enabled
+    /// ([`CvmConfig::spans`](crate::CvmConfig)).
+    pub spans: Option<SpanForest>,
     /// Invariant violations recorded by the online oracle (empty unless
     /// `verify` was set — and then hopefully still empty).
     pub findings: Vec<Finding>,
@@ -158,6 +162,7 @@ impl RunReport {
                 row.set("dst", fail.dst.0);
                 row.set("seq", fail.seq);
                 row.set("kind", format!("{:?}", fail.kind));
+                row.set("span", fail.span);
                 rows.push(row);
             }
             degraded.set("failures", rows);
@@ -188,6 +193,9 @@ impl RunReport {
             t.set("overflow", trace.overflow());
             t.set("events_total", trace.events_total());
             obj.set("trace", t);
+        }
+        if let Some(spans) = &self.spans {
+            obj.set("spans", spans.to_json(self.total_time));
         }
         let mut findings = JsonValue::array();
         for fd in &self.findings {
@@ -285,6 +293,7 @@ mod tests {
             hist: DsmHistograms::default(),
             attr: ResourceAttr::default(),
             trace: None,
+            spans: None,
             findings: Vec::new(),
             explore_decisions: 0,
         };
@@ -318,6 +327,7 @@ mod tests {
             hist: DsmHistograms::default(),
             attr: ResourceAttr::default(),
             trace: None,
+            spans: None,
             findings: Vec::new(),
             explore_decisions: 0,
         };
@@ -341,6 +351,7 @@ mod tests {
             hist: DsmHistograms::default(),
             attr: ResourceAttr::default(),
             trace: Some(Trace::new(16)),
+            spans: None,
             findings: Vec::new(),
             explore_decisions: 0,
         };

@@ -1,0 +1,678 @@
+//! Causal span tracing: a deterministic span forest over every logical
+//! DSM operation.
+//!
+//! A *span* covers one end-to-end protocol operation — a remote page
+//! fault, a page or diff pull, a lock acquire with its 2-hop/3-hop
+//! forwarding chain, a barrier episode (per node), a global reduction,
+//! or a retransmission burst. Spans carry their id inside message
+//! headers ([`cvm_net::Message::span`]) so work performed on remote
+//! nodes links back to the span that caused it, including across
+//! retransmits and fault-plan drops; the notice→refault chain is linked
+//! through the invalidating span (see `page_cause` in the driver).
+//!
+//! Every message delivery contributes a [`Hop`] whose timing comes from
+//! the network's [`DeliveryInfo`]: `backoff` (send → transmit of the
+//! delivered copy, nonzero only after retransmission), `wire`
+//! (transmit → arrival) and `handler` (arrival → service completion,
+//! including handler queueing and in-order hold). The per-span
+//! critical-path engine ([`SpanRecord::segments`]) walks hops backward
+//! from the close, picking a non-overlapping chain, so
+//! `wire + handler + backoff + protocol_wait` equals the span's
+//! duration *exactly* — protocol-wait is the residual the chain cannot
+//! explain (e.g. a lock holder still inside its critical section).
+//!
+//! Everything here is driven by the simulator's virtual clock and the
+//! driver's deterministic event order, so the forest is seed-stable and
+//! byte-identical across `--workers` counts. When disabled (the
+//! default) every operation is a no-op behind one branch.
+
+use std::collections::{BTreeSet, HashMap};
+
+use cvm_net::{DeliveryInfo, MsgKind};
+use cvm_sim::hist::Log2Hist;
+use cvm_sim::json::JsonValue;
+use cvm_sim::VirtualTime;
+
+/// What operation a span covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanKind {
+    /// A remote page fault, from signal entry to fetch completion.
+    RemoteFault,
+    /// A full-page pull (page request/reply or home request/reply),
+    /// child of a [`SpanKind::RemoteFault`].
+    PagePull,
+    /// A per-writer diff pull, child of a [`SpanKind::RemoteFault`].
+    DiffPull,
+    /// A remote lock acquire: request → manager (→ owner) → grant.
+    LockAcquire,
+    /// One node's barrier episode: arrival sent → release applied.
+    Barrier,
+    /// One node's global-reduction episode.
+    Reduce,
+    /// A retransmission burst: the interval a delivered message spent
+    /// waiting on retry timers (synthesized from hop metadata).
+    Retransmit,
+}
+
+impl SpanKind {
+    /// All kinds, in serialization order.
+    pub const ALL: [SpanKind; 7] = [
+        SpanKind::RemoteFault,
+        SpanKind::PagePull,
+        SpanKind::DiffPull,
+        SpanKind::LockAcquire,
+        SpanKind::Barrier,
+        SpanKind::Reduce,
+        SpanKind::Retransmit,
+    ];
+
+    /// Stable lower-case name used in JSON and rendered output.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::RemoteFault => "remote_fault",
+            SpanKind::PagePull => "page_pull",
+            SpanKind::DiffPull => "diff_pull",
+            SpanKind::LockAcquire => "lock_acquire",
+            SpanKind::Barrier => "barrier",
+            SpanKind::Reduce => "reduce",
+            SpanKind::Retransmit => "retransmit",
+        }
+    }
+}
+
+/// The resource a span is about, for `cvm explain --resource`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanResource {
+    /// Not tied to a single resource (reductions).
+    None,
+    /// A shared page.
+    Page(usize),
+    /// A lock index.
+    Lock(usize),
+    /// A barrier episode number.
+    Barrier(u32),
+}
+
+impl SpanResource {
+    /// Stable textual form (`page:17`, `lock:3`, `barrier:2`, `-`).
+    pub fn label(self) -> String {
+        match self {
+            SpanResource::None => "-".to_owned(),
+            SpanResource::Page(p) => format!("page:{p}"),
+            SpanResource::Lock(l) => format!("lock:{l}"),
+            SpanResource::Barrier(e) => format!("barrier:{e}"),
+        }
+    }
+}
+
+/// One message delivery attributed to a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// Sending node.
+    pub src: usize,
+    /// Receiving node.
+    pub dst: usize,
+    /// Wire kind of the message.
+    pub kind: MsgKind,
+    /// Original send time.
+    pub sent: VirtualTime,
+    /// Transmit time of the delivered copy (later than `sent` only
+    /// after retransmission).
+    pub tx: VirtualTime,
+    /// Arrival at the destination.
+    pub arrived: VirtualTime,
+    /// Handler service completion (the delivery instant).
+    pub serviced: VirtualTime,
+    /// Retransmissions before the delivered copy.
+    pub retries: u32,
+}
+
+/// Where a span's end-to-end time went, in nanoseconds. For a closed
+/// span the four components sum to the duration exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Segments {
+    /// Time on the wire along the critical hop chain.
+    pub wire: u64,
+    /// Handler service plus queueing/hold along the chain.
+    pub handler: u64,
+    /// Residual the hop chain cannot explain: protocol-level waiting
+    /// (lock held remotely, barrier stragglers, parked requests).
+    pub protocol_wait: u64,
+    /// Retransmission backoff along the chain.
+    pub backoff: u64,
+}
+
+impl Segments {
+    /// Component sum.
+    pub fn total(&self) -> u64 {
+        self.wire + self.handler + self.protocol_wait + self.backoff
+    }
+
+    fn to_json(self) -> JsonValue {
+        let mut o = JsonValue::object();
+        o.set("wire_ns", self.wire);
+        o.set("handler_ns", self.handler);
+        o.set("wait_ns", self.protocol_wait);
+        o.set("backoff_ns", self.backoff);
+        o
+    }
+}
+
+/// One span of the forest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique id, allocated sequentially from 1 (0 means "no span").
+    pub id: u64,
+    /// Parent span id, 0 for a root.
+    pub parent: u64,
+    /// Operation kind.
+    pub kind: SpanKind,
+    /// Node that opened the span.
+    pub node: usize,
+    /// Resource the span is about.
+    pub resource: SpanResource,
+    /// Open time.
+    pub open: VirtualTime,
+    /// Close time (meaningful only when `closed`).
+    pub close: VirtualTime,
+    /// Whether the span has closed.
+    pub closed: bool,
+    /// Message deliveries attributed to this span, in delivery order.
+    pub hops: Vec<Hop>,
+    /// Protocol-declared hop count (2 or 3 for lock acquires, retry
+    /// count for retransmit spans, 0 otherwise).
+    pub hop_count: u32,
+}
+
+impl SpanRecord {
+    /// End-to-end duration in nanoseconds (0 while open).
+    pub fn duration_ns(&self) -> u64 {
+        if self.closed {
+            self.close.as_ns().saturating_sub(self.open.as_ns())
+        } else {
+            0
+        }
+    }
+
+    /// Critical-path segment attribution: walks the hops backward from
+    /// the close, greedily picking the hop with the latest service
+    /// completion not after the current frontier, then jumping to that
+    /// hop's send time. The chain's hops never overlap, so the summed
+    /// wire/handler/backoff never exceed the duration and the residual
+    /// protocol-wait is non-negative — the four parts sum to the
+    /// duration exactly.
+    pub fn segments(&self) -> Segments {
+        let open = self.open.as_ns();
+        let dur = self.duration_ns();
+        let close = open + dur;
+        let mut seg = Segments::default();
+        if !self.closed {
+            return seg;
+        }
+        let mut used = vec![false; self.hops.len()];
+        let mut cur = close;
+        while cur > open {
+            let pick = self
+                .hops
+                .iter()
+                .enumerate()
+                .filter(|(i, h)| {
+                    !used[*i] && h.serviced.as_ns() <= cur && h.serviced.as_ns() > open
+                })
+                .max_by_key(|(i, h)| (h.serviced.as_ns(), *i));
+            let Some((i, h)) = pick else { break };
+            used[i] = true;
+            let sent = h.sent.as_ns().max(open);
+            let serviced = h.serviced.as_ns().min(cur);
+            let tx = h.tx.as_ns().clamp(sent, serviced);
+            let arrived = h.arrived.as_ns().clamp(tx, serviced);
+            seg.backoff += tx - sent;
+            seg.wire += arrived - tx;
+            seg.handler += serviced - arrived;
+            cur = sent;
+        }
+        seg.protocol_wait = dur - (seg.wire + seg.handler + seg.backoff);
+        seg
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let mut o = JsonValue::object();
+        o.set("id", self.id);
+        o.set("parent", self.parent);
+        o.set("kind", self.kind.name());
+        o.set("node", self.node as u64);
+        o.set("resource", self.resource.label().as_str());
+        o.set("open_ns", self.open.as_ns());
+        o.set("close_ns", if self.closed { self.close.as_ns() } else { 0 });
+        o.set("closed", self.closed);
+        o.set("duration_ns", self.duration_ns());
+        o.set("hop_count", u64::from(self.hop_count));
+        o.set("segments", self.segments().to_json());
+        let mut hops = JsonValue::array();
+        for h in &self.hops {
+            let mut row = JsonValue::object();
+            row.set("src", h.src as u64);
+            row.set("dst", h.dst as u64);
+            row.set("kind", format!("{}", h.kind).as_str());
+            row.set("sent_ns", h.sent.as_ns());
+            row.set("tx_ns", h.tx.as_ns());
+            row.set("arrived_ns", h.arrived.as_ns());
+            row.set("serviced_ns", h.serviced.as_ns());
+            row.set("retries", u64::from(h.retries));
+            hops.push(row);
+        }
+        o.set("hops", hops);
+        o
+    }
+}
+
+/// The whole-run critical path: a backward partition of the measured
+/// wall time into span-covered intervals (attributed to the innermost
+/// covering span's kind) and uncovered compute time. Covered plus
+/// compute equals the wall time by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// Wall time partitioned (ns).
+    pub total: u64,
+    /// Time no span covers: local compute and scheduling.
+    pub compute: u64,
+    /// Covered time per span kind, in [`SpanKind::ALL`] order (zero
+    /// entries retained for byte-stable serialization).
+    pub by_kind: Vec<(SpanKind, u64)>,
+}
+
+impl CriticalPath {
+    /// Covered + compute (equals `total`).
+    pub fn reconstructed(&self) -> u64 {
+        self.compute + self.by_kind.iter().map(|(_, ns)| ns).sum::<u64>()
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let mut o = JsonValue::object();
+        o.set("total_ns", self.total);
+        o.set("compute_ns", self.compute);
+        let mut kinds = JsonValue::object();
+        for &(k, ns) in &self.by_kind {
+            kinds.set(k.name(), ns);
+        }
+        o.set("kinds", kinds);
+        o
+    }
+}
+
+/// The run's span forest: append-only span storage with id lookup.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanForest {
+    enabled: bool,
+    next_id: u64,
+    spans: Vec<SpanRecord>,
+    index: HashMap<u64, usize>,
+}
+
+impl SpanForest {
+    /// Creates a forest; a disabled forest ignores every operation.
+    pub fn new(enabled: bool) -> Self {
+        SpanForest {
+            enabled,
+            next_id: 1,
+            spans: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Whether spans are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Opens a span and returns its id (0 when disabled).
+    pub fn open(
+        &mut self,
+        kind: SpanKind,
+        node: usize,
+        resource: SpanResource,
+        parent: u64,
+        at: VirtualTime,
+    ) -> u64 {
+        if !self.enabled {
+            return 0;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.index.insert(id, self.spans.len());
+        self.spans.push(SpanRecord {
+            id,
+            parent,
+            kind,
+            node,
+            resource,
+            open: at,
+            close: VirtualTime::ZERO,
+            closed: false,
+            hops: Vec::new(),
+            hop_count: 0,
+        });
+        id
+    }
+
+    /// Closes span `id` at `at` (no-op for 0, unknown or already-closed
+    /// ids, so protocol sites can call it unconditionally). Clamped to
+    /// the open time: node clocks diverge, so a master-side release
+    /// stamp can precede a fast node's open.
+    pub fn close(&mut self, id: u64, at: VirtualTime) {
+        if let Some(s) = self.get_mut(id) {
+            if !s.closed {
+                s.closed = true;
+                s.close = at.max(s.open);
+            }
+        }
+    }
+
+    /// Sets the protocol-declared hop count (e.g. 2-hop vs 3-hop lock).
+    pub fn set_hop_count(&mut self, id: u64, hops: u32) {
+        if let Some(s) = self.get_mut(id) {
+            s.hop_count = hops;
+        }
+    }
+
+    /// Records a delivered message's hop into span `id`, and — when the
+    /// delivery needed retransmission — synthesizes a closed
+    /// [`SpanKind::Retransmit`] child covering the backoff interval, so
+    /// retransmission bursts are first-class nodes of the forest.
+    pub fn record_hop(&mut self, id: u64, src: usize, dst: usize, kind: MsgKind, d: DeliveryInfo) {
+        if !self.enabled || id == 0 {
+            return;
+        }
+        let hop = Hop {
+            src,
+            dst,
+            kind,
+            sent: d.sent_at,
+            tx: d.tx_at,
+            arrived: d.arrived_at,
+            serviced: d.serviced_at,
+            retries: d.retries,
+        };
+        let Some(s) = self.get_mut(id) else { return };
+        s.hops.push(hop);
+        if d.retries > 0 {
+            let rid = self.open(SpanKind::Retransmit, src, SpanResource::None, id, d.sent_at);
+            self.set_hop_count(rid, d.retries);
+            self.close(rid, d.tx_at);
+        }
+    }
+
+    /// The span with id `id`, if any.
+    pub fn get(&self, id: u64) -> Option<&SpanRecord> {
+        self.index.get(&id).map(|&i| &self.spans[i])
+    }
+
+    fn get_mut(&mut self, id: u64) -> Option<&mut SpanRecord> {
+        let i = *self.index.get(&id)?;
+        Some(&mut self.spans[i])
+    }
+
+    /// All spans in open order.
+    pub fn iter(&self) -> std::slice::Iter<'_, SpanRecord> {
+        self.spans.iter()
+    }
+
+    /// Number of spans recorded.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True if no spans were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Spans still open (a finished healthy run has none; a degraded
+    /// run may leave the spans of abandoned messages open).
+    pub fn open_count(&self) -> usize {
+        self.spans.iter().filter(|s| !s.closed).count()
+    }
+
+    /// Clears all spans and restarts id allocation (used at
+    /// `startup_done`, mirroring the stats/trace reset).
+    pub fn reset(&mut self) {
+        self.next_id = 1;
+        self.spans.clear();
+        self.index.clear();
+    }
+
+    /// Per-kind duration histograms over closed spans.
+    pub fn aggregates(&self) -> Vec<(SpanKind, Log2Hist)> {
+        let mut by_kind: Vec<(SpanKind, Log2Hist)> = SpanKind::ALL
+            .iter()
+            .map(|&k| (k, Log2Hist::new()))
+            .collect();
+        for s in &self.spans {
+            if s.closed {
+                let slot = by_kind.iter_mut().find(|(k, _)| *k == s.kind);
+                slot.expect("ALL covers every kind")
+                    .1
+                    .record(s.duration_ns());
+            }
+        }
+        by_kind
+    }
+
+    /// Whole-run critical path over `[0, total]`: a time sweep over the
+    /// closed spans' intervals. Each instant covered by at least one
+    /// span is attributed to the *innermost* covering span (latest
+    /// open, ties to the latest id); uncovered time is compute. The
+    /// parts sum to `total` exactly.
+    pub fn critical_path(&self, total: VirtualTime) -> CriticalPath {
+        let total = total.as_ns();
+        let mut events: Vec<(u64, bool, u64, usize)> = Vec::new();
+        for (i, s) in self.spans.iter().enumerate() {
+            if !s.closed {
+                continue;
+            }
+            let open = s.open.as_ns().min(total);
+            let close = s.close.as_ns().min(total);
+            if close > open {
+                events.push((open, true, s.open.as_ns(), i));
+                events.push((close, false, s.open.as_ns(), i));
+            }
+        }
+        // Stable order: time, then closes before opens at the same
+        // instant (a span ending exactly where another begins never
+        // yields a zero-width active interval).
+        events.sort_by_key(|&(t, is_open, _, i)| (t, is_open, i));
+        let mut by_kind: Vec<(SpanKind, u64)> = SpanKind::ALL.iter().map(|&k| (k, 0)).collect();
+        let mut active: BTreeSet<(u64, usize)> = BTreeSet::new();
+        let mut compute = 0u64;
+        let mut cursor = 0u64;
+        let mut attribute = |active: &BTreeSet<(u64, usize)>, from: u64, to: u64| {
+            if to <= from {
+                return 0u64;
+            }
+            let width = to - from;
+            match active.iter().next_back() {
+                Some(&(_, i)) => {
+                    let kind = self.spans[i].kind;
+                    let slot = by_kind.iter_mut().find(|(k, _)| *k == kind);
+                    slot.expect("ALL covers every kind").1 += width;
+                    0
+                }
+                None => width,
+            }
+        };
+        for (t, is_open, open_ns, i) in events {
+            compute += attribute(&active, cursor, t);
+            cursor = t.max(cursor);
+            if is_open {
+                active.insert((open_ns, i));
+            } else {
+                active.remove(&(open_ns, i));
+            }
+        }
+        compute += attribute(&active, cursor, total);
+        CriticalPath {
+            total,
+            compute,
+            by_kind,
+        }
+    }
+
+    /// Serializes the forest: per-kind aggregates (count, p50/p99/p999,
+    /// max, total), the whole-run critical path and the full records
+    /// (what `cvm explain` consumes).
+    pub fn to_json(&self, total: VirtualTime) -> JsonValue {
+        let mut o = self.summary_json(total);
+        let mut records = JsonValue::array();
+        for s in &self.spans {
+            records.push(s.to_json());
+        }
+        o.set("records", records);
+        o
+    }
+
+    /// The records-free summary (aggregates + critical path): what the
+    /// benchmark pipeline folds into `BENCH_obs.json`, where the full
+    /// per-span records would dwarf the baseline artifact.
+    pub fn summary_json(&self, total: VirtualTime) -> JsonValue {
+        let mut o = JsonValue::object();
+        o.set("count", self.spans.len() as u64);
+        o.set("open", self.open_count() as u64);
+        let mut agg = JsonValue::array();
+        for (k, h) in self.aggregates() {
+            let mut row = JsonValue::object();
+            row.set("kind", k.name());
+            row.set("count", h.count());
+            row.set("p50_ns", h.p50());
+            row.set("p99_ns", h.p99());
+            row.set("p999_ns", h.p999());
+            row.set("max_ns", h.max());
+            row.set("total_ns", h.sum());
+            agg.push(row);
+        }
+        o.set("agg", agg);
+        o.set("critical_path", self.critical_path(total).to_json());
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vt(us: u64) -> VirtualTime {
+        VirtualTime::from_us(us)
+    }
+
+    fn hop(sent: u64, tx: u64, arrived: u64, serviced: u64, retries: u32) -> DeliveryInfo {
+        DeliveryInfo {
+            sent_at: vt(sent),
+            tx_at: vt(tx),
+            arrived_at: vt(arrived),
+            serviced_at: vt(serviced),
+            retries,
+        }
+    }
+
+    #[test]
+    fn disabled_forest_is_free() {
+        let mut f = SpanForest::new(false);
+        let id = f.open(SpanKind::RemoteFault, 0, SpanResource::Page(1), 0, vt(1));
+        assert_eq!(id, 0);
+        f.record_hop(id, 0, 1, MsgKind::PageRequest, hop(1, 1, 2, 3, 0));
+        f.close(id, vt(5));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn segments_sum_exactly_to_duration() {
+        let mut f = SpanForest::new(true);
+        let id = f.open(SpanKind::LockAcquire, 0, SpanResource::Lock(3), 0, vt(100));
+        // Request 0→1 (retransmitted once), forward 1→2, grant 2→0 with
+        // a protocol wait before the grant leaves.
+        f.record_hop(id, 0, 1, MsgKind::LockRequest, hop(100, 150, 160, 170, 1));
+        f.record_hop(id, 1, 2, MsgKind::LockForward, hop(170, 170, 180, 185, 0));
+        f.record_hop(id, 2, 0, MsgKind::LockGrant, hop(300, 300, 315, 320, 0));
+        f.close(id, vt(320));
+        let s = f.get(id).unwrap();
+        let seg = s.segments();
+        assert_eq!(seg.total(), s.duration_ns());
+        let us = 1_000u64; // ns per µs
+        assert_eq!(seg.backoff, 50 * us, "request retransmit backoff");
+        assert_eq!(seg.wire, (10 + 10 + 15) * us);
+        assert_eq!(seg.handler, (10 + 5 + 5) * us);
+        assert_eq!(seg.protocol_wait, (300 - 185) * us);
+        // The retransmitted hop synthesized a child span.
+        let retrans: Vec<_> = f
+            .iter()
+            .filter(|s| s.kind == SpanKind::Retransmit)
+            .collect();
+        assert_eq!(retrans.len(), 1);
+        assert_eq!(retrans[0].parent, id);
+        assert_eq!(retrans[0].duration_ns(), 50 * us);
+        assert_eq!(retrans[0].hop_count, 1);
+    }
+
+    #[test]
+    fn overlapping_hops_never_overcount() {
+        let mut f = SpanForest::new(true);
+        let id = f.open(SpanKind::RemoteFault, 0, SpanResource::Page(9), 0, vt(0));
+        // Two replies overlap in time; the chain must not double-count.
+        f.record_hop(id, 1, 0, MsgKind::DiffReply, hop(10, 10, 30, 40, 0));
+        f.record_hop(id, 2, 0, MsgKind::DiffReply, hop(12, 12, 32, 44, 0));
+        f.close(id, vt(44));
+        let s = f.get(id).unwrap();
+        let seg = s.segments();
+        assert_eq!(seg.total(), s.duration_ns());
+        assert!(seg.wire + seg.handler <= s.duration_ns());
+    }
+
+    #[test]
+    fn critical_path_partitions_wall_time() {
+        let mut f = SpanForest::new(true);
+        let a = f.open(SpanKind::RemoteFault, 0, SpanResource::Page(1), 0, vt(10));
+        let b = f.open(SpanKind::PagePull, 0, SpanResource::Page(1), a, vt(12));
+        f.close(b, vt(20));
+        f.close(a, vt(30));
+        let c = f.open(SpanKind::Barrier, 1, SpanResource::Barrier(0), 0, vt(25));
+        f.close(c, vt(50));
+        let cp = f.critical_path(vt(100));
+        assert_eq!(cp.reconstructed(), cp.total);
+        let ns = |k: SpanKind| cp.by_kind.iter().find(|(x, _)| *x == k).unwrap().1;
+        // [10,12) fault, [12,20) pull (innermost), [20,30) fault again
+        // but [25,30) goes to the barrier (opened later), [30,50) barrier.
+        assert_eq!(ns(SpanKind::PagePull), 8_000);
+        assert_eq!(ns(SpanKind::RemoteFault), (2 + 5) * 1_000);
+        assert_eq!(ns(SpanKind::Barrier), 25_000);
+        assert_eq!(cp.compute, (10 + 50) * 1_000);
+    }
+
+    #[test]
+    fn reset_restarts_ids() {
+        let mut f = SpanForest::new(true);
+        let first = f.open(SpanKind::Reduce, 0, SpanResource::None, 0, vt(0));
+        assert_eq!(first, 1);
+        f.reset();
+        assert!(f.is_empty());
+        let again = f.open(SpanKind::Reduce, 0, SpanResource::None, 0, vt(0));
+        assert_eq!(again, 1, "ids restart after reset for determinism");
+    }
+
+    #[test]
+    fn aggregates_and_json_cover_all_kinds() {
+        let mut f = SpanForest::new(true);
+        let id = f.open(SpanKind::Barrier, 0, SpanResource::Barrier(1), 0, vt(0));
+        f.close(id, vt(100));
+        let agg = f.aggregates();
+        assert_eq!(agg.len(), SpanKind::ALL.len());
+        let barrier = agg.iter().find(|(k, _)| *k == SpanKind::Barrier).unwrap();
+        assert_eq!(barrier.1.count(), 1);
+        let j = f.to_json(vt(100));
+        assert_eq!(j.get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            j.get("agg").unwrap().as_array().unwrap().len(),
+            SpanKind::ALL.len()
+        );
+        let cp = j.get("critical_path").unwrap();
+        assert_eq!(cp.get("total_ns").unwrap().as_u64(), Some(100_000));
+    }
+}

@@ -25,14 +25,51 @@ pub fn file_name(app: AppId) -> String {
     format!("BENCH_{}.json", slug(app))
 }
 
+/// The span-summary artifact name, one file for the whole suite.
+pub const OBS_FILE: &str = "BENCH_obs.json";
+
 /// Runs every application once at `nodes`×`threads` (skipping apps that
 /// reject the thread count) and returns the outcomes in suite order.
 pub fn run_suite(scale: Scale, nodes: usize, threads: usize) -> Vec<RunOutcome> {
+    run_suite_with(scale, nodes, threads, false)
+}
+
+/// [`run_suite`] with span recording switched on or off.
+pub fn run_suite_with(scale: Scale, nodes: usize, threads: usize, spans: bool) -> Vec<RunOutcome> {
     AppId::ALL
         .into_iter()
         .filter(|app| app.supports_threads(threads))
-        .map(|app| run_app(RunSpec::new(app, scale, nodes, threads)))
+        .map(|app| {
+            let mut spec = RunSpec::new(app, scale, nodes, threads);
+            spec.spans = spans;
+            run_app(spec)
+        })
         .collect()
+}
+
+/// The suite's span summaries as one `BENCH_obs.json` document: per-app
+/// span aggregates (p50/p99/p999 per kind) and the whole-run critical
+/// path, without the per-span records — small enough to commit as a
+/// baseline and diff with `cvm bench --baseline`.
+pub fn obs_json(outcomes: &[RunOutcome]) -> JsonValue {
+    let mut obj = JsonValue::object();
+    obj.set("schema", "cvm-obs");
+    let mut apps = JsonValue::array();
+    for o in outcomes {
+        let Some(spans) = &o.report.spans else {
+            continue;
+        };
+        let mut row = JsonValue::object();
+        row.set("app", slug(o.spec.app));
+        row.set("nodes", o.spec.nodes);
+        row.set("threads", o.spec.threads);
+        row.set("seed", o.spec.seed);
+        row.set("total_ns", o.report.total_time.as_ns());
+        row.set("spans", spans.summary_json(o.report.total_time));
+        apps.push(row);
+    }
+    obj.set("apps", apps);
+    obj
 }
 
 /// One outcome as a bench JSON document: configuration + full report.

@@ -11,7 +11,7 @@ use crate::{bench, micro, AppId, Scale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: cvm <micro|table1|fig1|table2|table3|fig2|table4|table5|ablation|protocols|perturb|all> [--paper-scale]\n         \n         or:    cvm run <barnes|fft|ocean|sor|swm|water-sp|water-nsq>\n         or:    cvm bench [--json] [--nodes N] [--threads T] [--paper-scale]\n         or:    cvm sweep [--json] [--workers N] [--nodes LIST] [--threads LIST]\n         or:    cvm faults [--json] [--plan NAME]... [--workers N]\n         or:    cvm check [--app NAME]... [--schedules N] [--faults NAME]\n         \n         run options:\n           --nodes N        processors (default 8)\n           --threads T      threads per node (default 2)\n           --paper-scale    the paper's input sizes\n           --protocol NAME  coherence protocol: lazy-mw | eager-update |\n                            home-lazy (default lazy-mw)\n           --eager          shorthand for --protocol eager-update\n           --lifo           memory-conscious LIFO scheduling\n           --memsim         enable the cache/TLB simulator\n           --verify         run the online invariant oracle; findings are\n                            printed and make the exit status nonzero\n           --trace N        record and print the first N protocol events\n           --json FILE      write the full run report as JSON to FILE\n           --chrome-trace FILE\n                            write the protocol trace as Chrome trace-event\n                            JSON (load in chrome://tracing or Perfetto)\n         \n         bench options:\n           --json           additionally write one BENCH_<app>.json per app\n         \n         sweep options:\n           --json           write the aggregated report to BENCH_sweep.json\n           --out FILE       write the aggregated report to FILE instead\n           --md FILE        write the markdown tables to FILE as well\n           --workers N      simulation worker threads (default: one per core);\n                            any value produces byte-identical reports\n           --nodes LIST     comma-separated processor counts (default 4,8,16)\n           --threads LIST   comma-separated threads/node levels (default 1,2,3,4)\n           --app NAME       restrict to one app (repeatable; default: all 7)\n           --protocol LIST  comma-separated protocols to cross (default\n                            lazy-mw); several add a comparison table\n           --seed S         master seed; each configuration splits its own\n           --paper-scale    the paper's input sizes\n         \n         faults options:\n           --json           write the campaign report to BENCH_faults.json\n           --out FILE       write the campaign report to FILE instead\n           --md FILE        write the markdown degradation tables to FILE\n           --workers N      simulation worker threads (default: one per core);\n                            any value produces byte-identical reports\n           --app NAME       restrict to one app (repeatable; default: all 7)\n           --protocol LIST  comma-separated protocols (default: all 3)\n           --plan NAME      fault plan from the catalog (repeatable;\n                            default: the whole catalog)\n           --nodes N        processors (default 4)\n           --threads T      threads per node (default 2)\n           --seed S         master seed; each cell splits its own\n           --paper-scale    the paper's input sizes\n           exit status is nonzero if any cell violated exactly-once\n           delivery or oracle cleanliness\n         \n         check options:\n           --app NAME       application to check (repeatable; default: all)\n           --protocol NAME  coherence protocol to explore (default lazy-mw)\n           --nodes N        processors (default 2)\n           --threads T      threads per node (default 2)\n           --schedules N    perturbed schedules per app (default 8); an\n                            unperturbed baseline always runs first\n           --seed S         base exploration seed (schedule 0 uses it\n                            verbatim, so reported seeds replay directly)\n           --budget N       scheduler decisions each schedule may perturb\n                            (default 64)\n           --faults NAME    layer a fault plan from the catalog under the\n                            explored schedules (loss, dup, reorder, ...)\n           --mutate KIND[:nth]\n                            inject a protocol mutation (oracle self-test):\n                            drop-notice | reorder-diff | skip-invalidate;\n                            exit status then inverts (0 = caught)\n           --trace-capacity N\n                            trace buffer per run (default 4000000)\n           --paper-scale    the paper's input sizes"
+        "usage: cvm <micro|table1|fig1|table2|table3|fig2|table4|table5|latency|ablation|protocols|perturb|all> [--paper-scale]\n         \n         or:    cvm run <barnes|fft|ocean|sor|swm|water-sp|water-nsq>\n         or:    cvm bench [--json] [--nodes N] [--threads T] [--paper-scale]\n         or:    cvm sweep [--json] [--workers N] [--nodes LIST] [--threads LIST]\n         or:    cvm faults [--json] [--plan NAME]... [--workers N]\n         or:    cvm check [--app NAME]... [--schedules N] [--faults NAME]\n         or:    cvm explain --run FILE [--span ID | --slowest N | --resource R]\n         \n         run options:\n           --nodes N        processors (default 8)\n           --threads T      threads per node (default 2)\n           --paper-scale    the paper's input sizes\n           --protocol NAME  coherence protocol: lazy-mw | eager-update |\n                            home-lazy (default lazy-mw)\n           --eager          shorthand for --protocol eager-update\n           --lifo           memory-conscious LIFO scheduling\n           --memsim         enable the cache/TLB simulator\n           --verify         run the online invariant oracle; findings are\n                            printed and make the exit status nonzero\n           --trace N        record and print the first N protocol events\n           --spans          record the causal span forest; the report JSON\n                            gains a 'spans' section for cvm explain\n           --json FILE      write the full run report as JSON to FILE\n           --chrome-trace FILE\n                            write the protocol trace as Chrome trace-event\n                            JSON (load in chrome://tracing or Perfetto);\n                            with --spans, nested span tracks and flow\n                            events are included\n         \n         bench options:\n           --json           additionally write one BENCH_<app>.json per app\n                            (and BENCH_obs.json when --spans is on)\n           --spans          record span forests and emit the span summary\n           --baseline FILE  compare against a committed baseline artifact;\n                            exit 1 on regression beyond twice the gate\n           --current FILE   compare FILE against the baseline instead of\n                            running the suite (works for any BENCH_*.json)\n           --gate PCT       regression gate percentage (default 5):\n                            warn above PCT, fail above 2*PCT\n         \n         explain options:\n           --run FILE       report JSON from cvm run --spans --json FILE\n           --slowest N      the N slowest root spans (default 5)\n           --span ID        one span with its ancestor chain\n           --resource R     root spans about one resource (page:17, lock:3,\n                            barrier:2)\n         \n         sweep options:\n           --json           write the aggregated report to BENCH_sweep.json\n           --spans          record span forests in every cell\n           --out FILE       write the aggregated report to FILE instead\n           --md FILE        write the markdown tables to FILE as well\n           --workers N      simulation worker threads (default: one per core);\n                            any value produces byte-identical reports\n           --nodes LIST     comma-separated processor counts (default 4,8,16)\n           --threads LIST   comma-separated threads/node levels (default 1,2,3,4)\n           --app NAME       restrict to one app (repeatable; default: all 7)\n           --protocol LIST  comma-separated protocols to cross (default\n                            lazy-mw); several add a comparison table\n           --seed S         master seed; each configuration splits its own\n           --paper-scale    the paper's input sizes\n         \n         faults options:\n           --json           write the campaign report to BENCH_faults.json\n           --out FILE       write the campaign report to FILE instead\n           --md FILE        write the markdown degradation tables to FILE\n           --workers N      simulation worker threads (default: one per core);\n                            any value produces byte-identical reports\n           --app NAME       restrict to one app (repeatable; default: all 7)\n           --protocol LIST  comma-separated protocols (default: all 3)\n           --plan NAME      fault plan from the catalog (repeatable;\n                            default: the whole catalog)\n           --nodes N        processors (default 4)\n           --threads T      threads per node (default 2)\n           --seed S         master seed; each cell splits its own\n           --paper-scale    the paper's input sizes\n           exit status is nonzero if any cell violated exactly-once\n           delivery or oracle cleanliness\n         \n         check options:\n           --app NAME       application to check (repeatable; default: all)\n           --protocol NAME  coherence protocol to explore (default lazy-mw)\n           --nodes N        processors (default 2)\n           --threads T      threads per node (default 2)\n           --schedules N    perturbed schedules per app (default 8); an\n                            unperturbed baseline always runs first\n           --seed S         base exploration seed (schedule 0 uses it\n                            verbatim, so reported seeds replay directly)\n           --budget N       scheduler decisions each schedule may perturb\n                            (default 64)\n           --faults NAME    layer a fault plan from the catalog under the\n                            explored schedules (loss, dup, reorder, ...)\n           --mutate KIND[:nth]\n                            inject a protocol mutation (oracle self-test):\n                            drop-notice | reorder-diff | skip-invalidate;\n                            exit status then inverts (0 = caught)\n           --trace-capacity N\n                            trace buffer per run (default 4000000)\n           --paper-scale    the paper's input sizes"
     );
     std::process::exit(2);
 }
@@ -46,6 +46,7 @@ fn run_single(args: &[String]) {
     let mut memsim = false;
     let mut verify = false;
     let mut trace = 0usize;
+    let mut spans = false;
     let mut json_path: Option<String> = None;
     let mut chrome_path: Option<String> = None;
     let mut it = args.iter();
@@ -80,6 +81,7 @@ fn run_single(args: &[String]) {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--spans" => spans = true,
             "--json" => json_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--chrome-trace" => chrome_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
             name if app.is_none() => {
@@ -98,6 +100,7 @@ fn run_single(args: &[String]) {
     cfg.lifo_schedule = lifo;
     cfg.memsim_enabled = memsim;
     cfg.verify = verify;
+    cfg.spans = spans;
     cfg.trace_capacity = trace;
     if (chrome_path.is_some() || verify) && trace == 0 {
         // The timeline export and the offline race replay need events;
@@ -138,6 +141,21 @@ fn run_single(args: &[String]) {
             t.events_total()
         );
     }
+    if let Some(sf) = &report.spans {
+        let cp = sf.critical_path(report.total_time);
+        let ms = |ns: u64| ns as f64 / 1e6;
+        println!(
+            "spans: {} recorded ({} open); critical path: compute {:.3}ms",
+            sf.len(),
+            sf.open_count(),
+            ms(cp.compute)
+        );
+        for (kind, ns) in &cp.by_kind {
+            if *ns > 0 {
+                println!("  {:<14} {:>10.3}ms", kind.name(), ms(*ns));
+            }
+        }
+    }
     if let Some(path) = &json_path {
         let doc = report.to_json(crate::bench::TOP_N);
         std::fs::write(path, doc.to_pretty()).unwrap_or_else(|e| {
@@ -151,7 +169,7 @@ fn run_single(args: &[String]) {
             eprintln!("--chrome-trace needs tracing (internal error)");
             std::process::exit(1);
         };
-        let doc = cvm_dsm::chrome_trace(t, nodes);
+        let doc = cvm_dsm::chrome_trace_with_spans(t, nodes, report.spans.as_ref());
         std::fs::write(path, doc.to_string()).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(1);
@@ -180,15 +198,40 @@ fn run_single(args: &[String]) {
     }
 }
 
+fn load_json(path: &str) -> cvm_sim::json::JsonValue {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    cvm_sim::json::JsonValue::parse(&text).unwrap_or_else(|e| {
+        eprintln!("{path} is not valid JSON: {e}");
+        std::process::exit(1);
+    })
+}
+
 fn run_bench(args: &[String]) {
     let mut json = false;
+    let mut spans = false;
     let mut nodes = 8usize;
     let mut threads = 2usize;
     let mut scale = Scale::Small;
+    let mut baseline: Option<String> = None;
+    let mut current: Option<String> = None;
+    let mut gate_pct = 5.0f64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = true,
+            "--spans" => spans = true,
+            "--baseline" => baseline = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--current" => current = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--gate" => {
+                gate_pct = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|p: &f64| *p > 0.0)
+                    .unwrap_or_else(|| usage());
+            }
             "--nodes" => {
                 nodes = it
                     .next()
@@ -205,8 +248,20 @@ fn run_bench(args: &[String]) {
             _ => usage(),
         }
     }
+    // File-vs-file mode: gate two committed artifacts, no runs at all.
+    if let (Some(base_path), Some(cur_path)) = (&baseline, &current) {
+        let outcome = crate::gate::compare(&load_json(base_path), &load_json(cur_path), gate_pct);
+        print!("{}", outcome.render(gate_pct));
+        std::process::exit(i32::from(outcome.failed()));
+    }
+    if current.is_some() {
+        eprintln!("--current needs --baseline");
+        usage();
+    }
+    // A gate run always needs the span summary to compare.
+    let record_spans = spans || baseline.is_some();
     eprintln!("[harness] bench suite P={nodes} T={threads}");
-    let outcomes = bench::run_suite(scale, nodes, threads);
+    let outcomes = bench::run_suite_with(scale, nodes, threads, record_spans);
     print!("{}", bench::render_summary(&outcomes));
     if json {
         for o in &outcomes {
@@ -217,6 +272,60 @@ fn run_bench(args: &[String]) {
                 std::process::exit(1);
             });
             eprintln!("[harness] wrote {path}");
+        }
+        if record_spans {
+            let doc = bench::obs_json(&outcomes);
+            std::fs::write(bench::OBS_FILE, doc.to_pretty()).unwrap_or_else(|e| {
+                eprintln!("cannot write {}: {e}", bench::OBS_FILE);
+                std::process::exit(1);
+            });
+            eprintln!("[harness] wrote {}", bench::OBS_FILE);
+        }
+    }
+    if let Some(base_path) = &baseline {
+        let outcome =
+            crate::gate::compare(&load_json(base_path), &bench::obs_json(&outcomes), gate_pct);
+        print!("{}", outcome.render(gate_pct));
+        if outcome.failed() {
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_explain(args: &[String]) {
+    use crate::explain::{explain, Mode};
+    let mut run_path: Option<String> = None;
+    let mut mode = Mode::Slowest(5);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--run" => run_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--slowest" => {
+                let n = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                mode = Mode::Slowest(n);
+            }
+            "--span" => {
+                let id = it
+                    .next()
+                    .and_then(|v| parse_u64(v))
+                    .unwrap_or_else(|| usage());
+                mode = Mode::Span(id);
+            }
+            "--resource" => {
+                mode = Mode::Resource(it.next().cloned().unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+    }
+    let Some(path) = run_path else { usage() };
+    match explain(&load_json(&path), &mode) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("cvm explain: {e}");
+            std::process::exit(1);
         }
     }
 }
@@ -240,6 +349,7 @@ fn run_sweep_cmd(args: &[String]) {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = true,
+            "--spans" => cfg.spans = true,
             "--out" => out_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--md" => md_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--workers" => {
@@ -545,6 +655,10 @@ pub fn run() {
         run_check(&args[1..]);
         return;
     }
+    if args.first().map(String::as_str) == Some("explain") {
+        run_explain(&args[1..]);
+        return;
+    }
     let mut cmd: Option<String> = None;
     let mut scale = Scale::Small;
     for a in &args {
@@ -566,6 +680,7 @@ pub fn run() {
         "fig2" => print!("{}", tables::fig2(&mut suite)),
         "table4" => print!("{}", tables::table4(&mut suite)),
         "table5" => print!("{}", tables::table5(&mut suite)),
+        "latency" => print!("{}", tables::latency(&mut suite)),
         "ablation" => print!("{}", tables::ablation(scale)),
         "protocols" => print!("{}", tables::protocols(scale)),
         "perturb" => print!("{}", tables::perturb(scale, 5)),
@@ -585,6 +700,8 @@ pub fn run() {
             print!("{}", tables::table4(&mut suite));
             println!();
             print!("{}", tables::table5(&mut suite));
+            println!();
+            print!("{}", tables::latency(&mut suite));
             println!();
             print!("{}", tables::ablation(scale));
             println!();

@@ -1,0 +1,309 @@
+//! Regression gate: numeric comparison of two benchmark artifacts.
+//!
+//! `cvm bench --baseline FILE [--current FILE] --gate PCT` walks the two
+//! JSON documents together and compares every numeric leaf. A leaf whose
+//! relative change exceeds the gate percentage is a **warning**; one
+//! that exceeds *twice* the gate **fails** the gate (exit 1). The walk
+//! is schema-agnostic — it handles `BENCH_<app>.json`,
+//! `BENCH_sweep.json`, `BENCH_faults.json` and `BENCH_obs.json` alike —
+//! so blessing an intentional change is just committing a new baseline.
+//!
+//! Array elements are labelled by their identifying key (`app`, `kind`,
+//! `plan`, `page`, `lock`) when they carry one, so an offender path
+//! reads `apps[sor].spans.agg[lock_acquire].p99_ns` rather than a bare
+//! index. A leaf present in the baseline but missing from the current
+//! document fails outright (a silently dropped metric is worse than a
+//! regressed one); keys new in the current document are ignored, since
+//! the report schema is append-only.
+
+use std::fmt;
+
+use cvm_sim::json::JsonValue;
+
+/// How badly one leaf moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Over the gate: report, keep going.
+    Warn,
+    /// Over twice the gate, or the leaf vanished: fail the gate.
+    Fail,
+}
+
+/// One numeric leaf whose change crossed a threshold.
+#[derive(Debug, Clone)]
+pub struct Offense {
+    /// Dotted path to the leaf, array elements labelled where possible.
+    pub path: String,
+    /// Baseline value.
+    pub base: f64,
+    /// Current value (`None` when the leaf disappeared).
+    pub current: Option<f64>,
+    /// Relative change in percent (absolute).
+    pub delta_pct: f64,
+    /// Warn or fail.
+    pub severity: Severity,
+}
+
+impl fmt::Display for Offense {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.severity {
+            Severity::Warn => "WARN",
+            Severity::Fail => "FAIL",
+        };
+        match self.current {
+            Some(cur) => write!(
+                f,
+                "{tag} {}: {} -> {} ({:+.1}%)",
+                self.path,
+                self.base,
+                cur,
+                // Signed form for display; delta_pct stores the magnitude.
+                (cur - self.base) / self.base.abs().max(1.0) * 100.0
+            ),
+            None => write!(f, "{tag} {}: {} -> missing", self.path, self.base),
+        }
+    }
+}
+
+/// Result of comparing one baseline against one current document.
+#[derive(Debug, Clone, Default)]
+pub struct GateOutcome {
+    /// Numeric leaves compared.
+    pub leaves: usize,
+    /// Leaves over a threshold, in document order.
+    pub offenses: Vec<Offense>,
+}
+
+impl GateOutcome {
+    /// True when any offense is at [`Severity::Fail`].
+    pub fn failed(&self) -> bool {
+        self.offenses.iter().any(|o| o.severity == Severity::Fail)
+    }
+
+    /// Renders the verdict plus every offense, one per line.
+    pub fn render(&self, gate_pct: f64) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for o in &self.offenses {
+            let _ = writeln!(out, "{o}");
+        }
+        let fails = self
+            .offenses
+            .iter()
+            .filter(|o| o.severity == Severity::Fail)
+            .count();
+        let _ = writeln!(
+            out,
+            "gate: {} leaves compared, {} warned (> {gate_pct}%), {} failed (> {}%)",
+            self.leaves,
+            self.offenses.len() - fails,
+            fails,
+            gate_pct * 2.0
+        );
+        out
+    }
+}
+
+/// Compares every numeric leaf of `current` against `base`, flagging
+/// relative changes over `gate_pct` percent (fail over `2 * gate_pct`).
+pub fn compare(base: &JsonValue, current: &JsonValue, gate_pct: f64) -> GateOutcome {
+    let mut out = GateOutcome::default();
+    walk(
+        base,
+        Some(current),
+        &mut String::from("$"),
+        gate_pct,
+        &mut out,
+    );
+    out
+}
+
+/// Numeric view of a leaf, if it is one.
+fn as_number(v: &JsonValue) -> Option<f64> {
+    match v {
+        JsonValue::UInt(n) => Some(*n as f64),
+        JsonValue::Int(n) => Some(*n as f64),
+        JsonValue::Float(x) => Some(*x),
+        _ => None,
+    }
+}
+
+/// A human label for an array element: the value of its identifying key
+/// when it is an object that has one.
+fn element_label(v: &JsonValue, index: usize) -> String {
+    for key in ["app", "kind", "plan", "name", "page", "lock"] {
+        if let Some(id) = v.get(key) {
+            if let Some(s) = id.as_str() {
+                return s.to_owned();
+            }
+            if let Some(n) = id.as_u64() {
+                return format!("{key}{n}");
+            }
+        }
+    }
+    index.to_string()
+}
+
+fn walk(
+    base: &JsonValue,
+    current: Option<&JsonValue>,
+    path: &mut String,
+    gate_pct: f64,
+    out: &mut GateOutcome,
+) {
+    if let Some(b) = as_number(base) {
+        out.leaves += 1;
+        let cur = current.and_then(as_number);
+        let Some(c) = cur else {
+            out.offenses.push(Offense {
+                path: path.clone(),
+                base: b,
+                current: None,
+                delta_pct: f64::INFINITY,
+                severity: Severity::Fail,
+            });
+            return;
+        };
+        // Relative to max(|base|, 1): tiny counters flipping 0 -> 2
+        // read as 200%, not infinity, and exact-zero bases divide fine.
+        let delta_pct = (c - b).abs() / b.abs().max(1.0) * 100.0;
+        if delta_pct > gate_pct {
+            out.offenses.push(Offense {
+                path: path.clone(),
+                base: b,
+                current: Some(c),
+                delta_pct,
+                severity: if delta_pct > gate_pct * 2.0 {
+                    Severity::Fail
+                } else {
+                    Severity::Warn
+                },
+            });
+        }
+        return;
+    }
+    match base {
+        JsonValue::Object(pairs) => {
+            for (key, bv) in pairs {
+                let cv = current.and_then(|c| c.get(key));
+                if cv.is_none() && as_number(bv).is_none() && !leafless(bv) {
+                    // A whole subtree vanished: flag once, not per leaf.
+                    out.offenses.push(Offense {
+                        path: format!("{path}.{key}"),
+                        base: 0.0,
+                        current: None,
+                        delta_pct: f64::INFINITY,
+                        severity: Severity::Fail,
+                    });
+                    continue;
+                }
+                let len = path.len();
+                path.push('.');
+                path.push_str(key);
+                walk(bv, cv, path, gate_pct, out);
+                path.truncate(len);
+            }
+        }
+        JsonValue::Array(items) => {
+            let empty: &[JsonValue] = &[];
+            let cur_items = current.and_then(JsonValue::as_array).unwrap_or(empty);
+            for (i, bv) in items.iter().enumerate() {
+                let len = path.len();
+                path.push('[');
+                path.push_str(&element_label(bv, i));
+                path.push(']');
+                walk(bv, cur_items.get(i), path, gate_pct, out);
+                path.truncate(len);
+            }
+        }
+        // Strings, bools and nulls don't gate.
+        _ => {}
+    }
+}
+
+/// True when the subtree contains no numeric leaf at all (nothing for
+/// the gate to miss if it disappears).
+fn leafless(v: &JsonValue) -> bool {
+    match v {
+        JsonValue::Object(pairs) => pairs.iter().all(|(_, x)| leafless(x)),
+        JsonValue::Array(items) => items.iter().all(leafless),
+        JsonValue::UInt(_) | JsonValue::Int(_) | JsonValue::Float(_) => false,
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(text: &str) -> JsonValue {
+        JsonValue::parse(text).unwrap()
+    }
+
+    #[test]
+    fn identical_docs_pass_clean() {
+        let d = doc(r#"{"a":1,"b":{"c":[1,2,3]}}"#);
+        let out = compare(&d, &d, 5.0);
+        assert_eq!(out.leaves, 4);
+        assert!(out.offenses.is_empty());
+        assert!(!out.failed());
+    }
+
+    #[test]
+    fn warn_between_gate_and_twice_gate() {
+        let base = doc(r#"{"t":100}"#);
+        let cur = doc(r#"{"t":107}"#);
+        let out = compare(&base, &cur, 5.0);
+        assert_eq!(out.offenses.len(), 1);
+        assert_eq!(out.offenses[0].severity, Severity::Warn);
+        assert!(!out.failed());
+    }
+
+    #[test]
+    fn fail_beyond_twice_gate() {
+        let base = doc(r#"{"t":100}"#);
+        let cur = doc(r#"{"t":120}"#);
+        let out = compare(&base, &cur, 5.0);
+        assert_eq!(out.offenses[0].severity, Severity::Fail);
+        assert!(out.failed());
+    }
+
+    #[test]
+    fn missing_leaf_fails_and_new_keys_are_ignored() {
+        let base = doc(r#"{"kept":1,"dropped":2}"#);
+        let cur = doc(r#"{"kept":1,"added":3}"#);
+        let out = compare(&base, &cur, 5.0);
+        assert_eq!(out.offenses.len(), 1);
+        assert!(out.offenses[0].path.contains("dropped"));
+        assert!(out.failed());
+    }
+
+    #[test]
+    fn array_elements_are_labelled_by_identity_key() {
+        let base = doc(r#"{"apps":[{"app":"sor","t":100}]}"#);
+        let cur = doc(r#"{"apps":[{"app":"sor","t":300}]}"#);
+        let out = compare(&base, &cur, 5.0);
+        assert_eq!(out.offenses[0].path, "$.apps[sor].t");
+    }
+
+    #[test]
+    fn zero_base_uses_absolute_floor() {
+        let base = doc(r#"{"retries":0}"#);
+        let cur = doc(r#"{"retries":1}"#);
+        let out = compare(&base, &cur, 50.0);
+        // 1 vs 0 with floor 1 → 100% → fail at gate 50 (2× = 100 not
+        // exceeded), so it lands exactly on warn/fail boundary: 100 > 50
+        // warns, 100 > 100 is false → Warn.
+        assert_eq!(out.offenses[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn render_summarizes_counts() {
+        let base = doc(r#"{"a":100,"b":100}"#);
+        let cur = doc(r#"{"a":108,"b":150}"#);
+        let text = compare(&base, &cur, 5.0).render(5.0);
+        assert!(text.contains("WARN $.a"));
+        assert!(text.contains("FAIL $.b"));
+        assert!(text.contains("2 leaves compared, 1 warned"));
+    }
+}

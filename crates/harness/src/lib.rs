@@ -19,7 +19,9 @@
 #![warn(missing_docs)]
 pub mod bench;
 pub mod cli;
+pub mod explain;
 pub mod faults;
+pub mod gate;
 pub mod micro;
 pub mod runner;
 pub mod sweep;

@@ -27,6 +27,8 @@ pub struct RunSpec {
     pub jitter_us: u64,
     /// Release-prefers-local-waiters lock policy (ablation switch).
     pub prefer_local_locks: bool,
+    /// Record the causal span forest (`cvm … --spans`).
+    pub spans: bool,
     /// Master seed.
     pub seed: u64,
 }
@@ -45,6 +47,7 @@ impl RunSpec {
             protocol: ProtocolKind::LazyMultiWriter,
             prefer_local_locks: true,
             jitter_us: 0,
+            spans: false,
             seed: 0x5EED_CAFE,
         }
     }
@@ -100,6 +103,7 @@ fn config_for(spec: &RunSpec) -> CvmConfig {
     cfg.protocol = spec.protocol;
     cfg.jitter_max = cvm_sim::SimDuration::from_us(spec.jitter_us);
     cfg.prefer_local_lock_waiters = spec.prefer_local_locks;
+    cfg.spans = spec.spans;
     cfg.seed = spec.seed;
     cfg
 }

@@ -53,6 +53,9 @@ pub struct SweepConfig {
     /// Worker threads running simulations concurrently (0 = one per
     /// available core).
     pub workers: usize,
+    /// Record causal span forests in every cell (off by default so the
+    /// golden sweep artifacts stay byte-identical).
+    pub spans: bool,
     /// Master seed; each configuration splits its own seed off this.
     pub seed: u64,
 }
@@ -66,6 +69,7 @@ impl Default for SweepConfig {
             threads: crate::tables::THREADS.to_vec(),
             protocols: vec![ProtocolKind::LazyMultiWriter],
             workers: 0,
+            spans: false,
             seed: 0x5EED_CAFE,
         }
     }
@@ -85,6 +89,7 @@ impl SweepConfig {
                         }
                         let mut spec = RunSpec::new(app, self.scale, nodes, threads);
                         spec.protocol = protocol;
+                        spec.spans = self.spans;
                         spec.seed = workq::seed_split(
                             self.seed,
                             config_salt(protocol, app, nodes, threads),
@@ -306,6 +311,11 @@ impl SweepReport {
         stats.set("twins_created", r.stats.twins_created);
         stats.set("barriers_crossed", r.stats.barriers_crossed);
         row.set("stats", stats);
+        // Only spans-enabled sweeps mention the forest, so the default
+        // golden artifacts stay byte-identical.
+        if let Some(spans) = &r.spans {
+            row.set("spans", spans.summary_json(r.total_time));
+        }
         match self.speedup_vs_one_thread(o) {
             Some(s) => {
                 row.set("speedup_vs_1t", s);

@@ -433,6 +433,46 @@ pub fn protocols(scale: Scale) -> String {
     out
 }
 
+/// Latency percentiles: p50/p99/p999/max of every latency-bearing
+/// protocol histogram, one markdown table over the whole suite at
+/// P=8 T=2. The log₂ histograms behind the sweep's p90 columns carry
+/// the full distribution; this renders the tail the mean hides.
+pub fn latency(suite: &mut Suite) -> String {
+    let mut out = String::from("== Latency percentiles (P=8, T=2) ==\n\n");
+    out.push_str("| app | metric | count | p50 | p99 | p999 | max |\n");
+    out.push_str("|---|---|---:|---:|---:|---:|---:|\n");
+    for app in AppId::ALL {
+        if !app.supports_threads(2) {
+            continue;
+        }
+        let o = suite.run(app, 8, 2, false);
+        let h = o.report.hist.clone();
+        for (metric, hist) in [
+            ("fault fetch (ns)", &h.fault_fetch_ns),
+            ("lock 2-hop (ns)", &h.lock_2hop_ns),
+            ("lock 3-hop (ns)", &h.lock_3hop_ns),
+            ("barrier stall (ns)", &h.barrier_stall_ns),
+            ("diff size (bytes)", &h.diff_bytes),
+        ] {
+            if hist.count() == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} | {} |",
+                app.name(),
+                metric,
+                hist.count(),
+                hist.p50(),
+                hist.p99(),
+                hist.p999(),
+                hist.max()
+            );
+        }
+    }
+    out
+}
+
 /// Perturbation study: the paper lists "application perturbation —
 /// multi-threading changes the order that events occur... a
 /// non-deterministic effect on performance" among its limiting factors.
@@ -490,6 +530,18 @@ mod tests {
         let t = table1(Scale::Small);
         for id in AppId::ALL {
             assert!(t.contains(id.name()), "missing {id}");
+        }
+    }
+
+    #[test]
+    fn latency_table_renders_markdown_percentiles() {
+        let mut suite = Suite::new(Scale::Small);
+        let t = latency(&mut suite);
+        assert!(t.contains("| app | metric | count | p50 | p99 | p999 | max |"));
+        assert!(t.contains("fault fetch (ns)"));
+        // Every body row is a well-formed markdown table row.
+        for line in t.lines().filter(|l| l.starts_with("| ")) {
+            assert_eq!(line.matches('|').count(), 8, "bad row: {line}");
         }
     }
 }

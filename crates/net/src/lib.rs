@@ -33,6 +33,6 @@ pub mod stats;
 pub use fault::{FaultPlan, LinkRule, Partition, StallWindow, PLAN_CATALOG};
 pub use latency::{HandlerCosts, LatencyModel};
 pub use message::{Message, MsgClass, MsgKind, NodeId};
-pub use network::{NetworkSim, ACK_BYTES};
+pub use network::{DeliveryInfo, NetworkSim, ACK_BYTES};
 pub use reliable::{AdaptiveRto, DeliveryFailure, LossConfig, LossStats, RtoPolicy};
 pub use stats::NetStats;

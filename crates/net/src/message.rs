@@ -142,20 +142,33 @@ pub struct Message<P> {
     pub kind: MsgKind,
     /// Modelled size in bytes.
     pub payload_bytes: usize,
+    /// Causal span this message belongs to (0 = none). Packed into the
+    /// modelled header's reserved bytes, so it never changes
+    /// `payload_bytes`; retransmissions carry the same id, which is how
+    /// a receiver links its child spans to the sender's span even when
+    /// only a later copy survives the fault plan.
+    pub span: u64,
     /// Protocol content.
     pub payload: P,
 }
 
 impl<P> Message<P> {
-    /// Convenience constructor.
+    /// Convenience constructor (no span).
     pub fn new(src: NodeId, dst: NodeId, kind: MsgKind, payload_bytes: usize, payload: P) -> Self {
         Message {
             src,
             dst,
             kind,
             payload_bytes,
+            span: 0,
             payload,
         }
+    }
+
+    /// Stamps the causal span id onto the message.
+    pub fn with_span(mut self, span: u64) -> Self {
+        self.span = span;
+        self
     }
 }
 
@@ -180,5 +193,9 @@ mod tests {
         let m = Message::new(NodeId(0), NodeId(1), MsgKind::Other, 64, "hi");
         assert_eq!(m.payload, "hi");
         assert_eq!(m.payload_bytes, 64);
+        assert_eq!(m.span, 0, "span defaults to none");
+        let m = m.with_span(7);
+        assert_eq!(m.span, 7);
+        assert_eq!(m.payload_bytes, 64, "span rides in reserved header bytes");
     }
 }

@@ -40,13 +40,42 @@ struct Envelope<P> {
     msg: Message<P>,
     /// Sequence number when the reliability layer is active.
     seq: Option<u64>,
+    /// Original send time (constant across retransmissions).
+    sent_at: VirtualTime,
+    /// When this copy went on the wire (later than `sent_at` only for
+    /// retransmitted copies).
+    tx_at: VirtualTime,
+    /// Retransmissions preceding this copy.
+    retries: u32,
+}
+
+/// Per-delivery timing metadata, kept for the causal-span layer: when
+/// the message was originally sent, when the delivered copy was
+/// transmitted (differs from `sent_at` only after retransmission), when
+/// it arrived at the destination, when its handler completed, and how
+/// many retransmissions preceded the delivered copy. The segments the
+/// critical-path engine wants fall out by subtraction: backoff =
+/// `tx_at - sent_at`, wire = `arrived_at - tx_at`, handler (including
+/// queueing and reorder hold) = `serviced_at - arrived_at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveryInfo {
+    /// Original send time.
+    pub sent_at: VirtualTime,
+    /// Transmit time of the delivered copy.
+    pub tx_at: VirtualTime,
+    /// Arrival time at the destination NIC.
+    pub arrived_at: VirtualTime,
+    /// Handler service completion (the delivery instant).
+    pub serviced_at: VirtualTime,
+    /// Retransmissions before the delivered copy.
+    pub retries: u32,
 }
 
 enum Phase<P> {
     Arrival(Envelope<P>),
     /// Service completion; the key, when present, is the `(src, dst, seq)`
     /// to acknowledge at this instant (fresh reliable deliveries only).
-    Serviced(Message<P>, Option<(usize, usize, u64)>),
+    Serviced(Message<P>, Option<(usize, usize, u64)>, DeliveryInfo),
     /// Retransmission timer for `(src, dst, seq)`.
     Retry(usize, usize, u64),
     /// An acknowledgement for `(src, dst, seq)` arriving back at `src`.
@@ -61,6 +90,10 @@ struct PendingMsg<P> {
     /// rule: only taken if the message was never retransmitted).
     sent_at: VirtualTime,
 }
+
+/// Per-link hold buffer: arrived-but-out-of-order messages keyed by
+/// sequence, each with the arrival metadata delivery needs.
+type ReorderBuf<P> = BTreeMap<u64, (Message<P>, DeliveryInfo)>;
 
 /// Simulated network connecting `n` nodes.
 ///
@@ -97,8 +130,12 @@ pub struct NetworkSim<P> {
     deliver_next: HashMap<(usize, usize), u64>,
     /// Arrived-but-out-of-order messages per link, held until their gap
     /// fills (or the gap's sender gives up). Bounded by the reorder
-    /// window, like the dedup state.
-    reorder_buf: HashMap<(usize, usize), BTreeMap<u64, Message<P>>>,
+    /// window, like the dedup state. Each entry keeps its arrival
+    /// metadata so delivery timing survives the hold.
+    reorder_buf: HashMap<(usize, usize), ReorderBuf<P>>,
+    /// Timing metadata of the message most recently returned by
+    /// [`poll`](Self::poll)/[`next`](Self::next).
+    last_delivery: Option<DeliveryInfo>,
 }
 
 impl<P> std::fmt::Debug for NetworkSim<P> {
@@ -130,6 +167,7 @@ impl<P> NetworkSim<P> {
             pending: HashMap::new(),
             deliver_next: HashMap::new(),
             reorder_buf: HashMap::new(),
+            last_delivery: None,
         }
     }
 
@@ -208,9 +246,17 @@ impl<P> NetworkSim<P> {
     }
 
     /// Puts one copy of `msg` on the wire: rolls uniform loss, then the
-    /// fault plan, and schedules the arrival(s) that survive.
-    fn transmit(&mut self, now: VirtualTime, msg: Message<P>, seq: Option<u64>)
-    where
+    /// fault plan, and schedules the arrival(s) that survive. `sent_at`
+    /// is the original send time and `retries` the copy's retransmission
+    /// count — both ride along for delivery timing.
+    fn transmit(
+        &mut self,
+        now: VirtualTime,
+        msg: Message<P>,
+        seq: Option<u64>,
+        sent_at: VirtualTime,
+        retries: u32,
+    ) where
         P: Clone,
     {
         let (src, dst) = (msg.src.0, msg.dst.0);
@@ -243,12 +289,23 @@ impl<P> NetworkSim<P> {
                     let copy = Envelope {
                         msg: msg.clone(),
                         seq,
+                        sent_at,
+                        tx_at: now,
+                        retries,
                     };
                     self.queue
                         .push(now + wire + delay + lag, Phase::Arrival(copy));
                 }
-                self.queue
-                    .push(now + wire + delay, Phase::Arrival(Envelope { msg, seq }));
+                self.queue.push(
+                    now + wire + delay,
+                    Phase::Arrival(Envelope {
+                        msg,
+                        seq,
+                        sent_at,
+                        tx_at: now,
+                        retries,
+                    }),
+                );
             }
         }
     }
@@ -332,11 +389,12 @@ impl<P> NetworkSim<P> {
             }
             match self.queue.pop().expect("peeked nonempty") {
                 (arrived, Phase::Arrival(env)) => self.handle_arrival(arrived, env),
-                (done, Phase::Serviced(msg, ack)) => {
+                (done, Phase::Serviced(msg, ack, info)) => {
                     if let Some((src, dst, seq)) = ack {
                         self.send_ack(done, src, dst, seq);
                     }
                     self.in_flight -= 1;
+                    self.last_delivery = Some(info);
                     return Some((done, msg));
                 }
                 (now, Phase::Retry(src, dst, seq)) => self.handle_retry(now, src, dst, seq),
@@ -355,8 +413,15 @@ impl<P> NetworkSim<P> {
 
     fn handle_arrival(&mut self, arrived: VirtualTime, env: Envelope<P>) {
         let (src, dst) = (env.msg.src.0, env.msg.dst.0);
+        let info = DeliveryInfo {
+            sent_at: env.sent_at,
+            tx_at: env.tx_at,
+            arrived_at: arrived,
+            serviced_at: arrived, // finalized in schedule_service
+            retries: env.retries,
+        };
         let Some(seq) = env.seq else {
-            self.schedule_service(arrived, env.msg, None);
+            self.schedule_service(arrived, env.msg, None, info);
             return;
         };
         if !self.reliability.first_arrival(src, dst, seq) {
@@ -374,14 +439,14 @@ impl<P> NetworkSim<P> {
             self.reorder_buf
                 .entry((src, dst))
                 .or_default()
-                .insert(seq, env.msg);
+                .insert(seq, (env.msg, info));
             return;
         }
         // In order: service now, ack at service completion (so the
         // sender's RTT sample includes handler queueing).
         self.reliability.count_delivered();
         self.deliver_next.insert((src, dst), seq + 1);
-        self.schedule_service(arrived, env.msg, Some((src, dst, seq)));
+        self.schedule_service(arrived, env.msg, Some((src, dst, seq)), info);
         self.drain_in_order(arrived, src, dst);
     }
 
@@ -392,6 +457,7 @@ impl<P> NetworkSim<P> {
         at: VirtualTime,
         msg: Message<P>,
         ack: Option<(usize, usize, u64)>,
+        mut info: DeliveryInfo,
     ) {
         let dst = msg.dst.0;
         let mut start = at.max(self.handler_free[dst]);
@@ -404,7 +470,8 @@ impl<P> NetworkSim<P> {
         }
         let done = start + self.model.handler_time(msg.kind);
         self.handler_free[dst] = done;
-        self.queue.push(done, Phase::Serviced(msg, ack));
+        info.serviced_at = done;
+        self.queue.push(done, Phase::Serviced(msg, ack, info));
     }
 
     /// Delivers every buffered message on `src → dst` that is now in
@@ -419,10 +486,10 @@ impl<P> NetworkSim<P> {
                 .reorder_buf
                 .get_mut(&(src, dst))
                 .and_then(|b| b.remove(&next));
-            if let Some(m) = held {
+            if let Some((m, info)) = held {
                 self.reliability.count_delivered();
                 self.deliver_next.insert((src, dst), next + 1);
-                self.schedule_service(now, m, None);
+                self.schedule_service(now, m, None, info);
             } else if self.reliability.is_failed(src, dst, next) {
                 self.deliver_next.insert((src, dst), next + 1);
             } else {
@@ -443,7 +510,10 @@ impl<P> NetworkSim<P> {
             // Retry exhaustion is a structured outcome, not a crash: the
             // message becomes a DeliveryFailure and its sequence is
             // tombstoned so a late copy can never resurrect it.
-            if self.reliability.give_up(src, dst, seq, p.msg.kind) {
+            if self
+                .reliability
+                .give_up(src, dst, seq, p.msg.kind, p.msg.span)
+            {
                 self.in_flight -= 1;
                 // The tombstoned sequence will never arrive; unblock any
                 // later messages held behind it in the reorder buffer.
@@ -464,7 +534,7 @@ impl<P> NetworkSim<P> {
                 sent_at: p.sent_at,
             },
         );
-        self.transmit(now, p.msg, Some(seq));
+        self.transmit(now, p.msg, Some(seq), p.sent_at, retries);
         let rto = self.reliability.rto_for(src, dst, retries, floor);
         self.queue.push(now + rto, Phase::Retry(src, dst, seq));
     }
@@ -501,11 +571,11 @@ impl<P> NetworkSim<P> {
                     sent_at: now,
                 },
             );
-            self.transmit(now, msg, Some(seq));
+            self.transmit(now, msg, Some(seq), now, 0);
             let rto = self.reliability.rto_for(src, dst, 0, floor);
             self.queue.push(now + rto, Phase::Retry(src, dst, seq));
         } else {
-            self.transmit(now, msg, None);
+            self.transmit(now, msg, None, now, 0);
         }
     }
 
@@ -527,6 +597,12 @@ impl<P> NetworkSim<P> {
             }
             self.queue.pop();
         }
+    }
+
+    /// Timing metadata of the most recent delivery (the message last
+    /// returned by [`poll`](Self::poll)); `None` before any delivery.
+    pub fn last_delivery(&self) -> Option<DeliveryInfo> {
+        self.last_delivery
     }
 
     /// Completion time of the earliest *live* pending event (arrival,

@@ -115,6 +115,10 @@ pub struct DeliveryFailure {
     pub seq: u64,
     /// Protocol kind of the abandoned message.
     pub kind: MsgKind,
+    /// Causal span the abandoned message belonged to (0 = none), so a
+    /// degraded run's explain output can still anchor the failure in its
+    /// causal chain.
+    pub span: u64,
 }
 
 /// RFC 6298 smoothed RTT estimation, in integer nanoseconds.
@@ -191,8 +195,8 @@ pub struct ReliabilityState {
     /// Per-link RTT estimators (adaptive RTO).
     rtt: HashMap<(usize, usize), RttEstimator>,
     /// Messages abandoned after `max_retries` (BTreeMap for deterministic
-    /// report order).
-    failed: BTreeMap<(usize, usize, u64), MsgKind>,
+    /// report order), with the causal span each belonged to.
+    failed: BTreeMap<(usize, usize, u64), (MsgKind, u64)>,
     /// RNG deciding uniform drops.
     rng: Option<SimRng>,
     /// Configuration, if loss is enabled.
@@ -345,11 +349,11 @@ impl ReliabilityState {
     /// wire can never be delivered late — the failure is final. Returns
     /// `false` if the message had in fact already been delivered (the ack
     /// is merely slow): that is not a failure and is not recorded as one.
-    pub fn give_up(&mut self, src: usize, dst: usize, seq: u64, kind: MsgKind) -> bool {
+    pub fn give_up(&mut self, src: usize, dst: usize, seq: u64, kind: MsgKind, span: u64) -> bool {
         let undelivered = self.delivered.entry((src, dst)).or_default().insert(seq);
         if undelivered {
             self.stats.gave_up += 1;
-            self.failed.insert((src, dst, seq), kind);
+            self.failed.insert((src, dst, seq), (kind, span));
         }
         undelivered
     }
@@ -358,11 +362,12 @@ impl ReliabilityState {
     pub fn delivery_failures(&self) -> Vec<DeliveryFailure> {
         self.failed
             .iter()
-            .map(|(&(src, dst, seq), &kind)| DeliveryFailure {
+            .map(|(&(src, dst, seq), &(kind, span))| DeliveryFailure {
                 src: NodeId(src),
                 dst: NodeId(dst),
                 seq,
                 kind,
+                span,
             })
             .collect()
     }
@@ -595,7 +600,7 @@ mod tests {
     fn give_up_tombstones_and_balances() {
         let mut r = ReliabilityState::default();
         let seq = r.next_seq(0, 1);
-        assert!(r.give_up(0, 1, seq, MsgKind::DiffReply));
+        assert!(r.give_up(0, 1, seq, MsgKind::DiffReply, 42));
         assert!(
             !r.first_arrival(0, 1, seq),
             "an abandoned message must never be delivered late"
@@ -612,6 +617,7 @@ mod tests {
                 dst: NodeId(1),
                 seq,
                 kind: MsgKind::DiffReply,
+                span: 42,
             }]
         );
     }
@@ -625,7 +631,7 @@ mod tests {
         let seq = r.next_seq(0, 1);
         assert!(r.first_arrival(0, 1, seq));
         r.count_delivered();
-        assert!(!r.give_up(0, 1, seq, MsgKind::LockGrant));
+        assert!(!r.give_up(0, 1, seq, MsgKind::LockGrant, 0));
         assert!(
             !r.is_failed(0, 1, seq),
             "no tombstone for a delivered message"

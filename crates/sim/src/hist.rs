@@ -179,6 +179,12 @@ impl Log2Hist {
         self.percentile(99.0)
     }
 
+    /// 99.9th percentile (see [`percentile`](Self::percentile)
+    /// semantics).
+    pub fn p999(&self) -> u64 {
+        self.percentile(99.9)
+    }
+
     /// Adds every sample of `other` into this histogram.
     pub fn merge(&mut self, other: &Log2Hist) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -287,6 +293,8 @@ mod tests {
         assert!((500..=1000).contains(&p50), "p50 = {p50}");
         let p90 = h.p90();
         assert!((900..=1000).contains(&p90), "p90 = {p90}");
+        let p999 = h.p999();
+        assert!((999..=1000).contains(&p999), "p999 = {p999}");
         assert_eq!(h.percentile(100.0), 1000);
     }
 

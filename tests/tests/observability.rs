@@ -103,7 +103,7 @@ fn chrome_export_of_two_node_run_is_balanced() {
                 .to_owned()
         })
         .collect();
-    assert_eq!(meta_names, ["node 0", "node 1"]);
+    assert_eq!(meta_names, ["cvm protocol", "node 0", "node 1"]);
     for e in events {
         assert!(e.get("tid").unwrap().as_u64().unwrap() < 2);
     }

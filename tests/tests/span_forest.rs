@@ -1,0 +1,258 @@
+//! End-to-end invariants of the causal span forest: every span closes
+//! on healthy runs, children link to real parents, the per-span segment
+//! split sums exactly to the duration, the whole-run critical path
+//! partitions the wall time exactly, recording is observationally
+//! inert, and the forest serializes byte-identically across worker
+//! counts and under fault plans.
+
+use cvm_apps::{build_app, AppId, Scale};
+use cvm_dsm::{CvmBuilder, CvmConfig, FaultPlan, ProtocolKind, RunReport, SpanKind};
+use cvm_harness::explain::{explain, Mode};
+use cvm_harness::sweep::{run_sweep, SweepConfig};
+
+fn run_spans(
+    app: AppId,
+    nodes: usize,
+    threads: usize,
+    protocol: ProtocolKind,
+    faults: Option<&str>,
+) -> RunReport {
+    let mut cfg = CvmConfig::paper(nodes, threads);
+    cfg.protocol = protocol;
+    cfg.spans = true;
+    if let Some(plan) = faults {
+        cfg.faults = Some(FaultPlan::named(plan, nodes).expect("catalog plan"));
+    }
+    let mut b = CvmBuilder::new(cfg);
+    let body = build_app(&mut b, app, Scale::Small);
+    b.run(body)
+}
+
+#[test]
+fn healthy_runs_close_every_span_and_segments_sum_exactly() {
+    for protocol in ProtocolKind::ALL {
+        let r = run_spans(AppId::Sor, 4, 2, protocol, None);
+        let spans = r.spans.as_ref().expect("spans recorded");
+        assert!(!spans.is_empty(), "{protocol}: a real run produces spans");
+        assert_eq!(
+            spans.open_count(),
+            0,
+            "{protocol}: healthy runs close every span"
+        );
+        for s in spans.iter() {
+            assert!(s.closed, "{protocol}: span {} left open", s.id);
+            assert_eq!(
+                s.segments().total(),
+                s.duration_ns(),
+                "{protocol}: span {} ({:?}) segments must sum to its duration",
+                s.id,
+                s.kind
+            );
+        }
+    }
+}
+
+#[test]
+fn parent_links_resolve_and_pulls_nest_inside_their_fault() {
+    let r = run_spans(AppId::WaterNsq, 4, 2, ProtocolKind::LazyMultiWriter, None);
+    let spans = r.spans.as_ref().unwrap();
+    for s in spans.iter() {
+        if s.parent == 0 {
+            continue;
+        }
+        let p = spans
+            .get(s.parent)
+            .unwrap_or_else(|| panic!("span {}: dangling parent {}", s.id, s.parent));
+        assert!(p.id < s.id, "parents are opened before their children");
+        assert!(
+            p.open <= s.open,
+            "span {}: opens at {:?} before its parent's {:?}",
+            s.id,
+            s.open,
+            p.open
+        );
+        // Pulls and retransmission bursts are temporally contained in
+        // their parent; a notice→refault link (RemoteFault with a
+        // causal parent) may outlive the span that invalidated it.
+        if matches!(
+            s.kind,
+            SpanKind::PagePull | SpanKind::DiffPull | SpanKind::Retransmit
+        ) && s.closed
+            && p.closed
+        {
+            assert!(
+                s.close <= p.close,
+                "span {} ({:?}) closes after its parent {}",
+                s.id,
+                s.kind,
+                p.id
+            );
+        }
+    }
+    // Lock acquires classify as 2-hop or 3-hop, matching the stats.
+    let lock_spans = spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::LockAcquire)
+        .count() as u64;
+    assert_eq!(lock_spans, r.stats.remote_locks);
+    for s in spans.iter().filter(|s| s.kind == SpanKind::LockAcquire) {
+        assert!(
+            s.hop_count == 2 || s.hop_count == 3,
+            "lock span {} has hop count {}",
+            s.id,
+            s.hop_count
+        );
+    }
+}
+
+#[test]
+fn notice_refault_chain_links_across_synchronization() {
+    // SOR's boundary rows are invalidated by barrier write notices, so
+    // some remote faults must be caused by (and linked under) an
+    // earlier synchronization span.
+    let r = run_spans(AppId::Sor, 4, 2, ProtocolKind::LazyMultiWriter, None);
+    let spans = r.spans.as_ref().unwrap();
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.kind == SpanKind::RemoteFault && s.parent != 0),
+        "no remote fault carries a causal parent"
+    );
+}
+
+#[test]
+fn span_counts_match_protocol_statistics() {
+    let r = run_spans(AppId::Sor, 4, 2, ProtocolKind::LazyMultiWriter, None);
+    let spans = r.spans.as_ref().unwrap();
+    let count = |k: SpanKind| spans.iter().filter(|s| s.kind == k).count() as u64;
+    assert_eq!(count(SpanKind::RemoteFault), r.stats.remote_faults);
+    assert_eq!(
+        count(SpanKind::Barrier),
+        r.stats.barriers_crossed * 4,
+        "one barrier episode per node per crossing"
+    );
+}
+
+#[test]
+fn critical_path_partitions_wall_time_exactly() {
+    for app in [AppId::Sor, AppId::WaterSp] {
+        let r = run_spans(app, 4, 2, ProtocolKind::LazyMultiWriter, None);
+        let spans = r.spans.as_ref().unwrap();
+        let cp = spans.critical_path(r.total_time);
+        assert_eq!(cp.total, r.total_time.as_ns());
+        assert_eq!(
+            cp.reconstructed(),
+            cp.total,
+            "{app}: covered + compute must equal the wall time exactly"
+        );
+        assert!(cp.compute > 0, "{app}: some time is pure compute");
+        let covered: u64 = cp.by_kind.iter().map(|(_, ns)| ns).sum();
+        assert!(covered > 0, "{app}: some time is protocol-covered");
+    }
+}
+
+#[test]
+fn spans_are_observationally_inert() {
+    let run = |spans: bool| {
+        let mut cfg = CvmConfig::paper(4, 2);
+        cfg.spans = spans;
+        let mut b = CvmBuilder::new(cfg);
+        let body = build_app(&mut b, AppId::Sor, Scale::Small);
+        b.run(body)
+    };
+    let off = run(false);
+    let on = run(true);
+    assert!(off.spans.is_none());
+    assert!(on.spans.is_some());
+    assert_eq!(off.total_time, on.total_time, "spans never bend time");
+    assert_eq!(off.stats, on.stats);
+    assert_eq!(off.net, on.net);
+}
+
+#[test]
+fn forest_is_byte_identical_across_sweep_worker_counts() {
+    let sweep = |workers: usize| {
+        let cfg = SweepConfig {
+            apps: vec![AppId::Sor],
+            nodes: vec![2, 4],
+            threads: vec![1, 2],
+            workers,
+            spans: true,
+            ..SweepConfig::default()
+        };
+        run_sweep(cfg).to_json().to_pretty()
+    };
+    assert_eq!(
+        sweep(1),
+        sweep(3),
+        "span summaries must not depend on the worker count"
+    );
+}
+
+#[test]
+fn retransmission_bursts_become_spans_under_fault_plans() {
+    let r = run_spans(
+        AppId::Sor,
+        4,
+        2,
+        ProtocolKind::LazyMultiWriter,
+        Some("loss-10"),
+    );
+    let spans = r.spans.as_ref().unwrap();
+    let retrans: Vec<_> = spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Retransmit)
+        .collect();
+    assert!(
+        !retrans.is_empty(),
+        "10% loss must retransmit something into the forest"
+    );
+    for s in &retrans {
+        assert!(s.closed);
+        assert!(s.hop_count >= 1, "retry count recorded");
+        assert_ne!(s.parent, 0, "bursts hang off the span they delayed");
+        assert!(spans.get(s.parent).is_some());
+    }
+    // And the whole forest is still deterministic under the plan.
+    let again = run_spans(
+        AppId::Sor,
+        4,
+        2,
+        ProtocolKind::LazyMultiWriter,
+        Some("loss-10"),
+    );
+    assert_eq!(
+        r.to_json(10).to_pretty(),
+        again.to_json(10).to_pretty(),
+        "fault plans are deterministic, so the forest must be too"
+    );
+}
+
+#[test]
+fn explain_renders_three_hop_locks_and_retransmissions() {
+    let r = run_spans(
+        AppId::WaterNsq,
+        4,
+        2,
+        ProtocolKind::LazyMultiWriter,
+        Some("loss-10"),
+    );
+    let spans = r.spans.as_ref().unwrap();
+    let doc = r.to_json(10);
+    let three_hop = spans
+        .iter()
+        .find(|s| s.kind == SpanKind::LockAcquire && s.hop_count == 3)
+        .expect("contended locks on 4 nodes take the 3-hop path");
+    let text = explain(&doc, &Mode::Span(three_hop.id)).unwrap();
+    assert!(text.contains("3-hop"), "explain labels the forward chain");
+    let retrans = spans
+        .iter()
+        .find(|s| s.kind == SpanKind::Retransmit)
+        .expect("loss produces retransmit spans");
+    let text = explain(&doc, &Mode::Span(retrans.id)).unwrap();
+    assert!(text.contains("retransmit"));
+    assert!(
+        text.contains("under span"),
+        "the burst renders beneath its causal parent"
+    );
+}
