@@ -28,6 +28,18 @@ pub struct BarnesConfig {
 }
 
 impl BarnesConfig {
+    /// Model-checker kernel: a handful of particles, one step — small
+    /// enough for exhaustive schedule enumeration, large enough to cross
+    /// a page boundary.
+    pub fn tiny() -> Self {
+        BarnesConfig {
+            n: 64,
+            steps: 1,
+            theta: 0.55,
+            dt: 0.01,
+        }
+    }
+
     /// Laptop-scale default.
     pub fn small() -> Self {
         BarnesConfig {

@@ -24,6 +24,11 @@ pub struct FftConfig {
 }
 
 impl FftConfig {
+    /// Model-checker kernel (16×16): exhaustive-enumeration sized.
+    pub fn tiny() -> Self {
+        FftConfig { m: 16 }
+    }
+
     /// Laptop-scale default (128×128 complex).
     pub fn small() -> Self {
         FftConfig { m: 128 }

@@ -38,6 +38,17 @@ pub struct OceanConfig {
 }
 
 impl OceanConfig {
+    /// Model-checker kernel: one step on a 16×16 grid.
+    pub fn tiny() -> Self {
+        OceanConfig {
+            n: 16,
+            steps: 1,
+            sweeps: 1,
+            coarse_sweeps: 1,
+            use_reduction: true,
+        }
+    }
+
     /// Laptop-scale default.
     pub fn small() -> Self {
         OceanConfig {

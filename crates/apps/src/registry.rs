@@ -107,6 +107,33 @@ impl AppId {
         }
     }
 
+    /// Parses the CLI slug (`sor`, `water-nsq`, `swm`/`swm750`, ...).
+    pub fn parse(name: &str) -> Option<AppId> {
+        Some(match name {
+            "barnes" => AppId::Barnes,
+            "fft" => AppId::Fft,
+            "ocean" => AppId::Ocean,
+            "sor" => AppId::Sor,
+            "swm" | "swm750" => AppId::Swm750,
+            "water-sp" | "watersp" => AppId::WaterSp,
+            "water-nsq" | "waternsq" => AppId::WaterNsq,
+            _ => return None,
+        })
+    }
+
+    /// CLI/JSON slug (the inverse of [`parse`](Self::parse)).
+    pub fn slug(self) -> &'static str {
+        match self {
+            AppId::Barnes => "barnes",
+            AppId::Fft => "fft",
+            AppId::Ocean => "ocean",
+            AppId::Sor => "sor",
+            AppId::Swm750 => "swm",
+            AppId::WaterSp => "water-sp",
+            AppId::WaterNsq => "water-nsq",
+        }
+    }
+
     /// Ocean requires a power-of-two thread level (the paper has no
     /// three-thread Ocean bar for the same reason).
     pub fn supports_threads(self, threads_per_node: usize) -> bool {
@@ -139,8 +166,11 @@ pub struct AppMeta {
 }
 
 /// Problem-size selection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Scale {
+    /// Model-checker kernels: drastically reduced inputs sized so
+    /// exhaustive DPOR exploration terminates in seconds.
+    Tiny,
     /// Laptop-scale inputs (default).
     #[default]
     Small,
@@ -148,9 +178,37 @@ pub enum Scale {
     Paper,
 }
 
+impl Scale {
+    /// CLI/JSON slug.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Paper => "paper",
+        }
+    }
+
+    /// Parses the CLI/JSON slug.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+}
+
 /// Builds the given application (shared allocations happen on `b`).
 pub fn build_app(b: &mut CvmBuilder, id: AppId, scale: Scale) -> AppBody {
     match (id, scale) {
+        (AppId::Barnes, Scale::Tiny) => barnes::build(b, barnes::BarnesConfig::tiny()),
+        (AppId::Fft, Scale::Tiny) => fft::build(b, fft::FftConfig::tiny()),
+        (AppId::Ocean, Scale::Tiny) => ocean::build(b, ocean::OceanConfig::tiny()),
+        (AppId::Sor, Scale::Tiny) => sor::build(b, sor::SorConfig::tiny()),
+        (AppId::Swm750, Scale::Tiny) => swm::build(b, swm::SwmConfig::tiny()),
+        (AppId::WaterSp, Scale::Tiny) => water_sp::build(b, water_sp::WaterSpConfig::tiny()),
+        (AppId::WaterNsq, Scale::Tiny) => water_nsq::build(b, water_nsq::WaterNsqConfig::tiny()),
         (AppId::Barnes, Scale::Small) => barnes::build(b, barnes::BarnesConfig::small()),
         (AppId::Barnes, Scale::Paper) => barnes::build(b, barnes::BarnesConfig::paper()),
         (AppId::Fft, Scale::Small) => fft::build(b, fft::FftConfig::small()),
@@ -173,6 +231,7 @@ pub fn build_app(b: &mut CvmBuilder, id: AppId, scale: Scale) -> AppBody {
 /// ("reduction operations").
 pub fn build_ocean_variant(b: &mut CvmBuilder, scale: Scale, use_reduction: bool) -> AppBody {
     let mut cfg = match scale {
+        Scale::Tiny => ocean::OceanConfig::tiny(),
         Scale::Small => ocean::OceanConfig::small(),
         Scale::Paper => ocean::OceanConfig::paper(),
     };
@@ -183,6 +242,7 @@ pub fn build_ocean_variant(b: &mut CvmBuilder, scale: Scale, use_reduction: bool
 /// Builds a specific Water-Nsq variant (Table 5 case study).
 pub fn build_water_nsq_variant(b: &mut CvmBuilder, scale: Scale, opt: WaterNsqOpt) -> AppBody {
     let mut cfg = match scale {
+        Scale::Tiny => water_nsq::WaterNsqConfig::tiny(),
         Scale::Small => water_nsq::WaterNsqConfig::small(),
         Scale::Paper => water_nsq::WaterNsqConfig::paper(),
     };

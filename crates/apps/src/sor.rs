@@ -25,6 +25,17 @@ pub struct SorConfig {
 }
 
 impl SorConfig {
+    /// Model-checker kernel: a 48×48 grid (three coherence pages, so
+    /// 2-node runs really share and home assignment splits) for two
+    /// iterations.
+    pub fn tiny() -> Self {
+        SorConfig {
+            n: 48,
+            iters: 2,
+            omega: 1.15,
+        }
+    }
+
     /// Laptop-scale default.
     pub fn small() -> Self {
         SorConfig {

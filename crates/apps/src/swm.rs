@@ -26,6 +26,11 @@ pub struct SwmConfig {
 }
 
 impl SwmConfig {
+    /// Model-checker kernel: one step on a 16×16 grid.
+    pub fn tiny() -> Self {
+        SwmConfig { n: 16, steps: 1 }
+    }
+
     /// Laptop-scale default.
     pub fn small() -> Self {
         SwmConfig { n: 192, steps: 4 }

@@ -57,6 +57,19 @@ pub struct WaterNsqConfig {
 }
 
 impl WaterNsqConfig {
+    /// Model-checker kernel: 16 molecules, one step — keeps the
+    /// lock-per-molecule acquire/release pattern while staying
+    /// enumerable.
+    pub fn tiny() -> Self {
+        WaterNsqConfig {
+            n: 16,
+            steps: 1,
+            dt: 0.002,
+            cutoff2: 0.25,
+            opt: WaterNsqOpt::BothOpts,
+        }
+    }
+
     /// Laptop-scale default (paper molecule count; fewer steps).
     pub fn small() -> Self {
         WaterNsqConfig {

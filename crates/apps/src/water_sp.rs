@@ -28,6 +28,16 @@ pub struct WaterSpConfig {
 }
 
 impl WaterSpConfig {
+    /// Model-checker kernel: 64 molecules in a 2×2×2 cell grid, one step.
+    pub fn tiny() -> Self {
+        WaterSpConfig {
+            n: 64,
+            b: 2,
+            steps: 1,
+            dt: 0.002,
+        }
+    }
+
     /// Laptop-scale default.
     pub fn small() -> Self {
         WaterSpConfig {

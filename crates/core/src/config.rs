@@ -2,7 +2,7 @@
 
 use cvm_memsim::MemConfig;
 use cvm_net::{FaultPlan, LatencyModel, LossConfig};
-use cvm_sim::{ExploreSpec, SimDuration};
+use cvm_sim::{ExploreSpec, ScheduleScript, SimDuration};
 
 use crate::oracle::{FindingSink, InjectFault};
 use crate::protocol::ProtocolKind;
@@ -114,6 +114,16 @@ pub struct CvmConfig {
     /// schedule-exploration checker). None runs the configured FIFO/LIFO
     /// policy unmodified.
     pub explore: Option<ExploreSpec>,
+    /// Replay scheduler picks from a fixed script (the stateless model
+    /// checker, `cvm check --dpor`): entry `i` indexes the ready queue
+    /// at the `i`-th scheduling point; past the script the configured
+    /// policy resumes. Takes precedence over `explore`.
+    pub script: Option<ScheduleScript>,
+    /// Record every scheduling point (enabled set, chosen index, burst
+    /// page/sync footprint) onto the run report's step log and fingerprint
+    /// the terminal protocol state — the observation channel the DPOR
+    /// explorer's independence relation and duplicate detection consume.
+    pub record_steps: bool,
 }
 
 impl CvmConfig {
@@ -155,6 +165,8 @@ impl CvmConfig {
             verify_sink: FindingSink::new(),
             inject: None,
             explore: None,
+            script: None,
+            record_steps: false,
         }
     }
 

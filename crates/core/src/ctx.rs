@@ -199,6 +199,9 @@ impl<'a> ThreadCtx<'a> {
             let page = addr.page(cell.page_size);
             if cell.state[page.0].readable() {
                 self.charge_access(&mut cell, addr);
+                if cell.track_steps {
+                    cell.note_step_read(page.0);
+                }
                 let off = addr.0 as usize;
                 let v = T::from_bytes(&cell.mem[off..off + T::SIZE]);
                 return v;
@@ -228,6 +231,9 @@ impl<'a> ThreadCtx<'a> {
             match cell.state[page.0] {
                 PageState::ReadWrite => {
                     self.charge_access(&mut cell, addr);
+                    if cell.track_steps {
+                        cell.note_step_write(page.0);
+                    }
                     let off = addr.0 as usize;
                     cell.mem[off..off + T::SIZE].copy_from_slice(&v.to_bytes());
                     return;

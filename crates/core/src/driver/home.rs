@@ -23,6 +23,7 @@ use std::collections::HashMap;
 use cvm_sim::VirtualTime;
 
 use crate::msg::Payload;
+use crate::oracle::{InjectFault, Invariant};
 use crate::page::{PageId, PageState};
 use crate::trace::TraceEvent;
 
@@ -72,7 +73,13 @@ impl HomeLazy {
                 .needs
                 .iter()
                 .all(|&(w, i)| core.ctl[n].applied_ivl(p, w) >= i);
-            if !covered {
+            let serve = covered || skip_watermark(core);
+            if serve && core.oracle.enabled() {
+                core.oracle.check(Invariant::HomeServeCoverage, covered, Some(n), t, || {
+                    format!("home {n} unparked a request for p{p} before its watermarks covered {:?}", req.needs)
+                });
+            }
+            if !serve {
                 keep.push(req);
             } else if req.requester == n {
                 // The home's own fault: the page bytes are current now.
@@ -314,7 +321,13 @@ impl Coherence for HomeLazy {
                 let covered = needs
                     .iter()
                     .all(|&(w, i)| core.ctl[n].applied_ivl(p, w) >= i);
-                if covered {
+                let serve = covered || skip_watermark(core);
+                if serve && core.oracle.enabled() {
+                    core.oracle.check(Invariant::HomeServeCoverage, covered, Some(n), t, || {
+                        format!("home {n} served p{p} for node {src} before its watermarks covered {needs:?}")
+                    });
+                }
+                if serve {
                     self.reply(core, n, p, src, core.cur_span, t);
                 } else {
                     self.parked[n].entry(p).or_default().push(ParkedReq {
@@ -358,4 +371,16 @@ impl Coherence for HomeLazy {
             other => unreachable!("home-lazy never receives {:?}", other.kind()),
         }
     }
+}
+
+/// Mutation self-test hook: pretend the `nth` uncovered request's
+/// watermark check passed, serving the stale home copy (the parking
+/// protocol is exactly what makes home-lazy safe under wire-dominant
+/// latencies, so this is the fault `cvm check --mutate skip-watermark`
+/// must catch).
+fn skip_watermark(core: &mut DriverCore) -> bool {
+    core.inject_hits(|f| match f {
+        InjectFault::SkipHomeWatermark { nth } => Some(*nth),
+        _ => None,
+    })
 }

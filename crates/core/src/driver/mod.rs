@@ -57,7 +57,7 @@ use std::sync::Arc;
 use cvm_net::NetworkSim;
 use cvm_sim::coop::{CoopScheduler, CoopThreadId, Yielder};
 use cvm_sim::sync::Mutex;
-use cvm_sim::{EventQueue, ExploreSchedule, SimRng, VirtualTime};
+use cvm_sim::{EventQueue, ExploreSchedule, Fnv64, ScriptCursor, SimRng, StepLog, VirtualTime};
 
 use cvm_memsim::MemSystem;
 
@@ -340,10 +340,19 @@ pub struct DriverCore {
     oracle: Oracle,
     /// Seeded scheduler perturbation, when exploring.
     explore: Option<ExploreSchedule>,
+    /// Scripted scheduler picks (the model checker's replay channel);
+    /// takes precedence over `explore`.
+    script: Option<ScriptCursor>,
+    /// Scheduling-point log, when `cfg.record_steps`.
+    steps: Option<StepLog>,
     /// Occurrences of the configured injection's fault site seen so far
     /// (the injection corrupts occurrence `nth` only).
     inject_seen: u64,
 }
+
+/// Step-log capacity: far above any tiny-kernel run, bounded so a
+/// misconfigured paper-scale run cannot exhaust host memory.
+const STEP_LOG_CAP: usize = 1 << 20;
 
 impl std::fmt::Debug for DriverCore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -442,6 +451,13 @@ impl Driver {
             Oracle::disabled()
         };
         let explore = cfg.explore.map(ExploreSchedule::new);
+        let script = cfg.script.clone().map(ScriptCursor::new);
+        let steps = cfg.record_steps.then(|| StepLog::new(STEP_LOG_CAP));
+        if cfg.record_steps {
+            for cell in &cells {
+                cell.lock().track_steps = true;
+            }
+        }
         let mut net = NetworkSim::new(nodes, cfg.latency.clone());
         if !cfg.jitter_max.is_zero() {
             net.set_jitter(rng.derive(0x7177), cfg.jitter_max);
@@ -499,6 +515,8 @@ impl Driver {
             lock_span: HashMap::new(),
             oracle,
             explore,
+            script,
+            steps,
             inject_seen: 0,
         };
         Driver { core, proto }
@@ -558,6 +576,13 @@ impl Driver {
         report.loss = core.net.loss_stats();
         report.unfinished_threads = unfinished;
         report.failures = failures;
+        // The step log and state fingerprint cover the *whole* run (an
+        // end-measure snapshot would miss post-measurement picks, and the
+        // model checker's equivalence is over terminal states).
+        if core.cfg.record_steps {
+            report.steps = core.steps.clone();
+            report.state_hash = core.state_fingerprint();
+        }
         report
     }
 }
@@ -575,5 +600,31 @@ impl DriverCore {
         let seen = self.inject_seen;
         self.inject_seen += 1;
         seen == nth
+    }
+
+    /// FNV-1a fingerprint of the terminal protocol-visible state: every
+    /// node's memory image, page protection states and vector time. Two
+    /// runs with the same fingerprint are indistinguishable to the
+    /// application; the model checker uses it for byte-identical replay
+    /// assertions and duplicate-terminal-state counting.
+    fn state_fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        for (n, cell) in self.cells.iter().enumerate() {
+            let c = cell.lock();
+            h.write_u64(n as u64);
+            h.write(&c.mem);
+            for s in &c.state {
+                h.write_u64(match s {
+                    PageState::Unmapped => 0,
+                    PageState::Invalid => 1,
+                    PageState::ReadOnly => 2,
+                    PageState::ReadWrite => 3,
+                });
+            }
+            for q in 0..self.cfg.nodes {
+                h.write_u64(u64::from(self.ctl[n].vt.get(q)));
+            }
+        }
+        h.finish()
     }
 }

@@ -67,6 +67,10 @@ impl DriverCore {
             },
             findings: self.cfg.verify_sink.snapshot(),
             explore_decisions: self.explore.as_ref().map_or(0, ExploreSchedule::decisions),
+            // Filled at end of run (the step log spans the whole run and
+            // the fingerprint is of the *terminal* state).
+            steps: None,
+            state_hash: 0,
         };
         let sum = report.breakdown_sum();
         report.total_time = sum.clock;

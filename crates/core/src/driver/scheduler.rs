@@ -7,7 +7,7 @@
 //! services.
 
 use cvm_sim::coop::Burst;
-use cvm_sim::{SimDuration, VirtualTime};
+use cvm_sim::{SimDuration, StepRecord, SyncOp, VirtualTime};
 
 use crate::ctx::BlockReason;
 use crate::sched::WaitClass;
@@ -74,20 +74,50 @@ impl DriverCore {
         let clock0 = self.ctl[n].sched.clock.max(t);
         self.settle_idle(n, clock0);
         self.ctl[n].sched.clock = clock0;
-        let explored = self
-            .explore
-            .as_mut()
-            .and_then(|e| e.pick(self.ctl[n].sched.ready.len()));
-        let tid = if let Some(idx) = explored {
+        let ready_len = self.ctl[n].sched.ready.len();
+        // The enabled set of this transition (queue order), recorded for
+        // the model checker before the pick consumes it.
+        let enabled: Vec<u32> = if self.steps.is_some() {
+            self.ctl[n]
+                .sched
+                .ready
+                .iter()
+                .map(|&t| u32::try_from(t).expect("tid fits u32"))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let scripted = self.script.as_mut().and_then(|s| s.next(ready_len));
+        let explored = if scripted.is_some() {
+            None
+        } else {
+            self.explore.as_mut().and_then(|e| e.pick(ready_len))
+        };
+        let (tid, chosen) = if let Some(idx) = scripted {
+            // Model-checker replay: the script pins this pick exactly.
+            (
+                self.ctl[n].sched.ready.remove(idx).expect("pick in range"),
+                idx,
+            )
+        } else if let Some(idx) = explored {
             // Exploration overrides the policy with a seeded choice among
             // the ready set (budget-bounded, then the policy resumes).
-            self.ctl[n].sched.ready.remove(idx).expect("pick in range")
+            (
+                self.ctl[n].sched.ready.remove(idx).expect("pick in range"),
+                idx,
+            )
         } else if self.cfg.lifo_schedule {
             // Memory-conscious policy: run the most recently readied
             // thread, whose working set is most likely still cached.
-            self.ctl[n].sched.ready.pop_back().expect("ready checked")
+            (
+                self.ctl[n].sched.ready.pop_back().expect("ready checked"),
+                ready_len - 1,
+            )
         } else {
-            self.ctl[n].sched.ready.pop_front().expect("ready checked")
+            (
+                self.ctl[n].sched.ready.pop_front().expect("ready checked"),
+                0,
+            )
         };
         if let Some(prev) = self.ctl[n].sched.last_ran {
             if prev != tid {
@@ -114,6 +144,9 @@ impl DriverCore {
         let consumed = SimDuration::from_ns(self.cells[n].lock().drain_burst());
         self.ctl[n].sched.clock += consumed;
         self.ctl[n].breakdown.user += consumed;
+        if self.steps.is_some() {
+            self.record_step(n, tid, enabled, chosen, &burst);
+        }
         match burst {
             Burst::Finished => {
                 self.threads[tid].finished = true;
@@ -128,6 +161,51 @@ impl DriverCore {
         } else {
             self.begin_idle_if_needed(n);
         }
+    }
+
+    /// Logs one scheduling point for the model checker: the enabled set
+    /// and chosen index, plus the finished burst's page footprint and the
+    /// synchronization operation that ended it.
+    fn record_step(
+        &mut self,
+        n: usize,
+        tid: usize,
+        enabled: Vec<u32>,
+        chosen: usize,
+        burst: &Burst<BlockReason>,
+    ) {
+        let (reads, writes) = self.cells[n].lock().drain_step_pages();
+        let sync = match burst {
+            Burst::Finished => SyncOp::Finish,
+            Burst::Blocked(reason) => match reason {
+                BlockReason::Fault { page, write } => SyncOp::Fault {
+                    page: u32::try_from(page.0).expect("page fits u32"),
+                    write: *write,
+                },
+                BlockReason::Acquire { lock } => SyncOp::Acquire {
+                    lock: u32::try_from(*lock).expect("lock fits u32"),
+                },
+                BlockReason::Release { lock } => SyncOp::Release {
+                    lock: u32::try_from(*lock).expect("lock fits u32"),
+                },
+                BlockReason::Barrier => SyncOp::Barrier,
+                BlockReason::LocalBarrier { reduce: None } => SyncOp::LocalBarrier,
+                BlockReason::LocalBarrier { reduce: Some(_) }
+                | BlockReason::GlobalReduce { .. } => SyncOp::Reduce,
+                BlockReason::Startup | BlockReason::EndMeasure => SyncOp::Rendezvous,
+                BlockReason::Yield => SyncOp::Yield,
+            },
+        };
+        let log = self.steps.as_mut().expect("record_step gated on steps");
+        log.record(StepRecord {
+            node: u32::try_from(n).expect("node fits u32"),
+            thread: u32::try_from(tid).expect("tid fits u32"),
+            enabled,
+            chosen: u32::try_from(chosen).expect("index fits u32"),
+            reads,
+            writes,
+            sync,
+        });
     }
 
     /// Routes an application block reason to the owning layer.

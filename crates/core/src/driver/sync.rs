@@ -509,7 +509,18 @@ impl DriverCore {
         let saved = self.cur_span;
         self.cur_span = self.lock_span.get(&(to, lock)).copied().unwrap_or(0);
         self.close_interval(proto, granter);
-        let notices = self.notices_for_grant(granter, acq_vt);
+        let mut notices = self.notices_for_grant(granter, acq_vt);
+        // Mutation self-test hook: strip the nth notice-carrying grant.
+        // The grant's vector time still travels, so the grantee's clock
+        // advances past writes it was never told to invalidate.
+        if !notices.is_empty()
+            && self.inject_hits(|f| match f {
+                InjectFault::DropGrantNotice { nth } => Some(*nth),
+                _ => None,
+            })
+        {
+            notices.clear();
+        }
         let vt = self.ctl[granter].vt.clone();
         if self.cfg.verify {
             self.trace.record(

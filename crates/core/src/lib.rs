@@ -73,7 +73,7 @@ pub mod trace;
 pub use attr::{LockAttr, PageAttr, ResourceAttr};
 pub use config::CvmConfig;
 pub use ctx::{ReduceOp, ThreadCtx};
-pub use cvm_net::{FaultPlan, PLAN_CATALOG};
+pub use cvm_net::{FaultPlan, LatencyModel, PLAN_CATALOG};
 pub use diff::Diff;
 pub use driver::{Coherence, CvmBuilder};
 pub use export::{chrome_trace, chrome_trace_with_spans};

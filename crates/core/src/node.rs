@@ -40,6 +40,14 @@ pub struct NodeCell {
     pub memsim: Option<MemSystem>,
     /// Twins created (local write faults that copied a page).
     pub twin_creations: u64,
+    /// When set, the access path appends touched pages to
+    /// `step_reads`/`step_writes` (model-checker step recording).
+    pub track_steps: bool,
+    /// Pages read during the current burst (deduplicated), drained by the
+    /// driver alongside the burst time.
+    step_reads: Vec<u32>,
+    /// Pages written during the current burst (deduplicated).
+    step_writes: Vec<u32>,
 }
 
 impl NodeCell {
@@ -56,6 +64,9 @@ impl NodeCell {
             gr_result: 0.0,
             memsim,
             twin_creations: 0,
+            track_steps: false,
+            step_reads: Vec::new(),
+            step_writes: Vec::new(),
         }
     }
 
@@ -171,6 +182,31 @@ impl NodeCell {
     /// Takes the accumulated burst time.
     pub fn drain_burst(&mut self) -> u64 {
         std::mem::take(&mut self.burst_ns)
+    }
+
+    /// Records a shared read of `page` into the current burst footprint
+    /// (only meaningful while `track_steps` is set).
+    pub fn note_step_read(&mut self, page: usize) {
+        let p = u32::try_from(page).expect("page index fits u32");
+        if !self.step_reads.contains(&p) {
+            self.step_reads.push(p);
+        }
+    }
+
+    /// Records a shared write of `page` into the current burst footprint.
+    pub fn note_step_write(&mut self, page: usize) {
+        let p = u32::try_from(page).expect("page index fits u32");
+        if !self.step_writes.contains(&p) {
+            self.step_writes.push(p);
+        }
+    }
+
+    /// Takes the burst's `(reads, writes)` page footprint.
+    pub fn drain_step_pages(&mut self) -> (Vec<u32>, Vec<u32>) {
+        (
+            std::mem::take(&mut self.step_reads),
+            std::mem::take(&mut self.step_writes),
+        )
     }
 }
 

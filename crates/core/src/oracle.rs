@@ -63,6 +63,10 @@ pub enum Invariant {
     NoticeCoverage,
     /// A page with un-applied write notices must not be readable.
     PendingImpliesInvalid,
+    /// A home node serves a page request only once its per-writer
+    /// watermarks cover every `(writer, interval)` the request named —
+    /// serving earlier hands out a copy missing flushed writes.
+    HomeServeCoverage,
     /// Applying a freshly created diff to the twin it was diffed against
     /// must reproduce the current page contents.
     TwinDiffRoundTrip,
@@ -113,6 +117,7 @@ impl fmt::Display for Invariant {
             Invariant::VtBounded => "VtBounded",
             Invariant::NoticeCoverage => "NoticeCoverage",
             Invariant::PendingImpliesInvalid => "PendingImpliesInvalid",
+            Invariant::HomeServeCoverage => "HomeServeCoverage",
             Invariant::TwinDiffRoundTrip => "TwinDiffRoundTrip",
             Invariant::DiffApplyOrder => "DiffApplyOrder",
             Invariant::LockSingleToken => "LockSingleToken",
@@ -272,6 +277,22 @@ pub enum InjectFault {
         /// Which invalidation to skip.
         nth: u64,
     },
+    /// Home-lazy only: serve the `nth` uncovered home request (or parked
+    /// retry) as if its per-writer watermark check passed, returning a
+    /// possibly stale page (caught by `PendingImpliesInvalid` online and
+    /// `LostUpdate` offline).
+    SkipHomeWatermark {
+        /// Which uncovered serve to corrupt.
+        nth: u64,
+    },
+    /// Drop the write notices riding the `nth` notice-carrying lock
+    /// grant; the grantee still merges the granter's vector time, so its
+    /// clock advances past writes it was never told about (caught by
+    /// `NoticeCoverage` at the merge).
+    DropGrantNotice {
+        /// Which notice-carrying grant to strip.
+        nth: u64,
+    },
 }
 
 impl InjectFault {
@@ -286,6 +307,8 @@ impl InjectFault {
             "drop-notice" => InjectFault::DropWriteNotice { nth },
             "reorder-diff" => InjectFault::ReorderDiffApply { nth },
             "skip-invalidate" => InjectFault::SkipInvalidate { nth },
+            "skip-watermark" => InjectFault::SkipHomeWatermark { nth },
+            "drop-grant-notice" => InjectFault::DropGrantNotice { nth },
             _ => return None,
         })
     }
@@ -297,6 +320,8 @@ impl fmt::Display for InjectFault {
             InjectFault::DropWriteNotice { nth } => write!(f, "drop-notice:{nth}"),
             InjectFault::ReorderDiffApply { nth } => write!(f, "reorder-diff:{nth}"),
             InjectFault::SkipInvalidate { nth } => write!(f, "skip-invalidate:{nth}"),
+            InjectFault::SkipHomeWatermark { nth } => write!(f, "skip-watermark:{nth}"),
+            InjectFault::DropGrantNotice { nth } => write!(f, "drop-grant-notice:{nth}"),
         }
     }
 }
@@ -360,7 +385,13 @@ mod tests {
 
     #[test]
     fn inject_fault_parse_round_trip() {
-        for text in ["drop-notice:0", "reorder-diff:3", "skip-invalidate:17"] {
+        for text in [
+            "drop-notice:0",
+            "reorder-diff:3",
+            "skip-invalidate:17",
+            "skip-watermark:1",
+            "drop-grant-notice:2",
+        ] {
             let f = InjectFault::parse(text).expect("parses");
             assert_eq!(format!("{f}"), text);
         }

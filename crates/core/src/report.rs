@@ -5,7 +5,7 @@ use std::fmt;
 
 use cvm_net::{DeliveryFailure, LossStats, NetStats};
 use cvm_sim::json::JsonValue;
-use cvm_sim::{SimDuration, VirtualTime};
+use cvm_sim::{SimDuration, StepLog, VirtualTime};
 
 use crate::attr::ResourceAttr;
 use crate::hist::DsmHistograms;
@@ -87,6 +87,13 @@ pub struct RunReport {
     /// Scheduler pick decisions perturbed by the exploration schedule
     /// (0 when no exploration was configured).
     pub explore_decisions: u64,
+    /// Scheduling-point log (enabled sets, chosen indices, burst
+    /// footprints), recorded when
+    /// [`CvmConfig::record_steps`](crate::CvmConfig) was set.
+    pub steps: Option<StepLog>,
+    /// FNV-1a fingerprint of the terminal protocol-visible state (node
+    /// memories, page states, vector times); 0 unless `record_steps`.
+    pub state_hash: u64,
 }
 
 impl RunReport {
@@ -210,6 +217,10 @@ impl RunReport {
         }
         obj.set("findings", findings);
         obj.set("explore_decisions", self.explore_decisions);
+        if let Some(steps) = &self.steps {
+            obj.set("steps", steps.to_json());
+            obj.set("state_hash", format!("{:016x}", self.state_hash));
+        }
         obj
     }
 }
@@ -296,6 +307,8 @@ mod tests {
             spans: None,
             findings: Vec::new(),
             explore_decisions: 0,
+            steps: None,
+            state_hash: 0,
         };
         assert!((report.fraction(|n| n.user) - 0.8).abs() < 1e-9);
         assert!((report.fraction(|n| n.barrier) - 0.2).abs() < 1e-9);
@@ -330,6 +343,8 @@ mod tests {
             spans: None,
             findings: Vec::new(),
             explore_decisions: 0,
+            steps: None,
+            state_hash: 0,
         };
         let sum = report.breakdown_sum();
         assert_eq!(sum.user, SimDuration::from_us(160));
@@ -354,6 +369,8 @@ mod tests {
             spans: None,
             findings: Vec::new(),
             explore_decisions: 0,
+            steps: None,
+            state_hash: 0,
         };
         report.hist.fault_fetch_ns.record(900);
         report.attr.page_mut(4).faults = 1;

@@ -78,13 +78,7 @@ pub fn to_json(outcome: &RunOutcome) -> JsonValue {
     obj.set("app", slug(outcome.spec.app));
     obj.set("nodes", outcome.spec.nodes);
     obj.set("threads", outcome.spec.threads);
-    obj.set(
-        "scale",
-        match outcome.spec.scale {
-            Scale::Paper => "paper",
-            Scale::Small => "small",
-        },
-    );
+    obj.set("scale", outcome.spec.scale.slug());
     obj.set("seed", outcome.spec.seed);
     obj.set("report", outcome.report.to_json(TOP_N));
     obj

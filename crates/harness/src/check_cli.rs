@@ -1,0 +1,188 @@
+//! The `cvm check` subcommand: flag parsing, dispatch into the verify
+//! crate, and artifact output (the `BENCH_check.json` baseline and the
+//! replayable `cvm-schedule-<app>.json` counterexample files).
+
+use cvm_verify::check::schedule_file_name;
+use cvm_verify::{schedule_to_json, CheckOptions};
+
+use crate::cli::{app_by_name, parse_u64, plan_by_name, usage};
+use crate::{AppId, Scale};
+
+/// Default output file for `cvm check --json` (committed under
+/// `baselines/` so the PR gate covers the exploration statistics).
+pub const FILE_NAME: &str = "BENCH_check.json";
+
+/// Parses and runs `cvm check ARGS`. Exits the process: 0 when every app
+/// is clean (or, under `--mutate`, when the mutation was caught), nonzero
+/// otherwise.
+pub fn run_check(args: &[String]) {
+    use cvm_dsm::InjectFault;
+    let mut options = CheckOptions::default();
+    let mut apps: Vec<AppId> = Vec::new();
+    let mut json = false;
+    let mut out_path: Option<String> = None;
+    let mut scale_given = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--app" => {
+                let name = it.next().map_or_else(|| usage(), String::as_str);
+                if name == "all" {
+                    apps.extend(AppId::ALL);
+                } else {
+                    apps.push(app_by_name(name).unwrap_or_else(|| usage()));
+                }
+            }
+            "--protocol" => {
+                options.protocol = it
+                    .next()
+                    .and_then(|v| cvm_dsm::ProtocolKind::parse(v))
+                    .unwrap_or_else(|| usage());
+            }
+            "--nodes" => {
+                options.nodes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                options.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--schedules" => {
+                options.schedules = it
+                    .next()
+                    .and_then(|v| parse_u64(v))
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                options.seed = it
+                    .next()
+                    .and_then(|v| parse_u64(v))
+                    .unwrap_or_else(|| usage());
+            }
+            "--budget" => {
+                options.budget = it
+                    .next()
+                    .and_then(|v| parse_u64(v))
+                    .unwrap_or_else(|| usage());
+            }
+            "--mutate" => {
+                let spec = it.next().map_or_else(|| usage(), String::as_str);
+                options.inject = Some(InjectFault::parse(spec).unwrap_or_else(|| usage()));
+            }
+            "--faults" => {
+                let name = it.next().map_or_else(|| usage(), String::as_str);
+                options.faults = Some(plan_by_name(name).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown fault plan {name:?}; catalog: {}",
+                        cvm_net::PLAN_CATALOG.join(", ")
+                    );
+                    std::process::exit(2);
+                }));
+            }
+            "--trace-capacity" => {
+                options.trace_capacity = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--dpor" => options.dpor = true,
+            "--max-traces" => {
+                options.max_traces = it
+                    .next()
+                    .and_then(|v| parse_u64(v))
+                    .unwrap_or_else(|| usage());
+            }
+            "--json" => json = true,
+            "--out" => out_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--scale" => {
+                options.scale = it
+                    .next()
+                    .and_then(|v| Scale::parse(v))
+                    .unwrap_or_else(|| usage());
+                scale_given = true;
+            }
+            "--paper-scale" => {
+                options.scale = Scale::Paper;
+                scale_given = true;
+            }
+            _ => usage(),
+        }
+    }
+    if options.dpor {
+        if options.faults.is_some() {
+            // DPOR's soundness rests on deterministic re-execution; a
+            // seeded fault plan perturbs the wire between traces.
+            eprintln!("cvm check: --dpor requires a deterministic wire; drop --faults");
+            std::process::exit(2);
+        }
+        if !scale_given {
+            // Exhaustion only terminates on the reduced kernels.
+            options.scale = Scale::Tiny;
+        }
+    }
+    if !apps.is_empty() {
+        options.apps = apps;
+    }
+    options.apps.retain(|a| a.supports_threads(options.threads));
+    let mutation = options
+        .inject
+        .map_or(String::new(), |f| format!(", mutation {f}"));
+    if options.dpor {
+        eprintln!(
+            "[cvm check] {} app(s), {}x{}, {}, {}, DPOR (cap {} traces){mutation}",
+            options.apps.len(),
+            options.nodes,
+            options.threads,
+            options.protocol,
+            options.scale.slug(),
+            options.max_traces
+        );
+    } else {
+        eprintln!(
+            "[cvm check] {} app(s), {}x{}, {}, 1+{} schedules, budget {}{mutation}",
+            options.apps.len(),
+            options.nodes,
+            options.threads,
+            options.protocol,
+            options.schedules,
+            options.budget
+        );
+    }
+    let report = cvm_verify::check::run_check(&options);
+    print!("{}", report.render());
+    // Every DPOR counterexample becomes a schedule file `cvm run --replay`
+    // re-executes byte-identically (the render already points at it).
+    for app in &report.apps {
+        let Some(fail) = &app.failure else { continue };
+        let Some(cx) = &fail.script else { continue };
+        let path = schedule_file_name(app.app);
+        let doc = schedule_to_json(&options.plan(app.app), cx);
+        std::fs::write(&path, doc.to_pretty()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[cvm check] wrote {path}");
+    }
+    if json || out_path.is_some() {
+        let path = out_path.unwrap_or_else(|| FILE_NAME.to_owned());
+        std::fs::write(&path, report.to_json().to_pretty()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[cvm check] wrote {path}");
+    }
+    let ok = if options.inject.is_some() {
+        // Self-test: the mutation must be *caught*.
+        if report.clean() {
+            eprintln!("[cvm check] FAIL: injected mutation went undetected");
+        }
+        !report.clean()
+    } else {
+        report.clean()
+    };
+    std::process::exit(i32::from(!ok));
+}

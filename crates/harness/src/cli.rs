@@ -4,19 +4,17 @@
 //! system's name, and is what the verification workflow documents
 //! (`cvm check`).
 
-use cvm_verify::check::{run_check as verify_check, CheckOptions};
-
 use crate::tables::{self, Suite};
 use crate::{bench, micro, AppId, Scale};
 
-fn usage() -> ! {
+pub(crate) fn usage() -> ! {
     eprintln!(
-        "usage: cvm <micro|table1|fig1|table2|table3|fig2|table4|table5|latency|ablation|protocols|perturb|all> [--paper-scale]\n         \n         or:    cvm run <barnes|fft|ocean|sor|swm|water-sp|water-nsq>\n         or:    cvm bench [--json] [--nodes N] [--threads T] [--paper-scale]\n         or:    cvm sweep [--json] [--workers N] [--nodes LIST] [--threads LIST]\n         or:    cvm faults [--json] [--plan NAME]... [--workers N]\n         or:    cvm check [--app NAME]... [--schedules N] [--faults NAME]\n         or:    cvm explain --run FILE [--span ID | --slowest N | --resource R]\n         \n         run options:\n           --nodes N        processors (default 8)\n           --threads T      threads per node (default 2)\n           --paper-scale    the paper's input sizes\n           --protocol NAME  coherence protocol: lazy-mw | eager-update |\n                            home-lazy (default lazy-mw)\n           --eager          shorthand for --protocol eager-update\n           --lifo           memory-conscious LIFO scheduling\n           --memsim         enable the cache/TLB simulator\n           --verify         run the online invariant oracle; findings are\n                            printed and make the exit status nonzero\n           --trace N        record and print the first N protocol events\n           --spans          record the causal span forest; the report JSON\n                            gains a 'spans' section for cvm explain\n           --json FILE      write the full run report as JSON to FILE\n           --chrome-trace FILE\n                            write the protocol trace as Chrome trace-event\n                            JSON (load in chrome://tracing or Perfetto);\n                            with --spans, nested span tracks and flow\n                            events are included\n         \n         bench options:\n           --json           additionally write one BENCH_<app>.json per app\n                            (and BENCH_obs.json when --spans is on)\n           --spans          record span forests and emit the span summary\n           --baseline FILE  compare against a committed baseline artifact;\n                            exit 1 on regression beyond twice the gate\n           --current FILE   compare FILE against the baseline instead of\n                            running the suite (works for any BENCH_*.json)\n           --gate PCT       regression gate percentage (default 5):\n                            warn above PCT, fail above 2*PCT\n         \n         explain options:\n           --run FILE       report JSON from cvm run --spans --json FILE\n           --slowest N      the N slowest root spans (default 5)\n           --span ID        one span with its ancestor chain\n           --resource R     root spans about one resource (page:17, lock:3,\n                            barrier:2)\n         \n         sweep options:\n           --json           write the aggregated report to BENCH_sweep.json\n           --spans          record span forests in every cell\n           --out FILE       write the aggregated report to FILE instead\n           --md FILE        write the markdown tables to FILE as well\n           --workers N      simulation worker threads (default: one per core);\n                            any value produces byte-identical reports\n           --nodes LIST     comma-separated processor counts (default 4,8,16)\n           --threads LIST   comma-separated threads/node levels (default 1,2,3,4)\n           --app NAME       restrict to one app (repeatable; default: all 7)\n           --protocol LIST  comma-separated protocols to cross (default\n                            lazy-mw); several add a comparison table\n           --seed S         master seed; each configuration splits its own\n           --paper-scale    the paper's input sizes\n         \n         faults options:\n           --json           write the campaign report to BENCH_faults.json\n           --out FILE       write the campaign report to FILE instead\n           --md FILE        write the markdown degradation tables to FILE\n           --workers N      simulation worker threads (default: one per core);\n                            any value produces byte-identical reports\n           --app NAME       restrict to one app (repeatable; default: all 7)\n           --protocol LIST  comma-separated protocols (default: all 3)\n           --plan NAME      fault plan from the catalog (repeatable;\n                            default: the whole catalog)\n           --nodes N        processors (default 4)\n           --threads T      threads per node (default 2)\n           --seed S         master seed; each cell splits its own\n           --paper-scale    the paper's input sizes\n           exit status is nonzero if any cell violated exactly-once\n           delivery or oracle cleanliness\n         \n         check options:\n           --app NAME       application to check (repeatable; default: all)\n           --protocol NAME  coherence protocol to explore (default lazy-mw)\n           --nodes N        processors (default 2)\n           --threads T      threads per node (default 2)\n           --schedules N    perturbed schedules per app (default 8); an\n                            unperturbed baseline always runs first\n           --seed S         base exploration seed (schedule 0 uses it\n                            verbatim, so reported seeds replay directly)\n           --budget N       scheduler decisions each schedule may perturb\n                            (default 64)\n           --faults NAME    layer a fault plan from the catalog under the\n                            explored schedules (loss, dup, reorder, ...)\n           --mutate KIND[:nth]\n                            inject a protocol mutation (oracle self-test):\n                            drop-notice | reorder-diff | skip-invalidate;\n                            exit status then inverts (0 = caught)\n           --trace-capacity N\n                            trace buffer per run (default 4000000)\n           --paper-scale    the paper's input sizes"
+        "usage: cvm <micro|table1|fig1|table2|table3|fig2|table4|table5|latency|ablation|protocols|perturb|all> [--paper-scale]\n         \n         or:    cvm run <barnes|fft|ocean|sor|swm|water-sp|water-nsq>\n         or:    cvm bench [--json] [--nodes N] [--threads T] [--paper-scale]\n         or:    cvm sweep [--json] [--workers N] [--nodes LIST] [--threads LIST]\n         or:    cvm faults [--json] [--plan NAME]... [--workers N]\n         or:    cvm check [--dpor] [--app NAME]... [--schedules N] [--faults NAME]\n         or:    cvm explain --run FILE [--span ID | --slowest N | --resource R]\n         \n         run options:\n           --nodes N        processors (default 8)\n           --threads T      threads per node (default 2)\n           --paper-scale    the paper's input sizes\n           --protocol NAME  coherence protocol: lazy-mw | eager-update |\n                            home-lazy (default lazy-mw)\n           --eager          shorthand for --protocol eager-update\n           --lifo           memory-conscious LIFO scheduling\n           --memsim         enable the cache/TLB simulator\n           --verify         run the online invariant oracle; findings are\n                            printed and make the exit status nonzero\n           --trace N        record and print the first N protocol events\n           --spans          record the causal span forest; the report JSON\n                            gains a 'spans' section for cvm explain\n           --json FILE      write the full run report as JSON to FILE\n           --chrome-trace FILE\n                            write the protocol trace as Chrome trace-event\n                            JSON (load in chrome://tracing or Perfetto);\n                            with --spans, nested span tracks and flow\n                            events are included\n           --replay FILE    re-execute a cvm-schedule-*.json counterexample\n                            (from cvm check --dpor) byte-identically; the\n                            positional app may be omitted, the exit status\n                            is 0 iff the recorded terminal state and\n                            findings reproduce exactly\n         \n         bench options:\n           --json           additionally write one BENCH_<app>.json per app\n                            (and BENCH_obs.json when --spans is on)\n           --spans          record span forests and emit the span summary\n           --baseline FILE  compare against a committed baseline artifact;\n                            exit 1 on regression beyond twice the gate\n           --current FILE   compare FILE against the baseline instead of\n                            running the suite (works for any BENCH_*.json)\n           --gate PCT       regression gate percentage (default 5):\n                            warn above PCT, fail above 2*PCT\n         \n         explain options:\n           --run FILE       report JSON from cvm run --spans --json FILE\n           --slowest N      the N slowest root spans (default 5)\n           --span ID        one span with its ancestor chain\n           --resource R     root spans about one resource (page:17, lock:3,\n                            barrier:2)\n         \n         sweep options:\n           --json           write the aggregated report to BENCH_sweep.json\n           --spans          record span forests in every cell\n           --out FILE       write the aggregated report to FILE instead\n           --md FILE        write the markdown tables to FILE as well\n           --workers N      simulation worker threads (default: one per core);\n                            any value produces byte-identical reports\n           --nodes LIST     comma-separated processor counts (default 4,8,16)\n           --threads LIST   comma-separated threads/node levels (default 1,2,3,4)\n           --app NAME       restrict to one app (repeatable; default: all 7)\n           --protocol LIST  comma-separated protocols to cross (default\n                            lazy-mw); several add a comparison table\n           --seed S         master seed; each configuration splits its own\n           --paper-scale    the paper's input sizes\n         \n         faults options:\n           --json           write the campaign report to BENCH_faults.json\n           --out FILE       write the campaign report to FILE instead\n           --md FILE        write the markdown degradation tables to FILE\n           --workers N      simulation worker threads (default: one per core);\n                            any value produces byte-identical reports\n           --app NAME       restrict to one app (repeatable; default: all 7)\n           --protocol LIST  comma-separated protocols (default: all 3)\n           --plan NAME      fault plan from the catalog (repeatable;\n                            default: the whole catalog)\n           --nodes N        processors (default 4)\n           --threads T      threads per node (default 2)\n           --seed S         master seed; each cell splits its own\n           --paper-scale    the paper's input sizes\n           exit status is nonzero if any cell violated exactly-once\n           delivery or oracle cleanliness\n         \n         check options:\n           --app NAME       application to check (repeatable; default: all)\n           --protocol NAME  coherence protocol to explore (default lazy-mw)\n           --nodes N        processors (default 2)\n           --threads T      threads per node (default 2)\n           --schedules N    perturbed schedules per app (default 8); an\n                            unperturbed baseline always runs first\n           --seed S         base exploration seed (schedule 0 uses it\n                            verbatim, so reported seeds replay directly)\n           --budget N       scheduler decisions each schedule may perturb\n                            (default 64)\n           --faults NAME    layer a fault plan from the catalog under the\n                            explored schedules (loss, dup, reorder, ...)\n           --mutate KIND[:nth]\n                            inject a protocol mutation (oracle self-test):\n                            drop-notice | reorder-diff | skip-invalidate |\n                            skip-watermark | drop-grant-notice;\n                            exit status then inverts (0 = caught)\n           --trace-capacity N\n                            trace buffer per run (default 4000000)\n           --dpor           exhaustive DPOR exploration of every\n                            inequivalent interleaving instead of seeded\n                            shaking (defaults the scale to tiny; refuses\n                            --faults); failures are minimized into\n                            cvm-schedule-<app>.json replay files\n           --max-traces N   DPOR execution cap (default 20000); hitting it\n                            downgrades the verdict to non-exhaustive\n           --scale NAME     problem size: tiny | small | paper\n           --json           write the report to BENCH_check.json\n           --out FILE       write the report to FILE instead\n           --paper-scale    the paper's input sizes"
     );
     std::process::exit(2);
 }
 
-fn app_by_name(name: &str) -> Option<AppId> {
+pub(crate) fn app_by_name(name: &str) -> Option<AppId> {
     Some(match name {
         "barnes" => AppId::Barnes,
         "fft" => AppId::Fft,
@@ -29,7 +27,7 @@ fn app_by_name(name: &str) -> Option<AppId> {
     })
 }
 
-fn parse_u64(s: &str) -> Option<u64> {
+pub(crate) fn parse_u64(s: &str) -> Option<u64> {
     s.strip_prefix("0x")
         .map_or_else(|| s.parse().ok(), |hex| u64::from_str_radix(hex, 16).ok())
 }
@@ -49,6 +47,7 @@ fn run_single(args: &[String]) {
     let mut spans = false;
     let mut json_path: Option<String> = None;
     let mut chrome_path: Option<String> = None;
+    let mut replay_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -84,11 +83,15 @@ fn run_single(args: &[String]) {
             "--spans" => spans = true,
             "--json" => json_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--chrome-trace" => chrome_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--replay" => replay_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
             name if app.is_none() => {
                 app = app_by_name(name).or_else(|| usage());
             }
             _ => usage(),
         }
+    }
+    if let Some(path) = &replay_path {
+        run_replay(app, path);
     }
     let Some(app) = app else { usage() };
     if !app.supports_threads(threads) {
@@ -196,6 +199,52 @@ fn run_single(args: &[String]) {
             std::process::exit(1);
         }
     }
+}
+
+/// `cvm run [APP] --replay FILE`: re-execute a DPOR counterexample
+/// byte-identically from its schedule file. Exit 0 iff the recorded
+/// terminal-state fingerprint and findings reproduce exactly.
+fn run_replay(app: Option<AppId>, path: &str) -> ! {
+    let sched = cvm_verify::schedule_from_json(&load_json(path)).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(2);
+    });
+    if let Some(a) = app {
+        if a != sched.plan.app {
+            eprintln!(
+                "{path} records a schedule for {}, not {}",
+                sched.plan.app.slug(),
+                a.slug()
+            );
+            std::process::exit(2);
+        }
+    }
+    let plan = sched.plan;
+    eprintln!(
+        "[harness] replaying {} pinned pick(s) for {} P={} T={} protocol={}",
+        sched.choices.len(),
+        plan.app.slug(),
+        plan.nodes,
+        plan.threads,
+        plan.protocol
+    );
+    let result = cvm_verify::run_scripted(plan, &sched.choices);
+    for f in &result.findings {
+        println!("finding: {f}");
+    }
+    if let Some(p) = &result.panic {
+        println!("panic: {p}");
+    }
+    println!(
+        "state hash {:016x} (recorded {:016x})",
+        result.state_hash, sched.state_hash
+    );
+    if result.state_hash == sched.state_hash {
+        println!("replay: byte-identical to the recorded counterexample");
+        std::process::exit(0);
+    }
+    eprintln!("replay: DIVERGED from the recorded schedule");
+    std::process::exit(1);
 }
 
 fn load_json(path: &str) -> cvm_sim::json::JsonValue {
@@ -417,7 +466,7 @@ fn run_sweep_cmd(args: &[String]) {
     }
 }
 
-fn plan_by_name(name: &str) -> Option<&'static str> {
+pub(crate) fn plan_by_name(name: &str) -> Option<&'static str> {
     cvm_net::PLAN_CATALOG.iter().find(|p| **p == name).copied()
 }
 
@@ -518,119 +567,6 @@ fn run_faults_cmd(args: &[String]) {
     }
 }
 
-fn run_check(args: &[String]) {
-    use cvm_dsm::InjectFault;
-    let mut options = CheckOptions::default();
-    let mut apps: Vec<AppId> = Vec::new();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--app" => {
-                let name = it.next().map_or_else(|| usage(), String::as_str);
-                if name == "all" {
-                    apps.extend(AppId::ALL);
-                } else {
-                    apps.push(app_by_name(name).unwrap_or_else(|| usage()));
-                }
-            }
-            "--protocol" => {
-                options.protocol = it
-                    .next()
-                    .and_then(|v| cvm_dsm::ProtocolKind::parse(v))
-                    .unwrap_or_else(|| usage());
-            }
-            "--nodes" => {
-                options.nodes = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
-            }
-            "--threads" => {
-                options.threads = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
-            }
-            "--schedules" => {
-                options.schedules = it
-                    .next()
-                    .and_then(|v| parse_u64(v))
-                    .unwrap_or_else(|| usage());
-            }
-            "--seed" => {
-                options.seed = it
-                    .next()
-                    .and_then(|v| parse_u64(v))
-                    .unwrap_or_else(|| usage());
-            }
-            "--budget" => {
-                options.budget = it
-                    .next()
-                    .and_then(|v| parse_u64(v))
-                    .unwrap_or_else(|| usage());
-            }
-            "--mutate" => {
-                let spec = it.next().map_or_else(|| usage(), String::as_str);
-                options.inject = Some(InjectFault::parse(spec).unwrap_or_else(|| usage()));
-            }
-            "--faults" => {
-                let name = it.next().map_or_else(|| usage(), String::as_str);
-                options.faults = Some(plan_by_name(name).unwrap_or_else(|| {
-                    eprintln!(
-                        "unknown fault plan {name:?}; catalog: {}",
-                        cvm_net::PLAN_CATALOG.join(", ")
-                    );
-                    std::process::exit(2);
-                }));
-            }
-            "--trace-capacity" => {
-                options.trace_capacity = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
-            }
-            "--paper-scale" => options.scale = Scale::Paper,
-            _ => usage(),
-        }
-    }
-    if !apps.is_empty() {
-        options.apps = apps;
-    }
-    options.apps.retain(|a| a.supports_threads(options.threads));
-    match &options.inject {
-        Some(fault) => eprintln!(
-            "[cvm check] {} app(s), {}x{}, {}, 1+{} schedules, budget {}, mutation {fault}",
-            options.apps.len(),
-            options.nodes,
-            options.threads,
-            options.protocol,
-            options.schedules,
-            options.budget
-        ),
-        None => eprintln!(
-            "[cvm check] {} app(s), {}x{}, {}, 1+{} schedules, budget {}",
-            options.apps.len(),
-            options.nodes,
-            options.threads,
-            options.protocol,
-            options.schedules,
-            options.budget
-        ),
-    }
-    let report = verify_check(&options);
-    print!("{}", report.render());
-    let ok = if options.inject.is_some() {
-        // Self-test: the mutation must be *caught*.
-        if report.clean() {
-            eprintln!("[cvm check] FAIL: injected mutation went undetected");
-        }
-        !report.clean()
-    } else {
-        report.clean()
-    };
-    std::process::exit(i32::from(!ok));
-}
-
 /// Entry point shared by both binaries: parses `std::env::args` and
 /// dispatches.
 pub fn run() {
@@ -652,7 +588,7 @@ pub fn run() {
         return;
     }
     if args.first().map(String::as_str) == Some("check") {
-        run_check(&args[1..]);
+        crate::check_cli::run_check(&args[1..]);
         return;
     }
     if args.first().map(String::as_str) == Some("explain") {

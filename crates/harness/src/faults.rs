@@ -297,13 +297,7 @@ impl FaultsReport {
         let mut obj = JsonValue::object();
         obj.set("schema", "cvm-faults");
         obj.set("version", 1u64);
-        obj.set(
-            "scale",
-            match self.config.scale {
-                Scale::Paper => "paper",
-                Scale::Small => "small",
-            },
-        );
+        obj.set("scale", self.config.scale.slug());
         obj.set("seed", self.config.seed);
         obj.set("nodes", self.config.nodes);
         obj.set("threads", self.config.threads);

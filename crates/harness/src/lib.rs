@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod bench;
+pub mod check_cli;
 pub mod cli;
 pub mod explain;
 pub mod faults;

@@ -227,13 +227,7 @@ impl SweepReport {
         let mut obj = JsonValue::object();
         obj.set("schema", "cvm-sweep");
         obj.set("version", 1u64);
-        obj.set(
-            "scale",
-            match self.config.scale {
-                Scale::Paper => "paper",
-                Scale::Small => "small",
-            },
-        );
+        obj.set("scale", self.config.scale.slug());
         obj.set("seed", self.config.seed);
         let mut nodes = JsonValue::array();
         for &n in &self.config.nodes {

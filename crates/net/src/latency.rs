@@ -169,6 +169,25 @@ impl LatencyModel {
         }
     }
 
+    /// A wire-dominant model for the model checker's tiny kernels:
+    /// negligible fixed software overhead with a large per-byte term, so
+    /// bulk transfers (diff flushes, whole-page replies) genuinely
+    /// overtake small control messages in flight. Under [`instant`]'s
+    /// size-independent latency, the message reorderings that the
+    /// protocols guard against (and that the paper's network exhibits —
+    /// its per-byte term makes an 8 KB page ~45× slower than a request)
+    /// are unreachable on kernels small enough to enumerate; this model
+    /// restores them without paper-scale run times.
+    ///
+    /// [`instant`]: LatencyModel::instant
+    pub fn check() -> Self {
+        LatencyModel {
+            fixed: SimDuration::from_us(2),
+            per_byte_ns: 100.0,
+            ..Self::instant()
+        }
+    }
+
     /// One-way wire time for a message of `bytes` payload bytes.
     pub fn wire_time(&self, bytes: usize) -> SimDuration {
         self.fixed + SimDuration::from_us_f64(bytes as f64 * self.per_byte_ns / 1_000.0)

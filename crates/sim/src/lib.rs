@@ -19,6 +19,9 @@
 //! * [`sync`] — thin `parking_lot`-style wrappers over [`std::sync`].
 //! * [`explore`] — seeded perturbation of scheduler pick decisions for
 //!   the schedule-exploration checker.
+//! * [`script`] — scripted (replayable) scheduler decisions plus
+//!   per-step footprint records and state hashing for the stateless
+//!   model checker.
 //! * [`workq`] — deterministic fan-out of independent jobs (the sweep
 //!   engine's worker pool): results keyed by item index, seeds split per
 //!   item, so any worker count produces identical output.
@@ -43,6 +46,7 @@ pub mod explore;
 pub mod hist;
 pub mod json;
 pub mod rng;
+pub mod script;
 pub mod stats;
 pub mod sync;
 pub mod time;
@@ -54,4 +58,5 @@ pub use explore::{ExploreSchedule, ExploreSpec};
 pub use hist::Log2Hist;
 pub use json::JsonValue;
 pub use rng::SimRng;
+pub use script::{Fnv64, ScheduleScript, ScriptCursor, StepLog, StepRecord, SyncOp};
 pub use time::{SimDuration, VirtualTime};

@@ -1,0 +1,305 @@
+//! Scripted scheduler decisions and per-step observation records: the
+//! seam the stateless model checker (`cvm check --dpor`) drives.
+//!
+//! The only nondeterminism in a CVM run is *which ready thread a node
+//! resumes* at each scheduling point — message deliveries, lock grants
+//! and timer events are all deterministic functions of virtual time,
+//! which is itself a deterministic function of the pick sequence. A
+//! [`ScheduleScript`] therefore pins an entire execution: entry `i` is
+//! the index into the node-local ready queue taken at the `i`-th pick
+//! (across all nodes, in global scheduling order); past the end of the
+//! script the configured FIFO/LIFO policy resumes. Re-running the same
+//! script reproduces the run byte for byte.
+//!
+//! With step recording enabled the driver logs a [`StepRecord`] per
+//! pick: the enabled set, the chosen index, and the burst's footprint
+//! (shared pages read/written plus the synchronization operation that
+//! ended it). The DPOR explorer's independence relation is computed
+//! from exactly these footprints.
+
+use crate::json::JsonValue;
+
+/// A fixed sequence of scheduler pick decisions replayed verbatim.
+///
+/// Entry `i` is clamped into the ready queue's range at the `i`-th
+/// scheduling point (so `0` always means "the default FIFO pick");
+/// beyond the script the normal policy resumes. The empty script is
+/// observationally identical to an unscripted run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScheduleScript {
+    /// Pick indices, one per scheduling point from the start of the run.
+    pub choices: Vec<u32>,
+}
+
+impl ScheduleScript {
+    /// Wraps a raw choice sequence.
+    #[must_use]
+    pub fn new(choices: Vec<u32>) -> Self {
+        ScheduleScript { choices }
+    }
+
+    /// Number of scripted picks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// Whether the script pins no picks at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.choices.is_empty()
+    }
+
+    /// How many entries deviate from the default FIFO pick (index 0) —
+    /// the size measure counterexample minimization shrinks.
+    #[must_use]
+    pub fn perturbations(&self) -> usize {
+        self.choices.iter().filter(|&&c| c != 0).count()
+    }
+}
+
+/// Consumes a [`ScheduleScript`] one scheduling point at a time.
+#[derive(Debug, Clone)]
+pub struct ScriptCursor {
+    choices: Vec<u32>,
+    pos: usize,
+}
+
+impl ScriptCursor {
+    /// Starts replaying `script` from its first entry.
+    #[must_use]
+    pub fn new(script: ScheduleScript) -> Self {
+        ScriptCursor {
+            choices: script.choices,
+            pos: 0,
+        }
+    }
+
+    /// The scripted pick for the next scheduling point with `len` ready
+    /// threads, or `None` once the script is exhausted (the caller's
+    /// default policy then applies). Out-of-range entries clamp to the
+    /// last queue slot so every serialized script stays replayable.
+    pub fn next(&mut self, len: usize) -> Option<usize> {
+        let c = *self.choices.get(self.pos)?;
+        self.pos += 1;
+        Some((c as usize).min(len.saturating_sub(1)))
+    }
+}
+
+/// The synchronization operation that ended a thread burst — the
+/// non-page channel through which two steps can conflict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncOp {
+    /// Page fault on `page` (`write` distinguishes the access mode). The
+    /// faulted page joins the burst's footprint in that mode.
+    Fault {
+        /// Faulted page index.
+        page: u32,
+        /// Whether the faulting access was a write.
+        write: bool,
+    },
+    /// Blocked acquiring `lock`.
+    Acquire {
+        /// Lock index.
+        lock: u32,
+    },
+    /// Released `lock` (publishes this node's write notices to the next
+    /// holder).
+    Release {
+        /// Lock index.
+        lock: u32,
+    },
+    /// Arrived at a global barrier (closes the node's interval and
+    /// publishes notices to everyone).
+    Barrier,
+    /// Arrived at a node-local barrier with no reduction.
+    LocalBarrier,
+    /// Arrived at a barrier carrying a floating-point reduction, whose
+    /// accumulation order is arrival order.
+    Reduce,
+    /// A startup/end-of-measurement rendezvous (global-barrier class).
+    Rendezvous,
+    /// Voluntarily yielded the processor.
+    Yield,
+    /// The thread ran to completion.
+    Finish,
+}
+
+/// One scheduling point as the driver executed it: who was runnable,
+/// who ran, and what the burst touched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepRecord {
+    /// Node the pick happened on.
+    pub node: u32,
+    /// Global thread id that ran.
+    pub thread: u32,
+    /// The ready queue (global thread ids) in queue order, before the
+    /// pick — the enabled set of this transition.
+    pub enabled: Vec<u32>,
+    /// Index into `enabled` that was chosen.
+    pub chosen: u32,
+    /// Shared pages read during the burst (deduplicated, insertion
+    /// order).
+    pub reads: Vec<u32>,
+    /// Shared pages written during the burst (deduplicated, insertion
+    /// order).
+    pub writes: Vec<u32>,
+    /// How the burst ended.
+    pub sync: SyncOp,
+}
+
+/// A capacity-bounded log of [`StepRecord`]s; overflow is counted, not
+/// silently dropped, so exhaustiveness claims stay honest.
+#[derive(Debug, Clone, Default)]
+pub struct StepLog {
+    steps: Vec<StepRecord>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl StepLog {
+    /// An empty log holding at most `cap` records.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        StepLog {
+            steps: Vec::new(),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    /// Appends a record, or bumps the drop counter once full.
+    pub fn record(&mut self, step: StepRecord) {
+        if self.steps.len() < self.cap {
+            self.steps.push(step);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded steps, in execution order.
+    #[must_use]
+    pub fn steps(&self) -> &[StepRecord] {
+        &self.steps
+    }
+
+    /// Number of records discarded because the log was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of records kept.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Summary for the run-report JSON (never the full step list — a
+    /// deep exploration would dwarf the report).
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let mut o = JsonValue::object();
+        o.set("recorded", JsonValue::from(self.steps.len() as u64));
+        o.set("dropped", JsonValue::from(self.dropped));
+        o
+    }
+}
+
+/// FNV-1a 64-bit hasher: the deterministic, dependency-free fingerprint
+/// used for terminal-state hashing and duplicate detection.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// The FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds a byte slice into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Folds a little-endian `u64` into the hash.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The current hash value.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cursor_clamps_and_exhausts() {
+        let mut c = ScriptCursor::new(ScheduleScript::new(vec![0, 2, 9]));
+        assert_eq!(c.next(3), Some(0));
+        assert_eq!(c.next(2), Some(1)); // 2 clamped into a 2-slot queue
+        assert_eq!(c.next(4), Some(3)); // 9 clamped
+        assert_eq!(c.next(4), None); // exhausted: default policy resumes
+        assert_eq!(c.next(1), None);
+    }
+
+    #[test]
+    fn perturbations_counts_nonzero_entries() {
+        assert_eq!(ScheduleScript::new(vec![0, 0, 0]).perturbations(), 0);
+        assert_eq!(ScheduleScript::new(vec![0, 1, 0, 2]).perturbations(), 2);
+        assert!(ScheduleScript::default().is_empty());
+    }
+
+    #[test]
+    fn step_log_caps_and_counts_drops() {
+        let step = StepRecord {
+            node: 0,
+            thread: 0,
+            enabled: vec![0],
+            chosen: 0,
+            reads: vec![],
+            writes: vec![],
+            sync: SyncOp::Finish,
+        };
+        let mut log = StepLog::new(2);
+        log.record(step.clone());
+        log.record(step.clone());
+        log.record(step);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 1);
+    }
+
+    #[test]
+    fn fnv_matches_reference_vector() {
+        // FNV-1a("a") from the published reference tables.
+        let mut h = Fnv64::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        // Order sensitivity.
+        let (mut x, mut y) = (Fnv64::new(), Fnv64::new());
+        x.write(b"ab");
+        y.write(b"ba");
+        assert_ne!(x.finish(), y.finish());
+    }
+}

@@ -4,8 +4,10 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use cvm_apps::{build_app, AppId, Scale};
-use cvm_dsm::{CvmBuilder, CvmConfig, FaultPlan, Finding, FindingSink, InjectFault, ProtocolKind};
-use cvm_sim::ExploreSpec;
+use cvm_dsm::{
+    CvmBuilder, CvmConfig, FaultPlan, Finding, FindingSink, InjectFault, LatencyModel, ProtocolKind,
+};
+use cvm_sim::{ExploreSpec, ScheduleScript, StepRecord};
 
 use crate::race::replay_race_check;
 
@@ -106,6 +108,104 @@ pub fn run_schedule(plan: RunPlan, spec: Option<ExploreSpec>) -> ScheduleResult 
                 decisions: 0,
                 panic: Some(msg),
                 trace_dropped: 0,
+            }
+        }
+    }
+}
+
+/// Everything a script-pinned (DPOR) run produced.
+#[derive(Debug)]
+pub struct ScriptedResult {
+    /// Online oracle findings plus offline race-replay findings.
+    pub findings: Vec<Finding>,
+    /// Panic message if the run aborted (oracle findings recorded before
+    /// the panic are still salvaged into `findings`).
+    pub panic: Option<String>,
+    /// The full scheduling-point log: one record per scheduler pick, with
+    /// the enabled set, the chosen thread, and the step's page footprint.
+    pub steps: Vec<StepRecord>,
+    /// FNV-1a fingerprint of the terminal state (memories, page states,
+    /// vector clocks); `0` when the run panicked.
+    pub state_hash: u64,
+    /// Protocol events dropped because the trace filled; nonzero means
+    /// the race replay was skipped as unsound.
+    pub trace_dropped: u64,
+    /// Step records dropped because the step log filled; nonzero means
+    /// the DPOR analysis of this execution is incomplete.
+    pub steps_dropped: u64,
+}
+
+impl ScriptedResult {
+    /// True if this execution demonstrated a protocol violation.
+    pub fn failed(&self) -> bool {
+        !self.findings.is_empty() || self.panic.is_some()
+    }
+}
+
+/// Runs `plan.app` once with the scheduler pinned to `choices` (index `i`
+/// picks the `choices[i]`-th ready thread, clamped; past the end the
+/// default policy resumes), recording every scheduling point. Used by the
+/// DPOR explorer, which needs deterministic re-execution plus the enabled
+/// sets and per-step page footprints.
+///
+/// [`Scale::Tiny`] plans swap in the wire-dominant
+/// [`LatencyModel::check`] model: under the default instant model,
+/// causality pins every flush ahead of the request that needs it, hiding
+/// the protocol's parked-request paths from the checker.
+pub fn run_scripted(plan: RunPlan, choices: &[u32]) -> ScriptedResult {
+    let sink = FindingSink::new();
+    let run_sink = sink.clone();
+    let script = ScheduleScript::new(choices.to_vec());
+    let outcome = catch_unwind(AssertUnwindSafe(move || {
+        let mut cfg = CvmConfig::small(plan.nodes, plan.threads);
+        cfg.protocol = plan.protocol;
+        cfg.verify = true;
+        cfg.verify_sink = run_sink;
+        cfg.inject = plan.inject;
+        if let Some(name) = plan.faults {
+            cfg.faults = Some(FaultPlan::named(name, plan.nodes).expect("fault plan in catalog"));
+        }
+        cfg.trace_capacity = plan.trace_capacity;
+        cfg.script = Some(script);
+        cfg.record_steps = true;
+        if plan.scale == Scale::Tiny {
+            cfg.latency = LatencyModel::check();
+        }
+        let mut builder = CvmBuilder::new(cfg);
+        let body = build_app(&mut builder, plan.app, plan.scale);
+        builder.run(body)
+    }));
+    match outcome {
+        Ok(report) => {
+            let mut findings = report.findings.clone();
+            let trace = report.trace.as_ref().expect("tracing was enabled");
+            let trace_dropped = trace.overflow();
+            if trace_dropped == 0 {
+                findings.extend(replay_race_check(trace, plan.nodes));
+            }
+            let log = report.steps.as_ref().expect("step recording was enabled");
+            ScriptedResult {
+                findings,
+                panic: None,
+                steps: log.steps().to_vec(),
+                state_hash: report.state_hash,
+                trace_dropped,
+                steps_dropped: log.dropped(),
+            }
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            ScriptedResult {
+                findings: sink.snapshot(),
+                panic: Some(msg),
+                steps: Vec::new(),
+                state_hash: 0,
+                trace_dropped: 0,
+                steps_dropped: 0,
             }
         }
     }

@@ -1,0 +1,216 @@
+//! The dependence relation over scheduler steps — the heart of DPOR.
+//!
+//! Two steps are *independent* when they commute: executing them in
+//! either order from any state reaches the same state. DPOR only needs a
+//! sound over-approximation of dependence (calling an independent pair
+//! dependent costs extra exploration, never soundness), so the relation
+//! here is deliberately coarse where the protocol is subtle:
+//!
+//! * Steps of the same thread are always dependent (program order).
+//! * Steps whose page footprints conflict (a write on one side, any
+//!   access on the other, same page) are dependent — this is exactly the
+//!   conflict the vector-clock race replay checks, projected onto steps.
+//! * Operations on the same lock are dependent (grant order is visible).
+//! * Global reductions are dependent on each other (float addition does
+//!   not commute) and on page writes.
+//! * Interval-closing operations (barrier, release) are dependent on
+//!   steps that write: a close publishes or pushes diffs, so its order
+//!   against a conflicting write is visible. Two closes commute —
+//!   barrier arrivals and notice unions are order-independent.
+//!
+//! The relation is symmetric by construction — `tests/indep_props.rs`
+//! checks symmetry, and that independent pairs really do commute on a
+//! model state machine while dependent witnesses do not.
+
+use cvm_sim::{StepRecord, SyncOp};
+
+/// True if the step ended in an operation that closes the current write
+/// interval and publishes notices (visible to every other node's clock).
+fn closes_interval(s: &SyncOp) -> bool {
+    matches!(s, SyncOp::Barrier | SyncOp::Release { .. })
+}
+
+/// True if the step ended in a global reduction.
+fn is_reduce(s: &SyncOp) -> bool {
+    matches!(s, SyncOp::Reduce)
+}
+
+/// The lock an acquire/release step operates on, if any.
+fn lock_of(s: &SyncOp) -> Option<u32> {
+    match s {
+        SyncOp::Acquire { lock } | SyncOp::Release { lock } => Some(*lock),
+        _ => None,
+    }
+}
+
+/// The pages this step read (faulting reads included).
+fn reads_of(s: &StepRecord) -> Vec<u32> {
+    let mut pages = s.reads.clone();
+    if let SyncOp::Fault { page, write: false } = s.sync {
+        if !pages.contains(&page) {
+            pages.push(page);
+        }
+    }
+    pages
+}
+
+/// The pages this step wrote (faulting writes included).
+fn writes_of(s: &StepRecord) -> Vec<u32> {
+    let mut pages = s.writes.clone();
+    if let SyncOp::Fault { page, write: true } = s.sync {
+        if !pages.contains(&page) {
+            pages.push(page);
+        }
+    }
+    pages
+}
+
+/// True if `a`'s writes overlap `b`'s reads or writes.
+fn write_conflict(a: &StepRecord, b: &StepRecord) -> bool {
+    let aw = writes_of(a);
+    if aw.is_empty() {
+        return false;
+    }
+    let br = reads_of(b);
+    let bw = writes_of(b);
+    aw.iter().any(|p| br.contains(p) || bw.contains(p))
+}
+
+/// True if the step wrote any page (closing ops commute with pure reads:
+/// the notices a close publishes only cover writes).
+fn touches_pages(s: &StepRecord) -> bool {
+    !writes_of(s).is_empty()
+}
+
+/// The symmetric dependence relation: `true` means the two steps may not
+/// commute, so DPOR must explore both orders.
+pub fn dependent(a: &StepRecord, b: &StepRecord) -> bool {
+    // Program order: same thread of the same node.
+    if a.node == b.node && a.thread == b.thread {
+        return true;
+    }
+    // Page conflicts, both directions (writer/reader and writer/writer).
+    if write_conflict(a, b) || write_conflict(b, a) {
+        return true;
+    }
+    // Same-lock operations: grant order decides which critical section's
+    // notices the other acquirer inherits.
+    if let (Some(la), Some(lb)) = (lock_of(&a.sync), lock_of(&b.sync)) {
+        if la == lb {
+            return true;
+        }
+    }
+    // Global reductions fold floats in arrival order.
+    if is_reduce(&a.sync) && is_reduce(&b.sync) {
+        return true;
+    }
+    // Interval-closing operations against remote writes: a close pushes
+    // or publishes diffs, so its order against a conflicting write is
+    // visible (eager update applies the pushed diff to the other copy).
+    // Two closes commute: barrier arrivals and notice unions are
+    // order-independent (vector merges are elementwise max).
+    let (ca, cb) = (closes_interval(&a.sync), closes_interval(&b.sync));
+    if (ca && touches_pages(b)) || (cb && touches_pages(a)) {
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(node: u32, thread: u32, reads: &[u32], writes: &[u32], sync: SyncOp) -> StepRecord {
+        StepRecord {
+            node,
+            thread,
+            enabled: vec![thread],
+            chosen: 0,
+            reads: reads.to_vec(),
+            writes: writes.to_vec(),
+            sync,
+        }
+    }
+
+    #[test]
+    fn program_order_is_dependent() {
+        let a = step(0, 1, &[], &[], SyncOp::Yield);
+        let b = step(0, 1, &[], &[], SyncOp::Yield);
+        assert!(dependent(&a, &b));
+        let c = step(1, 1, &[], &[], SyncOp::Yield);
+        assert!(!dependent(&a, &c), "same tid on another node is fine");
+    }
+
+    #[test]
+    fn page_conflicts_need_a_writer() {
+        let r1 = step(0, 0, &[7], &[], SyncOp::Yield);
+        let r2 = step(1, 0, &[7], &[], SyncOp::Yield);
+        assert!(!dependent(&r1, &r2), "read/read commutes");
+        let w = step(1, 0, &[], &[7], SyncOp::Yield);
+        assert!(dependent(&r1, &w));
+        assert!(dependent(&w, &r1), "symmetric");
+        let w2 = step(0, 0, &[], &[7], SyncOp::Yield);
+        assert!(dependent(&w, &w2), "write/write conflicts");
+        let other = step(0, 0, &[], &[8], SyncOp::Yield);
+        assert!(!dependent(&w, &other), "distinct pages commute");
+    }
+
+    #[test]
+    fn fault_pages_join_the_footprint() {
+        let rf = step(
+            0,
+            0,
+            &[],
+            &[],
+            SyncOp::Fault {
+                page: 3,
+                write: false,
+            },
+        );
+        let wf = step(
+            1,
+            0,
+            &[],
+            &[],
+            SyncOp::Fault {
+                page: 3,
+                write: true,
+            },
+        );
+        assert!(dependent(&rf, &wf));
+        let rf2 = step(
+            1,
+            0,
+            &[],
+            &[],
+            SyncOp::Fault {
+                page: 3,
+                write: false,
+            },
+        );
+        assert!(!dependent(&rf, &rf2), "two read faults commute");
+    }
+
+    #[test]
+    fn locks_and_reduces() {
+        let a0 = step(0, 0, &[], &[], SyncOp::Acquire { lock: 0 });
+        let a0b = step(1, 0, &[], &[], SyncOp::Acquire { lock: 0 });
+        let a1 = step(1, 0, &[], &[], SyncOp::Acquire { lock: 1 });
+        assert!(dependent(&a0, &a0b));
+        assert!(!dependent(&a0, &a1), "different locks commute");
+        let r = step(0, 0, &[], &[], SyncOp::Reduce);
+        let r2 = step(1, 0, &[], &[], SyncOp::Reduce);
+        assert!(dependent(&r, &r2));
+    }
+
+    #[test]
+    fn closing_ops_vs_writes() {
+        let bar = step(0, 0, &[], &[], SyncOp::Barrier);
+        let bar2 = step(1, 0, &[], &[], SyncOp::Barrier);
+        let w = step(1, 0, &[], &[5], SyncOp::Yield);
+        let r = step(1, 0, &[5], &[], SyncOp::Yield);
+        assert!(!dependent(&bar, &bar2), "two barrier arrivals commute");
+        assert!(dependent(&bar, &w));
+        assert!(!dependent(&bar, &r), "closing op vs pure read commutes");
+    }
+}

@@ -18,6 +18,11 @@
 //! * [`check`] — the `cvm check` driver: explores a schedule budget per
 //!   application, replays every trace through the race detector, and
 //!   renders lint-style findings with a replay command line.
+//! * [`dpor`] + [`indep`] — exhaustive stateless model checking: dynamic
+//!   partial-order reduction over the scheduler's pick decisions, with an
+//!   independence relation derived from per-step page/lock footprints.
+//!   On [`Scale::Tiny`](cvm_apps::Scale) kernels the search terminates,
+//!   turning "0 findings" into a statement about *every* interleaving.
 //!
 //! The oracle's fault injection ([`InjectFault`](cvm_dsm::InjectFault))
 //! turns the whole stack into its own test: dropping a write notice,
@@ -28,9 +33,16 @@
 #![warn(missing_docs)]
 
 pub mod check;
+pub mod dpor;
 pub mod explore;
+pub mod indep;
 pub mod race;
 
 pub use check::{AppCheck, CheckOptions, CheckReport, ScheduleFailure};
-pub use explore::{run_schedule, ScheduleResult};
+pub use dpor::{
+    dpor_check, schedule_from_json, schedule_to_json, DporCounterexample, DporOptions, DporReport,
+    DporStats, ScheduleFile,
+};
+pub use explore::{run_schedule, run_scripted, RunPlan, ScheduleResult, ScriptedResult};
+pub use indep::dependent;
 pub use race::replay_race_check;
