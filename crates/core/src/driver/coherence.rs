@@ -499,16 +499,20 @@ impl DriverCore {
             }
         };
         {
-            // Refresh the twin so later diffs cover only newer writes.
-            let mut cell = self.cells[n].lock();
-            let current = cell.page_bytes(page).to_vec();
-            cell.set_twin(page, current);
+            // Refresh the twin (in place — the buffer is page sized and
+            // already ours) so later diffs cover only newer writes.
+            self.cells[n].lock().refresh_twin(page);
         }
-        self.ctl[n]
-            .diff_cache
+        let wire = diff.wire_bytes() as u64;
+        let ctl = &mut self.ctl[n];
+        ctl.cache_bytes += wire;
+        ctl.cache_peak = ctl.cache_peak.max(ctl.cache_bytes);
+        ctl.diff_cache
             .entry(page)
             .or_default()
             .push((tag, gseq, diff.clone()));
+        self.cache_live_sum += wire;
+        self.cache_global_peak = self.cache_global_peak.max(self.cache_live_sum);
         self.stats.diffs_created += 1;
         self.hist.diff_bytes.record(diff.modified_bytes() as u64);
         {

@@ -42,6 +42,7 @@ mod coherence;
 mod eager;
 mod home;
 mod lazy;
+mod parallel;
 mod report;
 mod scheduler;
 mod sync;
@@ -57,7 +58,10 @@ use std::sync::Arc;
 use cvm_net::NetworkSim;
 use cvm_sim::coop::{CoopScheduler, CoopThreadId, Yielder};
 use cvm_sim::sync::Mutex;
-use cvm_sim::{EventQueue, ExploreSchedule, Fnv64, ScriptCursor, SimRng, StepLog, VirtualTime};
+use cvm_sim::{
+    ExploreSchedule, Fnv64, ScriptCursor, ShardMap, ShardedEventQueue, SimDuration, SimRng,
+    StepLog, VirtualTime,
+};
 
 use cvm_memsim::MemSystem;
 
@@ -211,6 +215,10 @@ struct NodeCtl {
     /// releases in the non-aggregated ablation mode).
     release_seen: u32,
     breakdown: NodeBreakdown,
+    /// Bytes currently held in `diff_cache` (modelled wire size).
+    cache_bytes: u64,
+    /// High-water mark of `cache_bytes`.
+    cache_peak: u64,
 }
 
 impl NodeCtl {
@@ -236,6 +244,8 @@ impl NodeCtl {
             out_locks: 0,
             release_seen: 0,
             breakdown: NodeBreakdown::default(),
+            cache_bytes: 0,
+            cache_peak: 0,
         }
     }
 
@@ -291,7 +301,48 @@ pub struct DriverCore {
     threads: Vec<ThreadInfo>,
     coop: CoopScheduler<BlockReason>,
     net: NetworkSim<Payload>,
-    mainq: EventQueue<MainEvent>,
+    mainq: ShardedEventQueue<MainEvent>,
+    /// Conservative lookahead floor of the latency model (cached): no
+    /// message sent at `t` can affect its destination before
+    /// `t + lookahead`.
+    lookahead: SimDuration,
+    /// Per shard: a burst the window planner pre-started, `(node, tid)`,
+    /// awaiting consumption by that node's next `NodeResume`.
+    planned: Vec<Option<(usize, usize)>>,
+    /// Number of pre-started bursts currently in flight.
+    planned_n: usize,
+    /// Scratch for the planner: per-node earliest pending delivery time.
+    floors: Vec<VirtualTime>,
+    /// Parallel burst pre-execution is active (`shards > 1` and no
+    /// replay/observation channel that pins the sequential loop).
+    par_enabled: bool,
+    /// Bursts the planner pre-started over the whole run (host-side
+    /// observability: varies with `--shards`, never enters the JSON).
+    planned_bursts: u64,
+    /// Total burst time consumed by every application burst, in ns
+    /// (host-side observability, same caveats as `planned_bursts`).
+    burst_total_ns: u64,
+    /// Burst time the planner took off the critical path: for each
+    /// lookahead window, `sum(bursts) - max(bursts)` — the host time a
+    /// machine with one core per shard would not have to serialize.
+    overlap_saved_ns: u64,
+    /// Current window's burst-time accumulators (sum, max), folded into
+    /// `overlap_saved_ns` when the last in-flight burst is collected.
+    win_sum_ns: u64,
+    win_max_ns: u64,
+    /// Per node: `twin_bytes_live` as last observed at a sequential
+    /// sample point (end of `run_node`, end of a handler). Caching the
+    /// per-node values lets the cluster-wide sum be maintained in O(1)
+    /// per sample instead of a sweep over every cell.
+    twin_live_seen: Vec<u64>,
+    /// Sum of `twin_live_seen`: cluster-wide live twin bytes.
+    twin_live_sum: u64,
+    /// High-water mark of `twin_live_sum` — the whole-run twin peak.
+    twin_global_peak: u64,
+    /// Cluster-wide live diff-cache bytes (sum of `NodeCtl::cache_bytes`).
+    cache_live_sum: u64,
+    /// High-water mark of `cache_live_sum`.
+    cache_global_peak: u64,
     lock_mgrs: Vec<LockManager>,
     master: BarrierMaster,
     stats: DsmStats,
@@ -482,6 +533,18 @@ impl Driver {
             nodes * tpn
         };
         let proto = make_protocol(cfg.protocol);
+        // Exact replay (scripts), seeded perturbation, step recording,
+        // fault injection and the verifying oracle all observe or pin the
+        // precise sequential interleaving; the planner stands down for
+        // them even though its output would be identical.
+        let par_enabled = cfg.shards > 1
+            && cfg.script.is_none()
+            && cfg.explore.is_none()
+            && !cfg.record_steps
+            && !cfg.verify
+            && cfg.inject.is_none();
+        let shard_map = ShardMap::new(nodes, cfg.shards);
+        let lookahead = cfg.latency.lookahead();
         let core = DriverCore {
             cfg,
             cells,
@@ -489,7 +552,22 @@ impl Driver {
             threads,
             coop,
             net,
-            mainq: EventQueue::new(),
+            mainq: ShardedEventQueue::new(shard_map, tpn),
+            lookahead,
+            planned: vec![None; shard_map.shards()],
+            planned_n: 0,
+            floors: vec![VirtualTime::MAX; nodes],
+            par_enabled,
+            planned_bursts: 0,
+            burst_total_ns: 0,
+            overlap_saved_ns: 0,
+            win_sum_ns: 0,
+            win_max_ns: 0,
+            twin_live_seen: vec![0; nodes],
+            twin_live_sum: 0,
+            twin_global_peak: 0,
+            cache_live_sum: 0,
+            cache_global_peak: 0,
             lock_mgrs,
             master: BarrierMaster::new(nodes, barrier_expected),
             stats: DsmStats::new(),
@@ -544,10 +622,18 @@ impl Driver {
                 }
                 // Handlers run inside the delivered message's causal
                 // span: their own sends inherit it via send_remote.
+                let dst = msg.dst.0;
                 core.cur_span = msg.span;
-                core.handle_payload(&mut *proto, msg.dst.0, msg.src.0, msg.payload, t);
+                core.handle_payload(&mut *proto, dst, msg.src.0, msg.payload, t);
                 core.cur_span = 0;
+                core.sample_twin_live(dst);
                 continue;
+            }
+            // Every network event at or before the queue head is now
+            // delivered, so the delivery floors the planner consults are
+            // final for the upcoming window.
+            if core.par_enabled && core.planned_n == 0 {
+                core.plan_window();
             }
             match core.mainq.pop() {
                 Some((t, MainEvent::NodeResume(n))) => core.run_node(&mut *proto, n, t),
@@ -588,6 +674,18 @@ impl Driver {
 }
 
 impl DriverCore {
+    /// Re-samples node `n`'s live twin bytes into the cluster-wide sum
+    /// and advances the whole-run peak. Called at the two sequential
+    /// points where a cell's twins can just have changed — the end of
+    /// `run_node` and the end of a message handler — so the peak is a
+    /// property of the simulated execution, identical at any shard count.
+    pub(super) fn sample_twin_live(&mut self, n: usize) {
+        let live = self.cells[n].lock().twin_bytes_live;
+        let old = std::mem::replace(&mut self.twin_live_seen[n], live);
+        self.twin_live_sum = self.twin_live_sum + live - old;
+        self.twin_global_peak = self.twin_global_peak.max(self.twin_live_sum);
+    }
+
     /// True when the configured injection's fault site is at its targeted
     /// occurrence; advances the occurrence counter either way.
     pub(super) fn inject_hits(&mut self, want: fn(&InjectFault) -> Option<u64>) -> bool {

@@ -10,7 +10,7 @@
 
 use cvm_sim::ExploreSchedule;
 
-use crate::report::{MemMisses, RunReport};
+use crate::report::{MemMisses, MemPeaks, RunReport};
 
 use super::DriverCore;
 
@@ -33,14 +33,24 @@ impl DriverCore {
             nodes.push(b);
         }
         let mut mem = MemMisses::default();
+        let mut node_twin_peak = Vec::with_capacity(self.cfg.nodes);
         for cell in &self.cells {
             let c = cell.lock();
+            node_twin_peak.push(c.twin_bytes_peak);
             if let Some(m) = &c.memsim {
                 mem.dcache += m.dcache_misses();
                 mem.dtlb += m.dtlb_misses();
                 mem.itlb += m.itlb_misses();
             }
         }
+        let mem_peaks = MemPeaks {
+            node_twin_peak,
+            node_cache_peak: self.ctl.iter().map(|c| c.cache_peak).collect(),
+            node_parked_peak: self.net.parked().peaks().to_vec(),
+            twin_global_peak: self.twin_global_peak,
+            cache_global_peak: self.cache_global_peak,
+            parked_global_peak: self.net.parked().peak_total(),
+        };
         let mut report = RunReport {
             total_time: cvm_sim::VirtualTime::ZERO,
             stats,
@@ -53,6 +63,12 @@ impl DriverCore {
             unfinished_threads: 0,
             nodes,
             mem,
+            mem_peaks,
+            planned_bursts: self.planned_bursts,
+            burst_total_ns: self.burst_total_ns,
+            // The final window may not have been retired by a later
+            // planning instant; fold it here.
+            overlap_saved_ns: self.overlap_saved_ns + (self.win_sum_ns - self.win_max_ns),
             hist: self.hist.clone(),
             attr: self.attr.clone(),
             trace: if self.trace.enabled() {

@@ -19,7 +19,7 @@ impl DriverCore {
     pub(super) fn schedule_resume(&mut self, n: usize, t: VirtualTime) {
         if !self.ctl[n].sched.resume_scheduled {
             self.ctl[n].sched.resume_scheduled = true;
-            self.mainq.push(t, MainEvent::NodeResume(n));
+            self.mainq.push(t, n, MainEvent::NodeResume(n));
         }
     }
 
@@ -67,8 +67,13 @@ impl DriverCore {
     }
 
     pub(super) fn run_node(&mut self, proto: &mut dyn Coherence, n: usize, t: VirtualTime) {
+        let prestarted = self.take_planned(n);
         self.ctl[n].sched.resume_scheduled = false;
         if !self.ctl[n].sched.has_ready() {
+            assert!(
+                prestarted.is_none(),
+                "pre-started burst on a node with an empty ready queue"
+            );
             return;
         }
         let clock0 = self.ctl[n].sched.clock.max(t);
@@ -140,8 +145,21 @@ impl DriverCore {
             }
         }
         self.ctl[n].sched.last_ran = Some(tid);
-        let burst = self.coop.resume(self.threads[tid].coop);
+        let burst = match prestarted {
+            // The burst already ran on the host; collecting it here gives
+            // the same result `resume` would have produced sequentially.
+            Some(ptid) => {
+                assert_eq!(ptid, tid, "window planner predicted a different pick");
+                self.coop.wait(self.threads[tid].coop)
+            }
+            None => self.coop.resume(self.threads[tid].coop),
+        };
         let consumed = SimDuration::from_ns(self.cells[n].lock().drain_burst());
+        self.burst_total_ns += consumed.as_ns();
+        if prestarted.is_some() {
+            self.win_sum_ns += consumed.as_ns();
+            self.win_max_ns = self.win_max_ns.max(consumed.as_ns());
+        }
         self.ctl[n].sched.clock += consumed;
         self.ctl[n].breakdown.user += consumed;
         if self.steps.is_some() {
@@ -161,6 +179,7 @@ impl DriverCore {
         } else {
             self.begin_idle_if_needed(n);
         }
+        self.sample_twin_live(n);
     }
 
     /// Logs one scheduling point for the model checker: the enabled set

@@ -9,7 +9,7 @@
 //! specific protocol.
 
 use cvm_net::NetworkSim;
-use cvm_sim::{EventQueue, SimRng, VirtualTime};
+use cvm_sim::{ShardMap, ShardedEventQueue, SimRng, VirtualTime};
 
 use cvm_memsim::MemSystem;
 
@@ -281,6 +281,10 @@ impl DriverCore {
             return;
         }
         self.endm_arrived = 0;
+        debug_assert_eq!(
+            self.planned_n, 0,
+            "end-measure rendezvous with bursts in flight"
+        );
         self.snapshot = Some(self.snapshot_report());
         // Wake everyone; the rendezvous acts as a barrier without cost.
         for tid in 0..self.threads.len() {
@@ -388,6 +392,13 @@ impl DriverCore {
     /// the paper's "global data is consistent across all nodes until
     /// startup has finished".
     fn startup_reset(&mut self, proto: &mut dyn Coherence) {
+        // The rendezvous fires only when every thread has arrived, i.e.
+        // blocked — a pre-started burst is a thread that has not blocked
+        // yet, so none can be in flight while we tear the queues down.
+        assert_eq!(
+            self.planned_n, 0,
+            "startup rendezvous with bursts in flight"
+        );
         self.oracle.check(
             Invariant::QuiescentStartup,
             self.net.in_flight() == 0,
@@ -414,15 +425,30 @@ impl DriverCore {
             if self.cfg.memsim_enabled {
                 c.memsim = Some(MemSystem::new(self.cfg.mem));
             }
+            // Warm-up twins must not count toward the measured peaks.
+            c.reset_mem_peaks();
+            self.twin_live_seen[n] = c.twin_bytes_live;
         }
+        self.twin_live_sum = self.twin_live_seen.iter().sum();
+        self.twin_global_peak = self.twin_live_sum;
         for ctl in &mut self.ctl {
             ctl.sched.clock = VirtualTime::ZERO;
             ctl.sched.last_ran = None;
             ctl.sched.idle_since = None;
             ctl.breakdown = NodeBreakdown::default();
+            ctl.cache_peak = ctl.cache_bytes;
             debug_assert!(ctl.fetches.is_empty());
             debug_assert!(ctl.pending.is_empty());
         }
+        self.cache_live_sum = self.ctl.iter().map(|c| c.cache_bytes).sum();
+        self.cache_global_peak = self.cache_live_sum;
+        // The burst/overlap ledger measures the same region as
+        // `total_time`: from `startup_done` on. The serial init burst
+        // would otherwise drown the modelled speedup in Amdahl's law.
+        self.burst_total_ns = 0;
+        self.overlap_saved_ns = 0;
+        self.win_sum_ns = 0;
+        self.win_max_ns = 0;
         self.stats.reset();
         self.trace.reset();
         self.hist.reset();
@@ -456,7 +482,10 @@ impl DriverCore {
             }
             self.net.set_faults(rng.derive(0xFA17), plan.clone());
         }
-        self.mainq = EventQueue::new();
+        self.mainq = ShardedEventQueue::new(
+            ShardMap::new(self.cfg.nodes, self.cfg.shards),
+            self.cfg.threads_per_node,
+        );
         for n in 0..self.cfg.nodes {
             self.ctl[n].sched.resume_scheduled = false;
         }

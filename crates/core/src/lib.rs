@@ -82,7 +82,7 @@ pub use interval::VectorTime;
 pub use oracle::{Finding, FindingSink, InjectFault, Invariant, Oracle};
 pub use page::{Addr, PageId, PageState};
 pub use protocol::ProtocolKind;
-pub use report::{NodeBreakdown, RunReport};
+pub use report::{MemPeaks, NodeBreakdown, RunReport};
 pub use shared::{Shareable, SharedMat, SharedVec};
 pub use span::{SpanForest, SpanKind, SpanRecord, SpanResource};
 pub use stats::DsmStats;

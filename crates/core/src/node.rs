@@ -13,6 +13,12 @@ use cvm_memsim::MemSystem;
 
 use crate::page::PageState;
 
+/// Retired twin buffers kept for reuse. Steady-state twin churn is
+/// create-at-fault / discard-at-invalidate over a small working set, so a
+/// handful of pooled pages absorbs nearly all of it; anything beyond the
+/// cap is genuinely idle memory and is returned to the allocator.
+const TWIN_POOL_CAP: usize = 8;
+
 /// One node's memory-side state.
 #[derive(Debug)]
 pub struct NodeCell {
@@ -40,6 +46,14 @@ pub struct NodeCell {
     pub memsim: Option<MemSystem>,
     /// Twins created (local write faults that copied a page).
     pub twin_creations: u64,
+    /// Bytes currently held in live twins.
+    pub twin_bytes_live: u64,
+    /// High-water mark of `twin_bytes_live` over the run.
+    pub twin_bytes_peak: u64,
+    /// Retired twin buffers, reused by the next `ensure_twin` so the
+    /// fault fast path allocates only when the live twin count grows past
+    /// its previous maximum.
+    twin_pool: Vec<Vec<u8>>,
     /// When set, the access path appends touched pages to
     /// `step_reads`/`step_writes` (model-checker step recording).
     pub track_steps: bool,
@@ -64,6 +78,9 @@ impl NodeCell {
             gr_result: 0.0,
             memsim,
             twin_creations: 0,
+            twin_bytes_live: 0,
+            twin_bytes_peak: 0,
+            twin_pool: Vec::new(),
             track_steps: false,
             step_reads: Vec::new(),
             step_writes: Vec::new(),
@@ -106,9 +123,14 @@ impl NodeCell {
         if self.twins[page].is_some() {
             false
         } else {
-            let copy = self.page_bytes(page).to_vec();
-            self.twins[page] = Some(copy);
+            let mut buf = self.twin_pool.pop().unwrap_or_default();
+            buf.resize(self.page_size, 0);
+            let b = page * self.page_size;
+            buf.copy_from_slice(&self.mem[b..b + self.page_size]);
+            self.twins[page] = Some(buf);
             self.twin_creations += 1;
+            self.twin_bytes_live += self.page_size as u64;
+            self.twin_bytes_peak = self.twin_bytes_peak.max(self.twin_bytes_live);
             true
         }
     }
@@ -148,7 +170,29 @@ impl NodeCell {
     ///
     /// Panics if `page` is out of range.
     pub fn set_twin(&mut self, page: usize, data: Vec<u8>) {
-        self.twins[page] = Some(data);
+        debug_assert_eq!(data.len(), self.page_size, "twin must be page sized");
+        if let Some(old) = self.twins[page].replace(data) {
+            self.pool_buf(old);
+        } else {
+            self.twin_bytes_live += self.page_size as u64;
+            self.twin_bytes_peak = self.twin_bytes_peak.max(self.twin_bytes_live);
+        }
+    }
+
+    /// Refreshes the existing twin of `page` in place from the page's
+    /// current contents — the zero-allocation form of
+    /// `set_twin(page, page_bytes(page).to_vec())` used when an interval
+    /// closes but the page stays writable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range or has no twin.
+    pub fn refresh_twin(&mut self, page: usize) {
+        let b = page * self.page_size;
+        let twin = self.twins[page]
+            .as_mut()
+            .expect("refresh of a missing twin");
+        twin.copy_from_slice(&self.mem[b..b + self.page_size]);
     }
 
     /// Discards the twin of `page`, if any.
@@ -157,13 +201,28 @@ impl NodeCell {
     ///
     /// Panics if `page` is out of range.
     pub fn clear_twin(&mut self, page: usize) {
-        self.twins[page] = None;
+        if let Some(old) = self.twins[page].take() {
+            self.twin_bytes_live -= self.page_size as u64;
+            self.pool_buf(old);
+        }
     }
 
     /// Discards every twin (startup reset).
     pub fn clear_twins(&mut self) {
-        for t in &mut self.twins {
-            *t = None;
+        for p in 0..self.twins.len() {
+            self.clear_twin(p);
+        }
+    }
+
+    /// Resets the twin high-water mark to the current live level (startup
+    /// reset: warm-up twins must not count toward the measured peak).
+    pub fn reset_mem_peaks(&mut self) {
+        self.twin_bytes_peak = self.twin_bytes_live;
+    }
+
+    fn pool_buf(&mut self, buf: Vec<u8>) {
+        if self.twin_pool.len() < TWIN_POOL_CAP {
+            self.twin_pool.push(buf);
         }
     }
 
@@ -245,6 +304,53 @@ mod tests {
         c.burst_ns = 500;
         assert_eq!(c.drain_burst(), 500);
         assert_eq!(c.drain_burst(), 0);
+    }
+
+    #[test]
+    fn twin_accounting_tracks_live_and_peak() {
+        let mut c = NodeCell::new(64, 4, None);
+        c.ensure_twin(0);
+        c.ensure_twin(1);
+        assert_eq!(c.twin_bytes_live, 128);
+        assert_eq!(c.twin_bytes_peak, 128);
+        c.clear_twin(0);
+        assert_eq!(c.twin_bytes_live, 64);
+        assert_eq!(c.twin_bytes_peak, 128, "peak survives the drop");
+        c.set_twin(3, vec![0; 64]);
+        assert_eq!(c.twin_bytes_live, 128);
+        c.set_twin(3, vec![1; 64]);
+        assert_eq!(c.twin_bytes_live, 128, "replace is live-neutral");
+        c.reset_mem_peaks();
+        assert_eq!(c.twin_bytes_peak, 128);
+        c.clear_twins();
+        assert_eq!(c.twin_bytes_live, 0);
+    }
+
+    #[test]
+    fn retired_twin_buffers_are_pooled_and_reused() {
+        let mut c = NodeCell::new(64, 2, None);
+        c.mem[0] = 0xCC;
+        c.ensure_twin(0);
+        c.clear_twin(0);
+        assert_eq!(c.twin_pool.len(), 1);
+        c.mem[0] = 0xDD;
+        c.ensure_twin(0);
+        assert_eq!(c.twin_pool.len(), 0, "pooled buffer was reused");
+        assert_eq!(
+            c.twin(0).expect("twin exists")[0],
+            0xDD,
+            "reused buffer holds the fresh snapshot, not stale bytes"
+        );
+    }
+
+    #[test]
+    fn refresh_twin_snapshots_current_contents() {
+        let mut c = NodeCell::new(64, 1, None);
+        c.ensure_twin(0);
+        c.mem[5] = 42;
+        c.refresh_twin(0);
+        assert_eq!(c.twin(0).expect("twin exists")[5], 42);
+        assert_eq!(c.twin_bytes_live, 64);
     }
 
     #[test]

@@ -36,6 +36,41 @@ impl NodeBreakdown {
     }
 }
 
+/// Peak-memory accounting: high-water marks of the three stores whose
+/// footprint grows with scale — twin pages, cached diffs and messages
+/// parked in the network (retransmission copies, reorder holds). Peaks
+/// are measured over the *measured* region (startup reset re-arms them)
+/// and are a property of the simulated execution: byte-identical at any
+/// shard count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemPeaks {
+    /// Per node: peak live twin bytes.
+    pub node_twin_peak: Vec<u64>,
+    /// Per node: peak diff-cache bytes (modelled wire size).
+    pub node_cache_peak: Vec<u64>,
+    /// Per node: peak parked message bytes (sender retransmission copies
+    /// and receiver reorder holds).
+    pub node_parked_peak: Vec<u64>,
+    /// Whole-run peak of the cluster-wide twin total (≤ the sum of the
+    /// per-node peaks, which need not coincide in time).
+    pub twin_global_peak: u64,
+    /// Whole-run peak of the cluster-wide diff-cache total.
+    pub cache_global_peak: u64,
+    /// Whole-run peak of the network-wide parked total.
+    pub parked_global_peak: u64,
+}
+
+impl MemPeaks {
+    /// Largest single-node peak across all three stores — the number that
+    /// must fit in one node's memory budget.
+    pub fn worst_node_bytes(&self) -> u64 {
+        let worst = |v: &[u64]| v.iter().copied().max().unwrap_or(0);
+        worst(&self.node_twin_peak)
+            .max(worst(&self.node_cache_peak))
+            .max(worst(&self.node_parked_peak))
+    }
+}
+
 /// Cache/TLB miss totals across all nodes (Figure 2).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemMisses {
@@ -72,6 +107,22 @@ pub struct RunReport {
     pub nodes: Vec<NodeBreakdown>,
     /// Memory-system misses, if the simulator was enabled (Figure 2).
     pub mem: MemMisses,
+    /// Peak-memory high-water marks (always collected).
+    pub mem_peaks: MemPeaks,
+    /// Bursts the window planner pre-executed. Host-side observability
+    /// only: the count varies with `--shards`, so it is deliberately
+    /// excluded from the JSON document and the Display rendering, both of
+    /// which are compared byte-for-byte across shard counts.
+    pub planned_bursts: u64,
+    /// Virtual time consumed by every application burst, in ns. Input to
+    /// the modelled burst speedup (`cvm bench --scale`); excluded from
+    /// the JSON/Display surfaces alongside `planned_bursts`.
+    pub burst_total_ns: u64,
+    /// Burst time the window planner overlapped: per window,
+    /// `sum(bursts) - max(bursts)` — what a host with one core per shard
+    /// keeps off the critical path. Varies with `--shards`; excluded from
+    /// the JSON/Display surfaces alongside `planned_bursts`.
+    pub overlap_saved_ns: u64,
     /// Latency and size distributions (always collected).
     pub hist: DsmHistograms,
     /// Per-page and per-lock attribution (always collected).
@@ -194,6 +245,24 @@ impl RunReport {
         mem.set("dtlb", self.mem.dtlb);
         mem.set("itlb", self.mem.itlb);
         obj.set("mem", mem);
+        let mut peaks = JsonValue::object();
+        let per_node = |v: &[u64]| {
+            let mut arr = JsonValue::array();
+            for &b in v {
+                arr.push(b);
+            }
+            arr
+        };
+        peaks.set("node_twin_peak", per_node(&self.mem_peaks.node_twin_peak));
+        peaks.set("node_cache_peak", per_node(&self.mem_peaks.node_cache_peak));
+        peaks.set(
+            "node_parked_peak",
+            per_node(&self.mem_peaks.node_parked_peak),
+        );
+        peaks.set("twin_global_peak", self.mem_peaks.twin_global_peak);
+        peaks.set("cache_global_peak", self.mem_peaks.cache_global_peak);
+        peaks.set("parked_global_peak", self.mem_peaks.parked_global_peak);
+        obj.set("mem_peaks", peaks);
         if let Some(trace) = &self.trace {
             let mut t = JsonValue::object();
             t.set("recorded", trace.len());
@@ -256,10 +325,19 @@ impl fmt::Display for RunReport {
         if !attr_text.is_empty() {
             write!(f, "{attr_text}")?;
         }
-        write!(
+        writeln!(
             f,
             "mem misses: dcache {} dtlb {} itlb {}",
             self.mem.dcache, self.mem.dtlb, self.mem.itlb
+        )?;
+        write!(
+            f,
+            "mem peaks: twins {} B, diff cache {} B, parked {} B \
+             (worst node {} B)",
+            self.mem_peaks.twin_global_peak,
+            self.mem_peaks.cache_global_peak,
+            self.mem_peaks.parked_global_peak,
+            self.mem_peaks.worst_node_bytes()
         )
     }
 }
@@ -301,6 +379,10 @@ mod tests {
                 },
             ],
             mem: MemMisses::default(),
+            mem_peaks: MemPeaks::default(),
+            planned_bursts: 0,
+            burst_total_ns: 0,
+            overlap_saved_ns: 0,
             hist: DsmHistograms::default(),
             attr: ResourceAttr::default(),
             trace: None,
@@ -337,6 +419,10 @@ mod tests {
                 },
             ],
             mem: MemMisses::default(),
+            mem_peaks: MemPeaks::default(),
+            planned_bursts: 0,
+            burst_total_ns: 0,
+            overlap_saved_ns: 0,
             hist: DsmHistograms::default(),
             attr: ResourceAttr::default(),
             trace: None,
@@ -363,6 +449,10 @@ mod tests {
             unfinished_threads: 0,
             nodes: vec![NodeBreakdown::default()],
             mem: MemMisses::default(),
+            mem_peaks: MemPeaks::default(),
+            planned_bursts: 0,
+            burst_total_ns: 0,
+            overlap_saved_ns: 0,
             hist: DsmHistograms::default(),
             attr: ResourceAttr::default(),
             trace: Some(Trace::new(16)),

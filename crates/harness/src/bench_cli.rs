@@ -1,0 +1,150 @@
+//! `cvm bench` — suite benchmarking, the regression gate, and the
+//! `--scale` ladder of the parallel event core.
+
+use crate::cli::{load_json, parse_list, usage};
+use crate::{bench, scale_bench, Scale};
+
+pub(crate) fn run_bench(args: &[String]) {
+    let mut json = false;
+    let mut spans = false;
+    let mut scale_mode = false;
+    let mut nodes = 8usize;
+    let mut scale_nodes: Option<Vec<usize>> = None;
+    let mut threads: Option<usize> = None;
+    let mut shards = scale_bench::DEFAULT_SHARDS;
+    let mut scale = Scale::Small;
+    let mut baseline: Option<String> = None;
+    let mut current: Option<String> = None;
+    let mut gate_pct = 5.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--spans" => spans = true,
+            "--scale" => scale_mode = true,
+            "--baseline" => baseline = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--current" => current = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--gate" => {
+                gate_pct = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|p: &f64| *p > 0.0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--nodes" => {
+                // Scale mode ladders over a comma-separated list; the
+                // suite takes a single count. Both arrive here.
+                let v = it.next().cloned().unwrap_or_else(|| usage());
+                scale_nodes = parse_list(&v);
+                if scale_nodes.is_none() {
+                    usage();
+                }
+            }
+            "--threads" => {
+                threads = it.next().and_then(|v| v.parse().ok());
+                if threads.is_none() {
+                    usage();
+                }
+            }
+            "--shards" => {
+                shards = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s: &usize| s > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--paper-scale" => scale = Scale::Paper,
+            _ => usage(),
+        }
+    }
+    // File-vs-file mode: gate two committed artifacts, no runs at all.
+    if let (Some(base_path), Some(cur_path)) = (&baseline, &current) {
+        let outcome = crate::gate::compare(&load_json(base_path), &load_json(cur_path), gate_pct);
+        print!("{}", outcome.render(gate_pct));
+        std::process::exit(i32::from(outcome.failed()));
+    }
+    if current.is_some() {
+        eprintln!("--current needs --baseline");
+        usage();
+    }
+    if scale_mode {
+        run_scale(scale_nodes, threads, shards, json, baseline, gate_pct);
+        return;
+    }
+    // A gate run always needs the span summary to compare.
+    let record_spans = spans || baseline.is_some();
+    let threads = threads.unwrap_or(2);
+    match scale_nodes.as_deref() {
+        Some([n]) => nodes = *n,
+        Some(_) => usage(), // a node *ladder* is a --scale option
+        None => {}
+    }
+    eprintln!("[harness] bench suite P={nodes} T={threads}");
+    let outcomes = bench::run_suite_with(scale, nodes, threads, record_spans);
+    print!("{}", bench::render_summary(&outcomes));
+    if json {
+        for o in &outcomes {
+            let path = bench::file_name(o.spec.app);
+            let doc = bench::to_json(o);
+            std::fs::write(&path, doc.to_pretty()).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("[harness] wrote {path}");
+        }
+        if record_spans {
+            let doc = bench::obs_json(&outcomes);
+            std::fs::write(bench::OBS_FILE, doc.to_pretty()).unwrap_or_else(|e| {
+                eprintln!("cannot write {}: {e}", bench::OBS_FILE);
+                std::process::exit(1);
+            });
+            eprintln!("[harness] wrote {}", bench::OBS_FILE);
+        }
+    }
+    if let Some(base_path) = &baseline {
+        let outcome =
+            crate::gate::compare(&load_json(base_path), &bench::obs_json(&outcomes), gate_pct);
+        print!("{}", outcome.render(gate_pct));
+        if outcome.failed() {
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `cvm bench --scale`: run the ladder, optionally write and gate
+/// `BENCH_scale.json`.
+fn run_scale(
+    nodes: Option<Vec<usize>>,
+    threads: Option<usize>,
+    shards: usize,
+    json: bool,
+    baseline: Option<String>,
+    gate_pct: f64,
+) {
+    let mut cfg = scale_bench::ScaleConfig::default();
+    if let Some(nodes) = nodes {
+        cfg.nodes = nodes;
+    }
+    if let Some(t) = threads {
+        cfg.threads = t;
+    }
+    cfg.shards = shards;
+    let rungs = scale_bench::run_ladder(&cfg);
+    print!("{}", scale_bench::render_summary(&cfg, &rungs));
+    let doc = scale_bench::to_json(&cfg, &rungs);
+    if json {
+        let path = scale_bench::FILE_NAME;
+        std::fs::write(path, doc.to_pretty()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[harness] wrote {path}");
+    }
+    if let Some(base_path) = &baseline {
+        let outcome = crate::gate::compare(&load_json(base_path), &doc, gate_pct);
+        print!("{}", outcome.render(gate_pct));
+        if outcome.failed() {
+            std::process::exit(1);
+        }
+    }
+}

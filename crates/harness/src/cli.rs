@@ -2,14 +2,18 @@
 //!
 //! `harness` keeps its historical name; `cvm` is the same tool under the
 //! system's name, and is what the verification workflow documents
-//! (`cvm check`).
+//! (`cvm check`). Each subcommand's implementation lives in a sibling
+//! module — [`run_cli`](crate::run_cli), [`bench_cli`](crate::bench_cli),
+//! [`sweep_cli`](crate::sweep_cli), [`check_cli`](crate::check_cli) —
+//! this module keeps the shared argument helpers, the usage text and the
+//! dispatcher.
 
 use crate::tables::{self, Suite};
-use crate::{bench, micro, AppId, Scale};
+use crate::{micro, AppId, Scale};
 
 pub(crate) fn usage() -> ! {
     eprintln!(
-        "usage: cvm <micro|table1|fig1|table2|table3|fig2|table4|table5|latency|ablation|protocols|perturb|all> [--paper-scale]\n         \n         or:    cvm run <barnes|fft|ocean|sor|swm|water-sp|water-nsq>\n         or:    cvm bench [--json] [--nodes N] [--threads T] [--paper-scale]\n         or:    cvm sweep [--json] [--workers N] [--nodes LIST] [--threads LIST]\n         or:    cvm faults [--json] [--plan NAME]... [--workers N]\n         or:    cvm check [--dpor] [--app NAME]... [--schedules N] [--faults NAME]\n         or:    cvm explain --run FILE [--span ID | --slowest N | --resource R]\n         \n         run options:\n           --nodes N        processors (default 8)\n           --threads T      threads per node (default 2)\n           --paper-scale    the paper's input sizes\n           --protocol NAME  coherence protocol: lazy-mw | eager-update |\n                            home-lazy (default lazy-mw)\n           --eager          shorthand for --protocol eager-update\n           --lifo           memory-conscious LIFO scheduling\n           --memsim         enable the cache/TLB simulator\n           --verify         run the online invariant oracle; findings are\n                            printed and make the exit status nonzero\n           --trace N        record and print the first N protocol events\n           --spans          record the causal span forest; the report JSON\n                            gains a 'spans' section for cvm explain\n           --json FILE      write the full run report as JSON to FILE\n           --chrome-trace FILE\n                            write the protocol trace as Chrome trace-event\n                            JSON (load in chrome://tracing or Perfetto);\n                            with --spans, nested span tracks and flow\n                            events are included\n           --replay FILE    re-execute a cvm-schedule-*.json counterexample\n                            (from cvm check --dpor) byte-identically; the\n                            positional app may be omitted, the exit status\n                            is 0 iff the recorded terminal state and\n                            findings reproduce exactly\n         \n         bench options:\n           --json           additionally write one BENCH_<app>.json per app\n                            (and BENCH_obs.json when --spans is on)\n           --spans          record span forests and emit the span summary\n           --baseline FILE  compare against a committed baseline artifact;\n                            exit 1 on regression beyond twice the gate\n           --current FILE   compare FILE against the baseline instead of\n                            running the suite (works for any BENCH_*.json)\n           --gate PCT       regression gate percentage (default 5):\n                            warn above PCT, fail above 2*PCT\n         \n         explain options:\n           --run FILE       report JSON from cvm run --spans --json FILE\n           --slowest N      the N slowest root spans (default 5)\n           --span ID        one span with its ancestor chain\n           --resource R     root spans about one resource (page:17, lock:3,\n                            barrier:2)\n         \n         sweep options:\n           --json           write the aggregated report to BENCH_sweep.json\n           --spans          record span forests in every cell\n           --out FILE       write the aggregated report to FILE instead\n           --md FILE        write the markdown tables to FILE as well\n           --workers N      simulation worker threads (default: one per core);\n                            any value produces byte-identical reports\n           --nodes LIST     comma-separated processor counts (default 4,8,16)\n           --threads LIST   comma-separated threads/node levels (default 1,2,3,4)\n           --app NAME       restrict to one app (repeatable; default: all 7)\n           --protocol LIST  comma-separated protocols to cross (default\n                            lazy-mw); several add a comparison table\n           --seed S         master seed; each configuration splits its own\n           --paper-scale    the paper's input sizes\n         \n         faults options:\n           --json           write the campaign report to BENCH_faults.json\n           --out FILE       write the campaign report to FILE instead\n           --md FILE        write the markdown degradation tables to FILE\n           --workers N      simulation worker threads (default: one per core);\n                            any value produces byte-identical reports\n           --app NAME       restrict to one app (repeatable; default: all 7)\n           --protocol LIST  comma-separated protocols (default: all 3)\n           --plan NAME      fault plan from the catalog (repeatable;\n                            default: the whole catalog)\n           --nodes N        processors (default 4)\n           --threads T      threads per node (default 2)\n           --seed S         master seed; each cell splits its own\n           --paper-scale    the paper's input sizes\n           exit status is nonzero if any cell violated exactly-once\n           delivery or oracle cleanliness\n         \n         check options:\n           --app NAME       application to check (repeatable; default: all)\n           --protocol NAME  coherence protocol to explore (default lazy-mw)\n           --nodes N        processors (default 2)\n           --threads T      threads per node (default 2)\n           --schedules N    perturbed schedules per app (default 8); an\n                            unperturbed baseline always runs first\n           --seed S         base exploration seed (schedule 0 uses it\n                            verbatim, so reported seeds replay directly)\n           --budget N       scheduler decisions each schedule may perturb\n                            (default 64)\n           --faults NAME    layer a fault plan from the catalog under the\n                            explored schedules (loss, dup, reorder, ...)\n           --mutate KIND[:nth]\n                            inject a protocol mutation (oracle self-test):\n                            drop-notice | reorder-diff | skip-invalidate |\n                            skip-watermark | drop-grant-notice;\n                            exit status then inverts (0 = caught)\n           --trace-capacity N\n                            trace buffer per run (default 4000000)\n           --dpor           exhaustive DPOR exploration of every\n                            inequivalent interleaving instead of seeded\n                            shaking (defaults the scale to tiny; refuses\n                            --faults); failures are minimized into\n                            cvm-schedule-<app>.json replay files\n           --max-traces N   DPOR execution cap (default 20000); hitting it\n                            downgrades the verdict to non-exhaustive\n           --scale NAME     problem size: tiny | small | paper\n           --json           write the report to BENCH_check.json\n           --out FILE       write the report to FILE instead\n           --paper-scale    the paper's input sizes"
+        "usage: cvm <micro|table1|fig1|table2|table3|fig2|table4|table5|latency|ablation|protocols|perturb|all> [--paper-scale]\n         \n         or:    cvm run <barnes|fft|ocean|sor|swm|water-sp|water-nsq>\n         or:    cvm bench [--json] [--nodes N] [--threads T] [--paper-scale]\n         or:    cvm bench --scale [--json] [--nodes LIST] [--threads T] [--shards S]\n         or:    cvm sweep [--json] [--workers N] [--nodes LIST] [--threads LIST]\n         or:    cvm faults [--json] [--plan NAME]... [--workers N]\n         or:    cvm check [--dpor] [--app NAME]... [--schedules N] [--faults NAME]\n         or:    cvm explain --run FILE [--span ID | --slowest N | --resource R]\n         \n         run options:\n           --nodes N        processors (default 8)\n           --threads T      threads per node (default 2)\n           --paper-scale    the paper's input sizes\n           --protocol NAME  coherence protocol: lazy-mw | eager-update |\n                            home-lazy (default lazy-mw)\n           --eager          shorthand for --protocol eager-update\n           --lifo           memory-conscious LIFO scheduling\n           --memsim         enable the cache/TLB simulator\n           --shards S       event-core shards (default 1, the sequential\n                            loop); any S produces a byte-identical report,\n                            S > 1 pre-executes independent bursts\n                            concurrently on the host\n           --verify         run the online invariant oracle; findings are\n                            printed and make the exit status nonzero\n           --trace N        record and print the first N protocol events\n           --spans          record the causal span forest; the report JSON\n                            gains a 'spans' section for cvm explain\n           --json FILE      write the full run report as JSON to FILE\n           --chrome-trace FILE\n                            write the protocol trace as Chrome trace-event\n                            JSON (load in chrome://tracing or Perfetto);\n                            with --spans, nested span tracks and flow\n                            events are included\n           --replay FILE    re-execute a cvm-schedule-*.json counterexample\n                            (from cvm check --dpor) byte-identically; the\n                            positional app may be omitted, the exit status\n                            is 0 iff the recorded terminal state and\n                            findings reproduce exactly\n         \n         bench options:\n           --json           additionally write one BENCH_<app>.json per app\n                            (and BENCH_obs.json when --spans is on)\n           --spans          record span forests and emit the span summary\n           --scale          run the node-scaling ladder instead of the\n                            suite: each rung runs shards {{1,S}}, asserts\n                            byte-identical reports, and reports peak\n                            memory and the modelled burst speedup;\n                            --json writes BENCH_scale.json\n           --nodes LIST     (--scale) comma-separated rungs\n                            (default 8,16,32,64)\n           --shards S       (--scale) shard count of the parallel run\n                            (default 8)\n           --baseline FILE  compare against a committed baseline artifact;\n                            exit 1 on regression beyond twice the gate\n           --current FILE   compare FILE against the baseline instead of\n                            running the suite (works for any BENCH_*.json)\n           --gate PCT       regression gate percentage (default 5):\n                            warn above PCT, fail above 2*PCT\n         \n         explain options:\n           --run FILE       report JSON from cvm run --spans --json FILE\n           --slowest N      the N slowest root spans (default 5)\n           --span ID        one span with its ancestor chain\n           --resource R     root spans about one resource (page:17, lock:3,\n                            barrier:2)\n         \n         sweep options:\n           --json           write the aggregated report to BENCH_sweep.json\n           --spans          record span forests in every cell\n           --out FILE       write the aggregated report to FILE instead\n           --md FILE        write the markdown tables to FILE as well\n           --workers N      simulation worker threads (default: one per core);\n                            any value produces byte-identical reports\n           --nodes LIST     comma-separated processor counts (default 4,8,16)\n           --threads LIST   comma-separated threads/node levels (default 1,2,3,4)\n           --shards S       event-core shards for every cell (default 1);\n                            any value produces byte-identical reports\n           --app NAME       restrict to one app (repeatable; default: all 7)\n           --protocol LIST  comma-separated protocols to cross (default\n                            lazy-mw); several add a comparison table\n           --seed S         master seed; each configuration splits its own\n           --paper-scale    the paper's input sizes\n         \n         faults options:\n           --json           write the campaign report to BENCH_faults.json\n           --out FILE       write the campaign report to FILE instead\n           --md FILE        write the markdown degradation tables to FILE\n           --workers N      simulation worker threads (default: one per core);\n                            any value produces byte-identical reports\n           --app NAME       restrict to one app (repeatable; default: all 7)\n           --protocol LIST  comma-separated protocols (default: all 3)\n           --plan NAME      fault plan from the catalog (repeatable;\n                            default: the whole catalog)\n           --nodes N        processors (default 4)\n           --threads T      threads per node (default 2)\n           --seed S         master seed; each cell splits its own\n           --paper-scale    the paper's input sizes\n           exit status is nonzero if any cell violated exactly-once\n           delivery or oracle cleanliness\n         \n         check options:\n           --app NAME       application to check (repeatable; default: all)\n           --protocol NAME  coherence protocol to explore (default lazy-mw)\n           --nodes N        processors (default 2)\n           --threads T      threads per node (default 2)\n           --schedules N    perturbed schedules per app (default 8); an\n                            unperturbed baseline always runs first\n           --seed S         base exploration seed (schedule 0 uses it\n                            verbatim, so reported seeds replay directly)\n           --budget N       scheduler decisions each schedule may perturb\n                            (default 64)\n           --faults NAME    layer a fault plan from the catalog under the\n                            explored schedules (loss, dup, reorder, ...)\n           --mutate KIND[:nth]\n                            inject a protocol mutation (oracle self-test):\n                            drop-notice | reorder-diff | skip-invalidate |\n                            skip-watermark | drop-grant-notice;\n                            exit status then inverts (0 = caught)\n           --trace-capacity N\n                            trace buffer per run (default 4000000)\n           --dpor           exhaustive DPOR exploration of every\n                            inequivalent interleaving instead of seeded\n                            shaking (defaults the scale to tiny; refuses\n                            --faults); failures are minimized into\n                            cvm-schedule-<app>.json replay files\n           --max-traces N   DPOR execution cap (default 20000); hitting it\n                            downgrades the verdict to non-exhaustive\n           --scale NAME     problem size: tiny | small | paper\n           --json           write the report to BENCH_check.json\n           --out FILE       write the report to FILE instead\n           --paper-scale    the paper's input sizes"
     );
     std::process::exit(2);
 }
@@ -32,222 +36,15 @@ pub(crate) fn parse_u64(s: &str) -> Option<u64> {
         .map_or_else(|| s.parse().ok(), |hex| u64::from_str_radix(hex, 16).ok())
 }
 
-fn run_single(args: &[String]) {
-    use cvm_apps::build_app;
-    use cvm_dsm::{CvmBuilder, CvmConfig, ProtocolKind};
-    let mut app = None;
-    let mut nodes = 8usize;
-    let mut threads = 2usize;
-    let mut scale = Scale::Small;
-    let mut protocol = ProtocolKind::LazyMultiWriter;
-    let mut lifo = false;
-    let mut memsim = false;
-    let mut verify = false;
-    let mut trace = 0usize;
-    let mut spans = false;
-    let mut json_path: Option<String> = None;
-    let mut chrome_path: Option<String> = None;
-    let mut replay_path: Option<String> = None;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--nodes" => {
-                nodes = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
-            }
-            "--threads" => {
-                threads = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
-            }
-            "--paper-scale" => scale = Scale::Paper,
-            "--protocol" => {
-                protocol = it
-                    .next()
-                    .and_then(|v| ProtocolKind::parse(v))
-                    .unwrap_or_else(|| usage());
-            }
-            "--eager" => protocol = ProtocolKind::EagerUpdate,
-            "--lifo" => lifo = true,
-            "--memsim" => memsim = true,
-            "--verify" => verify = true,
-            "--trace" => {
-                trace = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
-            }
-            "--spans" => spans = true,
-            "--json" => json_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
-            "--chrome-trace" => chrome_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
-            "--replay" => replay_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
-            name if app.is_none() => {
-                app = app_by_name(name).or_else(|| usage());
-            }
-            _ => usage(),
-        }
-    }
-    if let Some(path) = &replay_path {
-        run_replay(app, path);
-    }
-    let Some(app) = app else { usage() };
-    if !app.supports_threads(threads) {
-        eprintln!("{app} does not support {threads} threads per node");
-        std::process::exit(2);
-    }
-    let mut cfg = CvmConfig::paper(nodes, threads);
-    cfg.protocol = protocol;
-    cfg.lifo_schedule = lifo;
-    cfg.memsim_enabled = memsim;
-    cfg.verify = verify;
-    cfg.spans = spans;
-    cfg.trace_capacity = trace;
-    if (chrome_path.is_some() || verify) && trace == 0 {
-        // The timeline export and the offline race replay need events;
-        // default to a generous buffer.
-        cfg.trace_capacity = 1 << 20;
-    }
-    let mut b = CvmBuilder::new(cfg);
-    let body = build_app(&mut b, app, scale);
-    eprintln!("[harness] running {app} P={nodes} T={threads} protocol={protocol}");
-    let report = b.run(body);
-    println!("{report}");
-    println!(
-        "twins {} | local-lock acquires {} handoffs {} | barriers {} local {} reduces {}",
-        report.stats.twins_created,
-        report.stats.local_lock_acquires,
-        report.stats.local_lock_handoffs,
-        report.stats.barriers_crossed,
-        report.stats.local_barriers,
-        report.stats.global_reduces,
-    );
-    if report.stats.updates_pushed > 0 || report.stats.copies_dropped > 0 {
-        println!(
-            "pushes {} | copies dropped {}",
-            report.stats.updates_pushed, report.stats.copies_dropped
-        );
-    }
-    if let Some(t) = &report.trace {
-        if trace > 0 {
-            println!("\nprotocol trace (first {trace} events):");
-            print!("{}", t.render(trace));
-        }
-        // Always account for what the capacity dropped, so a truncated
-        // trace is never mistaken for a complete one.
-        println!(
-            "trace: {} events recorded, {} dropped ({} total)",
-            t.len(),
-            t.overflow(),
-            t.events_total()
-        );
-    }
-    if let Some(sf) = &report.spans {
-        let cp = sf.critical_path(report.total_time);
-        let ms = |ns: u64| ns as f64 / 1e6;
-        println!(
-            "spans: {} recorded ({} open); critical path: compute {:.3}ms",
-            sf.len(),
-            sf.open_count(),
-            ms(cp.compute)
-        );
-        for (kind, ns) in &cp.by_kind {
-            if *ns > 0 {
-                println!("  {:<14} {:>10.3}ms", kind.name(), ms(*ns));
-            }
-        }
-    }
-    if let Some(path) = &json_path {
-        let doc = report.to_json(crate::bench::TOP_N);
-        std::fs::write(path, doc.to_pretty()).unwrap_or_else(|e| {
-            eprintln!("cannot write {path}: {e}");
-            std::process::exit(1);
-        });
-        eprintln!("[harness] wrote {path}");
-    }
-    if let Some(path) = &chrome_path {
-        let Some(t) = &report.trace else {
-            eprintln!("--chrome-trace needs tracing (internal error)");
-            std::process::exit(1);
-        };
-        let doc = cvm_dsm::chrome_trace_with_spans(t, nodes, report.spans.as_ref());
-        std::fs::write(path, doc.to_string()).unwrap_or_else(|e| {
-            eprintln!("cannot write {path}: {e}");
-            std::process::exit(1);
-        });
-        eprintln!(
-            "[harness] wrote {path} ({} trace events) — load in chrome://tracing or ui.perfetto.dev",
-            t.len()
-        );
-    }
-    if verify {
-        let mut findings = report.findings.clone();
-        match &report.trace {
-            Some(t) if t.overflow() == 0 => {
-                findings.extend(cvm_verify::replay_race_check(t, nodes));
-            }
-            _ => eprintln!("[harness] trace truncated; offline race replay skipped"),
-        }
-        if findings.is_empty() {
-            println!("verify: 0 findings");
-        } else {
-            for f in &findings {
-                println!("verify: {f}");
-            }
-            std::process::exit(1);
-        }
-    }
+pub(crate) fn parse_list(s: &str) -> Option<Vec<usize>> {
+    let parts: Vec<usize> = s
+        .split(',')
+        .map(|p| p.trim().parse().ok())
+        .collect::<Option<Vec<_>>>()?;
+    (!parts.is_empty()).then_some(parts)
 }
 
-/// `cvm run [APP] --replay FILE`: re-execute a DPOR counterexample
-/// byte-identically from its schedule file. Exit 0 iff the recorded
-/// terminal-state fingerprint and findings reproduce exactly.
-fn run_replay(app: Option<AppId>, path: &str) -> ! {
-    let sched = cvm_verify::schedule_from_json(&load_json(path)).unwrap_or_else(|e| {
-        eprintln!("{path}: {e}");
-        std::process::exit(2);
-    });
-    if let Some(a) = app {
-        if a != sched.plan.app {
-            eprintln!(
-                "{path} records a schedule for {}, not {}",
-                sched.plan.app.slug(),
-                a.slug()
-            );
-            std::process::exit(2);
-        }
-    }
-    let plan = sched.plan;
-    eprintln!(
-        "[harness] replaying {} pinned pick(s) for {} P={} T={} protocol={}",
-        sched.choices.len(),
-        plan.app.slug(),
-        plan.nodes,
-        plan.threads,
-        plan.protocol
-    );
-    let result = cvm_verify::run_scripted(plan, &sched.choices);
-    for f in &result.findings {
-        println!("finding: {f}");
-    }
-    if let Some(p) = &result.panic {
-        println!("panic: {p}");
-    }
-    println!(
-        "state hash {:016x} (recorded {:016x})",
-        result.state_hash, sched.state_hash
-    );
-    if result.state_hash == sched.state_hash {
-        println!("replay: byte-identical to the recorded counterexample");
-        std::process::exit(0);
-    }
-    eprintln!("replay: DIVERGED from the recorded schedule");
-    std::process::exit(1);
-}
-
-fn load_json(path: &str) -> cvm_sim::json::JsonValue {
+pub(crate) fn load_json(path: &str) -> cvm_sim::json::JsonValue {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
         std::process::exit(1);
@@ -258,87 +55,8 @@ fn load_json(path: &str) -> cvm_sim::json::JsonValue {
     })
 }
 
-fn run_bench(args: &[String]) {
-    let mut json = false;
-    let mut spans = false;
-    let mut nodes = 8usize;
-    let mut threads = 2usize;
-    let mut scale = Scale::Small;
-    let mut baseline: Option<String> = None;
-    let mut current: Option<String> = None;
-    let mut gate_pct = 5.0f64;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--json" => json = true,
-            "--spans" => spans = true,
-            "--baseline" => baseline = Some(it.next().cloned().unwrap_or_else(|| usage())),
-            "--current" => current = Some(it.next().cloned().unwrap_or_else(|| usage())),
-            "--gate" => {
-                gate_pct = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|p: &f64| *p > 0.0)
-                    .unwrap_or_else(|| usage());
-            }
-            "--nodes" => {
-                nodes = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
-            }
-            "--threads" => {
-                threads = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
-            }
-            "--paper-scale" => scale = Scale::Paper,
-            _ => usage(),
-        }
-    }
-    // File-vs-file mode: gate two committed artifacts, no runs at all.
-    if let (Some(base_path), Some(cur_path)) = (&baseline, &current) {
-        let outcome = crate::gate::compare(&load_json(base_path), &load_json(cur_path), gate_pct);
-        print!("{}", outcome.render(gate_pct));
-        std::process::exit(i32::from(outcome.failed()));
-    }
-    if current.is_some() {
-        eprintln!("--current needs --baseline");
-        usage();
-    }
-    // A gate run always needs the span summary to compare.
-    let record_spans = spans || baseline.is_some();
-    eprintln!("[harness] bench suite P={nodes} T={threads}");
-    let outcomes = bench::run_suite_with(scale, nodes, threads, record_spans);
-    print!("{}", bench::render_summary(&outcomes));
-    if json {
-        for o in &outcomes {
-            let path = bench::file_name(o.spec.app);
-            let doc = bench::to_json(o);
-            std::fs::write(&path, doc.to_pretty()).unwrap_or_else(|e| {
-                eprintln!("cannot write {path}: {e}");
-                std::process::exit(1);
-            });
-            eprintln!("[harness] wrote {path}");
-        }
-        if record_spans {
-            let doc = bench::obs_json(&outcomes);
-            std::fs::write(bench::OBS_FILE, doc.to_pretty()).unwrap_or_else(|e| {
-                eprintln!("cannot write {}: {e}", bench::OBS_FILE);
-                std::process::exit(1);
-            });
-            eprintln!("[harness] wrote {}", bench::OBS_FILE);
-        }
-    }
-    if let Some(base_path) = &baseline {
-        let outcome =
-            crate::gate::compare(&load_json(base_path), &bench::obs_json(&outcomes), gate_pct);
-        print!("{}", outcome.render(gate_pct));
-        if outcome.failed() {
-            std::process::exit(1);
-        }
-    }
+pub(crate) fn plan_by_name(name: &str) -> Option<&'static str> {
+    cvm_net::PLAN_CATALOG.iter().find(|p| **p == name).copied()
 }
 
 fn run_explain(args: &[String]) {
@@ -379,212 +97,24 @@ fn run_explain(args: &[String]) {
     }
 }
 
-fn parse_list(s: &str) -> Option<Vec<usize>> {
-    let parts: Vec<usize> = s
-        .split(',')
-        .map(|p| p.trim().parse().ok())
-        .collect::<Option<Vec<_>>>()?;
-    (!parts.is_empty()).then_some(parts)
-}
-
-fn run_sweep_cmd(args: &[String]) {
-    use crate::sweep::{run_sweep, SweepConfig, FILE_NAME};
-    let mut cfg = SweepConfig::default();
-    let mut json = false;
-    let mut out_path: Option<String> = None;
-    let mut md_path: Option<String> = None;
-    let mut apps: Vec<crate::AppId> = Vec::new();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--json" => json = true,
-            "--spans" => cfg.spans = true,
-            "--out" => out_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
-            "--md" => md_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
-            "--workers" => {
-                cfg.workers = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
-            }
-            "--nodes" => {
-                cfg.nodes = it
-                    .next()
-                    .and_then(|v| parse_list(v))
-                    .unwrap_or_else(|| usage());
-            }
-            "--threads" => {
-                cfg.threads = it
-                    .next()
-                    .and_then(|v| parse_list(v))
-                    .unwrap_or_else(|| usage());
-            }
-            "--app" => {
-                let name = it.next().map_or_else(|| usage(), String::as_str);
-                apps.push(app_by_name(name).unwrap_or_else(|| usage()));
-            }
-            "--protocol" => {
-                let list = it.next().map_or_else(|| usage(), String::as_str);
-                cfg.protocols = list
-                    .split(',')
-                    .map(|s| cvm_dsm::ProtocolKind::parse(s.trim()))
-                    .collect::<Option<Vec<_>>>()
-                    .unwrap_or_else(|| usage());
-                if cfg.protocols.is_empty() {
-                    usage();
-                }
-            }
-            "--seed" => {
-                cfg.seed = it
-                    .next()
-                    .and_then(|v| parse_u64(v))
-                    .unwrap_or_else(|| usage());
-            }
-            "--paper-scale" => cfg.scale = Scale::Paper,
-            _ => usage(),
-        }
-    }
-    if !apps.is_empty() {
-        cfg.apps = apps;
-    }
-    let report = run_sweep(cfg);
-    print!("{}", report.render_tables());
-    if let Some(path) = &md_path {
-        std::fs::write(path, report.render_tables()).unwrap_or_else(|e| {
-            eprintln!("cannot write {path}: {e}");
-            std::process::exit(1);
-        });
-        eprintln!("[sweep] wrote {path}");
-    }
-    if json || out_path.is_some() {
-        let path = out_path.unwrap_or_else(|| FILE_NAME.to_owned());
-        std::fs::write(&path, report.to_json().to_pretty()).unwrap_or_else(|e| {
-            eprintln!("cannot write {path}: {e}");
-            std::process::exit(1);
-        });
-        eprintln!("[sweep] wrote {path}");
-    }
-}
-
-pub(crate) fn plan_by_name(name: &str) -> Option<&'static str> {
-    cvm_net::PLAN_CATALOG.iter().find(|p| **p == name).copied()
-}
-
-fn run_faults_cmd(args: &[String]) {
-    use crate::faults::{run_campaign, FaultsConfig, FILE_NAME};
-    let mut cfg = FaultsConfig::default();
-    let mut json = false;
-    let mut out_path: Option<String> = None;
-    let mut md_path: Option<String> = None;
-    let mut apps: Vec<crate::AppId> = Vec::new();
-    let mut plans: Vec<&'static str> = Vec::new();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--json" => json = true,
-            "--out" => out_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
-            "--md" => md_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
-            "--workers" => {
-                cfg.workers = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
-            }
-            "--app" => {
-                let name = it.next().map_or_else(|| usage(), String::as_str);
-                apps.push(app_by_name(name).unwrap_or_else(|| usage()));
-            }
-            "--protocol" => {
-                let list = it.next().map_or_else(|| usage(), String::as_str);
-                cfg.protocols = list
-                    .split(',')
-                    .map(|s| cvm_dsm::ProtocolKind::parse(s.trim()))
-                    .collect::<Option<Vec<_>>>()
-                    .unwrap_or_else(|| usage());
-                if cfg.protocols.is_empty() {
-                    usage();
-                }
-            }
-            "--plan" => {
-                let name = it.next().map_or_else(|| usage(), String::as_str);
-                plans.push(plan_by_name(name).unwrap_or_else(|| {
-                    eprintln!(
-                        "unknown fault plan {name:?}; catalog: {}",
-                        cvm_net::PLAN_CATALOG.join(", ")
-                    );
-                    std::process::exit(2);
-                }));
-            }
-            "--nodes" => {
-                cfg.nodes = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
-            }
-            "--threads" => {
-                cfg.threads = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
-            }
-            "--seed" => {
-                cfg.seed = it
-                    .next()
-                    .and_then(|v| parse_u64(v))
-                    .unwrap_or_else(|| usage());
-            }
-            "--paper-scale" => cfg.scale = Scale::Paper,
-            _ => usage(),
-        }
-    }
-    if !apps.is_empty() {
-        cfg.apps = apps;
-    }
-    if !plans.is_empty() {
-        cfg.plans = plans;
-    }
-    cfg.apps.retain(|a| a.supports_threads(cfg.threads));
-    let report = run_campaign(cfg);
-    print!("{}", report.render_tables());
-    if let Some(path) = &md_path {
-        std::fs::write(path, report.render_tables()).unwrap_or_else(|e| {
-            eprintln!("cannot write {path}: {e}");
-            std::process::exit(1);
-        });
-        eprintln!("[faults] wrote {path}");
-    }
-    if json || out_path.is_some() {
-        let path = out_path.unwrap_or_else(|| FILE_NAME.to_owned());
-        std::fs::write(&path, report.to_json().to_pretty()).unwrap_or_else(|e| {
-            eprintln!("cannot write {path}: {e}");
-            std::process::exit(1);
-        });
-        eprintln!("[faults] wrote {path}");
-    }
-    if !report.clean() {
-        eprintln!("[faults] FAIL: the campaign found violations");
-        std::process::exit(1);
-    }
-}
-
 /// Entry point shared by both binaries: parses `std::env::args` and
 /// dispatches.
 pub fn run() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("run") {
-        run_single(&args[1..]);
+        crate::run_cli::run_single(&args[1..]);
         return;
     }
     if args.first().map(String::as_str) == Some("bench") {
-        run_bench(&args[1..]);
+        crate::bench_cli::run_bench(&args[1..]);
         return;
     }
     if args.first().map(String::as_str) == Some("sweep") {
-        run_sweep_cmd(&args[1..]);
+        crate::sweep_cli::run_sweep_cmd(&args[1..]);
         return;
     }
     if args.first().map(String::as_str) == Some("faults") {
-        run_faults_cmd(&args[1..]);
+        crate::sweep_cli::run_faults_cmd(&args[1..]);
         return;
     }
     if args.first().map(String::as_str) == Some("check") {

@@ -18,14 +18,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 pub mod bench;
+pub mod bench_cli;
 pub mod check_cli;
 pub mod cli;
 pub mod explain;
 pub mod faults;
 pub mod gate;
 pub mod micro;
+pub mod run_cli;
 pub mod runner;
+pub mod scale_bench;
 pub mod sweep;
+pub mod sweep_cli;
 pub mod tables;
 
 pub use runner::{run_app, run_water_nsq_variant, RunOutcome, RunSpec};

@@ -1,0 +1,237 @@
+//! `cvm run` — single-run driver: one app, one configuration, optional
+//! report/trace artifacts, and the DPOR counterexample replayer.
+
+use crate::cli::{app_by_name, load_json, usage};
+use crate::{AppId, Scale};
+
+pub(crate) fn run_single(args: &[String]) {
+    use cvm_apps::build_app;
+    use cvm_dsm::{CvmBuilder, CvmConfig, ProtocolKind};
+    let mut app = None;
+    let mut nodes = 8usize;
+    let mut threads = 2usize;
+    let mut scale = Scale::Small;
+    let mut protocol = ProtocolKind::LazyMultiWriter;
+    let mut lifo = false;
+    let mut memsim = false;
+    let mut verify = false;
+    let mut trace = 0usize;
+    let mut spans = false;
+    let mut shards = 1usize;
+    let mut json_path: Option<String> = None;
+    let mut chrome_path: Option<String> = None;
+    let mut replay_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--nodes" => {
+                nodes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--paper-scale" => scale = Scale::Paper,
+            "--protocol" => {
+                protocol = it
+                    .next()
+                    .and_then(|v| ProtocolKind::parse(v))
+                    .unwrap_or_else(|| usage());
+            }
+            "--eager" => protocol = ProtocolKind::EagerUpdate,
+            "--lifo" => lifo = true,
+            "--memsim" => memsim = true,
+            "--verify" => verify = true,
+            "--trace" => {
+                trace = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--spans" => spans = true,
+            "--shards" => {
+                shards = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s: &usize| s > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--json" => json_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--chrome-trace" => chrome_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--replay" => replay_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            name if app.is_none() => {
+                app = app_by_name(name).or_else(|| usage());
+            }
+            _ => usage(),
+        }
+    }
+    if let Some(path) = &replay_path {
+        run_replay(app, path);
+    }
+    let Some(app) = app else { usage() };
+    if !app.supports_threads(threads) {
+        eprintln!("{app} does not support {threads} threads per node");
+        std::process::exit(2);
+    }
+    let mut cfg = CvmConfig::paper(nodes, threads);
+    cfg.protocol = protocol;
+    cfg.lifo_schedule = lifo;
+    cfg.memsim_enabled = memsim;
+    cfg.verify = verify;
+    cfg.spans = spans;
+    cfg.shards = shards;
+    cfg.trace_capacity = trace;
+    if (chrome_path.is_some() || verify) && trace == 0 {
+        // The timeline export and the offline race replay need events;
+        // default to a generous buffer.
+        cfg.trace_capacity = 1 << 20;
+    }
+    let mut b = CvmBuilder::new(cfg);
+    let body = build_app(&mut b, app, scale);
+    eprintln!("[harness] running {app} P={nodes} T={threads} protocol={protocol} shards={shards}");
+    let report = b.run(body);
+    println!("{report}");
+    println!(
+        "twins {} | local-lock acquires {} handoffs {} | barriers {} local {} reduces {}",
+        report.stats.twins_created,
+        report.stats.local_lock_acquires,
+        report.stats.local_lock_handoffs,
+        report.stats.barriers_crossed,
+        report.stats.local_barriers,
+        report.stats.global_reduces,
+    );
+    if report.stats.updates_pushed > 0 || report.stats.copies_dropped > 0 {
+        println!(
+            "pushes {} | copies dropped {}",
+            report.stats.updates_pushed, report.stats.copies_dropped
+        );
+    }
+    if shards > 1 {
+        // Host-side planner observability; deliberately on stderr so
+        // stdout stays byte-identical to the sequential run.
+        eprintln!(
+            "[harness] planner pre-executed {} bursts (overlap saved {} ns of {} ns burst time)",
+            report.planned_bursts, report.overlap_saved_ns, report.burst_total_ns
+        );
+    }
+    if let Some(t) = &report.trace {
+        if trace > 0 {
+            println!("\nprotocol trace (first {trace} events):");
+            print!("{}", t.render(trace));
+        }
+        // Always account for what the capacity dropped, so a truncated
+        // trace is never mistaken for a complete one.
+        println!(
+            "trace: {} events recorded, {} dropped ({} total)",
+            t.len(),
+            t.overflow(),
+            t.events_total()
+        );
+    }
+    if let Some(sf) = &report.spans {
+        let cp = sf.critical_path(report.total_time);
+        let ms = |ns: u64| ns as f64 / 1e6;
+        println!(
+            "spans: {} recorded ({} open); critical path: compute {:.3}ms",
+            sf.len(),
+            sf.open_count(),
+            ms(cp.compute)
+        );
+        for (kind, ns) in &cp.by_kind {
+            if *ns > 0 {
+                println!("  {:<14} {:>10.3}ms", kind.name(), ms(*ns));
+            }
+        }
+    }
+    if let Some(path) = &json_path {
+        let doc = report.to_json(crate::bench::TOP_N);
+        std::fs::write(path, doc.to_pretty()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[harness] wrote {path}");
+    }
+    if let Some(path) = &chrome_path {
+        let Some(t) = &report.trace else {
+            eprintln!("--chrome-trace needs tracing (internal error)");
+            std::process::exit(1);
+        };
+        let doc = cvm_dsm::chrome_trace_with_spans(t, nodes, report.spans.as_ref());
+        std::fs::write(path, doc.to_string()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "[harness] wrote {path} ({} trace events) — load in chrome://tracing or ui.perfetto.dev",
+            t.len()
+        );
+    }
+    if verify {
+        let mut findings = report.findings.clone();
+        match &report.trace {
+            Some(t) if t.overflow() == 0 => {
+                findings.extend(cvm_verify::replay_race_check(t, nodes));
+            }
+            _ => eprintln!("[harness] trace truncated; offline race replay skipped"),
+        }
+        if findings.is_empty() {
+            println!("verify: 0 findings");
+        } else {
+            for f in &findings {
+                println!("verify: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `cvm run [APP] --replay FILE`: re-execute a DPOR counterexample
+/// byte-identically from its schedule file. Exit 0 iff the recorded
+/// terminal-state fingerprint and findings reproduce exactly.
+fn run_replay(app: Option<AppId>, path: &str) -> ! {
+    let sched = cvm_verify::schedule_from_json(&load_json(path)).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(2);
+    });
+    if let Some(a) = app {
+        if a != sched.plan.app {
+            eprintln!(
+                "{path} records a schedule for {}, not {}",
+                sched.plan.app.slug(),
+                a.slug()
+            );
+            std::process::exit(2);
+        }
+    }
+    let plan = sched.plan;
+    eprintln!(
+        "[harness] replaying {} pinned pick(s) for {} P={} T={} protocol={}",
+        sched.choices.len(),
+        plan.app.slug(),
+        plan.nodes,
+        plan.threads,
+        plan.protocol
+    );
+    let result = cvm_verify::run_scripted(plan, &sched.choices);
+    for f in &result.findings {
+        println!("finding: {f}");
+    }
+    if let Some(p) = &result.panic {
+        println!("panic: {p}");
+    }
+    println!(
+        "state hash {:016x} (recorded {:016x})",
+        result.state_hash, sched.state_hash
+    );
+    if result.state_hash == sched.state_hash {
+        println!("replay: byte-identical to the recorded counterexample");
+        std::process::exit(0);
+    }
+    eprintln!("replay: DIVERGED from the recorded schedule");
+    std::process::exit(1);
+}

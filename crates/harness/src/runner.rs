@@ -29,6 +29,9 @@ pub struct RunSpec {
     pub prefer_local_locks: bool,
     /// Record the causal span forest (`cvm … --spans`).
     pub spans: bool,
+    /// Event-core shards (`--shards`); 1 is the sequential path. Any
+    /// value produces a byte-identical report.
+    pub shards: usize,
     /// Master seed.
     pub seed: u64,
 }
@@ -48,6 +51,7 @@ impl RunSpec {
             prefer_local_locks: true,
             jitter_us: 0,
             spans: false,
+            shards: 1,
             seed: 0x5EED_CAFE,
         }
     }
@@ -104,6 +108,7 @@ fn config_for(spec: &RunSpec) -> CvmConfig {
     cfg.jitter_max = cvm_sim::SimDuration::from_us(spec.jitter_us);
     cfg.prefer_local_lock_waiters = spec.prefer_local_locks;
     cfg.spans = spec.spans;
+    cfg.shards = spec.shards;
     cfg.seed = spec.seed;
     cfg
 }

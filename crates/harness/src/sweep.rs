@@ -56,6 +56,9 @@ pub struct SweepConfig {
     /// Record causal span forests in every cell (off by default so the
     /// golden sweep artifacts stay byte-identical).
     pub spans: bool,
+    /// Event-core shards for every cell (`--shards`); any value
+    /// produces byte-identical reports.
+    pub shards: usize,
     /// Master seed; each configuration splits its own seed off this.
     pub seed: u64,
 }
@@ -70,6 +73,7 @@ impl Default for SweepConfig {
             protocols: vec![ProtocolKind::LazyMultiWriter],
             workers: 0,
             spans: false,
+            shards: 1,
             seed: 0x5EED_CAFE,
         }
     }
@@ -90,6 +94,7 @@ impl SweepConfig {
                         let mut spec = RunSpec::new(app, self.scale, nodes, threads);
                         spec.protocol = protocol;
                         spec.spans = self.spans;
+                        spec.shards = self.shards;
                         spec.seed = workq::seed_split(
                             self.seed,
                             config_salt(protocol, app, nodes, threads),

@@ -1,0 +1,188 @@
+//! `cvm sweep` and `cvm faults` — the cross-product sweep and the
+//! fault-injection campaign drivers.
+
+use crate::cli::{app_by_name, parse_list, parse_u64, plan_by_name, usage};
+use crate::Scale;
+
+pub(crate) fn run_sweep_cmd(args: &[String]) {
+    use crate::sweep::{run_sweep, SweepConfig, FILE_NAME};
+    let mut cfg = SweepConfig::default();
+    let mut json = false;
+    let mut out_path: Option<String> = None;
+    let mut md_path: Option<String> = None;
+    let mut apps: Vec<crate::AppId> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--spans" => cfg.spans = true,
+            "--out" => out_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--md" => md_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--workers" => {
+                cfg.workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--nodes" => {
+                cfg.nodes = it
+                    .next()
+                    .and_then(|v| parse_list(v))
+                    .unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                cfg.threads = it
+                    .next()
+                    .and_then(|v| parse_list(v))
+                    .unwrap_or_else(|| usage());
+            }
+            "--shards" => {
+                cfg.shards = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s: &usize| s > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--app" => {
+                let name = it.next().map_or_else(|| usage(), String::as_str);
+                apps.push(app_by_name(name).unwrap_or_else(|| usage()));
+            }
+            "--protocol" => {
+                let list = it.next().map_or_else(|| usage(), String::as_str);
+                cfg.protocols = list
+                    .split(',')
+                    .map(|s| cvm_dsm::ProtocolKind::parse(s.trim()))
+                    .collect::<Option<Vec<_>>>()
+                    .unwrap_or_else(|| usage());
+                if cfg.protocols.is_empty() {
+                    usage();
+                }
+            }
+            "--seed" => {
+                cfg.seed = it
+                    .next()
+                    .and_then(|v| parse_u64(v))
+                    .unwrap_or_else(|| usage());
+            }
+            "--paper-scale" => cfg.scale = Scale::Paper,
+            _ => usage(),
+        }
+    }
+    if !apps.is_empty() {
+        cfg.apps = apps;
+    }
+    let report = run_sweep(cfg);
+    print!("{}", report.render_tables());
+    if let Some(path) = &md_path {
+        std::fs::write(path, report.render_tables()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[sweep] wrote {path}");
+    }
+    if json || out_path.is_some() {
+        let path = out_path.unwrap_or_else(|| FILE_NAME.to_owned());
+        std::fs::write(&path, report.to_json().to_pretty()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[sweep] wrote {path}");
+    }
+}
+
+pub(crate) fn run_faults_cmd(args: &[String]) {
+    use crate::faults::{run_campaign, FaultsConfig, FILE_NAME};
+    let mut cfg = FaultsConfig::default();
+    let mut json = false;
+    let mut out_path: Option<String> = None;
+    let mut md_path: Option<String> = None;
+    let mut apps: Vec<crate::AppId> = Vec::new();
+    let mut plans: Vec<&'static str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--out" => out_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--md" => md_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--workers" => {
+                cfg.workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--app" => {
+                let name = it.next().map_or_else(|| usage(), String::as_str);
+                apps.push(app_by_name(name).unwrap_or_else(|| usage()));
+            }
+            "--protocol" => {
+                let list = it.next().map_or_else(|| usage(), String::as_str);
+                cfg.protocols = list
+                    .split(',')
+                    .map(|s| cvm_dsm::ProtocolKind::parse(s.trim()))
+                    .collect::<Option<Vec<_>>>()
+                    .unwrap_or_else(|| usage());
+                if cfg.protocols.is_empty() {
+                    usage();
+                }
+            }
+            "--plan" => {
+                let name = it.next().map_or_else(|| usage(), String::as_str);
+                plans.push(plan_by_name(name).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown fault plan {name:?}; catalog: {}",
+                        cvm_net::PLAN_CATALOG.join(", ")
+                    );
+                    std::process::exit(2);
+                }));
+            }
+            "--nodes" => {
+                cfg.nodes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                cfg.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                cfg.seed = it
+                    .next()
+                    .and_then(|v| parse_u64(v))
+                    .unwrap_or_else(|| usage());
+            }
+            "--paper-scale" => cfg.scale = Scale::Paper,
+            _ => usage(),
+        }
+    }
+    if !apps.is_empty() {
+        cfg.apps = apps;
+    }
+    if !plans.is_empty() {
+        cfg.plans = plans;
+    }
+    cfg.apps.retain(|a| a.supports_threads(cfg.threads));
+    let report = run_campaign(cfg);
+    print!("{}", report.render_tables());
+    if let Some(path) = &md_path {
+        std::fs::write(path, report.render_tables()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[faults] wrote {path}");
+    }
+    if json || out_path.is_some() {
+        let path = out_path.unwrap_or_else(|| FILE_NAME.to_owned());
+        std::fs::write(&path, report.to_json().to_pretty()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[faults] wrote {path}");
+    }
+    if !report.clean() {
+        eprintln!("[faults] FAIL: the campaign found violations");
+        std::process::exit(1);
+    }
+}

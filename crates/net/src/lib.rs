@@ -27,6 +27,7 @@ pub mod fault;
 pub mod latency;
 pub mod message;
 pub mod network;
+pub mod parked;
 pub mod reliable;
 pub mod stats;
 
@@ -34,5 +35,6 @@ pub use fault::{FaultPlan, LinkRule, Partition, StallWindow, PLAN_CATALOG};
 pub use latency::{HandlerCosts, LatencyModel};
 pub use message::{Message, MsgClass, MsgKind, NodeId};
 pub use network::{DeliveryInfo, NetworkSim, ACK_BYTES};
+pub use parked::ParkedBytes;
 pub use reliable::{AdaptiveRto, DeliveryFailure, LossConfig, LossStats, RtoPolicy};
 pub use stats::NetStats;

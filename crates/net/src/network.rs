@@ -30,6 +30,7 @@ use cvm_sim::{EventQueue, SimDuration, SimRng, VirtualTime};
 use crate::fault::{DropCause, FaultInjector, FaultPlan, TxFate};
 use crate::latency::LatencyModel;
 use crate::message::{Message, MsgKind};
+use crate::parked::ParkedBytes;
 use crate::reliable::{DeliveryFailure, LossConfig, LossStats, ReliabilityState};
 use crate::stats::NetStats;
 
@@ -136,6 +137,8 @@ pub struct NetworkSim<P> {
     /// Timing metadata of the message most recently returned by
     /// [`poll`](Self::poll)/[`next`](Self::next).
     last_delivery: Option<DeliveryInfo>,
+    /// Bytes held in `pending` (per src) and `reorder_buf` (per dst).
+    parked: ParkedBytes,
 }
 
 impl<P> std::fmt::Debug for NetworkSim<P> {
@@ -168,7 +171,14 @@ impl<P> NetworkSim<P> {
             deliver_next: HashMap::new(),
             reorder_buf: HashMap::new(),
             last_delivery: None,
+            parked: ParkedBytes::new(nodes),
         }
+    }
+
+    /// High-water marks of parked bytes (retransmission copies and
+    /// reorder-buffer holds) since creation.
+    pub fn parked(&self) -> &ParkedBytes {
+        &self.parked
     }
 
     /// Enables packet-loss injection; delivery then runs over the
@@ -400,6 +410,7 @@ impl<P> NetworkSim<P> {
                 (now, Phase::Retry(src, dst, seq)) => self.handle_retry(now, src, dst, seq),
                 (t, Phase::AckArrival(src, dst, seq)) => {
                     if let Some(p) = self.pending.remove(&(src, dst, seq)) {
+                        self.parked.unpark(src, p.msg.payload_bytes as u64);
                         if p.retries == 0 {
                             // Karn's rule: the RTT of a retransmitted
                             // message is ambiguous; never sample it.
@@ -436,6 +447,7 @@ impl<P> NetworkSim<P> {
             // sender does not retransmit something we already hold — but
             // its delivery waits for the link gap to fill.
             self.send_ack(arrived, src, dst, seq);
+            self.parked.park(dst, env.msg.payload_bytes as u64);
             self.reorder_buf
                 .entry((src, dst))
                 .or_default()
@@ -487,6 +499,7 @@ impl<P> NetworkSim<P> {
                 .get_mut(&(src, dst))
                 .and_then(|b| b.remove(&next));
             if let Some((m, info)) = held {
+                self.parked.unpark(dst, m.payload_bytes as u64);
                 self.reliability.count_delivered();
                 self.deliver_next.insert((src, dst), next + 1);
                 self.schedule_service(now, m, None, info);
@@ -505,6 +518,7 @@ impl<P> NetworkSim<P> {
         let Some(p) = self.pending.remove(&(src, dst, seq)) else {
             return; // already acknowledged
         };
+        self.parked.unpark(src, p.msg.payload_bytes as u64);
         let cfg = self.reliability.config().expect("loss enabled");
         if p.retries >= cfg.max_retries {
             // Retry exhaustion is a structured outcome, not a crash: the
@@ -526,6 +540,7 @@ impl<P> NetworkSim<P> {
         self.stats.record(p.msg.kind, p.msg.payload_bytes);
         let floor = self.rto_floor(&p.msg);
         let retries = p.retries + 1;
+        self.parked.park(src, p.msg.payload_bytes as u64);
         self.pending.insert(
             (src, dst, seq),
             PendingMsg {
@@ -563,6 +578,7 @@ impl<P> NetworkSim<P> {
             let (src, dst) = (msg.src.0, msg.dst.0);
             let seq = self.reliability.next_seq(src, dst);
             let floor = self.rto_floor(&msg);
+            self.parked.park(src, msg.payload_bytes as u64);
             self.pending.insert(
                 (src, dst, seq),
                 PendingMsg {
@@ -619,6 +635,38 @@ impl<P> NetworkSim<P> {
         self.in_flight
     }
 
+    /// Lowers `floors[n]` to a conservative bound on the earliest instant
+    /// the network could still affect node `n`: the minimum pending event
+    /// time over arrivals and service completions destined for `n`, and
+    /// over armed retransmission timers whose resend would target `n`
+    /// (the resend's delivery is strictly later than the timer, so the
+    /// timer time is a safe lower bound). Ack arrivals are excluded — ack
+    /// processing only updates sender-side RTT bookkeeping, never node
+    /// state. Messages held in a reorder buffer need no entry of their
+    /// own: their delivery is triggered by a pending event on the same
+    /// link, which is already counted.
+    ///
+    /// Entries for quiescent destinations are left untouched, so callers
+    /// should pre-fill with [`VirtualTime::MAX`].
+    pub fn delivery_floors(&self, floors: &mut [VirtualTime]) {
+        for (t, phase) in self.queue.iter() {
+            let dst = match phase {
+                Phase::Arrival(env) => env.msg.dst.0,
+                Phase::Serviced(msg, _, _) => msg.dst.0,
+                Phase::Retry(src, dst, seq) => {
+                    if !self.pending.contains_key(&(*src, *dst, *seq)) {
+                        continue; // dead timer: the message was acked
+                    }
+                    *dst
+                }
+                Phase::AckArrival(..) => continue,
+            };
+            if t < floors[dst] {
+                floors[dst] = t;
+            }
+        }
+    }
+
     /// Accumulated traffic statistics.
     pub fn stats(&self) -> &NetStats {
         &self.stats
@@ -627,156 +675,5 @@ impl<P> NetworkSim<P> {
     /// The latency model in force.
     pub fn model(&self) -> &LatencyModel {
         &self.model
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::message::{MsgKind, NodeId};
-
-    fn msg(src: usize, dst: usize, kind: MsgKind, bytes: usize) -> Message<u32> {
-        Message::new(NodeId(src), NodeId(dst), kind, bytes, 0)
-    }
-
-    #[test]
-    fn delivery_order_is_completion_order() {
-        let mut net = NetworkSim::new(3, LatencyModel::paper());
-        // Two messages to the same node: the second waits for the handler.
-        net.send(VirtualTime::ZERO, msg(0, 2, MsgKind::LockRequest, 64));
-        net.send(VirtualTime::ZERO, msg(1, 2, MsgKind::LockRequest, 64));
-        let (t1, _) = net.next().unwrap();
-        let (t2, _) = net.next().unwrap();
-        let h = LatencyModel::paper()
-            .handler_time(MsgKind::LockRequest)
-            .as_us_f64();
-        assert!((t2.as_us_f64() - t1.as_us_f64() - h).abs() < 1e-6);
-    }
-
-    #[test]
-    fn handlers_on_different_nodes_do_not_serialize() {
-        let mut net = NetworkSim::new(3, LatencyModel::paper());
-        net.send(VirtualTime::ZERO, msg(0, 1, MsgKind::LockRequest, 64));
-        net.send(VirtualTime::ZERO, msg(0, 2, MsgKind::LockRequest, 64));
-        let (t1, _) = net.next().unwrap();
-        let (t2, _) = net.next().unwrap();
-        assert_eq!(t1, t2);
-    }
-
-    #[test]
-    fn barrier_serialization_reproduces_cost() {
-        // 7 simultaneous arrivals at the master (node 0), as in a minimal
-        // 8-node barrier: last service completes ~ wire + 7 * handler.
-        let model = LatencyModel::paper();
-        let mut net = NetworkSim::new(8, model.clone());
-        for src in 1..8 {
-            net.send(VirtualTime::ZERO, msg(src, 0, MsgKind::BarrierArrive, 64));
-        }
-        let mut last = VirtualTime::ZERO;
-        for _ in 0..7 {
-            let (t, _) = net.next().unwrap();
-            last = last.max(t);
-        }
-        let expect = model.wire_time(64).as_us_f64()
-            + 7.0 * model.handler_time(MsgKind::BarrierArrive).as_us_f64();
-        assert!((last.as_us_f64() - expect).abs() < 1.0);
-    }
-
-    #[test]
-    fn stats_accumulate_by_class() {
-        use crate::message::MsgClass;
-        let mut net = NetworkSim::new(2, LatencyModel::instant());
-        net.send(VirtualTime::ZERO, msg(0, 1, MsgKind::DiffRequest, 100));
-        net.send(VirtualTime::ZERO, msg(1, 0, MsgKind::DiffReply, 900));
-        net.send(VirtualTime::ZERO, msg(0, 1, MsgKind::LockRequest, 64));
-        assert_eq!(net.stats().class_count(MsgClass::Diff), 2);
-        assert_eq!(net.stats().class_bytes(MsgClass::Diff), 1000);
-        assert_eq!(net.stats().class_count(MsgClass::Lock), 1);
-        assert_eq!(net.stats().total_count(), 3);
-    }
-
-    #[test]
-    fn in_flight_tracks_queue() {
-        let mut net = NetworkSim::new(2, LatencyModel::instant());
-        assert_eq!(net.in_flight(), 0);
-        net.send(VirtualTime::ZERO, msg(0, 1, MsgKind::Other, 10));
-        assert_eq!(net.in_flight(), 1);
-        net.next().unwrap();
-        assert_eq!(net.in_flight(), 0);
-        assert!(net.next().is_none());
-    }
-
-    #[test]
-    fn jitter_is_deterministic_per_seed() {
-        let run = |seed| {
-            let mut net = NetworkSim::new(2, LatencyModel::paper());
-            net.set_jitter(SimRng::seed_from(seed), SimDuration::from_us(100));
-            for _ in 0..10 {
-                net.send(VirtualTime::ZERO, msg(0, 1, MsgKind::Other, 10));
-            }
-            let mut times = Vec::new();
-            while let Some((t, _)) = net.next() {
-                times.push(t.as_ns());
-            }
-            times
-        };
-        assert_eq!(run(1), run(1));
-        assert_ne!(run(1), run(2));
-    }
-
-    #[test]
-    fn reliable_delivery_acks_at_service_completion() {
-        let mut net = NetworkSim::new(2, LatencyModel::paper());
-        net.enable_loss(SimRng::seed_from(1), LossConfig::clean_adaptive());
-        net.send(VirtualTime::ZERO, msg(0, 1, MsgKind::LockRequest, 64));
-        let (_, m) = net.next().unwrap();
-        assert_eq!(m.payload, 0);
-        // Drain the ack arrival; afterwards the network is quiescent.
-        assert!(net.next().is_none());
-        assert_eq!(net.peek_time(), None);
-        let s = net.loss_stats();
-        assert_eq!(s.acks_sent, 1);
-        assert_eq!(s.delivered, 1);
-        assert!(s.balanced());
-        // Ack bandwidth is accounted like any other traffic.
-        assert_eq!(net.stats().kind_count(MsgKind::Ack), 1);
-        assert_eq!(net.stats().kind_bytes(MsgKind::Ack), ACK_BYTES as u64);
-    }
-
-    #[test]
-    fn stalled_node_defers_service_not_arrival() {
-        use crate::fault::StallWindow;
-        let mut net = NetworkSim::new(2, LatencyModel::paper());
-        let plan = FaultPlan {
-            stalls: vec![StallWindow {
-                node: 1,
-                from: VirtualTime::ZERO,
-                until: VirtualTime::from_us(5_000),
-            }],
-            ..FaultPlan::default()
-        };
-        net.set_faults(SimRng::seed_from(1), plan);
-        net.send(VirtualTime::ZERO, msg(0, 1, MsgKind::LockRequest, 64));
-        let (t, _) = net.next().unwrap();
-        let expect =
-            VirtualTime::from_us(5_000) + LatencyModel::paper().handler_time(MsgKind::LockRequest);
-        assert_eq!(t, expect, "service starts when the stall releases");
-    }
-
-    #[test]
-    #[should_panic(expected = "require the reliability layer")]
-    fn lossy_fault_plan_without_reliability_rejected() {
-        let mut net: NetworkSim<u32> = NetworkSim::new(2, LatencyModel::paper());
-        net.set_faults(
-            SimRng::seed_from(1),
-            FaultPlan::named("loss-10", 2).unwrap(),
-        );
-    }
-
-    #[test]
-    #[should_panic(expected = "out of range")]
-    fn bad_destination_panics() {
-        let mut net = NetworkSim::new(2, LatencyModel::instant());
-        net.send(VirtualTime::ZERO, msg(0, 5, MsgKind::Other, 1));
     }
 }

@@ -1,0 +1,53 @@
+//! Live/peak gauges of bytes parked inside the network simulator.
+
+/// Live/peak gauge of message bytes *parked* inside the network: sender
+/// retransmission copies (attributed to the source node) and received but
+/// out-of-order messages held in the reorder buffer (attributed to the
+/// destination). These are the network's only unbounded-by-design stores,
+/// so their high-water marks are the interesting memory numbers at scale.
+#[derive(Debug, Clone)]
+pub struct ParkedBytes {
+    live: Vec<u64>,
+    peak: Vec<u64>,
+    live_total: u64,
+    peak_total: u64,
+}
+
+impl ParkedBytes {
+    pub(crate) fn new(nodes: usize) -> Self {
+        ParkedBytes {
+            live: vec![0; nodes],
+            peak: vec![0; nodes],
+            live_total: 0,
+            peak_total: 0,
+        }
+    }
+
+    pub(crate) fn park(&mut self, node: usize, bytes: u64) {
+        self.live[node] += bytes;
+        self.peak[node] = self.peak[node].max(self.live[node]);
+        self.live_total += bytes;
+        self.peak_total = self.peak_total.max(self.live_total);
+    }
+
+    pub(crate) fn unpark(&mut self, node: usize, bytes: u64) {
+        self.live[node] -= bytes;
+        self.live_total -= bytes;
+    }
+
+    /// Per-node high-water marks (bytes).
+    pub fn peaks(&self) -> &[u64] {
+        &self.peak
+    }
+
+    /// Whole-network high-water mark of the total (bytes) — generally
+    /// less than the sum of per-node peaks, which need not coincide.
+    pub fn peak_total(&self) -> u64 {
+        self.peak_total
+    }
+
+    /// Bytes currently parked (all nodes).
+    pub fn live_total(&self) -> u64 {
+        self.live_total
+    }
+}

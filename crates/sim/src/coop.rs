@@ -5,16 +5,25 @@
 //! well-defined points (remote requests, misplaced replies, explicit
 //! yields). We reproduce exactly that model — and keep the whole simulation
 //! deterministic — by running each simulated application thread on a real OS
-//! thread but passing a single *baton* between the simulator and the
-//! currently scheduled thread. At any instant, either the simulator's driver
-//! loop or exactly one application thread is running; everything else is
-//! parked on a gate.
+//! thread but passing a *baton* between the simulator and the currently
+//! scheduled thread.
 //!
 //! A scheduled thread runs a *burst*: it executes application code until its
 //! next blocking DSM call, then reports a caller-defined reason (`R`) back
-//! to the driver and parks. Because every hand-off is an explicit rendezvous
-//! and the driver's decisions depend only on the deterministic event queue,
-//! runs are bit-for-bit reproducible.
+//! to the driver and parks. Every hand-off is an explicit rendezvous through
+//! per-thread gates.
+//!
+//! The driver has two ways to run a burst:
+//!
+//! * [`resume`](CoopScheduler::resume) — the classic baton: start the burst
+//!   and wait for it, so exactly one of {driver, one thread} runs at a time.
+//! * [`start`](CoopScheduler::start) + [`wait`](CoopScheduler::wait) — the
+//!   split form used by the parallel event core: the driver may start
+//!   several threads' bursts (on *different* nodes, per its own safety
+//!   analysis) and collect each burst's outcome later. Because each thread
+//!   reports into its own slot and gates, overlapping bursts never contend
+//!   on engine state; determinism is then the *driver's* obligation — it
+//!   must only overlap bursts whose effects are disjoint.
 //!
 //! # Example
 //!
@@ -27,7 +36,9 @@
 //!     y.block("second stop");
 //! });
 //! assert_eq!(sched.resume(tid), Burst::Blocked("first stop"));
-//! assert_eq!(sched.resume(tid), Burst::Blocked("second stop"));
+//! // The split form: start the burst, do other work, then collect it.
+//! sched.start(tid);
+//! assert_eq!(sched.wait(tid), Burst::Blocked("second stop"));
 //! assert_eq!(sched.resume(tid), Burst::Finished);
 //! ```
 
@@ -89,7 +100,7 @@ struct Report<R> {
 /// simulation driver.
 pub struct Yielder<R> {
     my_gate: Arc<Gate>,
-    sim_gate: Arc<Gate>,
+    done_gate: Arc<Gate>,
     report: Arc<Mutex<Option<Report<R>>>>,
     shutdown: Arc<AtomicBool>,
 }
@@ -120,7 +131,7 @@ impl<R: Send + 'static> Yielder<R> {
                 burst: Burst::Blocked(reason),
             });
         }
-        self.sim_gate.open();
+        self.done_gate.open();
         self.my_gate.wait();
         if self.shutdown.load(Ordering::SeqCst) {
             std::panic::panic_any(ShutdownSignal);
@@ -128,21 +139,23 @@ impl<R: Send + 'static> Yielder<R> {
     }
 }
 
-struct ThreadSlot {
+struct ThreadSlot<R> {
     gate: Arc<Gate>,
+    done_gate: Arc<Gate>,
+    report: Arc<Mutex<Option<Report<R>>>>,
     join: Option<JoinHandle<()>>,
     finished: bool,
+    running: bool,
 }
 
 /// Owner and driver of a set of cooperative threads.
 ///
-/// Exactly one of {driver, some thread} runs at a time; see the module
-/// docs. Dropping the scheduler cleanly unwinds any still-suspended
-/// threads.
+/// In baton mode ([`resume`](Self::resume)) exactly one of {driver, some
+/// thread} runs at a time; the split [`start`](Self::start)/[`wait`](Self::wait)
+/// form lets the driver overlap bursts it knows to be independent. Dropping
+/// the scheduler cleanly unwinds any still-suspended threads.
 pub struct CoopScheduler<R> {
-    threads: Vec<ThreadSlot>,
-    sim_gate: Arc<Gate>,
-    report: Arc<Mutex<Option<Report<R>>>>,
+    threads: Vec<ThreadSlot<R>>,
     shutdown: Arc<AtomicBool>,
     panic_slot: Arc<Mutex<Option<String>>>,
 }
@@ -160,29 +173,29 @@ impl<R: Send + 'static> CoopScheduler<R> {
     pub fn new() -> Self {
         CoopScheduler {
             threads: Vec::new(),
-            sim_gate: Arc::new(Gate::default()),
-            report: Arc::new(Mutex::new(None)),
             shutdown: Arc::new(AtomicBool::new(false)),
             panic_slot: Arc::new(Mutex::new(None)),
         }
     }
 
     /// Spawns a new cooperative thread running `f`. The thread does not
-    /// execute until its first [`resume`](Self::resume).
+    /// execute until its first [`resume`](Self::resume) / [`start`](Self::start).
     pub fn spawn<F>(&mut self, f: F) -> CoopThreadId
     where
         F: FnOnce(&Yielder<R>) + Send + 'static,
     {
         let gate = Arc::new(Gate::default());
+        let done_gate = Arc::new(Gate::default());
+        let report: Arc<Mutex<Option<Report<R>>>> = Arc::new(Mutex::new(None));
         let yielder = Yielder {
             my_gate: Arc::clone(&gate),
-            sim_gate: Arc::clone(&self.sim_gate),
-            report: Arc::clone(&self.report),
+            done_gate: Arc::clone(&done_gate),
+            report: Arc::clone(&report),
             shutdown: Arc::clone(&self.shutdown),
         };
         let shutdown = Arc::clone(&self.shutdown);
-        let report = Arc::clone(&self.report);
-        let sim_gate = Arc::clone(&self.sim_gate);
+        let thread_report = Arc::clone(&report);
+        let thread_done = Arc::clone(&done_gate);
         let my_gate = Arc::clone(&gate);
         let panic_slot = Arc::clone(&self.panic_slot);
         let join = std::thread::Builder::new()
@@ -195,10 +208,10 @@ impl<R: Send + 'static> CoopScheduler<R> {
                 let result = catch_unwind(AssertUnwindSafe(|| f(&yielder)));
                 match result {
                     Ok(()) => {
-                        *report.lock() = Some(Report {
+                        *thread_report.lock() = Some(Report {
                             burst: Burst::Finished,
                         });
-                        sim_gate.open();
+                        thread_done.open();
                     }
                     Err(payload) => {
                         if payload.downcast_ref::<ShutdownSignal>().is_some() {
@@ -207,11 +220,11 @@ impl<R: Send + 'static> CoopScheduler<R> {
                         } else {
                             // Re-raise on the driver side: leave the report
                             // empty, stash the message, and wake the driver;
-                            // resume() will panic with it.
+                            // wait() will panic with it.
                             let msg = panic_message(payload.as_ref());
-                            *report.lock() = None;
+                            *thread_report.lock() = None;
                             *panic_slot.lock() = Some(msg);
-                            sim_gate.open();
+                            thread_done.open();
                         }
                     }
                 }
@@ -220,8 +233,11 @@ impl<R: Send + 'static> CoopScheduler<R> {
         let id = CoopThreadId(self.threads.len());
         self.threads.push(ThreadSlot {
             gate,
+            done_gate,
+            report,
             join: Some(join),
             finished: false,
+            running: false,
         });
         id
     }
@@ -245,19 +261,45 @@ impl<R: Send + 'static> CoopScheduler<R> {
         self.threads[tid.0].finished
     }
 
-    /// Runs thread `tid` until its next block point and returns the burst
+    /// True if a burst of this thread has been started but not yet
+    /// collected with [`wait`](Self::wait).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` was not produced by this scheduler.
+    pub fn is_running(&self, tid: CoopThreadId) -> bool {
+        self.threads[tid.0].running
+    }
+
+    /// Starts a burst of thread `tid` without waiting for it. The burst
+    /// runs concurrently with the caller until collected by
+    /// [`wait`](Self::wait).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread already finished or already has a burst in
+    /// flight.
+    pub fn start(&mut self, tid: CoopThreadId) {
+        let slot = &mut self.threads[tid.0];
+        assert!(!slot.finished, "start of finished thread {tid}");
+        assert!(!slot.running, "burst of {tid} already in flight");
+        slot.running = true;
+        slot.gate.open();
+    }
+
+    /// Waits for the in-flight burst of thread `tid` and returns its
     /// outcome.
     ///
     /// # Panics
     ///
-    /// Panics if the thread already finished, or propagates the panic if the
-    /// application thread panicked during the burst.
-    pub fn resume(&mut self, tid: CoopThreadId) -> Burst<R> {
+    /// Panics if no burst is in flight for `tid`, or propagates the panic
+    /// if the application thread panicked during the burst.
+    pub fn wait(&mut self, tid: CoopThreadId) -> Burst<R> {
         let slot = &mut self.threads[tid.0];
-        assert!(!slot.finished, "resume of finished thread {tid}");
-        slot.gate.open();
-        self.sim_gate.wait();
-        let rep = self.report.lock().take();
+        assert!(slot.running, "wait without a started burst on {tid}");
+        slot.running = false;
+        slot.done_gate.wait();
+        let rep = slot.report.lock().take();
         match rep {
             Some(Report { burst }) => {
                 if matches!(burst, Burst::Finished) {
@@ -281,6 +323,19 @@ impl<R: Send + 'static> CoopScheduler<R> {
                 panic!("application thread {tid} panicked: {msg}");
             }
         }
+    }
+
+    /// Runs thread `tid` until its next block point and returns the burst
+    /// outcome (the baton form: [`start`](Self::start) then immediately
+    /// [`wait`](Self::wait)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread already finished, or propagates the panic if the
+    /// application thread panicked during the burst.
+    pub fn resume(&mut self, tid: CoopThreadId) -> Burst<R> {
+        self.start(tid);
+        self.wait(tid)
     }
 }
 
@@ -353,6 +408,47 @@ mod tests {
         s.resume(b);
         s.resume(b);
         assert_eq!(*log.lock(), vec!['a', 'a', 'b', 'a', 'b', 'b']);
+    }
+
+    #[test]
+    fn split_start_wait_matches_resume() {
+        let mut s: CoopScheduler<u32> = CoopScheduler::new();
+        let t = s.spawn(|y| {
+            y.block(1);
+            y.block(2);
+        });
+        s.start(t);
+        assert!(s.is_running(t));
+        assert_eq!(s.wait(t), Burst::Blocked(1));
+        assert!(!s.is_running(t));
+        assert_eq!(s.resume(t), Burst::Blocked(2));
+        assert_eq!(s.resume(t), Burst::Finished);
+    }
+
+    #[test]
+    fn overlapped_bursts_report_into_their_own_slots() {
+        let mut s: CoopScheduler<usize> = CoopScheduler::new();
+        let tids: Vec<_> = (0..8).map(|i| s.spawn(move |y| y.block(i))).collect();
+        // Start all eight bursts before collecting any: each thread's
+        // report lands in its own slot, so collection order is free.
+        for &t in &tids {
+            s.start(t);
+        }
+        for (i, &t) in tids.iter().enumerate().rev() {
+            assert_eq!(s.wait(t), Burst::Blocked(i));
+        }
+        for &t in &tids {
+            assert_eq!(s.resume(t), Burst::Finished);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already in flight")]
+    fn double_start_panics() {
+        let mut s: CoopScheduler<()> = CoopScheduler::new();
+        let t = s.spawn(|y| y.block(()));
+        s.start(t);
+        s.start(t);
     }
 
     #[test]

@@ -67,11 +67,46 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Creates an empty queue whose heap can hold `cap` events before
+    /// reallocating. Sized from the config's node×thread count, the heap
+    /// never grows during the warm-up burst.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            seq: 0,
+        }
+    }
+
+    /// Number of events the heap can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Schedules `event` to fire at `time`.
     pub fn push(&mut self, time: VirtualTime, event: E) {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Schedules `event` at `time` with an externally assigned sequence
+    /// number (the sharded queue stamps one global sequence across all
+    /// shard heaps so the merged order matches a single queue).
+    pub(crate) fn push_with_seq(&mut self, time: VirtualTime, seq: u64, event: E) {
+        self.seq = self.seq.max(seq + 1);
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// The `(time, seq)` key of the earliest pending event (the merge key
+    /// used by the sharded queue).
+    pub(crate) fn peek_key(&self) -> Option<(VirtualTime, u64)> {
+        self.heap.peek().map(|s| (s.time, s.seq))
+    }
+
+    /// Visits every pending event in no particular order (used to compute
+    /// conservative per-destination time floors without draining).
+    pub fn iter(&self) -> impl Iterator<Item = (VirtualTime, &E)> {
+        self.heap.iter().map(|s| (s.time, &s.event))
     }
 
     /// Removes and returns the earliest event, if any.
@@ -151,6 +186,31 @@ mod tests {
         assert_eq!(q.peek_time(), Some(VirtualTime::from_us(1)));
         q.pop();
         assert_eq!(q.peek_time(), Some(VirtualTime::from_us(3)));
+    }
+
+    #[test]
+    fn presized_heap_never_reallocates_within_capacity() {
+        let mut q = EventQueue::with_capacity(64);
+        let cap = q.capacity();
+        assert!(cap >= 64);
+        for i in 0..64u64 {
+            q.push(VirtualTime::from_us(i), i);
+            debug_assert!(q.len() <= q.capacity(), "heap grew past its pre-size");
+        }
+        assert_eq!(q.capacity(), cap, "64 pushes fit the pre-sized heap");
+        let got: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(got, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn iter_visits_all_pending_events() {
+        let mut q = EventQueue::new();
+        for us in [5u64, 1, 4] {
+            q.push(VirtualTime::from_us(us), us);
+        }
+        let mut seen: Vec<u64> = q.iter().map(|(_, &e)| e).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, [1, 4, 5]);
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //! * [`script`] — scripted (replayable) scheduler decisions plus
 //!   per-step footprint records and state hashing for the stateless
 //!   model checker.
+//! * [`shard`] — per-shard event heaps merged in global `(time, seq)`
+//!   order, the substrate of the parallel event core: identical pop
+//!   order at any shard count.
 //! * [`workq`] — deterministic fan-out of independent jobs (the sweep
 //!   engine's worker pool): results keyed by item index, seeds split per
 //!   item, so any worker count produces identical output.
@@ -47,6 +50,7 @@ pub mod hist;
 pub mod json;
 pub mod rng;
 pub mod script;
+pub mod shard;
 pub mod stats;
 pub mod sync;
 pub mod time;
@@ -59,4 +63,5 @@ pub use hist::Log2Hist;
 pub use json::JsonValue;
 pub use rng::SimRng;
 pub use script::{Fnv64, ScheduleScript, ScriptCursor, StepLog, StepRecord, SyncOp};
+pub use shard::{ShardMap, ShardedEventQueue};
 pub use time::{SimDuration, VirtualTime};

@@ -1,0 +1,303 @@
+//! Sharded event queue for the parallel discrete-event core.
+//!
+//! Scaling the simulator to hundreds of nodes means the driver can no
+//! longer treat the event set as one monolithic heap: the parallel engine
+//! partitions nodes across *shards*, keeps one heap per shard, and merges
+//! shard heads on demand. The merge key is the same global `(time, seq)`
+//! pair a single [`EventQueue`](crate::EventQueue) would use — sequence
+//! numbers are assigned at push time from one shared counter — so the
+//! drained order is **identical to a single queue at any shard count**,
+//! and identical no matter in which order shards complete their work.
+//! That invariance is what lets the driver overlap shard-local work in
+//! real time while the simulated execution stays byte-for-byte
+//! deterministic.
+//!
+//! Two pieces live here:
+//!
+//! * [`ShardMap`] — a balanced, strided partition of node ids onto
+//!   shards (`O(1)` lookup, no hashing). The stride matters for burst
+//!   overlap: event wavefronts (a barrier releasing every node at one
+//!   instant) are pushed — and therefore popped — in ascending node
+//!   order, so `node % shards` places each consecutive wave of `shards`
+//!   events on *distinct* shards. The window planner can then keep one
+//!   burst per shard in flight continuously through the wave, where a
+//!   contiguous block map would leave it starved behind the one shard
+//!   whose block the wavefront is currently draining.
+//! * [`ShardedEventQueue`] — per-shard heaps with a global-order merge
+//!   `pop` and per-shard head peeks for the driver's window planner.
+
+use crate::event::EventQueue;
+use crate::time::VirtualTime;
+
+/// A balanced strided partition of `nodes` node ids onto `shards`
+/// shards: node `n` belongs to shard `n % shards`, so any run of
+/// `shards` consecutive node ids covers every shard once. Both the
+/// forward map (`nodes_of`) and the reverse map (`shard_of`) are closed
+/// form — no per-node table.
+///
+/// # Example
+///
+/// ```
+/// use cvm_sim::shard::ShardMap;
+///
+/// let m = ShardMap::new(10, 4); // shard sizes 3, 3, 2, 2
+/// assert_eq!(m.shard_of(0), 0);
+/// assert_eq!(m.shard_of(2), 2);
+/// assert_eq!(m.shard_of(5), 1);
+/// assert_eq!(m.shard_of(9), 1);
+/// assert_eq!(m.nodes_of(1).collect::<Vec<_>>(), [1, 5, 9]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    nodes: usize,
+    shards: usize,
+}
+
+impl ShardMap {
+    /// Creates a partition of `nodes` node ids onto `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(nodes: usize, shards: usize) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        let shards = shards.min(nodes.max(1));
+        ShardMap { nodes, shards }
+    }
+
+    /// Number of shards (clamped to the node count).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of nodes partitioned.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The shard owning `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn shard_of(&self, node: usize) -> usize {
+        assert!(node < self.nodes, "node {node} out of range");
+        node % self.shards
+    }
+
+    /// The node ids owned by `shard`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn nodes_of(&self, shard: usize) -> impl ExactSizeIterator<Item = usize> {
+        assert!(shard < self.shards, "shard {shard} out of range");
+        (shard..self.nodes).step_by(self.shards)
+    }
+}
+
+/// Per-shard event heaps merged in global `(time, seq)` order.
+///
+/// Functionally identical to one [`EventQueue`](crate::EventQueue): `push`
+/// stamps a single global sequence number and routes the event to its
+/// node's shard heap; `pop` scans the shard heads (`O(shards)`) for the
+/// globally earliest `(time, seq)` key. The per-shard heads are also
+/// exposed directly ([`shard_head`](Self::shard_head)) so a conservative
+/// window planner can inspect each shard's next event without paying for
+/// a full merge.
+#[derive(Debug)]
+pub struct ShardedEventQueue<E> {
+    shards: Vec<EventQueue<E>>,
+    map: ShardMap,
+    seq: u64,
+    len: usize,
+}
+
+impl<E> ShardedEventQueue<E> {
+    /// Creates a queue partitioned by `map`, pre-sizing each shard heap
+    /// for `per_node_cap` events per owned node (the warm-up burst pushes
+    /// up to node×thread events before anything pops).
+    pub fn new(map: ShardMap, per_node_cap: usize) -> Self {
+        let shards = (0..map.shards())
+            .map(|s| EventQueue::with_capacity(map.nodes_of(s).len() * per_node_cap))
+            .collect();
+        ShardedEventQueue {
+            shards,
+            map,
+            seq: 0,
+            len: 0,
+        }
+    }
+
+    /// The node partition this queue routes by.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Schedules `event` for `node` at `time`, in global push order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn push(&mut self, time: VirtualTime, node: usize, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.len += 1;
+        self.shards[self.map.shard_of(node)].push_with_seq(time, seq, event);
+    }
+
+    /// Removes and returns the globally earliest event, if any — the
+    /// exact event a single queue with the same push history would pop.
+    pub fn pop(&mut self) -> Option<(VirtualTime, E)> {
+        let best = self.earliest_shard()?;
+        self.len -= 1;
+        self.shards[best].pop()
+    }
+
+    /// The firing time of the globally earliest pending event.
+    pub fn peek_time(&self) -> Option<VirtualTime> {
+        self.earliest_shard()
+            .and_then(|s| self.shards[s].peek_time())
+    }
+
+    /// The earliest pending event of one shard, without removing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_head(&self, shard: usize) -> Option<(VirtualTime, &E)> {
+        self.shards[shard].peek()
+    }
+
+    /// Number of pending events across all shards.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no events are pending anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total number of events ever pushed (liveness metric).
+    pub fn pushed_total(&self) -> u64 {
+        self.seq
+    }
+
+    /// Index of the shard holding the globally earliest `(time, seq)`.
+    fn earliest_shard(&self) -> Option<usize> {
+        let mut best: Option<(VirtualTime, u64, usize)> = None;
+        for (s, q) in self.shards.iter().enumerate() {
+            if let Some((t, seq)) = q.peek_key() {
+                if best.is_none_or(|(bt, bs, _)| (t, seq) < (bt, bs)) {
+                    best = Some((t, seq, s));
+                }
+            }
+        }
+        best.map(|(_, _, s)| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn shard_map_is_a_partition() {
+        for nodes in [1usize, 2, 3, 7, 10, 64, 257] {
+            for shards in [1usize, 2, 3, 4, 8, 64] {
+                let m = ShardMap::new(nodes, shards);
+                let mut owner = vec![usize::MAX; nodes];
+                for s in 0..m.shards() {
+                    for n in m.nodes_of(s) {
+                        assert_eq!(owner[n], usize::MAX, "node {n} owned twice");
+                        owner[n] = s;
+                    }
+                }
+                for (n, &s) in owner.iter().enumerate() {
+                    assert_ne!(s, usize::MAX, "node {n} unowned");
+                    assert_eq!(m.shard_of(n), s, "maps disagree at node {n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_map_balance_is_within_one() {
+        let m = ShardMap::new(10, 4);
+        let sizes: Vec<usize> = (0..4).map(|s| m.nodes_of(s).len()).collect();
+        assert_eq!(sizes, [3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn more_shards_than_nodes_clamps() {
+        let m = ShardMap::new(3, 16);
+        assert_eq!(m.shards(), 3);
+        assert_eq!(m.shard_of(2), 2);
+    }
+
+    #[test]
+    fn merge_matches_single_queue() {
+        // Property: for random pushes across shard counts, the drained
+        // order equals a single EventQueue's order exactly.
+        let mut rng = SimRng::seed_from(0xD15C);
+        for shards in [1usize, 2, 3, 4, 7] {
+            let nodes = 12;
+            let mut reference = EventQueue::new();
+            let mut sharded = ShardedEventQueue::new(ShardMap::new(nodes, shards), 2);
+            for i in 0..500u64 {
+                let t = VirtualTime::from_us(rng.below(50));
+                let node = rng.below(nodes as u64) as usize;
+                reference.push(t, i);
+                sharded.push(t, node, i);
+            }
+            assert_eq!(sharded.len(), 500);
+            let want: Vec<(VirtualTime, u64)> = std::iter::from_fn(|| reference.pop()).collect();
+            let got: Vec<(VirtualTime, u64)> = std::iter::from_fn(|| sharded.pop()).collect();
+            assert_eq!(got, want, "shards={shards} diverged from single queue");
+        }
+    }
+
+    #[test]
+    fn merge_matches_single_queue_under_interleaved_drains() {
+        // Property: interleaving pops with pushes (the driver's real
+        // access pattern) cannot break the global order either — a
+        // mirrored single queue pops the same events at every step.
+        let mut rng = SimRng::seed_from(0xFACE);
+        let mut reference = EventQueue::new();
+        let mut sharded = ShardedEventQueue::new(ShardMap::new(8, 4), 2);
+        let mut popped = 0usize;
+        for round in 0..200u64 {
+            for k in 0..3 {
+                let t = VirtualTime::from_us(round + rng.below(20));
+                let e = round * 3 + k;
+                reference.push(t, e);
+                sharded.push(t, rng.below(8) as usize, e);
+            }
+            if round % 2 == 0 {
+                assert_eq!(sharded.pop(), reference.pop());
+                popped += 1;
+            }
+        }
+        while let Some(got) = sharded.pop() {
+            assert_eq!(Some(got), reference.pop());
+            popped += 1;
+        }
+        assert!(reference.pop().is_none());
+        assert_eq!(popped, 600);
+    }
+
+    #[test]
+    fn shard_heads_expose_per_shard_minima() {
+        let mut q = ShardedEventQueue::new(ShardMap::new(4, 2), 1);
+        q.push(VirtualTime::from_us(9), 0, 'a'); // shard 0
+        q.push(VirtualTime::from_us(5), 2, 'b'); // shard 0, earlier
+        q.push(VirtualTime::from_us(7), 3, 'c'); // shard 1
+        assert_eq!(q.shard_head(0), Some((VirtualTime::from_us(5), &'b')));
+        assert_eq!(q.shard_head(1), Some((VirtualTime::from_us(7), &'c')));
+        assert_eq!(q.peek_time(), Some(VirtualTime::from_us(5)));
+        assert_eq!(q.pop(), Some((VirtualTime::from_us(5), 'b')));
+        assert_eq!(q.shard_head(0), Some((VirtualTime::from_us(9), &'a')));
+    }
+}
