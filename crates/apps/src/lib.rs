@@ -32,6 +32,7 @@
 pub mod barnes;
 pub mod common;
 pub mod fft;
+pub mod kv;
 pub mod ocean;
 pub mod registry;
 pub mod sor;

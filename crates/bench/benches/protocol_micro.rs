@@ -64,7 +64,7 @@ fn bench_lock_transitions() {
     };
     bench("lock/acquire_release_cached", || {
         l.try_acquire(1);
-        l.release(1, true)
+        l.release(1, true, 0)
     });
 }
 

@@ -74,6 +74,13 @@ pub struct CvmConfig {
     /// remote waiters are served first and the node re-requests the lock
     /// for its remaining local waiters.
     pub prefer_local_lock_waiters: bool,
+    /// Maximum consecutive local lock hand-offs past a *parked remote
+    /// waiter* before the waiter is served despite
+    /// `prefer_local_lock_waiters`. `0` (the default) reproduces the
+    /// paper's unbounded policy — "neither fair nor guaranteed to make
+    /// progress" — which can starve remote acquires indefinitely under
+    /// sustained open-loop load; serving scenarios set a small cap.
+    pub local_grant_cap: u32,
     /// Uniform random extra wire delay in `[0, jitter_max)` per message
     /// (zero disables). Models the timing perturbation the paper lists as
     /// its fourth limiting factor; deterministic per seed.
@@ -162,6 +169,7 @@ impl CvmConfig {
             aggregate_barriers: true,
             lifo_schedule: false,
             prefer_local_lock_waiters: true,
+            local_grant_cap: 0,
             jitter_max: SimDuration::ZERO,
             loss: None,
             faults: None,

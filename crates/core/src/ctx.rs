@@ -59,6 +59,16 @@ pub enum BlockReason {
     EndMeasure,
     /// Voluntary yield.
     Yield,
+    /// Virtual-clock read (the driver writes the node clock into the cell
+    /// and resumes the thread immediately; see [`ThreadCtx::now_ns`]).
+    Now,
+    /// Sleep until the given absolute virtual time (open-loop arrival
+    /// pacing; see [`ThreadCtx::sleep_until`]).
+    SleepUntil {
+        /// Absolute virtual nanoseconds to wake at (clamped to now if in
+        /// the past).
+        ns: u64,
+    },
 }
 
 /// Per-thread cost constants copied out of the system configuration.
@@ -326,6 +336,33 @@ impl<'a> ThreadCtx<'a> {
     /// system call).
     pub fn yield_now(&mut self) {
         self.block(BlockReason::Yield);
+    }
+
+    /// Reads this node's virtual clock, in nanoseconds.
+    ///
+    /// This is a blocking operation (control passes through the driver so
+    /// the accumulated burst is charged first and the answer reflects all
+    /// work done so far), which keeps reports byte-identical at any
+    /// `--workers`/`--shards` count: the clock is never observed
+    /// mid-burst.
+    pub fn now_ns(&mut self) -> u64 {
+        self.block(BlockReason::Now);
+        self.cell.lock().now_ns
+    }
+
+    /// Sleeps until the absolute virtual time `ns` (no-op if already
+    /// past). The open-loop primitive: arrival pacing independent of
+    /// completion times, so queueing delay is visible in request latency
+    /// instead of silently throttling the generator.
+    pub fn sleep_until(&mut self, ns: u64) {
+        self.block(BlockReason::SleepUntil { ns });
+    }
+
+    /// Records one end-to-end request latency into the run's `request`
+    /// histogram (serving workloads; see
+    /// [`DsmHistograms::request_ns`](crate::DsmHistograms)).
+    pub fn record_request(&mut self, latency_ns: u64) {
+        self.cell.lock().req_hist.record(latency_ns);
     }
 
     fn block(&mut self, reason: BlockReason) {

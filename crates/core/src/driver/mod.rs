@@ -169,6 +169,11 @@ impl CvmBuilder {
 enum MainEvent {
     /// The node should schedule its next ready thread.
     NodeResume(usize),
+    /// A thread's `sleep_until` deadline arrived: make `(node, tid)`
+    /// ready again. Keyed by the node, so it shares the node's event
+    /// shard and the window planner's shard-head check naturally refuses
+    /// to pre-start bursts past a pending wake.
+    ThreadWake(usize, usize),
 }
 
 /// Driver-private per-node control state.
@@ -637,6 +642,10 @@ impl Driver {
             }
             match core.mainq.pop() {
                 Some((t, MainEvent::NodeResume(n))) => core.run_node(&mut *proto, n, t),
+                Some((t, MainEvent::ThreadWake(n, tid))) => {
+                    core.ctl[n].sched.sleeping -= 1;
+                    core.make_ready(n, tid, t);
+                }
                 None => break,
             }
         }

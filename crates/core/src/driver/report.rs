@@ -69,7 +69,16 @@ impl DriverCore {
             // The final window may not have been retired by a later
             // planning instant; fold it here.
             overlap_saved_ns: self.overlap_saved_ns + (self.win_sum_ns - self.win_max_ns),
-            hist: self.hist.clone(),
+            hist: {
+                // Fold per-node request latencies into the run histograms.
+                // Node order + commutative bucket addition keeps the merge
+                // independent of host-thread interleaving.
+                let mut hist = self.hist.clone();
+                for cell in &self.cells {
+                    hist.request_ns.merge(&cell.lock().req_hist);
+                }
+                hist
+            },
             attr: self.attr.clone(),
             trace: if self.trace.enabled() {
                 Some(self.trace.clone())
@@ -94,6 +103,7 @@ impl DriverCore {
         report.stats.wait_barrier += sum.barrier;
         report.stats.wait_fault += sum.fault;
         report.stats.wait_lock += sum.lock;
+        report.stats.wait_idle += sum.idle;
         report
     }
 }

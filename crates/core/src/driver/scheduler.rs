@@ -38,6 +38,8 @@ impl DriverCore {
             WaitClass::Lock
         } else if !ctl.nb.blocked.is_empty() {
             WaitClass::Barrier
+        } else if ctl.sched.sleeping > 0 {
+            WaitClass::Idle
         } else {
             WaitClass::Other
         }
@@ -60,6 +62,7 @@ impl DriverCore {
                 match class {
                     WaitClass::Fault => b.fault += d,
                     WaitClass::Lock => b.lock += d,
+                    WaitClass::Idle => b.idle += d,
                     WaitClass::Barrier | WaitClass::Other => b.barrier += d,
                 }
             }
@@ -212,7 +215,9 @@ impl DriverCore {
                 BlockReason::LocalBarrier { reduce: Some(_) }
                 | BlockReason::GlobalReduce { .. } => SyncOp::Reduce,
                 BlockReason::Startup | BlockReason::EndMeasure => SyncOp::Rendezvous,
-                BlockReason::Yield => SyncOp::Yield,
+                BlockReason::Yield | BlockReason::Now | BlockReason::SleepUntil { .. } => {
+                    SyncOp::Yield
+                }
             },
         };
         let log = self.steps.as_mut().expect("record_step gated on steps");
@@ -247,6 +252,20 @@ impl DriverCore {
             BlockReason::Startup => self.handle_startup(proto),
             BlockReason::EndMeasure => self.handle_end_measure(tid),
             BlockReason::Yield => self.ctl[n].sched.ready.push_back(tid),
+            BlockReason::Now => {
+                // Publish the node clock (which already includes the burst
+                // just drained) and resume the same thread immediately —
+                // front of the queue, so no switch is charged and the read
+                // is a pure observation.
+                let now = self.ctl[n].sched.clock;
+                self.cells[n].lock().now_ns = now.as_ns();
+                self.ctl[n].sched.ready.push_front(tid);
+            }
+            BlockReason::SleepUntil { ns } => {
+                let at = self.ctl[n].sched.clock.max(VirtualTime::from_ns(ns));
+                self.ctl[n].sched.sleeping += 1;
+                self.mainq.push(at, n, MainEvent::ThreadWake(n, tid));
+            }
         }
     }
 

@@ -95,7 +95,8 @@ impl DriverCore {
     ) {
         let now = self.ctl[n].sched.clock;
         let prefer_local = self.cfg.prefer_local_lock_waiters;
-        match self.ctl[n].locks[lock].release(tid, prefer_local) {
+        let grant_cap = self.cfg.local_grant_cap;
+        match self.ctl[n].locks[lock].release(tid, prefer_local, grant_cap) {
             ReleaseOutcome::LocalHandoff(next) => {
                 self.stats.local_lock_handoffs += 1;
                 self.attr.lock_mut(lock).local_handoffs += 1;
@@ -427,6 +428,11 @@ impl DriverCore {
             }
             // Warm-up twins must not count toward the measured peaks.
             c.reset_mem_peaks();
+            // Measurement starts here: requests recorded during init
+            // (there should be none, but the reset is what guarantees it)
+            // and any stale clock reads are discarded.
+            c.req_hist = cvm_sim::Log2Hist::default();
+            c.now_ns = 0;
             self.twin_live_seen[n] = c.twin_bytes_live;
         }
         self.twin_live_sum = self.twin_live_seen.iter().sum();

@@ -3,7 +3,7 @@
 //! The paper's tables report totals and means; distributions are what make
 //! remote latency *diagnosable* — a handful of 3-hop lock chains or one
 //! hot page's serial fetches disappear inside an average but dominate a
-//! p90. [`DsmHistograms`] collects the five distributions the protocol
+//! p90. [`DsmHistograms`] collects the six distributions the protocol
 //! exposes, in log₂ buckets (see [`Log2Hist`]), cheap enough to stay on in
 //! every run.
 
@@ -31,6 +31,10 @@ pub struct DsmHistograms {
     pub barrier_stall_ns: Log2Hist,
     /// Modified bytes per created diff.
     pub diff_bytes: Log2Hist,
+    /// End-to-end request latency (arrival to completion) for serving
+    /// workloads; empty unless the application records requests via
+    /// [`ThreadCtx::record_request`](crate::ThreadCtx::record_request).
+    pub request_ns: Log2Hist,
 }
 
 impl DsmHistograms {
@@ -51,16 +55,18 @@ impl DsmHistograms {
         self.lock_3hop_ns.merge(&other.lock_3hop_ns);
         self.barrier_stall_ns.merge(&other.barrier_stall_ns);
         self.diff_bytes.merge(&other.diff_bytes);
+        self.request_ns.merge(&other.request_ns);
     }
 
     /// The histograms as `(name, unit, hist)` rows, in a fixed order.
-    pub fn rows(&self) -> [(&'static str, &'static str, &Log2Hist); 5] {
+    pub fn rows(&self) -> [(&'static str, &'static str, &Log2Hist); 6] {
         [
             ("fault_fetch", "ns", &self.fault_fetch_ns),
             ("lock_2hop", "ns", &self.lock_2hop_ns),
             ("lock_3hop", "ns", &self.lock_3hop_ns),
             ("barrier_stall", "ns", &self.barrier_stall_ns),
             ("diff_size", "bytes", &self.diff_bytes),
+            ("request", "ns", &self.request_ns),
         ]
     }
 
@@ -75,8 +81,8 @@ impl DsmHistograms {
     }
 }
 
-/// One histogram as JSON: `{unit, count, sum, min, p50, p90, p99, max,
-/// mean, buckets: [{lo, hi, count}]}`.
+/// One histogram as JSON: `{unit, count, sum, min, p50, p90, p99, p999,
+/// max, mean, buckets: [{lo, hi, count}]}`.
 pub fn hist_json(h: &Log2Hist, unit: &str) -> JsonValue {
     let mut obj = JsonValue::object();
     obj.set("unit", unit);
@@ -86,6 +92,7 @@ pub fn hist_json(h: &Log2Hist, unit: &str) -> JsonValue {
     obj.set("p50", h.p50());
     obj.set("p90", h.p90());
     obj.set("p99", h.p99());
+    obj.set("p999", h.p999());
     obj.set("max", h.max());
     obj.set("mean", h.mean());
     let mut buckets = JsonValue::array();
@@ -104,18 +111,19 @@ impl fmt::Display for DsmHistograms {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{:<14} {:>8} {:>10} {:>10} {:>10} {:>10}  unit",
-            "latency", "n", "p50", "p90", "p99", "max"
+            "{:<14} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}  unit",
+            "latency", "n", "p50", "p90", "p99", "p999", "max"
         )?;
         for (name, unit, h) in self.rows() {
             writeln!(
                 f,
-                "{:<14} {:>8} {:>10} {:>10} {:>10} {:>10}  {}",
+                "{:<14} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}  {}",
                 name,
                 h.count(),
                 h.p50(),
                 h.p90(),
                 h.p99(),
+                h.p999(),
                 h.max(),
                 unit
             )?;
@@ -129,7 +137,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn json_has_all_five_histograms() {
+    fn json_has_all_six_histograms() {
         let mut h = DsmHistograms::new();
         h.fault_fetch_ns.record(1000);
         h.diff_bytes.record(64);
@@ -140,6 +148,7 @@ mod tests {
             "lock_3hop",
             "barrier_stall",
             "diff_size",
+            "request",
         ] {
             assert!(j.get(name).is_some(), "missing {name}");
         }
@@ -172,5 +181,35 @@ mod tests {
         let text = format!("{h}");
         assert!(text.contains("barrier_stall"));
         assert!(text.contains("fault_fetch"));
+        assert!(text.contains("request"));
+        assert!(text.contains("p999"), "tail column missing from the table");
+    }
+
+    /// Regression: `hist_json` used to emit p50/p90/p99 but silently drop
+    /// `p999`, so JSON artifacts lacked the tail the latency table prints.
+    /// A heavily skewed distribution makes the three percentiles distinct,
+    /// and the assertion runs on the *parsed* document so the field must
+    /// survive a serialize/parse round trip.
+    #[test]
+    fn p999_survives_json_round_trip() {
+        let mut h = Log2Hist::default();
+        // 9990 fast samples, 9 slow, 1 pathological: p50 ≪ p99 < p999.
+        for _ in 0..9990 {
+            h.record(1_000);
+        }
+        for _ in 0..9 {
+            h.record(1_000_000);
+        }
+        h.record(1_000_000_000);
+        let parsed = JsonValue::parse(&hist_json(&h, "ns").to_pretty()).expect("valid JSON");
+        let p999 = parsed.get("p999").expect("p999 present").as_u64();
+        assert_eq!(p999, Some(h.p999()));
+        assert!(
+            h.p999() > h.p99(),
+            "skewed distribution must separate the percentiles: p99 {} p999 {}",
+            h.p99(),
+            h.p999()
+        );
+        assert!(h.p999() >= 1_000_000, "p999 must see the slow tail");
     }
 }

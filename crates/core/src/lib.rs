@@ -77,7 +77,7 @@ pub use cvm_net::{FaultPlan, LatencyModel, PLAN_CATALOG};
 pub use diff::Diff;
 pub use driver::{Coherence, CvmBuilder};
 pub use export::{chrome_trace, chrome_trace_with_spans};
-pub use hist::DsmHistograms;
+pub use hist::{hist_json, DsmHistograms};
 pub use interval::VectorTime;
 pub use oracle::{Finding, FindingSink, InjectFault, Invariant, Oracle};
 pub use page::{Addr, PageId, PageState};

@@ -10,6 +10,15 @@
 //! if the remote thread asked first. As the paper notes, "the result is
 //! neither fair nor guaranteed to make progress, but performs well in
 //! practice"; the same policy is reproduced here (and exercised by tests).
+//!
+//! Under sustained open-loop load the unbounded form of that policy can
+//! starve a parked remote waiter *forever*: as long as local threads keep
+//! re-acquiring, the remote node never gets the token. The
+//! `local_grant_cap` argument to [`LockLocal::release`] bounds the number
+//! of consecutive local hand-offs made past a parked remote waiter; once
+//! the cap is reached the remote waiter is served even under
+//! `prefer_local`. A cap of `0` (the default configuration) preserves the
+//! paper's unbounded behaviour exactly.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -52,6 +61,10 @@ pub struct LockLocal {
     pub remote_waiter: Option<(usize, VectorTime)>,
     /// True if this node has a remote acquire outstanding.
     pub requested: bool,
+    /// Consecutive local hand-offs made while a remote waiter was parked
+    /// (the starvation counter the cap bounds). Reset whenever the remote
+    /// waiter is served or the token leaves this node.
+    pub local_grants: u32,
 }
 
 /// What a local acquire attempt should do, as decided by
@@ -88,22 +101,40 @@ impl LockLocal {
     /// default) local queue inhabitants win over any remote waiter — even
     /// one that asked first; otherwise the remote waiter is served first
     /// and remaining local waiters must re-request.
-    pub fn release(&mut self, tid: usize, prefer_local: bool) -> ReleaseOutcome {
+    ///
+    /// `local_grant_cap` bounds starvation: after that many *consecutive*
+    /// local hand-offs past a parked remote waiter, the remote waiter is
+    /// served despite `prefer_local`. `0` means unbounded (the paper's
+    /// policy, and the default).
+    pub fn release(
+        &mut self,
+        tid: usize,
+        prefer_local: bool,
+        local_grant_cap: u32,
+    ) -> ReleaseOutcome {
         debug_assert_eq!(self.holder, Some(tid), "release by non-holder");
         self.holder = None;
-        if prefer_local {
+        let capped = local_grant_cap != 0
+            && self.remote_waiter.is_some()
+            && self.local_grants >= local_grant_cap;
+        if prefer_local && !capped {
             if let Some(next) = self.local_queue.pop_front() {
                 self.holder = Some(next);
+                if self.remote_waiter.is_some() {
+                    self.local_grants += 1;
+                }
                 return ReleaseOutcome::LocalHandoff(next);
             }
         }
         if let Some((node, vt)) = self.remote_waiter.take() {
             self.cached = false;
+            self.local_grants = 0;
             ReleaseOutcome::GrantRemote(node, vt)
         } else if let Some(next) = self.local_queue.pop_front() {
             self.holder = Some(next);
             ReleaseOutcome::LocalHandoff(next)
         } else {
+            self.local_grants = 0;
             ReleaseOutcome::KeepCached
         }
     }
@@ -118,6 +149,7 @@ impl LockLocal {
         assert!(self.requested, "grant without request");
         self.requested = false;
         self.cached = true;
+        self.local_grants = 0;
         let next = self
             .local_queue
             .pop_front()
@@ -220,11 +252,11 @@ mod tests {
         l.try_acquire(2);
         l.remote_waiter = Some((3, VectorTime::new(4)));
         // Thread 2 waited *after* the remote node, but still wins.
-        assert_eq!(l.release(1, true), ReleaseOutcome::LocalHandoff(2));
+        assert_eq!(l.release(1, true, 0), ReleaseOutcome::LocalHandoff(2));
         assert_eq!(l.holder, Some(2));
         // Only when the local queue drains does the remote waiter get it.
         assert!(matches!(
-            l.release(2, true),
+            l.release(2, true, 0),
             ReleaseOutcome::GrantRemote(3, _)
         ));
         assert!(!l.cached);
@@ -234,7 +266,7 @@ mod tests {
     fn release_with_nobody_keeps_token() {
         let mut l = owned();
         l.try_acquire(1);
-        assert_eq!(l.release(1, true), ReleaseOutcome::KeepCached);
+        assert_eq!(l.release(1, true, 0), ReleaseOutcome::KeepCached);
         assert!(l.cached);
         // Re-acquire is then free.
         assert_eq!(l.try_acquire(1), AcquireOutcome::LocalGrant);
@@ -248,7 +280,7 @@ mod tests {
         l.remote_waiter = Some((3, VectorTime::new(4)));
         // Fair-ish ablation: the remote waiter wins over queued thread 2.
         assert!(matches!(
-            l.release(1, false),
+            l.release(1, false, 0),
             ReleaseOutcome::GrantRemote(3, _)
         ));
         assert!(!l.cached);
@@ -285,6 +317,81 @@ mod tests {
             ForwardOutcome::Parked
         );
         assert!(l.remote_waiter.is_some());
+    }
+
+    /// Regression: with no cap, a steady local acquire/release stream
+    /// starves a parked remote waiter forever — every release finds the
+    /// local queue non-empty and hands off locally. This test drives that
+    /// loop and asserts (a) the uncapped policy never serves the remote
+    /// waiter over many rounds, and (b) a cap of 2 serves it on the third
+    /// release. It fails on the pre-cap code by construction: without the
+    /// `local_grant_cap` bound there is no release that picks the remote
+    /// waiter while locals are queued.
+    #[test]
+    fn local_grant_cap_bounds_remote_starvation() {
+        // Uncapped (cap = 0): the paper's policy, starvation is real.
+        let mut l = owned();
+        l.try_acquire(1);
+        l.remote_waiter = Some((9, VectorTime::new(4)));
+        let mut holder = 1;
+        for round in 0..1000 {
+            // A fresh local thread queues before every release, modeling
+            // sustained open-loop local contention.
+            l.try_acquire(100 + round);
+            match l.release(holder, true, 0) {
+                ReleaseOutcome::LocalHandoff(next) => holder = next,
+                other => panic!(
+                    "uncapped policy must keep preferring locals (round {round}), got {other:?}"
+                ),
+            }
+        }
+        assert!(
+            l.remote_waiter.is_some(),
+            "remote waiter starved as expected"
+        );
+
+        // Capped at 2: the third release past the parked waiter grants it.
+        let mut l = owned();
+        l.try_acquire(1);
+        l.remote_waiter = Some((9, VectorTime::new(4)));
+        l.try_acquire(2);
+        assert_eq!(l.release(1, true, 2), ReleaseOutcome::LocalHandoff(2));
+        l.try_acquire(3);
+        assert_eq!(l.release(2, true, 2), ReleaseOutcome::LocalHandoff(3));
+        l.try_acquire(4);
+        let out = l.release(3, true, 2);
+        assert!(
+            matches!(out, ReleaseOutcome::GrantRemote(9, _)),
+            "cap reached: remote waiter must win, got {out:?}"
+        );
+        assert!(!l.cached, "token left the node");
+        assert_eq!(l.local_grants, 0, "streak resets once the waiter is served");
+        assert_eq!(
+            l.local_queue.front(),
+            Some(&4),
+            "queued local thread 4 must re-request after the token leaves"
+        );
+    }
+
+    /// The streak only counts hand-offs made *past a parked waiter*; local
+    /// churn with no remote waiter never triggers the cap.
+    #[test]
+    fn cap_ignores_handoffs_without_remote_waiter() {
+        let mut l = owned();
+        l.try_acquire(1);
+        for round in 0..10 {
+            l.try_acquire(2 + round);
+            assert_eq!(
+                l.release(1 + round, true, 2),
+                ReleaseOutcome::LocalHandoff(2 + round)
+            );
+        }
+        assert_eq!(l.local_grants, 0);
+        // A waiter parks now: the full cap budget is still available.
+        l.remote_waiter = Some((9, VectorTime::new(4)));
+        l.try_acquire(50);
+        assert_eq!(l.release(11, true, 2), ReleaseOutcome::LocalHandoff(50));
+        assert_eq!(l.local_grants, 1);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use std::collections::BTreeSet;
 
 use cvm_memsim::MemSystem;
+use cvm_sim::Log2Hist;
 
 use crate::page::PageState;
 
@@ -42,6 +43,14 @@ pub struct NodeCell {
     pub lb_result: f64,
     /// Result slot for global reductions.
     pub gr_result: f64,
+    /// Result slot for virtual-clock reads ([`BlockReason::Now`]
+    /// (crate::BlockReason::Now)): the driver writes the node clock here
+    /// before resuming the reader.
+    pub now_ns: u64,
+    /// Request latencies recorded by this node's threads
+    /// ([`ThreadCtx::record_request`](crate::ThreadCtx::record_request));
+    /// merged into the run report's `request` histogram at snapshot.
+    pub req_hist: Log2Hist,
     /// The node's cache/TLB simulator, if enabled.
     pub memsim: Option<MemSystem>,
     /// Twins created (local write faults that copied a page).
@@ -76,6 +85,8 @@ impl NodeCell {
             burst_ns: 0,
             lb_result: 0.0,
             gr_result: 0.0,
+            now_ns: 0,
+            req_hist: Log2Hist::default(),
             memsim,
             twin_creations: 0,
             twin_bytes_live: 0,

@@ -25,6 +25,10 @@ pub struct NodeBreakdown {
     pub fault: SimDuration,
     /// Non-overlapped lock wait.
     pub lock: SimDuration,
+    /// Open-loop idle: every runnable thread asleep on the arrival clock
+    /// (`sleep_until`), i.e. the node is under-offered. Zero for the
+    /// closed-loop batch kernels.
+    pub idle: SimDuration,
     /// The node's final clock.
     pub clock: VirtualTime,
 }
@@ -32,7 +36,7 @@ pub struct NodeBreakdown {
 impl NodeBreakdown {
     /// Sum of all categories (≈ the node's wall time).
     pub fn total(&self) -> SimDuration {
-        self.user + self.barrier + self.fault + self.lock
+        self.user + self.barrier + self.fault + self.lock + self.idle
     }
 }
 
@@ -169,6 +173,7 @@ impl RunReport {
             sum.barrier += n.barrier;
             sum.fault += n.fault;
             sum.lock += n.lock;
+            sum.idle += n.idle;
             sum.clock = sum.clock.max(n.clock);
         }
         sum
@@ -236,6 +241,7 @@ impl RunReport {
             row.set("barrier_ns", n.barrier.as_ns());
             row.set("fault_ns", n.fault.as_ns());
             row.set("lock_ns", n.lock.as_ns());
+            row.set("idle_ns", n.idle.as_ns());
             row.set("clock_ns", n.clock.as_ns());
             nodes.push(row);
         }
@@ -353,9 +359,10 @@ mod tests {
             barrier: SimDuration::from_us(5),
             fault: SimDuration::from_us(3),
             lock: SimDuration::from_us(2),
-            clock: VirtualTime::from_us(20),
+            idle: SimDuration::from_us(1),
+            clock: VirtualTime::from_us(21),
         };
-        assert_eq!(b.total(), SimDuration::from_us(20));
+        assert_eq!(b.total(), SimDuration::from_us(21));
     }
 
     #[test]

@@ -22,6 +22,10 @@ pub enum WaitClass {
     Lock,
     /// Waiting for a barrier release.
     Barrier,
+    /// All runnable threads are sleeping on the open-loop arrival clock
+    /// ([`ThreadCtx::sleep_until`](crate::ThreadCtx::sleep_until)) — the
+    /// node is under-offered, not blocked on the DSM.
+    Idle,
     /// Anything else (startup rendezvous).
     Other,
 }
@@ -43,6 +47,9 @@ pub struct NodeSched {
     pub finished: usize,
     /// Total threads on this node.
     pub total: usize,
+    /// Threads currently sleeping on the virtual clock
+    /// (`sleep_until`), woken by `MainEvent::ThreadWake`.
+    pub sleeping: usize,
 }
 
 impl NodeSched {
@@ -56,6 +63,7 @@ impl NodeSched {
             resume_scheduled: false,
             finished: 0,
             total,
+            sleeping: 0,
         }
     }
 

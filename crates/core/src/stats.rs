@@ -64,6 +64,10 @@ pub struct DsmStats {
     pub wait_fault: SimDuration,
     /// Non-overlapped lock wait, summed over nodes.
     pub wait_lock: SimDuration,
+    /// Open-loop idle (all runnable threads sleeping on the arrival
+    /// clock), summed over nodes. Not remote latency: excluded from
+    /// [`total_wait`](Self::total_wait).
+    pub wait_idle: SimDuration,
     /// Total user time (computation + local consistency + switches),
     /// summed over nodes.
     pub user_time: SimDuration,
@@ -109,6 +113,7 @@ impl DsmStats {
         obj.set("wait_barrier_ns", self.wait_barrier.as_ns());
         obj.set("wait_fault_ns", self.wait_fault.as_ns());
         obj.set("wait_lock_ns", self.wait_lock.as_ns());
+        obj.set("wait_idle_ns", self.wait_idle.as_ns());
         obj.set("user_time_ns", self.user_time.as_ns());
         obj
     }
@@ -147,8 +152,8 @@ impl fmt::Display for DsmStats {
         )?;
         write!(
             f,
-            "waits: barrier {} fault {} lock {} | user {}",
-            self.wait_barrier, self.wait_fault, self.wait_lock, self.user_time
+            "waits: barrier {} fault {} lock {} idle {} | user {}",
+            self.wait_barrier, self.wait_fault, self.wait_lock, self.wait_idle, self.user_time
         )
     }
 }
@@ -219,6 +224,7 @@ mod tests {
             "wait_barrier_ns",
             "wait_fault_ns",
             "wait_lock_ns",
+            "wait_idle_ns",
             "user_time_ns",
         ] {
             assert!(j.get(key).is_some(), "missing {key}");

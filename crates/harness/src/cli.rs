@@ -13,7 +13,7 @@ use crate::{micro, AppId, Scale};
 
 pub(crate) fn usage() -> ! {
     eprintln!(
-        "usage: cvm <micro|table1|fig1|table2|table3|fig2|table4|table5|latency|ablation|protocols|perturb|all> [--paper-scale]\n         \n         or:    cvm run <barnes|fft|ocean|sor|swm|water-sp|water-nsq>\n         or:    cvm bench [--json] [--nodes N] [--threads T] [--paper-scale]\n         or:    cvm bench --scale [--json] [--nodes LIST] [--threads T] [--shards S]\n         or:    cvm sweep [--json] [--workers N] [--nodes LIST] [--threads LIST]\n         or:    cvm faults [--json] [--plan NAME]... [--workers N]\n         or:    cvm check [--dpor] [--app NAME]... [--schedules N] [--faults NAME]\n         or:    cvm explain --run FILE [--span ID | --slowest N | --resource R]\n         \n         run options:\n           --nodes N        processors (default 8)\n           --threads T      threads per node (default 2)\n           --paper-scale    the paper's input sizes\n           --protocol NAME  coherence protocol: lazy-mw | eager-update |\n                            home-lazy (default lazy-mw)\n           --eager          shorthand for --protocol eager-update\n           --lifo           memory-conscious LIFO scheduling\n           --memsim         enable the cache/TLB simulator\n           --shards S       event-core shards (default 1, the sequential\n                            loop); any S produces a byte-identical report,\n                            S > 1 pre-executes independent bursts\n                            concurrently on the host\n           --verify         run the online invariant oracle; findings are\n                            printed and make the exit status nonzero\n           --trace N        record and print the first N protocol events\n           --spans          record the causal span forest; the report JSON\n                            gains a 'spans' section for cvm explain\n           --json FILE      write the full run report as JSON to FILE\n           --chrome-trace FILE\n                            write the protocol trace as Chrome trace-event\n                            JSON (load in chrome://tracing or Perfetto);\n                            with --spans, nested span tracks and flow\n                            events are included\n           --replay FILE    re-execute a cvm-schedule-*.json counterexample\n                            (from cvm check --dpor) byte-identically; the\n                            positional app may be omitted, the exit status\n                            is 0 iff the recorded terminal state and\n                            findings reproduce exactly\n         \n         bench options:\n           --json           additionally write one BENCH_<app>.json per app\n                            (and BENCH_obs.json when --spans is on)\n           --spans          record span forests and emit the span summary\n           --scale          run the node-scaling ladder instead of the\n                            suite: each rung runs shards {{1,S}}, asserts\n                            byte-identical reports, and reports peak\n                            memory and the modelled burst speedup;\n                            --json writes BENCH_scale.json\n           --nodes LIST     (--scale) comma-separated rungs\n                            (default 8,16,32,64)\n           --shards S       (--scale) shard count of the parallel run\n                            (default 8)\n           --baseline FILE  compare against a committed baseline artifact;\n                            exit 1 on regression beyond twice the gate\n           --current FILE   compare FILE against the baseline instead of\n                            running the suite (works for any BENCH_*.json)\n           --gate PCT       regression gate percentage (default 5):\n                            warn above PCT, fail above 2*PCT\n         \n         explain options:\n           --run FILE       report JSON from cvm run --spans --json FILE\n           --slowest N      the N slowest root spans (default 5)\n           --span ID        one span with its ancestor chain\n           --resource R     root spans about one resource (page:17, lock:3,\n                            barrier:2)\n         \n         sweep options:\n           --json           write the aggregated report to BENCH_sweep.json\n           --spans          record span forests in every cell\n           --out FILE       write the aggregated report to FILE instead\n           --md FILE        write the markdown tables to FILE as well\n           --workers N      simulation worker threads (default: one per core);\n                            any value produces byte-identical reports\n           --nodes LIST     comma-separated processor counts (default 4,8,16)\n           --threads LIST   comma-separated threads/node levels (default 1,2,3,4)\n           --shards S       event-core shards for every cell (default 1);\n                            any value produces byte-identical reports\n           --app NAME       restrict to one app (repeatable; default: all 7)\n           --protocol LIST  comma-separated protocols to cross (default\n                            lazy-mw); several add a comparison table\n           --seed S         master seed; each configuration splits its own\n           --paper-scale    the paper's input sizes\n         \n         faults options:\n           --json           write the campaign report to BENCH_faults.json\n           --out FILE       write the campaign report to FILE instead\n           --md FILE        write the markdown degradation tables to FILE\n           --workers N      simulation worker threads (default: one per core);\n                            any value produces byte-identical reports\n           --app NAME       restrict to one app (repeatable; default: all 7)\n           --protocol LIST  comma-separated protocols (default: all 3)\n           --plan NAME      fault plan from the catalog (repeatable;\n                            default: the whole catalog)\n           --nodes N        processors (default 4)\n           --threads T      threads per node (default 2)\n           --seed S         master seed; each cell splits its own\n           --paper-scale    the paper's input sizes\n           exit status is nonzero if any cell violated exactly-once\n           delivery or oracle cleanliness\n         \n         check options:\n           --app NAME       application to check (repeatable; default: all)\n           --protocol NAME  coherence protocol to explore (default lazy-mw)\n           --nodes N        processors (default 2)\n           --threads T      threads per node (default 2)\n           --schedules N    perturbed schedules per app (default 8); an\n                            unperturbed baseline always runs first\n           --seed S         base exploration seed (schedule 0 uses it\n                            verbatim, so reported seeds replay directly)\n           --budget N       scheduler decisions each schedule may perturb\n                            (default 64)\n           --faults NAME    layer a fault plan from the catalog under the\n                            explored schedules (loss, dup, reorder, ...)\n           --mutate KIND[:nth]\n                            inject a protocol mutation (oracle self-test):\n                            drop-notice | reorder-diff | skip-invalidate |\n                            skip-watermark | drop-grant-notice;\n                            exit status then inverts (0 = caught)\n           --trace-capacity N\n                            trace buffer per run (default 4000000)\n           --dpor           exhaustive DPOR exploration of every\n                            inequivalent interleaving instead of seeded\n                            shaking (defaults the scale to tiny; refuses\n                            --faults); failures are minimized into\n                            cvm-schedule-<app>.json replay files\n           --max-traces N   DPOR execution cap (default 20000); hitting it\n                            downgrades the verdict to non-exhaustive\n           --scale NAME     problem size: tiny | small | paper\n           --json           write the report to BENCH_check.json\n           --out FILE       write the report to FILE instead\n           --paper-scale    the paper's input sizes"
+        "usage: cvm <micro|table1|fig1|table2|table3|fig2|table4|table5|latency|ablation|protocols|perturb|all> [--paper-scale]\n         \n         or:    cvm run <barnes|fft|ocean|sor|swm|water-sp|water-nsq>\n         or:    cvm bench [--json] [--nodes N] [--threads T] [--paper-scale]\n         or:    cvm bench --scale [--json] [--nodes LIST] [--threads T] [--shards S]\n         or:    cvm sweep [--json] [--workers N] [--nodes LIST] [--threads LIST]\n         or:    cvm serve [SCENARIO] [--sweep LIST] [--json] [--baseline FILE]\n         or:    cvm faults [--json] [--plan NAME]... [--workers N]\n         or:    cvm check [--dpor] [--app NAME]... [--schedules N] [--faults NAME]\n         or:    cvm explain --run FILE [--span ID | --slowest N | --resource R]\n         \n         run options:\n           --nodes N        processors (default 8)\n           --threads T      threads per node (default 2)\n           --paper-scale    the paper's input sizes\n           --protocol NAME  coherence protocol: lazy-mw | eager-update |\n                            home-lazy (default lazy-mw)\n           --eager          shorthand for --protocol eager-update\n           --lifo           memory-conscious LIFO scheduling\n           --memsim         enable the cache/TLB simulator\n           --shards S       event-core shards (default 1, the sequential\n                            loop); any S produces a byte-identical report,\n                            S > 1 pre-executes independent bursts\n                            concurrently on the host\n           --verify         run the online invariant oracle; findings are\n                            printed and make the exit status nonzero\n           --trace N        record and print the first N protocol events\n           --spans          record the causal span forest; the report JSON\n                            gains a 'spans' section for cvm explain\n           --json FILE      write the full run report as JSON to FILE\n           --chrome-trace FILE\n                            write the protocol trace as Chrome trace-event\n                            JSON (load in chrome://tracing or Perfetto);\n                            with --spans, nested span tracks and flow\n                            events are included\n           --replay FILE    re-execute a cvm-schedule-*.json counterexample\n                            (from cvm check --dpor) byte-identically; the\n                            positional app may be omitted, the exit status\n                            is 0 iff the recorded terminal state and\n                            findings reproduce exactly\n         \n         bench options:\n           --json           additionally write one BENCH_<app>.json per app\n                            (and BENCH_obs.json when --spans is on)\n           --spans          record span forests and emit the span summary\n           --scale          run the node-scaling ladder instead of the\n                            suite: each rung runs shards {{1,S}}, asserts\n                            byte-identical reports, and reports peak\n                            memory and the modelled burst speedup;\n                            --json writes BENCH_scale.json\n           --nodes LIST     (--scale) comma-separated rungs\n                            (default 8,16,32,64)\n           --shards S       (--scale) shard count of the parallel run\n                            (default 8)\n           --baseline FILE  compare against a committed baseline artifact;\n                            exit 1 on regression beyond twice the gate\n           --current FILE   compare FILE against the baseline instead of\n                            running the suite (works for any BENCH_*.json)\n           --gate PCT       regression gate percentage (default 5):\n                            warn above PCT, fail above 2*PCT\n         \n         explain options:\n           --run FILE       report JSON from cvm run --spans --json FILE\n           --slowest N      the N slowest root spans (default 5)\n           --span ID        one span with its ancestor chain\n           --resource R     root spans about one resource (page:17, lock:3,\n                            barrier:2)\n         \n         sweep options:\n           --json           write the aggregated report to BENCH_sweep.json\n           --spans          record span forests in every cell\n           --out FILE       write the aggregated report to FILE instead\n           --md FILE        write the markdown tables to FILE as well\n           --workers N      simulation worker threads (default: one per core);\n                            any value produces byte-identical reports\n           --nodes LIST     comma-separated processor counts (default 4,8,16)\n           --threads LIST   comma-separated threads/node levels (default 1,2,3,4)\n           --shards S       event-core shards for every cell (default 1);\n                            any value produces byte-identical reports\n           --app NAME       restrict to one app (repeatable; default: all 7)\n           --protocol LIST  comma-separated protocols to cross (default\n                            lazy-mw); several add a comparison table\n           --seed S         master seed; each configuration splits its own\n           --paper-scale    the paper's input sizes\n         \n         serve options:\n           SCENARIO         builtin (smoke | session) or a path to an INI\n                            scenario file ([store]/[traffic]/[system]);\n                            default session\n           --rate R         override the offered rate (requests/s)\n           --sweep LIST     comma-separated rate ladder; the summary and\n                            JSON mark the saturation knee\n           --cap N          consecutive-local-grant cap for shard leases\n                            (0 = unbounded local preference)\n           --seed S         master seed; each ladder cell splits its own\n           --workers N      host threads for ladder cells (default: one\n                            per core); byte-identical at any count\n           --shards S       event-core shards per cell (default 1);\n                            byte-identical at any count\n           --json           write BENCH_serve.json\n           --out FILE       write the JSON to FILE instead\n           --baseline FILE  gate against a committed baseline artifact\n           --gate PCT       regression gate percentage (default 5)\n         \n         faults options:\n           --json           write the campaign report to BENCH_faults.json\n           --out FILE       write the campaign report to FILE instead\n           --md FILE        write the markdown degradation tables to FILE\n           --workers N      simulation worker threads (default: one per core);\n                            any value produces byte-identical reports\n           --app NAME       restrict to one app (repeatable; default: all 7)\n           --protocol LIST  comma-separated protocols (default: all 3)\n           --plan NAME      fault plan from the catalog (repeatable;\n                            default: the whole catalog)\n           --nodes N        processors (default 4)\n           --threads T      threads per node (default 2)\n           --seed S         master seed; each cell splits its own\n           --paper-scale    the paper's input sizes\n           exit status is nonzero if any cell violated exactly-once\n           delivery or oracle cleanliness\n         \n         check options:\n           --app NAME       application to check (repeatable; default: all)\n           --protocol NAME  coherence protocol to explore (default lazy-mw)\n           --nodes N        processors (default 2)\n           --threads T      threads per node (default 2)\n           --schedules N    perturbed schedules per app (default 8); an\n                            unperturbed baseline always runs first\n           --seed S         base exploration seed (schedule 0 uses it\n                            verbatim, so reported seeds replay directly)\n           --budget N       scheduler decisions each schedule may perturb\n                            (default 64)\n           --faults NAME    layer a fault plan from the catalog under the\n                            explored schedules (loss, dup, reorder, ...)\n           --mutate KIND[:nth]\n                            inject a protocol mutation (oracle self-test):\n                            drop-notice | reorder-diff | skip-invalidate |\n                            skip-watermark | drop-grant-notice;\n                            exit status then inverts (0 = caught)\n           --trace-capacity N\n                            trace buffer per run (default 4000000)\n           --dpor           exhaustive DPOR exploration of every\n                            inequivalent interleaving instead of seeded\n                            shaking (defaults the scale to tiny; refuses\n                            --faults); failures are minimized into\n                            cvm-schedule-<app>.json replay files\n           --max-traces N   DPOR execution cap (default 20000); hitting it\n                            downgrades the verdict to non-exhaustive\n           --scale NAME     problem size: tiny | small | paper\n           --json           write the report to BENCH_check.json\n           --out FILE       write the report to FILE instead\n           --paper-scale    the paper's input sizes"
     );
     std::process::exit(2);
 }
@@ -111,6 +111,10 @@ pub fn run() {
     }
     if args.first().map(String::as_str) == Some("sweep") {
         crate::sweep_cli::run_sweep_cmd(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        crate::serve_cli::run_serve_cmd(&args[1..]);
         return;
     }
     if args.first().map(String::as_str) == Some("faults") {

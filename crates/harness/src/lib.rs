@@ -28,6 +28,8 @@ pub mod micro;
 pub mod run_cli;
 pub mod runner;
 pub mod scale_bench;
+pub mod serve;
+pub mod serve_cli;
 pub mod sweep;
 pub mod sweep_cli;
 pub mod tables;

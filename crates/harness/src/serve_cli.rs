@@ -1,0 +1,152 @@
+//! `cvm serve` — the serving-workload command-line front end.
+//!
+//! The positional argument names a scenario: a builtin
+//! ([`ServeScenario::BUILTINS`]) or a path to an INI scenario file
+//! (anything containing a path separator or a dot is treated as a path).
+//! Flags override the file; the artifact gates against a committed
+//! baseline exactly like `cvm bench --baseline`.
+
+use cvm_apps::kv::scenario::ServeScenario;
+
+use crate::cli::{load_json, parse_u64, usage};
+use crate::serve::{run_serve, ServeConfig, FILE_NAME};
+
+/// Resolves the positional scenario argument: builtin name or file path.
+fn load_scenario(arg: &str) -> ServeScenario {
+    if let Some(sc) = ServeScenario::builtin(arg) {
+        return sc;
+    }
+    if !arg.contains('/') && !arg.contains('.') {
+        eprintln!(
+            "unknown scenario {arg:?}; builtins: {} (or pass a file path)",
+            ServeScenario::BUILTINS.join(", ")
+        );
+        std::process::exit(2);
+    }
+    let text = std::fs::read_to_string(arg).unwrap_or_else(|e| {
+        eprintln!("cannot read {arg}: {e}");
+        std::process::exit(1);
+    });
+    let stem = std::path::Path::new(arg)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or(arg);
+    ServeScenario::parse(stem, &text).unwrap_or_else(|e| {
+        eprintln!("{arg}: {e}");
+        std::process::exit(1);
+    })
+}
+
+pub(crate) fn run_serve_cmd(args: &[String]) {
+    let mut scenario_arg: Option<String> = None;
+    let mut workers = 0usize;
+    let mut shards = 1usize;
+    let mut json = false;
+    let mut out_path: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut gate_pct = 5.0f64;
+    let mut rate: Option<f64> = None;
+    let mut sweep: Option<Vec<f64>> = None;
+    let mut cap: Option<u32> = None;
+    let mut seed: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--out" => out_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--baseline" => baseline = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--gate" => {
+                gate_pct = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|p: &f64| *p > 0.0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--workers" => {
+                workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--shards" => {
+                shards = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s: &usize| s > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--rate" => {
+                rate = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|r: &f64| *r > 0.0);
+                if rate.is_none() {
+                    usage();
+                }
+            }
+            "--sweep" => {
+                let list = it.next().map_or_else(|| usage(), String::as_str);
+                let rates: Option<Vec<f64>> = list
+                    .split(',')
+                    .map(|s| s.trim().parse().ok().filter(|r: &f64| *r > 0.0))
+                    .collect();
+                sweep = rates.filter(|r| !r.is_empty());
+                if sweep.is_none() {
+                    usage();
+                }
+            }
+            "--cap" => {
+                cap = it.next().and_then(|v| v.parse().ok());
+                if cap.is_none() {
+                    usage();
+                }
+            }
+            "--seed" => {
+                seed = it.next().and_then(|v| parse_u64(v));
+                if seed.is_none() {
+                    usage();
+                }
+            }
+            s if !s.starts_with('-') && scenario_arg.is_none() => {
+                scenario_arg = Some(s.to_owned());
+            }
+            _ => usage(),
+        }
+    }
+    let mut scenario = load_scenario(scenario_arg.as_deref().unwrap_or("session"));
+    if let Some(r) = rate {
+        scenario.kv.rate_rps = r;
+    }
+    if let Some(rates) = sweep {
+        scenario.sweep = rates;
+    }
+    if let Some(c) = cap {
+        scenario.local_grant_cap = c;
+    }
+    if let Some(s) = seed {
+        scenario.seed = s;
+    }
+    scenario.kv.validate();
+
+    let report = run_serve(ServeConfig {
+        scenario,
+        workers,
+        shards,
+    });
+    print!("{}", report.render_summary());
+    if json || out_path.is_some() {
+        let path = out_path.unwrap_or_else(|| FILE_NAME.to_owned());
+        std::fs::write(&path, report.to_json().to_pretty()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[serve] wrote {path}");
+    }
+    if let Some(base_path) = &baseline {
+        let outcome = crate::gate::compare(&load_json(base_path), &report.to_json(), gate_pct);
+        print!("{}", outcome.render(gate_pct));
+        if outcome.failed() {
+            std::process::exit(1);
+        }
+    }
+}

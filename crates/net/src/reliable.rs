@@ -138,8 +138,15 @@ impl RttEstimator {
             // RTTVAR := 3/4 RTTVAR + 1/4 |SRTT - R|, then
             // SRTT := 7/8 SRTT + 1/8 R (integer arithmetic: exact,
             // deterministic, and within a nanosecond of the float form).
-            self.rttvar = (3 * self.rttvar + self.srtt.abs_diff(r)) / 4;
-            self.srtt = (7 * self.srtt + r) / 8;
+            // Saturating: a pathological RTT (storm plans at serve-length
+            // runs can stack stall + partition delays) must pin the
+            // estimate at the top, not wrap it around to a tiny RTO.
+            self.rttvar = self
+                .rttvar
+                .saturating_mul(3)
+                .saturating_add(self.srtt.abs_diff(r))
+                / 4;
+            self.srtt = self.srtt.saturating_mul(7).saturating_add(r) / 8;
         } else {
             self.srtt = r;
             self.rttvar = r / 2;
@@ -147,10 +154,11 @@ impl RttEstimator {
         }
     }
 
-    /// RTO = SRTT + 4·RTTVAR, unclamped.
+    /// RTO = SRTT + 4·RTTVAR, unclamped (saturating at `u64::MAX` ns; the
+    /// policy ceiling clamps it down afterwards).
     fn rto(&self) -> Option<SimDuration> {
         self.sampled
-            .then(|| SimDuration::from_ns(self.srtt + 4 * self.rttvar))
+            .then(|| SimDuration::from_ns(self.srtt.saturating_add(self.rttvar.saturating_mul(4))))
     }
 }
 
@@ -422,15 +430,30 @@ impl ReliabilityState {
     }
 }
 
-/// `u64::checked_shl` with saturation (backoff can overflow 64 bits long
-/// before the clamp applies).
+/// `<<` with saturation (backoff can overflow 64 bits long before the
+/// clamp applies).
+///
+/// `u64::checked_shl` is the wrong tool here: it only returns `None` when
+/// the *shift amount* is ≥ 64 — a shift that discards set high bits is
+/// considered fine and silently returns the truncated value. With a large
+/// SRTT and enough retries that truncation can shift every set bit out,
+/// producing an RTO of *zero* that the policy then clamps up to `min` —
+/// exponential backoff collapsing to the most aggressive timeout exactly
+/// when the network is at its worst. True saturation checks the operand's
+/// leading zeros instead.
 trait SaturatingShl {
     fn saturating_shl(self, rhs: u32) -> u64;
 }
 
 impl SaturatingShl for u64 {
     fn saturating_shl(self, rhs: u32) -> u64 {
-        self.checked_shl(rhs).unwrap_or(u64::MAX)
+        if self == 0 {
+            0
+        } else if rhs > self.leading_zeros() {
+            u64::MAX
+        } else {
+            self << rhs
+        }
     }
 }
 
@@ -574,6 +597,61 @@ mod tests {
         assert_eq!(
             r.rto_for(0, 1, 0, SimDuration::from_ms(50)),
             SimDuration::from_ms(50)
+        );
+    }
+
+    /// Regression: the old `saturating_shl` was `checked_shl(..).unwrap_or(MAX)`,
+    /// which only saturates when the *shift amount* is ≥ 64 — a shift that
+    /// discards set high bits silently truncated instead.
+    #[test]
+    fn saturating_shl_saturates_on_bit_loss_not_just_wide_shifts() {
+        assert_eq!(0u64.saturating_shl(1000), 0);
+        assert_eq!(1u64.saturating_shl(63), 1 << 63, "exact fit is exact");
+        assert_eq!(
+            3u64.saturating_shl(62),
+            3 << 62,
+            "rhs == leading_zeros fits"
+        );
+        assert_eq!(1u64.saturating_shl(64), u64::MAX, "wide shift saturates");
+        // The bug: 2^61 << 16 has rhs < 64, so checked_shl "succeeds" —
+        // returning 0 after every set bit is shifted out.
+        assert_eq!((1u64 << 61).saturating_shl(16), u64::MAX);
+        assert_eq!(u64::MAX.saturating_shl(1), u64::MAX);
+    }
+
+    /// Regression: pathological RTT samples (storm fault plans stack stall
+    /// and partition delays at serve-length runs) overflowed the estimator's
+    /// `7 * srtt` / `srtt + 4 * rttvar` in debug builds.
+    #[test]
+    fn estimator_survives_pathological_rtts() {
+        let mut e = RttEstimator::default();
+        e.sample(SimDuration::from_ns(u64::MAX / 2));
+        // Second identical sample: 7·SRTT would overflow without saturation.
+        e.sample(SimDuration::from_ns(u64::MAX / 2));
+        let rto = e.rto().expect("sampled");
+        assert!(
+            rto.as_ns() > u64::MAX / 4,
+            "huge RTTs must pin the estimate high, not wrap: rto = {rto}"
+        );
+    }
+
+    /// Regression for the end-to-end failure mode: with bit-loss
+    /// truncation, a large SRTT at high retry counts shifted to *zero*,
+    /// and the min-clamp then produced the most aggressive timeout exactly
+    /// when the link was at its worst. Post-fix the backoff saturates and
+    /// the ceiling clamp wins.
+    #[test]
+    fn backoff_of_large_srtt_hits_ceiling_not_floor() {
+        let mut r = ReliabilityState::default();
+        r.enable(SimRng::seed_from(1), LossConfig::clean_adaptive());
+        // One sample: SRTT = R, RTTVAR = R/2, base RTO = 3R = 3·2^61 ns.
+        r.sample_rtt(0, 1, SimDuration::from_ns(1 << 61));
+        let a = AdaptiveRto::default();
+        let rto = r.rto_for(0, 1, 16, SimDuration::ZERO);
+        // Pre-fix: 3·2^61 << 16 truncated to 0, clamped *up* to min (500µs).
+        assert_eq!(
+            rto, a.max,
+            "saturated backoff must clamp to the 200 ms ceiling, got {rto}"
         );
     }
 

@@ -61,7 +61,7 @@ pub use event::EventQueue;
 pub use explore::{ExploreSchedule, ExploreSpec};
 pub use hist::Log2Hist;
 pub use json::JsonValue;
-pub use rng::SimRng;
+pub use rng::{SimRng, Zipf};
 pub use script::{Fnv64, ScheduleScript, ScriptCursor, StepLog, StepRecord, SyncOp};
 pub use shard::{ShardMap, ShardedEventQueue};
 pub use time::{SimDuration, VirtualTime};

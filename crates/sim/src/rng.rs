@@ -103,6 +103,95 @@ impl SimRng {
             xs.swap(i, j);
         }
     }
+
+    /// Exponentially distributed value with the given mean (inverse-CDF
+    /// method) — the inter-arrival time of a Poisson process, the standard
+    /// open-loop traffic model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not finite and positive.
+    pub fn exp_f64(&mut self, mean: f64) -> f64 {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive");
+        // unit_f64 is in [0, 1): flip it so the log argument is in (0, 1].
+        -mean * (1.0 - self.unit_f64()).ln()
+    }
+}
+
+/// A Zipf-distributed key sampler over `0..n` with skew parameter `theta`,
+/// using the YCSB/Gray et al. rejection-free inversion: rank-`k`
+/// popularity ∝ `1 / (k+1)^theta`.
+///
+/// Construction precomputes the generalized harmonic number `zeta(n,
+/// theta)` in O(n); sampling is O(1) and draws exactly one value from the
+/// provided [`SimRng`], keeping streams easy to reason about for
+/// determinism.
+///
+/// # Example
+///
+/// ```
+/// use cvm_sim::{SimRng, Zipf};
+/// let z = Zipf::new(1000, 0.99);
+/// let mut rng = SimRng::seed_from(42);
+/// let key = z.sample(&mut rng);
+/// assert!(key < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    /// Builds a sampler over `0..n` with skew `theta` (YCSB's default is
+    /// 0.99; larger is more skewed; must be in `(0, 1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is outside `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "need at least one key");
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "theta must be in (0, 1), got {theta}"
+        );
+        let mut zetan = 0.0;
+        for k in 1..=n {
+            zetan += 1.0 / (k as f64).powf(theta);
+        }
+        let zeta2 = 1.0 + 1.0 / 2f64.powf(theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    /// Number of keys in the sampled range.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws one rank in `[0, n)`; rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        let u = rng.unit_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
 }
 
 #[cfg(test)]
@@ -163,5 +252,70 @@ mod tests {
     #[should_panic(expected = "bound must be positive")]
     fn below_zero_panics() {
         SimRng::seed_from(0).below(0);
+    }
+
+    #[test]
+    fn exp_f64_matches_mean() {
+        let mut r = SimRng::seed_from(9);
+        let n = 20_000;
+        let mean = 250.0;
+        let sum: f64 = (0..n).map(|_| r.exp_f64(mean)).sum();
+        let observed = sum / n as f64;
+        assert!(
+            (observed - mean).abs() < mean * 0.05,
+            "sample mean {observed} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn zipf_stays_in_range_and_is_seed_stable() {
+        let z = Zipf::new(100, 0.99);
+        let mut a = SimRng::seed_from(21);
+        let mut b = SimRng::seed_from(21);
+        for _ in 0..10_000 {
+            let ka = z.sample(&mut a);
+            assert!(ka < 100);
+            assert_eq!(ka, z.sample(&mut b), "same seed, same key stream");
+        }
+    }
+
+    /// Rank-frequency sanity: for Zipf(theta) the frequency of rank k is
+    /// ∝ 1/(k+1)^theta, so log-frequency against log-rank is a line of
+    /// slope −theta. Check the empirical slope between two well-populated
+    /// ranks is within tolerance.
+    #[test]
+    fn zipf_rank_frequency_slope_near_theta() {
+        let theta = 0.99;
+        let z = Zipf::new(1000, theta);
+        let mut r = SimRng::seed_from(7);
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..200_000 {
+            counts[z.sample(&mut r) as usize] += 1;
+        }
+        assert!(counts[0] > counts[9], "head must dominate");
+        // Slope between rank 1 and rank 32 (1-indexed ranks 2 and 33):
+        // log(f_a / f_b) / log(b / a) ≈ theta.
+        let (a, b) = (1usize, 32usize);
+        let slope = ((counts[a] as f64) / (counts[b] as f64)).ln()
+            / (((b + 1) as f64) / ((a + 1) as f64)).ln();
+        assert!(
+            (slope - theta).abs() < 0.15,
+            "empirical slope {slope} too far from theta {theta}"
+        );
+    }
+
+    #[test]
+    fn zipf_most_popular_rank_has_expected_mass() {
+        // P(rank 0) = 1/zeta(n, theta); with n=100, theta=0.99 that is
+        // roughly 1/5.2 ≈ 0.19. Check the empirical share is close.
+        let z = Zipf::new(100, 0.99);
+        let mut r = SimRng::seed_from(3);
+        let n = 100_000;
+        let zeros = (0..n).filter(|_| z.sample(&mut r) == 0).count();
+        let share = zeros as f64 / n as f64;
+        assert!(
+            (0.15..0.25).contains(&share),
+            "rank-0 share {share} outside the expected band"
+        );
     }
 }
